@@ -1,0 +1,291 @@
+//! The distributed auction service of §2, scenario 3.
+//!
+//! "Autonomous, geographically dispersed auction houses wish to collaborate
+//! to deliver a trusted, distributed auction service to their clients …
+//! The clients act upon the state of an auction through servers that are
+//! controlled by the auction houses. These servers share and update
+//! auction state. The clients expect the service to guarantee the same
+//! chance of a successful outcome irrespective of which individual server
+//! is used."
+//!
+//! Every auction house holds a replica of the [`Auction`]; a client's bid
+//! is submitted through its local house and validated by every house:
+//! monotonically increasing bids, no bids below the reserve, no bids after
+//! closing, and only the opening house may close.
+
+use b2b_core::{B2BObject, Decision};
+use b2b_crypto::PartyId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bid by a client, placed through an auction house.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bid {
+    /// The bidding client (opaque to the middleware).
+    pub bidder: String,
+    /// The house through which the bid was placed.
+    pub via_house: PartyId,
+    /// The amount.
+    pub amount: u64,
+}
+
+/// The shared auction state.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Auction {
+    /// What is being sold.
+    pub item: String,
+    /// The house that opened the auction (only it may close).
+    pub opened_by: PartyId,
+    /// The reserve price.
+    pub reserve: u64,
+    /// Full bid history, in acceptance order.
+    pub bids: Vec<Bid>,
+    /// Whether the auction is closed.
+    pub closed: bool,
+}
+
+impl Auction {
+    /// Opens an auction for `item` with the given reserve.
+    pub fn open(item: impl Into<String>, opened_by: PartyId, reserve: u64) -> Auction {
+        Auction {
+            item: item.into(),
+            opened_by,
+            reserve,
+            bids: Vec::new(),
+            closed: false,
+        }
+    }
+
+    /// The current best bid.
+    pub fn best_bid(&self) -> Option<&Bid> {
+        self.bids.last()
+    }
+
+    /// The winner once closed.
+    pub fn winner(&self) -> Option<&Bid> {
+        if self.closed {
+            self.best_bid()
+        } else {
+            None
+        }
+    }
+
+    /// Appends a bid locally (house-side tentative action).
+    pub fn place_bid(&mut self, bidder: impl Into<String>, via_house: PartyId, amount: u64) {
+        self.bids.push(Bid {
+            bidder: bidder.into(),
+            via_house,
+            amount,
+        });
+    }
+
+    /// Serialises for coordination.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("auction serialises")
+    }
+
+    /// Parses from coordinated bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Auction> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+impl fmt::Display for Auction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "auction[{}] reserve {}: best {} ({})",
+            self.item,
+            self.reserve,
+            self.best_bid()
+                .map(|b| format!("{} by {}", b.amount, b.bidder))
+                .unwrap_or_else(|| "none".into()),
+            if self.closed { "closed" } else { "open" }
+        )
+    }
+}
+
+/// The shared auction object held by each house.
+pub struct AuctionObject {
+    auction: Auction,
+}
+
+impl AuctionObject {
+    /// Wraps an opened auction.
+    pub fn new(auction: Auction) -> AuctionObject {
+        AuctionObject { auction }
+    }
+
+    /// The current auction state.
+    pub fn auction(&self) -> &Auction {
+        &self.auction
+    }
+
+    fn check(&self, proposer: &PartyId, cur: &Auction, next: &Auction) -> Option<String> {
+        if next.item != cur.item || next.reserve != cur.reserve || next.opened_by != cur.opened_by {
+            return Some("auction terms are immutable".into());
+        }
+        if cur.closed {
+            return Some("the auction is closed".into());
+        }
+        match (next.bids.len(), next.closed) {
+            // Close with no new bid: only the opening house.
+            (n, true) if n == cur.bids.len() => {
+                if proposer != &cur.opened_by {
+                    return Some("only the opening house may close".into());
+                }
+                if next.bids != cur.bids {
+                    return Some("closing may not rewrite bid history".into());
+                }
+                None
+            }
+            // One new bid, still open.
+            (n, false) if n == cur.bids.len() + 1 => {
+                if next.bids[..cur.bids.len()] != cur.bids[..] {
+                    return Some("bid history may not be rewritten".into());
+                }
+                let bid = next.bids.last().expect("one new bid");
+                if &bid.via_house != proposer {
+                    return Some("a house may only submit its own clients' bids".into());
+                }
+                if bid.amount < cur.reserve {
+                    return Some(format!(
+                        "bid {} is below the reserve {}",
+                        bid.amount, cur.reserve
+                    ));
+                }
+                if let Some(best) = cur.best_bid() {
+                    if bid.amount <= best.amount {
+                        return Some(format!(
+                            "bid {} does not beat the best bid {}",
+                            bid.amount, best.amount
+                        ));
+                    }
+                }
+                None
+            }
+            _ => Some("a transition is one bid or one close".into()),
+        }
+    }
+}
+
+impl B2BObject for AuctionObject {
+    fn get_state(&self) -> Vec<u8> {
+        self.auction.to_bytes()
+    }
+
+    fn apply_state(&mut self, state: &[u8]) {
+        if let Some(a) = Auction::from_bytes(state) {
+            self.auction = a;
+        }
+    }
+
+    fn validate_state(&self, proposer: &PartyId, current: &[u8], proposed: &[u8]) -> Decision {
+        let (Some(cur), Some(next)) = (Auction::from_bytes(current), Auction::from_bytes(proposed))
+        else {
+            return Decision::reject("undecodable auction");
+        };
+        match self.check(proposer, &cur, &next) {
+            None => Decision::accept(),
+            Some(reason) => Decision::reject(reason),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn house(i: usize) -> PartyId {
+        PartyId::new(format!("house{i}"))
+    }
+
+    fn object() -> AuctionObject {
+        AuctionObject::new(Auction::open("painting", house(0), 100))
+    }
+
+    fn validate(obj: &AuctionObject, who: &PartyId, cur: &Auction, next: &Auction) -> Decision {
+        obj.validate_state(who, &cur.to_bytes(), &next.to_bytes())
+    }
+
+    #[test]
+    fn increasing_bids_accepted() {
+        let obj = object();
+        let s0 = obj.auction().clone();
+        let mut s1 = s0.clone();
+        s1.place_bid("alice", house(1), 100);
+        assert!(validate(&obj, &house(1), &s0, &s1).is_accept());
+        let mut s2 = s1.clone();
+        s2.place_bid("bob", house(2), 150);
+        assert!(validate(&obj, &house(2), &s1, &s2).is_accept());
+    }
+
+    #[test]
+    fn non_increasing_or_below_reserve_rejected() {
+        let obj = object();
+        let mut s0 = obj.auction().clone();
+        s0.place_bid("alice", house(1), 120);
+        let mut low = s0.clone();
+        low.place_bid("bob", house(2), 120);
+        assert!(!validate(&obj, &house(2), &s0, &low).is_accept());
+        let empty = obj.auction().clone();
+        let mut below = empty.clone();
+        below.place_bid("bob", house(2), 50);
+        let d = validate(&obj, &house(2), &empty, &below);
+        assert!(!d.is_accept());
+        assert!(d.reason.unwrap().contains("reserve"));
+    }
+
+    #[test]
+    fn houses_cannot_submit_for_other_houses() {
+        let obj = object();
+        let s0 = obj.auction().clone();
+        let mut s1 = s0.clone();
+        s1.place_bid("alice", house(2), 150);
+        // house1 proposes a bid claiming it came via house2.
+        assert!(!validate(&obj, &house(1), &s0, &s1).is_accept());
+    }
+
+    #[test]
+    fn only_opener_closes_and_closed_is_final() {
+        let obj = object();
+        let mut s0 = obj.auction().clone();
+        s0.place_bid("alice", house(1), 150);
+        let mut closed = s0.clone();
+        closed.closed = true;
+        assert!(!validate(&obj, &house(1), &s0, &closed).is_accept());
+        assert!(validate(&obj, &house(0), &s0, &closed).is_accept());
+        // Nothing after close.
+        let mut late = closed.clone();
+        late.place_bid("carol", house(2), 500);
+        late.closed = false;
+        assert!(!validate(&obj, &house(2), &closed, &late).is_accept());
+        assert_eq!(closed.winner().unwrap().bidder, "alice");
+    }
+
+    #[test]
+    fn history_rewrites_rejected() {
+        let obj = object();
+        let mut s0 = obj.auction().clone();
+        s0.place_bid("alice", house(1), 150);
+        let mut rewritten = s0.clone();
+        rewritten.bids[0].amount = 1;
+        rewritten.place_bid("bob", house(1), 2);
+        assert!(!validate(&obj, &house(1), &s0, &rewritten).is_accept());
+        // Tampering with terms.
+        let mut cheaper = s0.clone();
+        cheaper.reserve = 1;
+        cheaper.place_bid("bob", house(1), 160);
+        assert!(!validate(&obj, &house(1), &s0, &cheaper).is_accept());
+    }
+
+    #[test]
+    fn display_summarises() {
+        let mut a = Auction::open("vase", house(0), 10);
+        assert!(a.to_string().contains("none"));
+        a.place_bid("alice", house(1), 20);
+        a.closed = true;
+        assert!(a.to_string().contains("20 by alice"));
+        assert!(a.to_string().contains("closed"));
+    }
+}

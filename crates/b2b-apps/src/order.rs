@@ -1,0 +1,465 @@
+//! The order-processing application of §5.2 (Figure 7).
+//!
+//! "A customer and supplier share the state of an order. Asymmetric
+//! validation rules apply to state changes. The customer is allowed to add
+//! items and the quantity required to an order but is not allowed to price
+//! the items. The supplier can price items but cannot amend the order in
+//! any other way."
+//!
+//! The alternative instantiation the paper sketches — "an approver to
+//! sanction the items ordered by the customer and a dispatcher to commit
+//! to delivery terms … shared between four parties" — is supported through
+//! the optional roles of [`OrderRoles`].
+
+use b2b_core::{B2BObject, Decision};
+use b2b_crypto::PartyId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One line of an order.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderLine {
+    /// The item ordered.
+    pub item: String,
+    /// Quantity required (set by the customer).
+    pub qty: u32,
+    /// Unit price (set by the supplier).
+    pub unit_price: Option<u32>,
+    /// Whether the approver has sanctioned the line (four-party variant).
+    pub approved: bool,
+}
+
+impl OrderLine {
+    /// A new unpriced, unapproved line.
+    pub fn new(item: impl Into<String>, qty: u32) -> OrderLine {
+        OrderLine {
+            item: item.into(),
+            qty,
+            unit_price: None,
+            approved: false,
+        }
+    }
+}
+
+/// The shared order state.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Order {
+    /// The order lines, in entry order.
+    pub lines: Vec<OrderLine>,
+    /// Delivery terms committed by the dispatcher (four-party variant).
+    pub delivery_terms: Option<String>,
+}
+
+impl Order {
+    /// An empty order.
+    pub fn new() -> Order {
+        Order::default()
+    }
+
+    /// The line for `item`, if present.
+    pub fn line(&self, item: &str) -> Option<&OrderLine> {
+        self.lines.iter().find(|l| l.item == item)
+    }
+
+    /// Adds or replaces the quantity for `item` (a customer action).
+    pub fn set_quantity(&mut self, item: &str, qty: u32) {
+        match self.lines.iter_mut().find(|l| l.item == item) {
+            Some(line) => line.qty = qty,
+            None => self.lines.push(OrderLine::new(item, qty)),
+        }
+    }
+
+    /// Prices `item` (a supplier action). Returns `false` if absent.
+    pub fn set_price(&mut self, item: &str, unit_price: u32) -> bool {
+        match self.lines.iter_mut().find(|l| l.item == item) {
+            Some(line) => {
+                line.unit_price = Some(unit_price);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Approves `item` (an approver action). Returns `false` if absent.
+    pub fn approve(&mut self, item: &str) -> bool {
+        match self.lines.iter_mut().find(|l| l.item == item) {
+            Some(line) => {
+                line.approved = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Serialises the order (JSON) for coordination.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("order serialises")
+    }
+
+    /// Parses an order from coordinated state bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Order> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+impl fmt::Display for Order {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            " {:10} | {:>4} | {:>6} | {:>8}",
+            "item", "qty", "price", "approved"
+        )?;
+        for l in &self.lines {
+            writeln!(
+                f,
+                " {:10} | {:>4} | {:>6} | {:>8}",
+                l.item,
+                l.qty,
+                l.unit_price
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                if l.approved { "yes" } else { "-" }
+            )?;
+        }
+        if let Some(terms) = &self.delivery_terms {
+            writeln!(f, " delivery: {terms}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The party-to-role assignment for an order.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderRoles {
+    /// May add items and set quantities.
+    pub customer: PartyId,
+    /// May price items, and nothing else.
+    pub supplier: PartyId,
+    /// Four-party variant: may flip lines to approved, and nothing else.
+    pub approver: Option<PartyId>,
+    /// Four-party variant: may commit delivery terms, and nothing else.
+    pub dispatcher: Option<PartyId>,
+}
+
+impl OrderRoles {
+    /// The classic two-party customer/supplier assignment (§5.2).
+    pub fn two_party(customer: PartyId, supplier: PartyId) -> OrderRoles {
+        OrderRoles {
+            customer,
+            supplier,
+            approver: None,
+            dispatcher: None,
+        }
+    }
+
+    /// The four-party variant with approver and dispatcher.
+    pub fn four_party(
+        customer: PartyId,
+        supplier: PartyId,
+        approver: PartyId,
+        dispatcher: PartyId,
+    ) -> OrderRoles {
+        OrderRoles {
+            customer,
+            supplier,
+            approver: Some(approver),
+            dispatcher: Some(dispatcher),
+        }
+    }
+}
+
+/// The shared order object: state + the asymmetric role rules.
+pub struct OrderObject {
+    order: Order,
+    roles: OrderRoles,
+}
+
+impl OrderObject {
+    /// Creates the shared order for the given role assignment.
+    pub fn new(roles: OrderRoles) -> OrderObject {
+        OrderObject {
+            order: Order::new(),
+            roles,
+        }
+    }
+
+    /// The current order.
+    pub fn order(&self) -> &Order {
+        &self.order
+    }
+
+    /// Checks one transition under the proposer's role. Returns the first
+    /// violation, if any.
+    fn check(&self, proposer: &PartyId, cur: &Order, next: &Order) -> Option<String> {
+        let is_customer = proposer == &self.roles.customer;
+        let is_supplier = proposer == &self.roles.supplier;
+        let is_approver = self.roles.approver.as_ref() == Some(proposer);
+        let is_dispatcher = self.roles.dispatcher.as_ref() == Some(proposer);
+        if !(is_customer || is_supplier || is_approver || is_dispatcher) {
+            return Some(format!("{proposer} has no role on this order"));
+        }
+
+        // Delivery terms: dispatcher only, write-once.
+        if next.delivery_terms != cur.delivery_terms {
+            if !is_dispatcher {
+                return Some("only the dispatcher may set delivery terms".into());
+            }
+            if cur.delivery_terms.is_some() {
+                return Some("delivery terms are already committed".into());
+            }
+        }
+        if is_dispatcher && next.lines != cur.lines {
+            return Some("the dispatcher may not amend order lines".into());
+        }
+
+        // Lines may only be appended, never removed or reordered.
+        if next.lines.len() < cur.lines.len() {
+            return Some("order lines may not be removed".into());
+        }
+        for (i, new_line) in next.lines.iter().enumerate() {
+            let old_line = cur.lines.get(i);
+            match old_line {
+                None => {
+                    // A new line: customers only, unpriced and unapproved.
+                    if !is_customer {
+                        return Some(format!(
+                            "only the customer may add items ({} added {})",
+                            proposer, new_line.item
+                        ));
+                    }
+                    if new_line.unit_price.is_some() {
+                        return Some("the customer may not price items".into());
+                    }
+                    if new_line.approved {
+                        return Some("the customer may not approve items".into());
+                    }
+                }
+                Some(old) => {
+                    if new_line.item != old.item {
+                        return Some("items may not be renamed".into());
+                    }
+                    if new_line.qty != old.qty && !is_customer {
+                        return Some(format!(
+                            "only the customer may change quantities ({} touched {})",
+                            proposer, new_line.item
+                        ));
+                    }
+                    if new_line.unit_price != old.unit_price && !is_supplier {
+                        return Some(format!(
+                            "only the supplier may price items ({} priced {})",
+                            proposer, new_line.item
+                        ));
+                    }
+                    if new_line.approved != old.approved {
+                        if self.roles.approver.is_none() {
+                            return Some("no approver role on this order".into());
+                        }
+                        if !is_approver {
+                            return Some("only the approver may approve items".into());
+                        }
+                        if old.approved {
+                            return Some("approval may not be revoked".into());
+                        }
+                    }
+                    // Role exclusivity: each role touches only its fields.
+                    if is_customer && new_line.unit_price != old.unit_price {
+                        return Some("the customer may not price items".into());
+                    }
+                    if is_supplier && (new_line.qty != old.qty || new_line.approved != old.approved)
+                    {
+                        return Some("the supplier may not amend the order".into());
+                    }
+                    if is_approver
+                        && (new_line.qty != old.qty || new_line.unit_price != old.unit_price)
+                    {
+                        return Some("the approver may only approve".into());
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl B2BObject for OrderObject {
+    fn get_state(&self) -> Vec<u8> {
+        self.order.to_bytes()
+    }
+
+    fn apply_state(&mut self, state: &[u8]) {
+        if let Some(o) = Order::from_bytes(state) {
+            self.order = o;
+        }
+    }
+
+    fn validate_state(&self, proposer: &PartyId, current: &[u8], proposed: &[u8]) -> Decision {
+        let (Some(cur), Some(next)) = (Order::from_bytes(current), Order::from_bytes(proposed))
+        else {
+            return Decision::reject("undecodable order");
+        };
+        match self.check(proposer, &cur, &next) {
+            None => Decision::accept(),
+            Some(reason) => Decision::reject(reason),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customer() -> PartyId {
+        PartyId::new("customer")
+    }
+    fn supplier() -> PartyId {
+        PartyId::new("supplier")
+    }
+
+    fn two_party_object() -> OrderObject {
+        OrderObject::new(OrderRoles::two_party(customer(), supplier()))
+    }
+
+    fn validate(obj: &OrderObject, who: &PartyId, cur: &Order, next: &Order) -> Decision {
+        obj.validate_state(who, &cur.to_bytes(), &next.to_bytes())
+    }
+
+    #[test]
+    fn figure7_script_validations() {
+        let obj = two_party_object();
+        // Customer orders 2 widget1s: valid.
+        let s0 = Order::new();
+        let mut s1 = s0.clone();
+        s1.set_quantity("widget1", 2);
+        assert!(validate(&obj, &customer(), &s0, &s1).is_accept());
+        // Supplier prices widget1 at 10: valid.
+        let mut s2 = s1.clone();
+        assert!(s2.set_price("widget1", 10));
+        assert!(validate(&obj, &supplier(), &s1, &s2).is_accept());
+        // Customer orders 10 widget2s: valid.
+        let mut s3 = s2.clone();
+        s3.set_quantity("widget2", 10);
+        assert!(validate(&obj, &customer(), &s2, &s3).is_accept());
+        // Supplier prices widget2 AND changes the quantity: invalid.
+        let mut s4 = s3.clone();
+        assert!(s4.set_price("widget2", 7));
+        s4.set_quantity("widget2", 99);
+        let d = validate(&obj, &supplier(), &s3, &s4);
+        assert!(!d.is_accept());
+        let reason = d.reason.unwrap();
+        assert!(
+            reason.contains("only the customer may change quantities"),
+            "unexpected reason: {reason}"
+        );
+    }
+
+    #[test]
+    fn customer_cannot_price() {
+        let obj = two_party_object();
+        let mut s0 = Order::new();
+        s0.set_quantity("w", 1);
+        let mut s1 = s0.clone();
+        s1.set_price("w", 5);
+        let d = validate(&obj, &customer(), &s0, &s1);
+        assert!(!d.is_accept());
+        // Nor add a pre-priced line.
+        let s0 = Order::new();
+        let mut s1 = s0.clone();
+        s1.lines.push(OrderLine {
+            item: "w".into(),
+            qty: 1,
+            unit_price: Some(3),
+            approved: false,
+        });
+        assert!(!validate(&obj, &customer(), &s0, &s1).is_accept());
+    }
+
+    #[test]
+    fn supplier_cannot_add_or_remove_items() {
+        let obj = two_party_object();
+        let s0 = Order::new();
+        let mut s1 = s0.clone();
+        s1.set_quantity("w", 1);
+        assert!(!validate(&obj, &supplier(), &s0, &s1).is_accept());
+        // Removal by anyone is rejected.
+        let mut s2 = Order::new();
+        s2.set_quantity("w", 1);
+        let s3 = Order::new();
+        assert!(!validate(&obj, &customer(), &s2, &s3).is_accept());
+    }
+
+    #[test]
+    fn stranger_has_no_role() {
+        let obj = two_party_object();
+        let s0 = Order::new();
+        let mut s1 = s0.clone();
+        s1.set_quantity("w", 1);
+        let d = validate(&obj, &PartyId::new("mallory"), &s0, &s1);
+        assert!(!d.is_accept());
+        assert!(d.reason.unwrap().contains("no role"));
+    }
+
+    #[test]
+    fn four_party_approval_and_delivery() {
+        let approver = PartyId::new("approver");
+        let dispatcher = PartyId::new("dispatcher");
+        let obj = OrderObject::new(OrderRoles::four_party(
+            customer(),
+            supplier(),
+            approver.clone(),
+            dispatcher.clone(),
+        ));
+        let mut s0 = Order::new();
+        s0.set_quantity("w", 2);
+        // Approver approves: valid.
+        let mut s1 = s0.clone();
+        assert!(s1.approve("w"));
+        assert!(validate(&obj, &approver, &s0, &s1).is_accept());
+        // Supplier trying to approve: invalid.
+        assert!(!validate(&obj, &supplier(), &s0, &s1).is_accept());
+        // Dispatcher commits delivery terms: valid, write-once.
+        let mut s2 = s1.clone();
+        s2.delivery_terms = Some("48h courier".into());
+        assert!(validate(&obj, &dispatcher, &s1, &s2).is_accept());
+        let mut s3 = s2.clone();
+        s3.delivery_terms = Some("never".into());
+        assert!(!validate(&obj, &dispatcher, &s2, &s3).is_accept());
+        // Customer cannot set delivery terms.
+        let mut s4 = s1.clone();
+        s4.delivery_terms = Some("tomorrow".into());
+        assert!(!validate(&obj, &customer(), &s1, &s4).is_accept());
+        // Approval cannot be revoked, even by the approver.
+        let mut s5 = s1.clone();
+        s5.lines[0].approved = false;
+        assert!(!validate(&obj, &approver, &s1, &s5).is_accept());
+    }
+
+    #[test]
+    fn approval_rejected_in_two_party_orders() {
+        let obj = two_party_object();
+        let mut s0 = Order::new();
+        s0.set_quantity("w", 2);
+        let mut s1 = s0.clone();
+        s1.approve("w");
+        let d = validate(&obj, &customer(), &s0, &s1);
+        assert!(!d.is_accept());
+    }
+
+    #[test]
+    fn order_display_shows_lines() {
+        let mut o = Order::new();
+        o.set_quantity("widget1", 2);
+        o.set_price("widget1", 10);
+        let text = o.to_string();
+        assert!(text.contains("widget1"));
+        assert!(text.contains("10"));
+    }
+
+    #[test]
+    fn order_bytes_roundtrip() {
+        let mut o = Order::new();
+        o.set_quantity("a", 1);
+        o.set_price("a", 2);
+        assert_eq!(Order::from_bytes(&o.to_bytes()).unwrap(), o);
+        assert!(Order::from_bytes(b"junk").is_none());
+    }
+}

@@ -1,0 +1,300 @@
+//! Dispersal of operational support to the customer (§2, scenario 2).
+//!
+//! "In the telecommunications industry, Operational Support Systems (OSS)
+//! manage service configuration and fault-handling on the customer's
+//! behalf … the customer needs to be able to tailor their complete
+//! service. This requires the 'dispersal of OSS' so that the customer
+//! controls the aspects that logically belong to them."
+//!
+//! The shared object is a service configuration split into
+//! customer-controlled aspects (feature toggles, routing preferences) and
+//! provider-controlled aspects (capacity, maintenance windows), plus a
+//! fault-ticket queue both may act on under role rules: customers open
+//! tickets, providers resolve them.
+
+use b2b_core::{B2BObject, Decision};
+use b2b_crypto::PartyId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A fault ticket raised by the customer and resolved by the provider.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTicket {
+    /// Ticket number (assigned by the customer, ascending).
+    pub id: u32,
+    /// Free-form fault description.
+    pub description: String,
+    /// The provider's resolution, once any.
+    pub resolution: Option<String>,
+}
+
+/// The shared service configuration.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Customer-controlled: named feature toggles.
+    pub features: BTreeMap<String, bool>,
+    /// Customer-controlled: preferred routing policy.
+    pub routing_policy: String,
+    /// Provider-controlled: provisioned capacity units.
+    pub capacity: u32,
+    /// Provider-controlled: maintenance window (free-form).
+    pub maintenance_window: String,
+    /// Jointly worked fault queue.
+    pub tickets: Vec<FaultTicket>,
+}
+
+impl ServiceConfig {
+    /// A fresh configuration.
+    pub fn new() -> ServiceConfig {
+        ServiceConfig::default()
+    }
+
+    /// Opens a ticket (customer action); returns its id.
+    pub fn open_ticket(&mut self, description: impl Into<String>) -> u32 {
+        let id = self.tickets.last().map(|t| t.id + 1).unwrap_or(1);
+        self.tickets.push(FaultTicket {
+            id,
+            description: description.into(),
+            resolution: None,
+        });
+        id
+    }
+
+    /// Resolves a ticket (provider action). Returns `false` if absent.
+    pub fn resolve_ticket(&mut self, id: u32, resolution: impl Into<String>) -> bool {
+        match self.tickets.iter_mut().find(|t| t.id == id) {
+            Some(t) => {
+                t.resolution = Some(resolution.into());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Serialises for coordination.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("service config serialises")
+    }
+
+    /// Parses from coordinated bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<ServiceConfig> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+/// The shared OSS object: configuration + the dispersal-of-control rules.
+pub struct OssObject {
+    config: ServiceConfig,
+    customer: PartyId,
+    provider: PartyId,
+}
+
+impl OssObject {
+    /// Creates the shared configuration for a customer/provider pair.
+    pub fn new(customer: PartyId, provider: PartyId) -> OssObject {
+        OssObject {
+            config: ServiceConfig::new(),
+            customer,
+            provider,
+        }
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    fn check(&self, who: &PartyId, cur: &ServiceConfig, next: &ServiceConfig) -> Option<String> {
+        let is_customer = who == &self.customer;
+        let is_provider = who == &self.provider;
+        if !is_customer && !is_provider {
+            return Some(format!("{who} has no role in this service"));
+        }
+        // Customer-controlled aspects.
+        let customer_changed =
+            next.features != cur.features || next.routing_policy != cur.routing_policy;
+        if customer_changed && !is_customer {
+            return Some("only the customer controls features and routing".into());
+        }
+        // Provider-controlled aspects.
+        let provider_changed =
+            next.capacity != cur.capacity || next.maintenance_window != cur.maintenance_window;
+        if provider_changed && !is_provider {
+            return Some("only the provider controls capacity and maintenance".into());
+        }
+        // Fault queue: append-only; customers open, providers resolve.
+        if next.tickets.len() < cur.tickets.len() {
+            return Some("tickets may not be deleted".into());
+        }
+        for (i, t) in next.tickets.iter().enumerate() {
+            match cur.tickets.get(i) {
+                None => {
+                    if !is_customer {
+                        return Some("only the customer opens fault tickets".into());
+                    }
+                    if t.resolution.is_some() {
+                        return Some("new tickets cannot be pre-resolved".into());
+                    }
+                    let expected = cur.tickets.last().map(|p| p.id + 1).unwrap_or(1)
+                        + (i - cur.tickets.len()) as u32;
+                    if t.id != expected {
+                        return Some("ticket ids must be sequential".into());
+                    }
+                }
+                Some(old) => {
+                    if t.id != old.id || t.description != old.description {
+                        return Some("existing tickets may not be rewritten".into());
+                    }
+                    if t.resolution != old.resolution {
+                        if !is_provider {
+                            return Some("only the provider resolves tickets".into());
+                        }
+                        if old.resolution.is_some() {
+                            return Some("resolutions are final".into());
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl B2BObject for OssObject {
+    fn get_state(&self) -> Vec<u8> {
+        self.config.to_bytes()
+    }
+
+    fn apply_state(&mut self, state: &[u8]) {
+        if let Some(c) = ServiceConfig::from_bytes(state) {
+            self.config = c;
+        }
+    }
+
+    fn validate_state(&self, proposer: &PartyId, current: &[u8], proposed: &[u8]) -> Decision {
+        let (Some(cur), Some(next)) = (
+            ServiceConfig::from_bytes(current),
+            ServiceConfig::from_bytes(proposed),
+        ) else {
+            return Decision::reject("undecodable service configuration");
+        };
+        match self.check(proposer, &cur, &next) {
+            None => Decision::accept(),
+            Some(reason) => Decision::reject(reason),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customer() -> PartyId {
+        PartyId::new("customer")
+    }
+    fn provider() -> PartyId {
+        PartyId::new("telco")
+    }
+    fn object() -> OssObject {
+        OssObject::new(customer(), provider())
+    }
+    fn validate(
+        obj: &OssObject,
+        who: &PartyId,
+        cur: &ServiceConfig,
+        next: &ServiceConfig,
+    ) -> Decision {
+        obj.validate_state(who, &cur.to_bytes(), &next.to_bytes())
+    }
+
+    #[test]
+    fn customer_controls_their_aspects() {
+        let obj = object();
+        let cur = ServiceConfig::new();
+        let mut next = cur.clone();
+        next.features.insert("call-forwarding".into(), true);
+        next.routing_policy = "low-latency".into();
+        assert!(validate(&obj, &customer(), &cur, &next).is_accept());
+        // The provider touching customer aspects is vetoed.
+        assert!(!validate(&obj, &provider(), &cur, &next).is_accept());
+    }
+
+    #[test]
+    fn provider_controls_their_aspects() {
+        let obj = object();
+        let cur = ServiceConfig::new();
+        let mut next = cur.clone();
+        next.capacity = 100;
+        next.maintenance_window = "sun 02:00-04:00".into();
+        assert!(validate(&obj, &provider(), &cur, &next).is_accept());
+        assert!(!validate(&obj, &customer(), &cur, &next).is_accept());
+    }
+
+    #[test]
+    fn ticket_lifecycle_roles() {
+        let obj = object();
+        let cur = ServiceConfig::new();
+        // Customer opens.
+        let mut opened = cur.clone();
+        let id = opened.open_ticket("no dial tone");
+        assert_eq!(id, 1);
+        assert!(validate(&obj, &customer(), &cur, &opened).is_accept());
+        // Provider cannot open.
+        assert!(!validate(&obj, &provider(), &cur, &opened).is_accept());
+        // Provider resolves.
+        let mut resolved = opened.clone();
+        assert!(resolved.resolve_ticket(1, "line card replaced"));
+        assert!(validate(&obj, &provider(), &opened, &resolved).is_accept());
+        // Customer cannot resolve.
+        assert!(!validate(&obj, &customer(), &opened, &resolved).is_accept());
+        // Resolutions are final.
+        let mut rewritten = resolved.clone();
+        rewritten.tickets[0].resolution = Some("actually not".into());
+        assert!(!validate(&obj, &provider(), &resolved, &rewritten).is_accept());
+    }
+
+    #[test]
+    fn tickets_are_append_only_with_sequential_ids() {
+        let obj = object();
+        let mut cur = ServiceConfig::new();
+        cur.open_ticket("a");
+        // Deleting is rejected.
+        let empty = ServiceConfig::new();
+        assert!(!validate(&obj, &customer(), &cur, &empty).is_accept());
+        // Wrong id is rejected.
+        let mut bad = cur.clone();
+        bad.tickets.push(FaultTicket {
+            id: 7,
+            description: "b".into(),
+            resolution: None,
+        });
+        assert!(!validate(&obj, &customer(), &cur, &bad).is_accept());
+        // Rewriting a description is rejected.
+        let mut rewrite = cur.clone();
+        rewrite.tickets[0].description = "tampered".into();
+        rewrite.open_ticket("b");
+        assert!(!validate(&obj, &customer(), &cur, &rewrite).is_accept());
+    }
+
+    #[test]
+    fn strangers_have_no_role() {
+        let obj = object();
+        let cur = ServiceConfig::new();
+        let mut next = cur.clone();
+        next.capacity = 5;
+        let d = validate(&obj, &PartyId::new("mallory"), &cur, &next);
+        assert!(!d.is_accept());
+        assert!(d.reason.unwrap().contains("no role"));
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let mut obj = object();
+        let mut c = ServiceConfig::new();
+        c.open_ticket("x");
+        c.capacity = 3;
+        obj.apply_state(&c.to_bytes());
+        assert_eq!(obj.config(), &c);
+        assert_eq!(obj.get_state(), c.to_bytes());
+    }
+}

@@ -1,0 +1,448 @@
+//! The Tic-Tac-Toe application of §5.1.
+//!
+//! "An object that implements the B2BObject interface represents the state
+//! of the game and encapsulates the rules. Servers representing each
+//! player share the object and coordinate the object state." The rules are
+//! symmetric: players take turns; a vacant square is claimed with the
+//! player's own mark; no square may be overwritten; play stops once the
+//! game is decided.
+//!
+//! Figure 5's cheating attempt — Cross marking a square with a *zero* to
+//! pre-empt Nought — is exactly the class of invalid transition the
+//! [`GameObject`] validator vetoes.
+
+use b2b_core::{B2BObject, Decision};
+use b2b_crypto::PartyId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use thiserror::Error;
+
+/// A player's mark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mark {
+    /// Cross. Moves first.
+    X,
+    /// Nought.
+    O,
+}
+
+impl Mark {
+    /// The opposing mark.
+    pub fn other(self) -> Mark {
+        match self {
+            Mark::X => Mark::O,
+            Mark::O => Mark::X,
+        }
+    }
+}
+
+impl fmt::Display for Mark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mark::X => "X",
+            Mark::O => "O",
+        })
+    }
+}
+
+/// Why a local move is not playable.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum MoveError {
+    /// The square is already claimed.
+    #[error("square ({0}, {1}) is already claimed")]
+    Occupied(usize, usize),
+    /// It is the other player's turn.
+    #[error("not {0}'s turn")]
+    NotYourTurn(Mark),
+    /// The game has already been decided.
+    #[error("the game is over")]
+    GameOver,
+    /// Coordinates outside the 3×3 board.
+    #[error("coordinates ({0}, {1}) out of range")]
+    OutOfRange(usize, usize),
+}
+
+/// The 3×3 game board (the shared state).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Board {
+    cells: [[Option<Mark>; 3]; 3],
+}
+
+impl Board {
+    /// An empty board.
+    pub fn new() -> Board {
+        Board::default()
+    }
+
+    /// The mark at `(row, col)`.
+    pub fn at(&self, row: usize, col: usize) -> Option<Mark> {
+        self.cells[row][col]
+    }
+
+    /// Number of marks on the board.
+    pub fn marks(&self) -> usize {
+        self.cells.iter().flatten().filter(|c| c.is_some()).count()
+    }
+
+    /// Whose turn it is (X moves first), or `None` if the game is over.
+    pub fn turn(&self) -> Option<Mark> {
+        if self.winner().is_some() || self.marks() == 9 {
+            return None;
+        }
+        let x = self
+            .cells
+            .iter()
+            .flatten()
+            .filter(|c| **c == Some(Mark::X))
+            .count();
+        let o = self
+            .cells
+            .iter()
+            .flatten()
+            .filter(|c| **c == Some(Mark::O))
+            .count();
+        Some(if x == o { Mark::X } else { Mark::O })
+    }
+
+    /// The winning mark, if a line is complete.
+    pub fn winner(&self) -> Option<Mark> {
+        let lines: [[(usize, usize); 3]; 8] = [
+            [(0, 0), (0, 1), (0, 2)],
+            [(1, 0), (1, 1), (1, 2)],
+            [(2, 0), (2, 1), (2, 2)],
+            [(0, 0), (1, 0), (2, 0)],
+            [(0, 1), (1, 1), (2, 1)],
+            [(0, 2), (1, 2), (2, 2)],
+            [(0, 0), (1, 1), (2, 2)],
+            [(0, 2), (1, 1), (2, 0)],
+        ];
+        for line in lines {
+            let [a, b, c] = line.map(|(r, q)| self.cells[r][q]);
+            if a.is_some() && a == b && b == c {
+                return a;
+            }
+        }
+        None
+    }
+
+    /// Plays `mark` at `(row, col)`, enforcing the rules locally.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MoveError`] when the move is illegal. (A *cheating*
+    /// client bypasses this method and proposes a hand-crafted board —
+    /// which the opponent's validator then vetoes.)
+    pub fn play(&mut self, mark: Mark, row: usize, col: usize) -> Result<(), MoveError> {
+        if row > 2 || col > 2 {
+            return Err(MoveError::OutOfRange(row, col));
+        }
+        match self.turn() {
+            None => return Err(MoveError::GameOver),
+            Some(t) if t != mark => return Err(MoveError::NotYourTurn(mark)),
+            _ => {}
+        }
+        if self.cells[row][col].is_some() {
+            return Err(MoveError::Occupied(row, col));
+        }
+        self.cells[row][col] = Some(mark);
+        Ok(())
+    }
+
+    /// Force-sets a cell without rule checks — the "cheat" entry point
+    /// used to reproduce Figure 5's invalid move.
+    pub fn cheat_set(&mut self, mark: Mark, row: usize, col: usize) {
+        self.cells[row][col] = Some(mark);
+    }
+
+    /// Serialises the board (JSON) for coordination.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("board serialises")
+    }
+
+    /// Parses a board from coordinated state bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Board> {
+        serde_json::from_slice(bytes).ok()
+    }
+
+    /// The single differing cell between `self` and `next`, if exactly one
+    /// cell changed from vacant to a mark.
+    fn single_new_mark(&self, next: &Board) -> Option<(usize, usize, Mark)> {
+        let mut found = None;
+        for r in 0..3 {
+            for c in 0..3 {
+                match (self.cells[r][c], next.cells[r][c]) {
+                    (a, b) if a == b => {}
+                    (None, Some(m)) => {
+                        if found.is_some() {
+                            return None; // more than one new mark
+                        }
+                        found = Some((r, c, m));
+                    }
+                    _ => return None, // overwrite or erasure
+                }
+            }
+        }
+        found
+    }
+}
+
+impl fmt::Display for Board {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, row) in self.cells.iter().enumerate() {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| c.map(|m| m.to_string()).unwrap_or_else(|| " ".into()))
+                .collect();
+            writeln!(f, " {} ", cells.join(" | "))?;
+            if i < 2 {
+                writeln!(f, "---+---+---")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The assignment of parties to marks.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Players {
+    /// The party playing Cross.
+    pub cross: PartyId,
+    /// The party playing Nought.
+    pub nought: PartyId,
+}
+
+impl Players {
+    /// The mark `party` plays, if they are a player (a TTP is neither).
+    pub fn mark_of(&self, party: &PartyId) -> Option<Mark> {
+        if party == &self.cross {
+            Some(Mark::X)
+        } else if party == &self.nought {
+            Some(Mark::O)
+        } else {
+            None
+        }
+    }
+}
+
+/// The shared game object: board state + the encoded rules (§5.1).
+pub struct GameObject {
+    board: Board,
+    players: Players,
+}
+
+impl GameObject {
+    /// Creates the shared game for the given player assignment.
+    pub fn new(players: Players) -> GameObject {
+        GameObject {
+            board: Board::new(),
+            players,
+        }
+    }
+
+    /// The current board.
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+}
+
+impl B2BObject for GameObject {
+    fn get_state(&self) -> Vec<u8> {
+        self.board.to_bytes()
+    }
+
+    fn apply_state(&mut self, state: &[u8]) {
+        if let Some(b) = Board::from_bytes(state) {
+            self.board = b;
+        }
+    }
+
+    fn validate_state(&self, proposer: &PartyId, current: &[u8], proposed: &[u8]) -> Decision {
+        let (Some(cur), Some(next)) = (Board::from_bytes(current), Board::from_bytes(proposed))
+        else {
+            return Decision::reject("undecodable board");
+        };
+        let Some(mover_mark) = self.players.mark_of(proposer) else {
+            return Decision::reject(format!("{proposer} is not a player"));
+        };
+        if cur.turn().is_none() {
+            return Decision::reject("the game is over");
+        }
+        let Some((row, col, mark)) = cur.single_new_mark(&next) else {
+            return Decision::reject("not a single mark on a vacant square");
+        };
+        if mark != mover_mark {
+            return Decision::reject(format!(
+                "{proposer} plays {mover_mark} but placed {mark} at ({row}, {col})"
+            ));
+        }
+        if cur.turn() != Some(mover_mark) {
+            return Decision::reject(format!("it is not {mover_mark}'s turn"));
+        }
+        Decision::accept()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn players() -> Players {
+        Players {
+            cross: PartyId::new("cross"),
+            nought: PartyId::new("nought"),
+        }
+    }
+
+    #[test]
+    fn turns_alternate_starting_with_x() {
+        let mut b = Board::new();
+        assert_eq!(b.turn(), Some(Mark::X));
+        b.play(Mark::X, 1, 1).unwrap();
+        assert_eq!(b.turn(), Some(Mark::O));
+        assert_eq!(b.play(Mark::X, 0, 0), Err(MoveError::NotYourTurn(Mark::X)));
+    }
+
+    #[test]
+    fn occupied_and_out_of_range_rejected() {
+        let mut b = Board::new();
+        b.play(Mark::X, 1, 1).unwrap();
+        assert_eq!(b.play(Mark::O, 1, 1), Err(MoveError::Occupied(1, 1)));
+        assert_eq!(b.play(Mark::O, 3, 0), Err(MoveError::OutOfRange(3, 0)));
+    }
+
+    #[test]
+    fn winner_detection_all_line_kinds() {
+        // Row
+        let mut b = Board::new();
+        for (m, r, c) in [
+            (Mark::X, 0, 0),
+            (Mark::O, 1, 0),
+            (Mark::X, 0, 1),
+            (Mark::O, 1, 1),
+            (Mark::X, 0, 2),
+        ] {
+            b.play(m, r, c).unwrap();
+        }
+        assert_eq!(b.winner(), Some(Mark::X));
+        assert_eq!(b.turn(), None);
+        assert_eq!(b.play(Mark::O, 2, 2), Err(MoveError::GameOver));
+        // Diagonal
+        let mut b = Board::new();
+        for (m, r, c) in [
+            (Mark::X, 0, 0),
+            (Mark::O, 0, 1),
+            (Mark::X, 1, 1),
+            (Mark::O, 0, 2),
+            (Mark::X, 2, 2),
+        ] {
+            b.play(m, r, c).unwrap();
+        }
+        assert_eq!(b.winner(), Some(Mark::X));
+    }
+
+    #[test]
+    fn draw_ends_game() {
+        let mut b = Board::new();
+        // X O X / X O O / O X X — no winner.
+        let seq = [
+            (Mark::X, 0, 0),
+            (Mark::O, 0, 1),
+            (Mark::X, 0, 2),
+            (Mark::O, 1, 1),
+            (Mark::X, 1, 0),
+            (Mark::O, 1, 2),
+            (Mark::X, 2, 1),
+            (Mark::O, 2, 0),
+            (Mark::X, 2, 2),
+        ];
+        for (m, r, c) in seq {
+            b.play(m, r, c).unwrap();
+        }
+        assert_eq!(b.winner(), None);
+        assert_eq!(b.turn(), None);
+    }
+
+    #[test]
+    fn validator_accepts_legal_move() {
+        let game = GameObject::new(players());
+        let cur = Board::new();
+        let mut next = cur.clone();
+        next.play(Mark::X, 1, 1).unwrap();
+        let d = game.validate_state(&PartyId::new("cross"), &cur.to_bytes(), &next.to_bytes());
+        assert!(d.is_accept());
+    }
+
+    #[test]
+    fn validator_vetoes_fig5_cheat_wrong_mark() {
+        // Figure 5: Cross attempts to mark a square with a zero.
+        let game = GameObject::new(players());
+        let mut cur = Board::new();
+        cur.play(Mark::X, 1, 1).unwrap();
+        cur.play(Mark::O, 0, 0).unwrap();
+        cur.play(Mark::X, 1, 2).unwrap();
+        let mut next = cur.clone();
+        next.cheat_set(Mark::O, 2, 1); // Cross writes a zero
+        let d = game.validate_state(&PartyId::new("cross"), &cur.to_bytes(), &next.to_bytes());
+        assert!(!d.is_accept());
+        assert!(d.reason.unwrap().contains("plays X"));
+    }
+
+    #[test]
+    fn validator_vetoes_out_of_turn_and_multi_mark() {
+        let game = GameObject::new(players());
+        let cur = Board::new();
+        // Nought moving first.
+        let mut next = cur.clone();
+        next.cheat_set(Mark::O, 0, 0);
+        assert!(!game
+            .validate_state(&PartyId::new("nought"), &cur.to_bytes(), &next.to_bytes())
+            .is_accept());
+        // Two marks at once.
+        let mut next2 = cur.clone();
+        next2.cheat_set(Mark::X, 0, 0);
+        next2.cheat_set(Mark::X, 0, 1);
+        assert!(!game
+            .validate_state(&PartyId::new("cross"), &cur.to_bytes(), &next2.to_bytes())
+            .is_accept());
+    }
+
+    #[test]
+    fn validator_vetoes_overwrite_and_nonplayer() {
+        let game = GameObject::new(players());
+        let mut cur = Board::new();
+        cur.play(Mark::X, 1, 1).unwrap();
+        // Overwrite of X with O.
+        let mut next = cur.clone();
+        next.cheat_set(Mark::O, 1, 1);
+        assert!(!game
+            .validate_state(&PartyId::new("nought"), &cur.to_bytes(), &next.to_bytes())
+            .is_accept());
+        // A stranger proposing.
+        let mut next2 = cur.clone();
+        next2.cheat_set(Mark::O, 0, 0);
+        let d = game.validate_state(&PartyId::new("mallory"), &cur.to_bytes(), &next2.to_bytes());
+        assert!(!d.is_accept());
+        assert!(d.reason.unwrap().contains("not a player"));
+    }
+
+    #[test]
+    fn board_renders_like_figure_5() {
+        let mut b = Board::new();
+        b.play(Mark::X, 1, 1).unwrap();
+        b.play(Mark::O, 0, 0).unwrap();
+        b.play(Mark::X, 1, 2).unwrap();
+        let rendered = b.to_string();
+        assert!(rendered.contains("O |   |"));
+        assert!(rendered.contains("| X | X"));
+    }
+
+    #[test]
+    fn object_state_roundtrip() {
+        let mut game = GameObject::new(players());
+        let mut b = Board::new();
+        b.play(Mark::X, 2, 0).unwrap();
+        game.apply_state(&b.to_bytes());
+        assert_eq!(game.board().at(2, 0), Some(Mark::X));
+        assert_eq!(game.get_state(), b.to_bytes());
+    }
+}

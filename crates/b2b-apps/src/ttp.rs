@@ -1,0 +1,188 @@
+//! Trusted-third-party interposition (Figure 1b and Figure 6).
+//!
+//! Two instruments:
+//!
+//! * **TTP as group member** (Figure 6): "it may be desirable to validate
+//!   moves at a TTP in order to guarantee that they are encoded and
+//!   observed correctly". The TTP joins the object group holding the
+//!   *reference* rule encoding; player servers may hold corrupted or
+//!   lenient encodings, and the TTP's veto still protects the honest
+//!   player. [`lenient_game_object`] builds the deliberately rule-free
+//!   player object used to demonstrate this.
+//!
+//! * **Trusted agent bridging** (Figure 1a vs 1b): organisations that do
+//!   not interact directly each share an object with a trusted agent; the
+//!   [`BridgeAgent`] relays validated state between the two groups through
+//!   a *conditional disclosure* filter, so "state disclosure is
+//!   conditional and interaction is conducted via trusted agents".
+
+use crate::tictactoe::{Board, Players};
+use b2b_core::controller::CoordAccess;
+use b2b_core::{B2BObject, CoordError, Decision, ObjectId};
+use b2b_net::NodeCtx;
+
+/// A game object that *fails to encode the rules*: it accepts any board
+/// transition. Represents a player server whose rule encoding cannot be
+/// trusted — the reason Figure 6 routes validation through a TTP.
+pub fn lenient_game_object(players: Players) -> Box<dyn B2BObject> {
+    struct Lenient {
+        board: Board,
+        _players: Players,
+    }
+    impl B2BObject for Lenient {
+        fn get_state(&self) -> Vec<u8> {
+            self.board.to_bytes()
+        }
+        fn apply_state(&mut self, state: &[u8]) {
+            if let Some(b) = Board::from_bytes(state) {
+                self.board = b;
+            }
+        }
+        fn validate_state(
+            &self,
+            _proposer: &b2b_crypto::PartyId,
+            _current: &[u8],
+            proposed: &[u8],
+        ) -> Decision {
+            // No rules at all beyond decodability.
+            if Board::from_bytes(proposed).is_some() {
+                Decision::accept()
+            } else {
+                Decision::reject("undecodable board")
+            }
+        }
+    }
+    Box::new(Lenient {
+        board: Board::new(),
+        _players: players,
+    })
+}
+
+/// A trusted agent bridging two object groups (Figure 1b).
+///
+/// The agent is a member of both groups. After each completed run on the
+/// source object, calling [`BridgeAgent::pump`] applies the disclosure
+/// filter to the source's agreed state and, if the filter discloses
+/// something new, proposes it on the destination object — where the
+/// destination group's own validation still applies.
+pub struct BridgeAgent {
+    source: ObjectId,
+    destination: ObjectId,
+    #[allow(clippy::type_complexity)]
+    filter: Box<dyn Fn(&[u8]) -> Option<Vec<u8>> + Send>,
+}
+
+impl std::fmt::Debug for BridgeAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BridgeAgent({} → {})", self.source, self.destination)
+    }
+}
+
+impl BridgeAgent {
+    /// Creates an agent relaying `source` state into `destination` through
+    /// `filter` (return `None` to withhold disclosure).
+    pub fn new(
+        source: ObjectId,
+        destination: ObjectId,
+        filter: impl Fn(&[u8]) -> Option<Vec<u8>> + Send + 'static,
+    ) -> BridgeAgent {
+        BridgeAgent {
+            source,
+            destination,
+            filter: Box::new(filter),
+        }
+    }
+
+    /// Relays once using direct coordinator access (simulator-style
+    /// drivers). Returns `true` if a proposal was initiated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coordinator errors from the destination proposal.
+    pub fn pump_with(
+        &self,
+        coordinator: &mut b2b_core::Coordinator,
+        ctx: &mut NodeCtx,
+    ) -> Result<bool, CoordError> {
+        let Some(src_state) = coordinator.agreed_state(&self.source) else {
+            return Err(CoordError::UnknownObject(self.source.clone()));
+        };
+        let Some(disclosed) = (self.filter)(&src_state) else {
+            return Ok(false); // disclosure withheld
+        };
+        let Some(dst_state) = coordinator.agreed_state(&self.destination) else {
+            return Err(CoordError::UnknownObject(self.destination.clone()));
+        };
+        if disclosed == dst_state {
+            return Ok(false); // nothing new to disclose
+        }
+        coordinator.propose_overwrite(&self.destination, disclosed, ctx)?;
+        Ok(true)
+    }
+
+    /// Relays once through a [`CoordAccess`] handle (works on both network
+    /// drivers). Returns `true` if a proposal was initiated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coordinator errors from the destination proposal.
+    pub fn pump<A: CoordAccess>(&self, access: &A) -> Result<bool, CoordError> {
+        access.with(|c, ctx| self.pump_with(c, ctx))
+    }
+
+    /// The source object.
+    pub fn source(&self) -> &ObjectId {
+        &self.source
+    }
+
+    /// The destination object.
+    pub fn destination(&self) -> &ObjectId {
+        &self.destination
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tictactoe::Mark;
+    use b2b_crypto::PartyId;
+
+    fn players() -> Players {
+        Players {
+            cross: PartyId::new("cross"),
+            nought: PartyId::new("nought"),
+        }
+    }
+
+    #[test]
+    fn lenient_object_accepts_anything_decodable() {
+        let obj = lenient_game_object(players());
+        let cur = Board::new();
+        let mut cheat = cur.clone();
+        cheat.cheat_set(Mark::O, 0, 0);
+        cheat.cheat_set(Mark::O, 0, 1);
+        assert!(obj
+            .validate_state(&PartyId::new("cross"), &cur.to_bytes(), &cheat.to_bytes())
+            .is_accept());
+        assert!(!obj
+            .validate_state(&PartyId::new("cross"), &cur.to_bytes(), b"junk")
+            .is_accept());
+    }
+
+    #[test]
+    fn lenient_object_roundtrips_state() {
+        let mut obj = lenient_game_object(players());
+        let mut b = Board::new();
+        b.play(Mark::X, 0, 0).unwrap();
+        obj.apply_state(&b.to_bytes());
+        assert_eq!(obj.get_state(), b.to_bytes());
+    }
+
+    #[test]
+    fn bridge_agent_reports_its_objects() {
+        let agent = BridgeAgent::new(ObjectId::new("a"), ObjectId::new("b"), |s| Some(s.to_vec()));
+        assert_eq!(agent.source().as_str(), "a");
+        assert_eq!(agent.destination().as_str(), "b");
+        assert!(format!("{agent:?}").contains("a → b"));
+    }
+}

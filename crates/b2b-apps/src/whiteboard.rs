@@ -1,0 +1,211 @@
+//! A shared whiteboard — §5.1's other example of the turn-taking class:
+//! "Turn-taking access to shared state is characteristic of other
+//! applications such as shared white boards."
+//!
+//! Parties take round-robin turns adding strokes; nobody may erase or
+//! modify another party's strokes.
+
+use b2b_core::{B2BObject, Decision};
+use b2b_crypto::PartyId;
+use serde::{Deserialize, Serialize};
+
+/// One stroke on the board.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stroke {
+    /// The drawing party.
+    pub author: PartyId,
+    /// Polyline points as `(x, y)` pairs.
+    pub points: Vec<(i32, i32)>,
+    /// Colour name.
+    pub colour: String,
+}
+
+/// The shared whiteboard state: an append-only stroke list.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Whiteboard {
+    /// Strokes in drawing order.
+    pub strokes: Vec<Stroke>,
+}
+
+impl Whiteboard {
+    /// An empty board.
+    pub fn new() -> Whiteboard {
+        Whiteboard::default()
+    }
+
+    /// Appends a stroke locally.
+    pub fn draw(&mut self, stroke: Stroke) {
+        self.strokes.push(stroke);
+    }
+
+    /// Serialises for coordination.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("whiteboard serialises")
+    }
+
+    /// Parses from coordinated bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Whiteboard> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+/// The shared whiteboard object with round-robin turn enforcement.
+pub struct WhiteboardObject {
+    board: Whiteboard,
+    /// Turn order (round-robin).
+    turn_order: Vec<PartyId>,
+}
+
+impl WhiteboardObject {
+    /// Creates a whiteboard drawn on by `turn_order`, in that rotation.
+    pub fn new(turn_order: Vec<PartyId>) -> WhiteboardObject {
+        WhiteboardObject {
+            board: Whiteboard::new(),
+            turn_order,
+        }
+    }
+
+    /// The current board.
+    pub fn board(&self) -> &Whiteboard {
+        &self.board
+    }
+
+    /// Whose turn it is after `n` strokes.
+    pub fn turn_after(&self, n: usize) -> &PartyId {
+        &self.turn_order[n % self.turn_order.len()]
+    }
+}
+
+impl B2BObject for WhiteboardObject {
+    fn get_state(&self) -> Vec<u8> {
+        self.board.to_bytes()
+    }
+
+    fn apply_state(&mut self, state: &[u8]) {
+        if let Some(b) = Whiteboard::from_bytes(state) {
+            self.board = b;
+        }
+    }
+
+    fn validate_state(&self, proposer: &PartyId, current: &[u8], proposed: &[u8]) -> Decision {
+        let (Some(cur), Some(next)) = (
+            Whiteboard::from_bytes(current),
+            Whiteboard::from_bytes(proposed),
+        ) else {
+            return Decision::reject("undecodable whiteboard");
+        };
+        if next.strokes.len() != cur.strokes.len() + 1
+            || next.strokes[..cur.strokes.len()] != cur.strokes[..]
+        {
+            return Decision::reject("a transition is exactly one appended stroke");
+        }
+        let stroke = next.strokes.last().expect("one appended stroke");
+        if &stroke.author != proposer {
+            return Decision::reject("strokes must be signed by their author");
+        }
+        let expected = self.turn_after(cur.strokes.len());
+        if expected != proposer {
+            return Decision::reject(format!("it is {expected}'s turn, not {proposer}'s"));
+        }
+        if stroke.points.is_empty() {
+            return Decision::reject("empty stroke");
+        }
+        Decision::accept()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parties() -> Vec<PartyId> {
+        vec![PartyId::new("a"), PartyId::new("b"), PartyId::new("c")]
+    }
+
+    fn stroke(author: &str) -> Stroke {
+        Stroke {
+            author: PartyId::new(author),
+            points: vec![(0, 0), (1, 1)],
+            colour: "red".into(),
+        }
+    }
+
+    fn validate(
+        obj: &WhiteboardObject,
+        who: &str,
+        cur: &Whiteboard,
+        next: &Whiteboard,
+    ) -> Decision {
+        obj.validate_state(&PartyId::new(who), &cur.to_bytes(), &next.to_bytes())
+    }
+
+    #[test]
+    fn round_robin_turns_enforced() {
+        let obj = WhiteboardObject::new(parties());
+        let s0 = Whiteboard::new();
+        let mut s1 = s0.clone();
+        s1.draw(stroke("a"));
+        assert!(validate(&obj, "a", &s0, &s1).is_accept());
+        // b out of turn on the empty board.
+        let mut wrong = s0.clone();
+        wrong.draw(stroke("b"));
+        assert!(!validate(&obj, "b", &s0, &wrong).is_accept());
+        // After a's stroke it is b's turn, not c's.
+        let mut s2 = s1.clone();
+        s2.draw(stroke("c"));
+        assert!(!validate(&obj, "c", &s1, &s2).is_accept());
+        let mut s2b = s1.clone();
+        s2b.draw(stroke("b"));
+        assert!(validate(&obj, "b", &s1, &s2b).is_accept());
+    }
+
+    #[test]
+    fn authorship_cannot_be_forged() {
+        let obj = WhiteboardObject::new(parties());
+        let s0 = Whiteboard::new();
+        let mut s1 = s0.clone();
+        s1.draw(stroke("b")); // a proposes a stroke claiming b drew it
+        assert!(!validate(&obj, "a", &s0, &s1).is_accept());
+    }
+
+    #[test]
+    fn erasure_and_rewrites_rejected() {
+        let obj = WhiteboardObject::new(parties());
+        let mut s0 = Whiteboard::new();
+        s0.draw(stroke("a"));
+        // Erase.
+        let empty = Whiteboard::new();
+        assert!(!validate(&obj, "b", &s0, &empty).is_accept());
+        // Modify an existing stroke while appending.
+        let mut s1 = s0.clone();
+        s1.strokes[0].colour = "blue".into();
+        s1.draw(stroke("b"));
+        assert!(!validate(&obj, "b", &s0, &s1).is_accept());
+        // Empty stroke.
+        let mut s2 = s0.clone();
+        s2.draw(Stroke {
+            author: PartyId::new("b"),
+            points: vec![],
+            colour: "red".into(),
+        });
+        assert!(!validate(&obj, "b", &s0, &s2).is_accept());
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let mut obj = WhiteboardObject::new(parties());
+        let mut b = Whiteboard::new();
+        b.draw(stroke("a"));
+        obj.apply_state(&b.to_bytes());
+        assert_eq!(obj.board().strokes.len(), 1);
+        assert_eq!(obj.get_state(), b.to_bytes());
+    }
+
+    #[test]
+    fn turn_after_wraps() {
+        let obj = WhiteboardObject::new(parties());
+        assert_eq!(obj.turn_after(0).as_str(), "a");
+        assert_eq!(obj.turn_after(2).as_str(), "c");
+        assert_eq!(obj.turn_after(3).as_str(), "a");
+    }
+}

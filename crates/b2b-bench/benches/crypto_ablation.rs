@@ -1,0 +1,41 @@
+//! E4 — what non-repudiation costs: full Ed25519 signing + verification +
+//! TSA time-stamping against a forgeable hash "signature" exercising the
+//! same code paths.
+
+use b2b_bench::{counter_factory, enc, Crypto, Fleet};
+use b2b_core::CoordinatorConfig;
+use b2b_net::FaultPlan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_crypto_ablation");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for (label, crypto, tsa) in [
+        ("ed25519_tsa", Crypto::Ed25519, true),
+        ("ed25519", Crypto::Ed25519, false),
+        ("insecure", Crypto::Insecure, false),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut fleet = Fleet::with_options(
+                4,
+                4,
+                CoordinatorConfig::default(),
+                FaultPlan::default(),
+                crypto,
+                tsa,
+            );
+            fleet.setup_object("c", counter_factory);
+            let mut v = 0u64;
+            b.iter(|| {
+                v += 1;
+                fleet.propose((v % 4) as usize, "c", enc(v));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

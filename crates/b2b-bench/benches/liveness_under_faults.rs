@@ -1,0 +1,45 @@
+//! E6 — the liveness claim (§1/§4.1): runs complete despite temporary
+//! message loss, at the cost of retransmission rounds. Benchmarks the
+//! wall-clock cost of pushing one run through increasingly lossy links.
+
+use b2b_bench::{counter_factory, enc, Crypto, Fleet};
+use b2b_core::CoordinatorConfig;
+use b2b_crypto::TimeMs;
+use b2b_net::FaultPlan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_liveness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_liveness");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for loss in [0.0f64, 0.2, 0.4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("loss{:.0}pct", loss * 100.0)),
+            &loss,
+            |b, &loss| {
+                let mut fleet = Fleet::with_options(
+                    3,
+                    7,
+                    CoordinatorConfig::default(),
+                    FaultPlan::new()
+                        .drop_rate(loss)
+                        .delay(TimeMs(1), TimeMs(10)),
+                    Crypto::Ed25519,
+                    false,
+                );
+                fleet.setup_object("c", counter_factory);
+                let mut v = 0u64;
+                b.iter(|| {
+                    v += 1;
+                    let run = fleet.propose(0, "c", enc(v));
+                    assert!(fleet.outcome(0, &run).unwrap().is_installed());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_liveness);
+criterion_main!(benches);

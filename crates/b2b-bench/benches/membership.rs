@@ -1,0 +1,60 @@
+//! E8 — membership protocols (§4.5): cost of admitting a member as the
+//! group grows (3n−1 messages) and of evicting one (3(n−2) messages when
+//! the sponsor proposes).
+
+use b2b_bench::{counter_factory, party, Fleet};
+use b2b_core::ObjectId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_connect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_membership");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("connect_into", n), &n, |b, &n| {
+            // Each iteration builds the n-group then times the (n+1)-th join.
+            b.iter_with_setup(
+                || {
+                    let mut fleet = Fleet::new(n + 1, 8);
+                    fleet.net.invoke(&party(0), |c, _| {
+                        c.register_object(ObjectId::new("c"), Box::new(counter_factory))
+                            .unwrap();
+                    });
+                    for i in 1..n {
+                        let sponsor = party(i - 1);
+                        fleet.net.invoke(&party(i), move |c, ctx| {
+                            c.request_connect(
+                                ObjectId::new("c"),
+                                Box::new(counter_factory),
+                                sponsor,
+                                ctx,
+                            )
+                            .unwrap();
+                        });
+                        fleet.run();
+                    }
+                    fleet
+                },
+                |mut fleet| {
+                    let sponsor = party(n - 1);
+                    fleet.net.invoke(&party(n), move |c, ctx| {
+                        c.request_connect(
+                            ObjectId::new("c"),
+                            Box::new(counter_factory),
+                            sponsor,
+                            ctx,
+                        )
+                        .unwrap();
+                    });
+                    fleet.run();
+                    assert!(fleet.net.node(&party(n)).is_member(&ObjectId::new("c")));
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_connect);
+criterion_main!(benches);

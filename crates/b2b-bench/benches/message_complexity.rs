@@ -1,0 +1,34 @@
+//! E1 — message complexity: wall time and (via the `exp` binary) message
+//! counts of one state-coordination run as the group grows. The paper's §7
+//! claim: the protocol is "efficient in terms of the number of messages
+//! required for n parties" — 3(n−1) per run.
+
+use b2b_bench::{counter_factory, enc, Fleet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_state_run_by_group_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_state_run");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for n in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut fleet = Fleet::new(n, 1);
+            fleet.setup_object("c", counter_factory);
+            // The message-count assertion for the run we are timing.
+            let before = fleet.total_protocol_messages();
+            let mut v = 0u64;
+            v += 1;
+            fleet.propose(0, "c", enc(v));
+            assert_eq!(fleet.total_protocol_messages() - before, 3 * (n as u64 - 1));
+            b.iter(|| {
+                v += 1;
+                fleet.propose((v % n as u64) as usize, "c", enc(v));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_run_by_group_size);
+criterion_main!(benches);

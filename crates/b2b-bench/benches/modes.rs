@@ -1,0 +1,51 @@
+//! E5 — communication modes (§5): sequential synchronous coordination vs
+//! pipelining independent coordinations (the deferred-synchronous /
+//! asynchronous pattern) across k objects.
+
+use b2b_bench::{counter_factory, enc, party, Fleet};
+use b2b_core::ObjectId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_modes");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let k = 8usize;
+    group.bench_function(BenchmarkId::new("sync_sequential", k), |b| {
+        let mut fleet = Fleet::new(2, 5);
+        for i in 0..k {
+            fleet.setup_object(&format!("obj{i}"), counter_factory);
+        }
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            for i in 0..k {
+                // Each proposal runs to completion before the next starts.
+                fleet.propose(0, &format!("obj{i}"), enc(v));
+            }
+        });
+    });
+    group.bench_function(BenchmarkId::new("deferred_pipelined", k), |b| {
+        let mut fleet = Fleet::new(2, 6);
+        for i in 0..k {
+            fleet.setup_object(&format!("obj{i}"), counter_factory);
+        }
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            for i in 0..k {
+                let oid = ObjectId::new(format!("obj{i}"));
+                let value = enc(v);
+                fleet.net.invoke(&party(0), move |c, ctx| {
+                    c.propose_overwrite(&oid, value, ctx).unwrap();
+                });
+            }
+            fleet.run(); // all k runs complete together
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

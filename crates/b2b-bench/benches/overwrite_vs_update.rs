@@ -1,0 +1,44 @@
+//! E3 — §4.3.1 overwrite vs update: shipping a 64 B delta instead of the
+//! whole state. The crossover grows with state size; update wins on wire
+//! bytes at every size and on wall time once hashing/serialising the full
+//! state dominates.
+
+use b2b_bench::{append_blob_factory, Fleet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_overwrite_vs_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_overwrite_vs_update");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for size in [1usize << 12, 1 << 16, 1 << 20] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("overwrite", size), &size, |b, &size| {
+            let mut fleet = Fleet::new(2, 3);
+            fleet.setup_object("blob", append_blob_factory);
+            fleet.propose(0, "blob", vec![0xAB; size]);
+            let chunk = [0xCD; 64];
+            b.iter(|| {
+                let mut next = fleet
+                    .net
+                    .node(&b2b_bench::party(0))
+                    .agreed_state(&b2b_core::ObjectId::new("blob"))
+                    .unwrap();
+                next.extend_from_slice(&chunk);
+                fleet.propose(0, "blob", next);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("update", size), &size, |b, &size| {
+            let mut fleet = Fleet::new(2, 3);
+            fleet.setup_object("blob", append_blob_factory);
+            fleet.propose(0, "blob", vec![0xAB; size]);
+            b.iter(|| {
+                fleet.propose_update(0, "blob", vec![0xCD; 64]);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overwrite_vs_update);
+criterion_main!(benches);

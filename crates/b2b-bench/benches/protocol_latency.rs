@@ -1,0 +1,43 @@
+//! E2 — the three-step protocol's completion latency. Virtual-time
+//! latency is exactly three one-way link delays regardless of group size
+//! (sends fan out in parallel); this bench tracks the wall-clock cost of
+//! processing one run end to end as link delay is held at 1 ms.
+
+use b2b_bench::{counter_factory, enc, Crypto, Fleet};
+use b2b_core::CoordinatorConfig;
+use b2b_crypto::TimeMs;
+use b2b_net::FaultPlan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_latency_by_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_latency");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for delay in [1u64, 10, 50] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{delay}ms")),
+            &delay,
+            |b, &delay| {
+                let mut fleet = Fleet::with_options(
+                    4,
+                    2,
+                    CoordinatorConfig::default(),
+                    FaultPlan::new().delay(TimeMs(delay), TimeMs(delay)),
+                    Crypto::Ed25519,
+                    true,
+                );
+                fleet.setup_object("c", counter_factory);
+                let mut v = 0u64;
+                b.iter(|| {
+                    v += 1;
+                    fleet.propose(0, "c", enc(v));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency_by_delay);
+criterion_main!(benches);

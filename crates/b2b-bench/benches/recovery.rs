@@ -1,0 +1,36 @@
+//! E7 — crash/recovery (§3 check-pointing): the cost of completing a run
+//! whose recipient crashes mid-protocol and recovers from its WAL.
+
+use b2b_bench::{counter_factory, enc, party, Fleet};
+use b2b_crypto::TimeMs;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_recovery");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("run_through_crash_and_recovery", |b| {
+        b.iter(|| {
+            let mut fleet = Fleet::new(2, 60);
+            fleet.setup_object("c", counter_factory);
+            let t0 = fleet.net.now();
+            fleet.net.crash_at(t0 + TimeMs(1), party(1));
+            fleet.net.recover_at(t0 + TimeMs(500), party(1));
+            let run = fleet.propose(0, "c", enc(5));
+            assert!(fleet.outcome(0, &run).unwrap().is_installed());
+        });
+    });
+    group.bench_function("run_without_crash_baseline", |b| {
+        b.iter(|| {
+            let mut fleet = Fleet::new(2, 61);
+            fleet.setup_object("c", counter_factory);
+            let run = fleet.propose(0, "c", enc(5));
+            assert!(fleet.outcome(0, &run).unwrap().is_installed());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E9 — §7 termination extensions: cost of resolving a run blocked by a
+//! silent party, by deadline abort (unanimous rule) or majority decision.
+
+use b2b_bench::{counter_factory, enc, party, Crypto, Fleet};
+use b2b_core::{CoordinatorConfig, DecisionRule, ObjectId};
+use b2b_crypto::TimeMs;
+use b2b_net::FaultPlan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn resolve_with(rule: DecisionRule) {
+    let config = CoordinatorConfig::new()
+        .decision_rule(rule)
+        .run_deadline(TimeMs(500));
+    let mut fleet = Fleet::with_options(5, 9, config, FaultPlan::default(), Crypto::Ed25519, false);
+    fleet.setup_object("c", counter_factory);
+    fleet.net.partition(
+        [party(4)],
+        (0..4).map(party).collect::<Vec<_>>(),
+        TimeMs(u64::MAX),
+    );
+    let oid = ObjectId::new("c");
+    let run = fleet.net.invoke(&party(0), move |c, ctx| {
+        c.propose_overwrite(&oid, enc(5), ctx).unwrap()
+    });
+    let t0 = fleet.net.now();
+    while fleet.outcome(0, &run).is_none() {
+        if fleet.net.now() - t0 > TimeMs(60_000) || !fleet.net.step() {
+            panic!("run failed to resolve");
+        }
+    }
+}
+
+fn bench_termination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_termination");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for (label, rule) in [
+        ("deadline_abort", DecisionRule::Unanimous),
+        ("majority_resolve", DecisionRule::Majority),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| resolve_with(rule));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_termination);
+criterion_main!(benches);

@@ -1,0 +1,395 @@
+//! Regenerates the experiment tables recorded in `EXPERIMENTS.md`.
+//!
+//! Usage: `cargo run -p b2b-bench --release --bin exp -- <e1|...|e9|all>`
+
+use b2b_bench::{append_blob_factory, counter_factory, enc, party, Crypto, Fleet};
+use b2b_core::{ConnectStatus, CoordinatorConfig, DecisionRule, ObjectId, Outcome};
+use b2b_crypto::TimeMs;
+use b2b_net::FaultPlan;
+use std::time::Instant;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let known = ["all", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+    if !known.contains(&which.as_str()) {
+        eprintln!("unknown experiment '{which}'; expected one of: {}", known.join(", "));
+        std::process::exit(2);
+    }
+    let all = which == "all";
+    if all || which == "e1" {
+        e1_message_complexity();
+    }
+    if all || which == "e2" {
+        e2_protocol_latency();
+    }
+    if all || which == "e3" {
+        e3_overwrite_vs_update();
+    }
+    if all || which == "e4" {
+        e4_crypto_ablation();
+    }
+    if all || which == "e5" {
+        e5_modes();
+    }
+    if all || which == "e6" {
+        e6_liveness_under_faults();
+    }
+    if all || which == "e7" {
+        e7_recovery();
+    }
+    if all || which == "e8" {
+        e8_membership();
+    }
+    if all || which == "e9" {
+        e9_termination();
+    }
+}
+
+/// E1 — §7 message-efficiency claim: a state run costs 3(n−1) messages.
+fn e1_message_complexity() {
+    println!("\n## E1 — messages per state-coordination run vs group size\n");
+    println!("| n parties | measured msgs | model 3(n-1) | bytes on wire |");
+    println!("|---|---|---|---|");
+    for n in [2usize, 4, 8, 12, 16] {
+        let mut fleet = Fleet::new(n, 1);
+        fleet.setup_object("c", counter_factory);
+        let msgs_before = fleet.total_protocol_messages();
+        let bytes_before = fleet.net.stats().bytes_sent;
+        fleet.propose(0, "c", enc(7));
+        let msgs = fleet.total_protocol_messages() - msgs_before;
+        let bytes = fleet.net.stats().bytes_sent - bytes_before;
+        println!("| {n} | {msgs} | {} | {bytes} |", 3 * (n - 1));
+    }
+}
+
+/// E2 — three-step protocol: completion latency vs group size and link delay.
+fn e2_protocol_latency() {
+    println!("\n## E2 — state-run completion latency (virtual time)\n");
+    println!("| n parties | link delay | latency (all installed) | model 3d |");
+    println!("|---|---|---|---|");
+    for n in [2usize, 4, 8, 16] {
+        for delay in [1u64, 10, 50] {
+            let mut fleet = Fleet::with_options(
+                n,
+                2,
+                CoordinatorConfig::default(),
+                FaultPlan::new().delay(TimeMs(delay), TimeMs(delay)),
+                Crypto::Ed25519,
+                true,
+            );
+            fleet.setup_object("c", counter_factory);
+            let t0 = fleet.net.now();
+            let oid = ObjectId::new("c");
+            fleet.net.invoke(&party(0), move |c, ctx| {
+                c.propose_overwrite(&oid, enc(5), ctx).unwrap();
+            });
+            // Run until every party has installed.
+            loop {
+                let done = (0..n).all(|w| {
+                    fleet.net.node(&party(w)).agreed_state(&ObjectId::new("c")) == Some(enc(5))
+                });
+                if done || !fleet.net.step() {
+                    break;
+                }
+            }
+            let latency = fleet.net.now() - t0;
+            println!("| {n} | {delay}ms | {latency} | {}ms |", 3 * delay);
+        }
+    }
+}
+
+/// E3 — §4.3.1 overwrite vs update for growing state.
+fn e3_overwrite_vs_update() {
+    println!("\n## E3 — overwrite vs update (64 B appended to a large state)\n");
+    println!("| state size | mode | wire bytes/run | wall time/run |");
+    println!("|---|---|---|---|");
+    for size in [1usize << 10, 1 << 14, 1 << 18, 1 << 20] {
+        for update_mode in [false, true] {
+            let mut fleet = Fleet::new(3, 3);
+            fleet.setup_object("blob", append_blob_factory);
+            // Pre-grow the state to `size`.
+            let base = vec![0xAB; size];
+            fleet.propose(0, "blob", base.clone());
+            let chunk = vec![0xCD; 64];
+            let bytes_before = fleet.net.stats().bytes_sent;
+            let t = Instant::now();
+            let runs = 5;
+            for i in 0..runs {
+                if update_mode {
+                    fleet.propose_update(i % 3, "blob", chunk.clone());
+                } else {
+                    let mut next = fleet
+                        .net
+                        .node(&party(0))
+                        .agreed_state(&ObjectId::new("blob"))
+                        .unwrap();
+                    next.extend_from_slice(&chunk);
+                    fleet.propose(i % 3, "blob", next);
+                }
+            }
+            let wall = t.elapsed() / runs as u32;
+            let wire = (fleet.net.stats().bytes_sent - bytes_before) / runs as u64;
+            println!(
+                "| {} KiB | {} | {} | {:?} |",
+                size / 1024,
+                if update_mode { "update" } else { "overwrite" },
+                wire,
+                wall
+            );
+        }
+    }
+}
+
+/// E4 — the cost of the non-repudiation machinery.
+fn e4_crypto_ablation() {
+    println!("\n## E4 — crypto ablation: Ed25519+TSA vs insecure signer\n");
+    println!("| n parties | crypto | wall time / run |");
+    println!("|---|---|---|");
+    for n in [2usize, 4, 8] {
+        for (label, crypto, tsa) in [
+            ("ed25519 + TSA", Crypto::Ed25519, true),
+            ("ed25519, no TSA", Crypto::Ed25519, false),
+            ("insecure", Crypto::Insecure, false),
+        ] {
+            let mut fleet = Fleet::with_options(
+                n,
+                4,
+                CoordinatorConfig::default(),
+                FaultPlan::default(),
+                crypto,
+                tsa,
+            );
+            fleet.setup_object("c", counter_factory);
+            let runs = 20u64;
+            let t = Instant::now();
+            for i in 0..runs {
+                fleet.propose((i % n as u64) as usize, "c", enc(i + 1));
+            }
+            println!("| {n} | {label} | {:?} |", t.elapsed() / runs as u32);
+        }
+    }
+}
+
+/// E5 — communication modes: sequential blocking vs pipelined deferred.
+fn e5_modes() {
+    println!("\n## E5 — sync (sequential) vs deferred (pipelined across objects)\n");
+    println!("| objects | mode | virtual time for one update each |");
+    println!("|---|---|---|");
+    for k in [1usize, 4, 8, 16] {
+        // Synchronous: one object, k sequential runs.
+        let mut fleet = Fleet::new(2, 5);
+        for i in 0..k {
+            fleet.setup_object(&format!("obj{i}"), counter_factory);
+        }
+        let t0 = fleet.net.now();
+        for i in 0..k {
+            fleet.propose(0, &format!("obj{i}"), enc(1)); // runs to quiescence: sequential
+        }
+        let sync_time = fleet.net.now() - t0;
+        // Deferred: fire all proposals, then drive once.
+        let mut fleet = Fleet::new(2, 6);
+        for i in 0..k {
+            fleet.setup_object(&format!("obj{i}"), counter_factory);
+        }
+        let t0 = fleet.net.now();
+        for i in 0..k {
+            let oid = ObjectId::new(format!("obj{i}"));
+            fleet.net.invoke(&party(0), move |c, ctx| {
+                c.propose_overwrite(&oid, enc(1), ctx).unwrap();
+            });
+        }
+        fleet.run();
+        let deferred_time = fleet.net.now() - t0;
+        println!("| {k} | sync | {sync_time} |");
+        println!("| {k} | deferred | {deferred_time} |");
+    }
+}
+
+/// E6 — liveness despite temporary failures: completion under loss.
+fn e6_liveness_under_faults() {
+    println!("\n## E6 — liveness under message loss (3 parties, retransmit 200 ms)\n");
+    println!("| loss rate | runs completed | median completion (virtual) |");
+    println!("|---|---|---|");
+    for loss in [0.0f64, 0.1, 0.3, 0.5] {
+        let mut completions = Vec::new();
+        let mut completed = 0;
+        let total = 10;
+        for seed in 0..total {
+            let mut fleet = Fleet::with_options(
+                3,
+                100 + seed,
+                CoordinatorConfig::default(),
+                FaultPlan::new()
+                    .drop_rate(loss)
+                    .delay(TimeMs(1), TimeMs(10)),
+                Crypto::Ed25519,
+                false,
+            );
+            fleet.setup_object("c", counter_factory);
+            let t0 = fleet.net.now();
+            let run = fleet.propose(0, "c", enc(9));
+            let installed_everywhere = (0..3).all(|w| {
+                fleet
+                    .outcome(w, &run)
+                    .map(|o| o.is_installed())
+                    .unwrap_or(false)
+            });
+            if installed_everywhere {
+                completed += 1;
+                completions.push((fleet.net.now() - t0).as_millis());
+            }
+        }
+        completions.sort_unstable();
+        let median = completions
+            .get(completions.len() / 2)
+            .map(|m| format!("{m}ms"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "| {loss:.0}% | {completed}/{total} | {median} |",
+            loss = loss * 100.0
+        );
+    }
+}
+
+/// E7 — crash recovery: a recipient crashes mid-run, recovers, completes.
+fn e7_recovery() {
+    println!("\n## E7 — recipient crash + recovery during a run\n");
+    println!("| downtime | run completes | completion after recovery |");
+    println!("|---|---|---|");
+    for downtime in [500u64, 2_000, 10_000] {
+        let mut fleet = Fleet::new(2, 7);
+        fleet.setup_object("c", counter_factory);
+        let t0 = fleet.net.now();
+        fleet.net.crash_at(t0 + TimeMs(1), party(1));
+        fleet.net.recover_at(t0 + TimeMs(downtime), party(1));
+        let run = fleet.propose(0, "c", enc(5));
+        let ok = (0..2).all(|w| {
+            fleet
+                .outcome(w, &run)
+                .map(|o| o.is_installed())
+                .unwrap_or(false)
+        });
+        let after_recovery = (fleet.net.now() - t0).saturating_sub(TimeMs(downtime));
+        println!("| {downtime}ms | {ok} | +{after_recovery} |");
+    }
+}
+
+/// E8 — membership protocol cost vs group size.
+fn e8_membership() {
+    println!("\n## E8 — membership change cost vs group size\n");
+    println!("| group n | change | measured msgs | model |");
+    println!("|---|---|---|---|");
+    for n in [2usize, 4, 8, 12] {
+        // Connection into a group of n: 1 request + 3(n−1) + welcome.
+        let mut fleet = Fleet::new(n + 1, 8);
+        let joiner = n;
+        // Build group of n first.
+        let sub: Vec<usize> = (0..n).collect();
+        fleet.net.invoke(&party(0), |c, _| {
+            c.register_object(ObjectId::new("c"), Box::new(counter_factory))
+                .unwrap();
+        });
+        for i in 1..n {
+            let sponsor = party(i - 1);
+            fleet.net.invoke(&party(i), move |c, ctx| {
+                c.request_connect(ObjectId::new("c"), Box::new(counter_factory), sponsor, ctx)
+                    .unwrap();
+            });
+            fleet.run();
+        }
+        let before = fleet.total_protocol_messages();
+        let sponsor = party(n - 1);
+        fleet.net.invoke(&party(joiner), move |c, ctx| {
+            c.request_connect(ObjectId::new("c"), Box::new(counter_factory), sponsor, ctx)
+                .unwrap();
+        });
+        fleet.run();
+        assert_eq!(
+            fleet
+                .net
+                .node(&party(joiner))
+                .connect_status(&ObjectId::new("c")),
+            Some(&ConnectStatus::Member)
+        );
+        let connect_msgs = fleet.total_protocol_messages() - before;
+        println!("| {n} | connect | {connect_msgs} | 3n-1 = {} |", 3 * n - 1);
+
+        // Eviction of one member from the (n+1)-group by the sponsor.
+        let before = fleet.total_protocol_messages();
+        let evictee = party(0);
+        fleet.net.invoke(&party(joiner), move |c, ctx| {
+            c.request_evict(&ObjectId::new("c"), vec![evictee], ctx)
+                .unwrap();
+        });
+        fleet.run();
+        let evict_msgs = fleet.total_protocol_messages() - before;
+        println!(
+            "| {} | evict 1 (by sponsor) | {evict_msgs} | 3(n-1) = {} |",
+            n + 1,
+            3 * (n + 1 - 2)
+        );
+        let _ = sub;
+    }
+}
+
+/// E9 — §7 termination extensions: deadlines and majority decision.
+fn e9_termination() {
+    println!("\n## E9 — termination extensions (one silent party)\n");
+    println!("| rule | deadline | outcome at proposer | time to resolution |");
+    println!("|---|---|---|---|");
+    for (rule, ttp, label) in [
+        (DecisionRule::Unanimous, false, "unanimous (local abort)"),
+        (
+            DecisionRule::Unanimous,
+            true,
+            "unanimous + TTP (certified abort)",
+        ),
+        (DecisionRule::Majority, false, "majority (resolve)"),
+    ] {
+        for deadline in [500u64, 2_000] {
+            let mut config = CoordinatorConfig::new()
+                .decision_rule(rule)
+                .run_deadline(TimeMs(deadline));
+            if ttp {
+                config = config.ttp(b2b_crypto::PartyId::new("notary"));
+            }
+            let mut fleet =
+                Fleet::with_options(5, 9, config, FaultPlan::default(), Crypto::Ed25519, false);
+            if ttp {
+                b2b_bench::add_notary(&mut fleet, 77);
+            }
+            fleet.setup_object("c", counter_factory);
+            let t0 = fleet.net.now();
+            // org4 goes silent forever.
+            fleet.net.partition(
+                [party(4)],
+                (0..4).map(party).collect::<Vec<_>>(),
+                TimeMs(u64::MAX),
+            );
+            let oid = ObjectId::new("c");
+            let run = fleet.net.invoke(&party(0), move |c, ctx| {
+                c.propose_overwrite(&oid, enc(5), ctx).unwrap()
+            });
+            // Step until the proposer records an outcome (the silent peer
+            // keeps retransmission alive forever, so quiescence never comes).
+            let resolved_at = loop {
+                if fleet.outcome(0, &run).is_some() {
+                    break Some(fleet.net.now());
+                }
+                if fleet.net.now() - t0 > TimeMs(60_000) || !fleet.net.step() {
+                    break None;
+                }
+            };
+            let outcome = match fleet.outcome(0, &run) {
+                Some(Outcome::Installed { .. }) => "installed",
+                Some(Outcome::Invalidated { .. }) => "invalidated",
+                Some(Outcome::Aborted { .. }) => "aborted",
+                None => "blocked",
+            };
+            let elapsed = resolved_at
+                .map(|t| (t - t0).to_string())
+                .unwrap_or_else(|| ">60000ms".into());
+            println!("| {label} | {deadline}ms | {outcome} | {elapsed} |");
+        }
+    }
+}

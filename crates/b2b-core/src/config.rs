@@ -1,0 +1,122 @@
+//! Coordinator configuration.
+
+use b2b_crypto::TimeMs;
+
+/// How the group decision over responses is computed.
+///
+/// The base protocol requires unanimity (§4.1); majority decision is the
+/// §7 termination extension ("automatic resolution or abort by resorting to
+/// majority decision on state changes").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionRule {
+    /// "A new state is valid if the collective decision is unanimous
+    /// agreement to the change" (§3).
+    Unanimous,
+    /// Extension: a strict majority of *all group members* (proposer
+    /// included, who by definition accepts) validates the change even if a
+    /// minority rejects or stays silent past the deadline.
+    Majority,
+}
+
+/// Tunables of a [`crate::Coordinator`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoordinatorConfig {
+    /// Retransmission interval of the reliable-delivery layer.
+    pub retransmit_after: TimeMs,
+    /// Reject proposals whose new state equals the current agreed state
+    /// (§4.4: recipients "can reject a null state transition").
+    pub reject_null_transitions: bool,
+    /// Unanimity (paper) or majority (§7 extension).
+    pub decision_rule: DecisionRule,
+    /// §7 extension: a trusted third party to appeal to when a run passes
+    /// its deadline under the unanimous rule. The TTP certifies an abort —
+    /// or a decision, when the proposer can present a complete response
+    /// set — and distributes it to every member, so "all honest parties
+    /// terminate with the same view of agreed state". `None` (with a
+    /// deadline) aborts locally at the proposer only.
+    pub ttp: Option<b2b_crypto::PartyId>,
+    /// Optional deadline after which a proposer with an incomplete response
+    /// set invokes the §7 termination extension (TTP-certified abort, or a
+    /// majority decision under [`DecisionRule::Majority`]). `None` keeps
+    /// the paper's base behaviour: a blocked run stays blocked and is
+    /// surfaced to the application.
+    pub run_deadline: Option<TimeMs>,
+}
+
+impl CoordinatorConfig {
+    /// The paper's base configuration.
+    pub fn new() -> CoordinatorConfig {
+        CoordinatorConfig {
+            retransmit_after: TimeMs(200),
+            reject_null_transitions: true,
+            decision_rule: DecisionRule::Unanimous,
+            ttp: None,
+            run_deadline: None,
+        }
+    }
+
+    /// Sets the retransmission interval.
+    pub fn retransmit_after(mut self, interval: TimeMs) -> CoordinatorConfig {
+        self.retransmit_after = interval;
+        self
+    }
+
+    /// Enables or disables null-transition rejection.
+    pub fn reject_null_transitions(mut self, reject: bool) -> CoordinatorConfig {
+        self.reject_null_transitions = reject;
+        self
+    }
+
+    /// Selects the group decision rule.
+    pub fn decision_rule(mut self, rule: DecisionRule) -> CoordinatorConfig {
+        self.decision_rule = rule;
+        self
+    }
+
+    /// Sets a proposer-side deadline for the termination extension.
+    pub fn run_deadline(mut self, deadline: TimeMs) -> CoordinatorConfig {
+        self.run_deadline = Some(deadline);
+        self
+    }
+
+    /// Appoints the trusted third party used for certified termination.
+    pub fn ttp(mut self, ttp: b2b_crypto::PartyId) -> CoordinatorConfig {
+        self.ttp = Some(ttp);
+        self
+    }
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_base() {
+        let c = CoordinatorConfig::default();
+        assert_eq!(c.decision_rule, DecisionRule::Unanimous);
+        assert!(c.reject_null_transitions);
+        assert_eq!(c.run_deadline, None);
+        assert_eq!(c.ttp, None);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = CoordinatorConfig::new()
+            .retransmit_after(TimeMs(50))
+            .reject_null_transitions(false)
+            .decision_rule(DecisionRule::Majority)
+            .run_deadline(TimeMs(5_000))
+            .ttp(b2b_crypto::PartyId::new("notary"));
+        assert_eq!(c.ttp, Some(b2b_crypto::PartyId::new("notary")));
+        assert_eq!(c.retransmit_after, TimeMs(50));
+        assert!(!c.reject_null_transitions);
+        assert_eq!(c.decision_rule, DecisionRule::Majority);
+        assert_eq!(c.run_deadline, Some(TimeMs(5_000)));
+    }
+}

@@ -1,0 +1,511 @@
+//! The `B2BObjectController` — the application programmer's interface to
+//! configuration, initiation and control of information sharing (§5).
+//!
+//! The controller wraps a [`Coordinator`] (local or behind a thread) and
+//! provides:
+//!
+//! * **state-change scoping**: [`Controller::enter`] /
+//!   [`Controller::leave`] demarcate access to object state, with
+//!   [`Controller::examine`], [`Controller::overwrite`] and
+//!   [`Controller::update`] indicating the access type. Scopes nest,
+//!   "rolling up" a series of changes into a single coordination event;
+//!   coordination is initiated at the outermost `leave`.
+//! * **communication modes** (§5): in [`Mode::Synchronous`] the calls block
+//!   until coordination completes (an error is returned if validation
+//!   fails); in [`Mode::DeferredSynchronous`] they return a
+//!   [`CoordTicket`] and [`Controller::coord_commit`] waits; in
+//!   [`Mode::Asynchronous`] completion is signalled through the
+//!   coordinator's event stream (`coordCallback`).
+//! * **connection management**: [`Controller::connect`] /
+//!   [`Controller::disconnect`] initiate the §4.5 membership protocols.
+//!
+//! The same controller runs against both network drivers through the
+//! [`CoordAccess`] abstraction: [`b2b_net::NodeHandle`] for the threaded
+//! transport and [`SimAccess`] for the deterministic simulator.
+
+use crate::coordinator::{ConnectStatus, Coordinator, ObjectFactory};
+use crate::decision::Outcome;
+use crate::error::CoordError;
+use crate::ids::{ObjectId, RunId};
+use b2b_crypto::PartyId;
+use b2b_net::{NodeCtx, NodeHandle, SimNet};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Uniform access to a [`Coordinator`] regardless of network driver.
+pub trait CoordAccess {
+    /// Runs a local operation against the coordinator, dispatching any
+    /// messages/timers it produces.
+    fn with<R>(&self, f: impl FnOnce(&mut Coordinator, &mut NodeCtx) -> R) -> R;
+
+    /// Drives the system until `pred` holds or `timeout` elapses; returns
+    /// whether the predicate was satisfied.
+    fn wait(&self, timeout: Duration, pred: impl FnMut(&Coordinator) -> bool) -> bool;
+}
+
+impl CoordAccess for NodeHandle<Coordinator> {
+    fn with<R>(&self, f: impl FnOnce(&mut Coordinator, &mut NodeCtx) -> R) -> R {
+        self.invoke(f)
+    }
+
+    fn wait(&self, timeout: Duration, mut pred: impl FnMut(&Coordinator) -> bool) -> bool {
+        self.wait_until(timeout, |c| pred(c))
+    }
+}
+
+/// [`CoordAccess`] over the deterministic simulator: waiting *is* running
+/// the simulation, so scenarios stay single-threaded and reproducible.
+#[derive(Clone)]
+pub struct SimAccess {
+    net: Rc<RefCell<SimNet<Coordinator>>>,
+    id: PartyId,
+}
+
+impl SimAccess {
+    /// Wraps one simulated node. Create the shared handle once with
+    /// [`SimAccess::shared`] and clone per party.
+    pub fn new(net: Rc<RefCell<SimNet<Coordinator>>>, id: PartyId) -> SimAccess {
+        SimAccess { net, id }
+    }
+
+    /// Convenience: moves a simulator into a shareable handle.
+    pub fn shared(net: SimNet<Coordinator>) -> Rc<RefCell<SimNet<Coordinator>>> {
+        Rc::new(RefCell::new(net))
+    }
+}
+
+impl CoordAccess for SimAccess {
+    fn with<R>(&self, f: impl FnOnce(&mut Coordinator, &mut NodeCtx) -> R) -> R {
+        self.net.borrow_mut().invoke(&self.id, f)
+    }
+
+    /// Waiting *is* running the simulation. The timeout is interpreted as
+    /// a **virtual-time** budget (1 ms wall = 1 ms virtual): without it, a
+    /// blocked run whose retransmission timers keep the event queue alive
+    /// (e.g. across a partition) would spin this loop forever.
+    fn wait(&self, timeout: Duration, mut pred: impl FnMut(&Coordinator) -> bool) -> bool {
+        let deadline = {
+            let net = self.net.borrow();
+            net.now() + b2b_crypto::TimeMs(timeout.as_millis() as u64)
+        };
+        loop {
+            {
+                let net = self.net.borrow();
+                if pred(net.node(&self.id)) {
+                    return true;
+                }
+                if net.now() >= deadline {
+                    return false;
+                }
+            }
+            let stepped = self.net.borrow_mut().step();
+            if !stepped {
+                let net = self.net.borrow();
+                return pred(net.node(&self.id));
+            }
+        }
+    }
+}
+
+/// The communication mode of a controller (§5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Operations block until the relevant coordination completes; an
+    /// error is raised if validation fails.
+    Synchronous,
+    /// Operations return immediately with a ticket;
+    /// [`Controller::coord_commit`] blocks until completion.
+    DeferredSynchronous,
+    /// Operations return immediately; completion is signalled through the
+    /// coordinator's `coordCallback` event stream.
+    Asynchronous,
+}
+
+/// A handle on an in-flight coordination, returned in deferred-synchronous
+/// and asynchronous modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoordTicket {
+    /// The protocol run the ticket waits on.
+    pub run: RunId,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AccessKind {
+    Examine,
+    Overwrite,
+    Update,
+}
+
+/// Deprecated name kept for API-surface compatibility with early drafts;
+/// scoping lives directly on [`Controller`].
+pub type Scope = ();
+
+/// The per-object controller used by application code.
+pub struct Controller<A: CoordAccess> {
+    access: A,
+    object: ObjectId,
+    mode: Mode,
+    timeout: Duration,
+    depth: u32,
+    kind: Option<AccessKind>,
+    working: Option<Vec<u8>>,
+    pending_update: Option<Vec<u8>>,
+}
+
+impl<A: CoordAccess> Controller<A> {
+    /// Creates a synchronous-mode controller for `object`.
+    pub fn new(access: A, object: ObjectId) -> Controller<A> {
+        Controller {
+            access,
+            object,
+            mode: Mode::Synchronous,
+            timeout: Duration::from_secs(10),
+            depth: 0,
+            kind: None,
+            working: None,
+            pending_update: None,
+        }
+    }
+
+    /// Selects the communication mode.
+    pub fn mode(mut self, mode: Mode) -> Controller<A> {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the blocking timeout for synchronous operations.
+    pub fn timeout(mut self, timeout: Duration) -> Controller<A> {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The object this controller manages.
+    pub fn object_id(&self) -> &ObjectId {
+        &self.object
+    }
+
+    // ---------------------------------------------------------------
+    // Connection management
+    // ---------------------------------------------------------------
+
+    /// Initiates connection to the object's sharing group via `sponsor`.
+    /// In synchronous mode, blocks until admitted or rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`CoordError::ConnectionRejected`] on rejection (immediate or by
+    /// veto — indistinguishable, §4.5.3), [`CoordError::Timeout`] if no
+    /// answer arrives in time, or a registration error.
+    pub fn connect(&self, factory: ObjectFactory, sponsor: PartyId) -> Result<(), CoordError> {
+        let object = self.object.clone();
+        self.access
+            .with(move |c, ctx| c.request_connect(object, factory, sponsor, ctx))?;
+        if self.mode != Mode::Synchronous {
+            return Ok(());
+        }
+        let object = self.object.clone();
+        let done = self.access.wait(self.timeout, move |c| {
+            !matches!(c.connect_status(&object), Some(ConnectStatus::Pending))
+        });
+        if !done {
+            return Err(CoordError::Timeout(RunId(b2b_crypto::sha256(b"connect"))));
+        }
+        let object = self.object.clone();
+        let status = self
+            .access
+            .with(move |c, _| c.connect_status(&object).cloned());
+        match status {
+            Some(ConnectStatus::Member) => Ok(()),
+            _ => Err(CoordError::ConnectionRejected),
+        }
+    }
+
+    /// Voluntarily leaves the sharing group. In synchronous mode, blocks
+    /// until the sponsor's acknowledgement arrives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coordinator errors; [`CoordError::Timeout`] if the ack
+    /// does not arrive in time.
+    pub fn disconnect(&self) -> Result<(), CoordError> {
+        let object = self.object.clone();
+        self.access
+            .with(move |c, ctx| c.request_disconnect(&object, ctx))?;
+        if self.mode != Mode::Synchronous {
+            return Ok(());
+        }
+        let object = self.object.clone();
+        let done = self
+            .access
+            .wait(self.timeout, move |c| !c.is_member(&object));
+        if done {
+            Ok(())
+        } else {
+            Err(CoordError::Timeout(RunId(b2b_crypto::sha256(
+                b"disconnect",
+            ))))
+        }
+    }
+
+    /// Proposes evicting `subjects`. In synchronous mode, blocks until the
+    /// membership no longer contains them (or times out — eviction may be
+    /// vetoed by other members).
+    ///
+    /// # Errors
+    ///
+    /// Propagates coordinator errors; [`CoordError::Timeout`] when the
+    /// eviction has not taken effect in time.
+    pub fn evict(&self, subjects: Vec<PartyId>) -> Result<(), CoordError> {
+        let object = self.object.clone();
+        let subjects2 = subjects.clone();
+        self.access
+            .with(move |c, ctx| c.request_evict(&object, subjects2, ctx))?;
+        if self.mode != Mode::Synchronous {
+            return Ok(());
+        }
+        let object = self.object.clone();
+        let done = self.access.wait(self.timeout, move |c| {
+            c.members(&object)
+                .map(|m| subjects.iter().all(|s| !m.contains(s)))
+                .unwrap_or(false)
+        });
+        if done {
+            Ok(())
+        } else {
+            Err(CoordError::Timeout(RunId(b2b_crypto::sha256(b"evict"))))
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // State access scoping (enter / examine / overwrite / update / leave)
+    // ---------------------------------------------------------------
+
+    /// Opens (or nests into) a state-access scope; the outermost `enter`
+    /// snapshots the agreed state as the working copy.
+    ///
+    /// # Errors
+    ///
+    /// [`CoordError::UnknownObject`] if the object is not coordinated here.
+    pub fn enter(&mut self) -> Result<(), CoordError> {
+        if self.depth == 0 {
+            let object = self.object.clone();
+            let state = self
+                .access
+                .with(move |c, _| c.agreed_state(&object))
+                .ok_or_else(|| CoordError::UnknownObject(self.object.clone()))?;
+            self.working = Some(state);
+            self.kind = None;
+            self.pending_update = None;
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Indicates read-only access in the current scope.
+    ///
+    /// # Errors
+    ///
+    /// [`CoordError::ScopeMisuse`] outside a scope.
+    pub fn examine(&mut self) -> Result<(), CoordError> {
+        self.require_scope()?;
+        if self.kind.is_none() {
+            self.kind = Some(AccessKind::Examine);
+        }
+        Ok(())
+    }
+
+    /// Indicates that object state is being overwritten in this scope.
+    ///
+    /// # Errors
+    ///
+    /// [`CoordError::ScopeMisuse`] outside a scope.
+    pub fn overwrite(&mut self) -> Result<(), CoordError> {
+        self.require_scope()?;
+        self.kind = Some(AccessKind::Overwrite);
+        Ok(())
+    }
+
+    /// Indicates an update-style change (§4.3.1) carrying `delta` as the
+    /// update to propagate instead of the whole state.
+    ///
+    /// # Errors
+    ///
+    /// [`CoordError::ScopeMisuse`] outside a scope.
+    pub fn update(&mut self, delta: Vec<u8>) -> Result<(), CoordError> {
+        self.require_scope()?;
+        self.kind = Some(AccessKind::Update);
+        self.pending_update = Some(delta);
+        Ok(())
+    }
+
+    /// The working copy of the object state within the current scope.
+    ///
+    /// # Errors
+    ///
+    /// [`CoordError::ScopeMisuse`] outside a scope.
+    pub fn state(&self) -> Result<&[u8], CoordError> {
+        self.working
+            .as_deref()
+            .ok_or(CoordError::ScopeMisuse("state() outside enter/leave"))
+    }
+
+    /// Replaces the working copy (the object mutation of the paper's
+    /// wrapper methods).
+    ///
+    /// # Errors
+    ///
+    /// [`CoordError::ScopeMisuse`] outside a scope.
+    pub fn set_state(&mut self, state: Vec<u8>) -> Result<(), CoordError> {
+        self.require_scope()?;
+        self.working = Some(state);
+        Ok(())
+    }
+
+    /// Closes the scope. At the outermost `leave`, if `overwrite` or
+    /// `update` was indicated, state coordination is initiated (implicitly
+    /// invoking the §4.3 protocol); `examine`-only scopes coordinate
+    /// nothing.
+    ///
+    /// Returns the ticket of the initiated run, or `None` when no
+    /// coordination was needed.
+    ///
+    /// # Errors
+    ///
+    /// In synchronous mode, [`CoordError::Invalidated`] when the proposal
+    /// was vetoed (the working copy rolls back to the agreed state) and
+    /// [`CoordError::Timeout`] when no outcome arrived in time; in all
+    /// modes, scope-misuse and coordinator errors.
+    pub fn leave(&mut self) -> Result<Option<CoordTicket>, CoordError> {
+        self.require_scope()?;
+        self.depth -= 1;
+        if self.depth > 0 {
+            return Ok(None);
+        }
+        let kind = self.kind.take();
+        let working = self.working.take();
+        let delta = self.pending_update.take();
+        match kind {
+            None | Some(AccessKind::Examine) => Ok(None),
+            Some(AccessKind::Overwrite) => {
+                let state = working.ok_or(CoordError::ScopeMisuse("no working state"))?;
+                let object = self.object.clone();
+                let run = self
+                    .access
+                    .with(move |c, ctx| c.propose_overwrite(&object, state, ctx))?;
+                self.finish_run(run)
+            }
+            Some(AccessKind::Update) => {
+                let delta = delta.ok_or(CoordError::ScopeMisuse("no update delta"))?;
+                let object = self.object.clone();
+                let run = self
+                    .access
+                    .with(move |c, ctx| c.propose_update(&object, delta, ctx))?;
+                self.finish_run(run)
+            }
+        }
+    }
+
+    /// `syncCoord`: coordinates the current object state in one call —
+    /// equivalent to `enter(); overwrite(); set_state(state); leave()`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Controller::leave`].
+    pub fn sync_coord(&mut self, state: Vec<u8>) -> Result<Option<CoordTicket>, CoordError> {
+        self.enter()?;
+        self.overwrite()?;
+        self.set_state(state)?;
+        self.leave()
+    }
+
+    fn finish_run(&self, run: RunId) -> Result<Option<CoordTicket>, CoordError> {
+        let ticket = CoordTicket { run };
+        match self.mode {
+            Mode::Synchronous => {
+                self.coord_commit(ticket)?;
+                Ok(Some(ticket))
+            }
+            Mode::DeferredSynchronous | Mode::Asynchronous => Ok(Some(ticket)),
+        }
+    }
+
+    /// Blocks until the ticketed run completes (deferred-synchronous
+    /// commit; also used internally by synchronous mode).
+    ///
+    /// # Errors
+    ///
+    /// [`CoordError::Invalidated`] if the run was vetoed,
+    /// [`CoordError::Timeout`] if no outcome arrived in time.
+    pub fn coord_commit(&self, ticket: CoordTicket) -> Result<(), CoordError> {
+        let run = ticket.run;
+        let done = self
+            .access
+            .wait(self.timeout, move |c| c.outcome_of(&run).is_some());
+        if !done {
+            return Err(CoordError::Timeout(run));
+        }
+        let outcome = self
+            .access
+            .with(move |c, _| c.outcome_of(&run).cloned())
+            .expect("outcome present after wait");
+        match outcome {
+            Outcome::Installed { .. } => Ok(()),
+            Outcome::Invalidated { vetoers } => Err(CoordError::Invalidated { vetoers }),
+            Outcome::Aborted { reason } => Err(CoordError::Invalidated {
+                vetoers: vec![(PartyId::new("<aborted>"), reason)],
+            }),
+        }
+    }
+
+    /// Non-blocking outcome poll for a ticket.
+    pub fn poll(&self, ticket: CoordTicket) -> Option<Outcome> {
+        let run = ticket.run;
+        self.access.with(move |c, _| c.outcome_of(&run).cloned())
+    }
+
+    /// Blocks until no coordination run is active on the object (or the
+    /// timeout elapses). Useful in synchronous mode before starting a
+    /// scope: a peer's sync call may return while this replica is still
+    /// finishing the same run, and proposing in that window earns a
+    /// [`CoordError::Busy`].
+    pub fn wait_idle(&self) -> Result<(), CoordError> {
+        let object = self.object.clone();
+        let idle = self
+            .access
+            .wait(self.timeout, move |c| !c.is_busy(&object));
+        if idle {
+            Ok(())
+        } else {
+            Err(CoordError::Busy {
+                object: self.object.clone(),
+            })
+        }
+    }
+
+    /// The current agreed state bytes of the object.
+    ///
+    /// # Errors
+    ///
+    /// [`CoordError::UnknownObject`] if the object is not coordinated here.
+    pub fn current_state(&self) -> Result<Vec<u8>, CoordError> {
+        let object = self.object.clone();
+        self.access
+            .with(move |c, _| c.agreed_state(&object))
+            .ok_or_else(|| CoordError::UnknownObject(self.object.clone()))
+    }
+
+    /// Drains the coordination events (`coordCallback` stream) — the
+    /// asynchronous mode's completion channel.
+    pub fn take_events(&self) -> Vec<crate::decision::CoordEvent> {
+        self.access.with(|c, _| c.take_events())
+    }
+
+    fn require_scope(&self) -> Result<(), CoordError> {
+        if self.depth == 0 {
+            Err(CoordError::ScopeMisuse("operation outside enter/leave"))
+        } else {
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,723 @@
+//! The per-party coordinator: the `B2BCoordinator` package of Figure 4.
+//!
+//! One [`Coordinator`] runs at each organisation. It owns the party's
+//! replicas, executes the coordination protocols over a reliable-delivery
+//! layer, maintains the non-repudiation log and state checkpoints, and
+//! exposes the local operations the [`crate::controller`] builds on.
+//!
+//! The coordinator is an event-driven [`NetNode`], so the same engine runs
+//! under the deterministic network simulator and the threaded in-process
+//! transport.
+
+use crate::config::CoordinatorConfig;
+use crate::decision::{CoordEvent, CoordEventKind, Outcome};
+use crate::detect::Misbehaviour;
+use crate::error::CoordError;
+use crate::ids::{GroupId, ObjectId, RunId, StateId};
+use crate::messages::{ConnectRequestMsg, WireMsg};
+use crate::object::B2BObject;
+use crate::replica::{ActiveRun, QueuedRequest, Replica, ReplicaSnapshot};
+use b2b_crypto::{sha256, KeyRing, PartyId, SecureRng, Signer, TimeMs, TimeStampAuthority};
+use b2b_evidence::{EvidenceKind, EvidenceRecord, EvidenceStore, SnapshotStore};
+use b2b_net::reliable::Inbound;
+use b2b_net::{NetNode, NodeCtx, ReliableMux};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Builds fresh application-object instances, used to reconstruct replicas
+/// during crash recovery (the object's state is then re-installed from the
+/// checkpoint). Factories model code and configuration, which survive
+/// crashes; object *state* does not.
+pub type ObjectFactory = Box<dyn Fn() -> Box<dyn B2BObject> + Send>;
+
+/// Progress of this party's attempt to join an object's group.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConnectStatus {
+    /// Request sent; awaiting the sponsor's welcome or rejection.
+    Pending,
+    /// Admitted: the replica is installed and coordinated.
+    Member,
+    /// Rejected — immediately by the sponsor or by a member's veto; the
+    /// two are indistinguishable to the subject (§4.5.3).
+    Rejected,
+}
+
+/// A connection attempt in progress at the subject.
+pub(crate) struct PendingConnect {
+    pub(crate) request: ConnectRequestMsg,
+    pub(crate) sponsor: PartyId,
+}
+
+#[derive(Serialize, Deserialize)]
+struct PendingConnectSnapshot {
+    request: ConnectRequestMsg,
+    sponsor: PartyId,
+    object: ObjectId,
+}
+
+/// The B2BObjects coordinator for one party.
+pub struct Coordinator {
+    pub(crate) me: PartyId,
+    pub(crate) signer: Arc<dyn Signer>,
+    pub(crate) ring: KeyRing,
+    pub(crate) tsa: Option<TimeStampAuthority>,
+    pub(crate) config: CoordinatorConfig,
+    pub(crate) mux: ReliableMux,
+    pub(crate) evidence: Arc<dyn EvidenceStore>,
+    pub(crate) snapshots: Arc<dyn SnapshotStore>,
+    pub(crate) rng: SecureRng,
+    pub(crate) replicas: HashMap<ObjectId, Replica>,
+    pub(crate) factories: HashMap<ObjectId, ObjectFactory>,
+    pub(crate) pending_connects: HashMap<ObjectId, PendingConnect>,
+    pub(crate) connect_status: HashMap<ObjectId, ConnectStatus>,
+    pub(crate) outcomes: HashMap<RunId, Outcome>,
+    pub(crate) events: Vec<CoordEvent>,
+    pub(crate) msg_counts: BTreeMap<&'static str, u64>,
+    pub(crate) detected: Vec<Misbehaviour>,
+    pub(crate) deadline_timers: HashMap<u64, (ObjectId, RunId)>,
+    pub(crate) ttp_cases: HashMap<RunId, crate::termination::TtpCase>,
+    pub(crate) ttp_timers: HashMap<u64, RunId>,
+    pub(crate) next_timer: u64,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("me", &self.me)
+            .field("objects", &self.replicas.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Builder for [`Coordinator`] (C-BUILDER).
+pub struct CoordinatorBuilder {
+    me: PartyId,
+    signer: Arc<dyn Signer>,
+    ring: KeyRing,
+    tsa: Option<TimeStampAuthority>,
+    config: CoordinatorConfig,
+    evidence: Option<Arc<dyn EvidenceStore>>,
+    snapshots: Option<Arc<dyn SnapshotStore>>,
+    seed: u64,
+}
+
+impl CoordinatorBuilder {
+    /// Registers the shared key ring (every party's verification key).
+    pub fn ring(mut self, ring: KeyRing) -> CoordinatorBuilder {
+        self.ring = ring;
+        self
+    }
+
+    /// Installs the trusted time-stamping authority handle.
+    pub fn tsa(mut self, tsa: TimeStampAuthority) -> CoordinatorBuilder {
+        self.tsa = Some(tsa);
+        self
+    }
+
+    /// Overrides the default configuration.
+    pub fn config(mut self, config: CoordinatorConfig) -> CoordinatorBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Uses `store` for both the non-repudiation log and checkpoints.
+    pub fn store<S>(mut self, store: Arc<S>) -> CoordinatorBuilder
+    where
+        S: EvidenceStore + SnapshotStore + 'static,
+    {
+        self.evidence = Some(store.clone() as Arc<dyn EvidenceStore>);
+        self.snapshots = Some(store as Arc<dyn SnapshotStore>);
+        self
+    }
+
+    /// Seeds the coordinator's random generator (reproducible runs).
+    pub fn seed(mut self, seed: u64) -> CoordinatorBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the coordinator. Without an explicit store, an in-memory
+    /// store is created (sufficient when crash-recovery is not exercised).
+    pub fn build(self) -> Coordinator {
+        let (evidence, snapshots) = match (self.evidence, self.snapshots) {
+            (Some(e), Some(s)) => (e, s),
+            _ => {
+                let mem = Arc::new(b2b_evidence::MemStore::new());
+                (
+                    mem.clone() as Arc<dyn EvidenceStore>,
+                    mem as Arc<dyn SnapshotStore>,
+                )
+            }
+        };
+        let mut rng = SecureRng::seeded(self.seed);
+        let epoch = rng.next_u64();
+        Coordinator {
+            me: self.me,
+            signer: self.signer,
+            ring: self.ring,
+            tsa: self.tsa,
+            mux: ReliableMux::new(self.config.retransmit_after, epoch),
+            config: self.config,
+            evidence,
+            snapshots,
+            rng,
+            replicas: HashMap::new(),
+            factories: HashMap::new(),
+            pending_connects: HashMap::new(),
+            connect_status: HashMap::new(),
+            outcomes: HashMap::new(),
+            events: Vec::new(),
+            msg_counts: BTreeMap::new(),
+            detected: Vec::new(),
+            deadline_timers: HashMap::new(),
+            ttp_cases: HashMap::new(),
+            ttp_timers: HashMap::new(),
+            next_timer: 1,
+        }
+    }
+}
+
+impl Coordinator {
+    /// Starts building a coordinator for `me` signing with `signer`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use b2b_core::Coordinator;
+    /// use b2b_crypto::{KeyPair, PartyId};
+    ///
+    /// let kp = KeyPair::generate_from_seed(1);
+    /// let coord = Coordinator::builder(PartyId::new("org1"), kp).seed(1).build();
+    /// assert_eq!(coord.party().as_str(), "org1");
+    /// ```
+    pub fn builder(me: PartyId, signer: impl Signer + 'static) -> CoordinatorBuilder {
+        CoordinatorBuilder {
+            me,
+            signer: Arc::new(signer),
+            ring: KeyRing::new(),
+            tsa: None,
+            config: CoordinatorConfig::default(),
+            evidence: None,
+            snapshots: None,
+            seed: 0,
+        }
+    }
+
+    /// This coordinator's party identity.
+    pub fn party(&self) -> &PartyId {
+        &self.me
+    }
+
+    // -----------------------------------------------------------------
+    // Object registration and queries
+    // -----------------------------------------------------------------
+
+    /// Registers a new shared object with this party as the sole group
+    /// member. Other organisations join through the connection protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoordError::DuplicateObject`] if the alias is taken.
+    pub fn register_object(
+        &mut self,
+        object_id: ObjectId,
+        factory: ObjectFactory,
+    ) -> Result<(), CoordError> {
+        if self.replicas.contains_key(&object_id) || self.factories.contains_key(&object_id) {
+            return Err(CoordError::DuplicateObject(object_id));
+        }
+        let object = factory();
+        let state = object.get_state();
+        let members = vec![self.me.clone()];
+        let replica = Replica {
+            object_id: object_id.clone(),
+            object,
+            group: GroupId::genesis(sha256(&self.rng.nonce()), &members),
+            agreed: StateId::genesis(sha256(&self.rng.nonce()), &state),
+            agreed_state: state,
+            members,
+            seen_runs: Default::default(),
+            seen_tuples: Default::default(),
+            active: None,
+            queued: Vec::new(),
+            completed_replies: HashMap::new(),
+            detached: false,
+        };
+        self.factories.insert(object_id.clone(), factory);
+        self.replicas.insert(object_id.clone(), replica);
+        self.persist(&object_id);
+        self.persist_index();
+        Ok(())
+    }
+
+    /// Returns `true` if this party currently coordinates `object` as a
+    /// group member.
+    pub fn is_member(&self, object: &ObjectId) -> bool {
+        self.replicas
+            .get(object)
+            .map(|r| !r.detached && r.is_member(&self.me))
+            .unwrap_or(false)
+    }
+
+    /// The member list (join order) of `object`'s group, if known here.
+    pub fn members(&self, object: &ObjectId) -> Option<Vec<PartyId>> {
+        self.replicas.get(object).map(|r| r.members.clone())
+    }
+
+    /// The current group identifier of `object`, if known here.
+    pub fn group(&self, object: &ObjectId) -> Option<GroupId> {
+        self.replicas.get(object).map(|r| r.group)
+    }
+
+    /// The current connection sponsor for `object` (the most recently
+    /// joined member), if known here.
+    pub fn sponsor_of(&self, object: &ObjectId) -> Option<PartyId> {
+        self.replicas.get(object).map(|r| r.sponsor().clone())
+    }
+
+    /// The agreed state tuple of `object`, if known here.
+    pub fn agreed_id(&self, object: &ObjectId) -> Option<StateId> {
+        self.replicas.get(object).map(|r| r.agreed)
+    }
+
+    /// The bytes of `object`'s current agreed state, if known here.
+    pub fn agreed_state(&self, object: &ObjectId) -> Option<Vec<u8>> {
+        self.replicas.get(object).map(|r| r.agreed_state.clone())
+    }
+
+    /// Whether a protocol run is currently active on `object`.
+    pub fn is_busy(&self, object: &ObjectId) -> bool {
+        self.replicas
+            .get(object)
+            .map(|r| r.active.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Read-only access to the application object of `object`.
+    pub fn object(&self, object: &ObjectId) -> Option<&dyn B2BObject> {
+        self.replicas.get(object).map(|r| r.object.as_ref())
+    }
+
+    /// Pre-flight check: how would *this* party's own policy judge a
+    /// transition to `proposed`? Useful before proposing — the protocol
+    /// itself never self-validates, because "the proposer is committed to
+    /// acceptance at initiation" (§4.3) and a dishonest proposer would
+    /// skip any local check anyway.
+    ///
+    /// # Errors
+    ///
+    /// [`CoordError::UnknownObject`] if `object` is not coordinated here.
+    pub fn validate_locally(
+        &self,
+        object: &ObjectId,
+        proposed: &[u8],
+    ) -> Result<crate::decision::Decision, CoordError> {
+        let rep = self
+            .replicas
+            .get(object)
+            .ok_or_else(|| CoordError::UnknownObject(object.clone()))?;
+        Ok(rep
+            .object
+            .validate_state(&self.me, &rep.agreed_state, proposed))
+    }
+
+    /// The outcome of `run`, once this party has learnt it.
+    pub fn outcome_of(&self, run: &RunId) -> Option<&Outcome> {
+        self.outcomes.get(run)
+    }
+
+    /// Progress of this party's connection attempt to `object`.
+    pub fn connect_status(&self, object: &ObjectId) -> Option<&ConnectStatus> {
+        self.connect_status.get(object)
+    }
+
+    /// Drains the coordination events accumulated since the last call (the
+    /// application-visible `coordCallback` stream).
+    pub fn take_events(&mut self) -> Vec<CoordEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Protocol-level messages sent so far, by kind (excludes acks and
+    /// retransmissions). Experiment E1 reads these counters.
+    pub fn message_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.msg_counts
+    }
+
+    /// Total protocol-level messages sent so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.msg_counts.values().sum()
+    }
+
+    /// Misbehaviour detected so far (also logged as evidence records).
+    pub fn detected(&self) -> &[Misbehaviour] {
+        &self.detected
+    }
+
+    /// The non-repudiation log of this party.
+    pub fn evidence(&self) -> &Arc<dyn EvidenceStore> {
+        &self.evidence
+    }
+
+    // -----------------------------------------------------------------
+    // Internal plumbing shared by the protocol modules
+    // -----------------------------------------------------------------
+
+    pub(crate) fn send_wire(&mut self, to: &PartyId, msg: &WireMsg, ctx: &mut NodeCtx) {
+        *self.msg_counts.entry(msg.kind_name()).or_default() += 1;
+        self.mux.send(to.clone(), msg.to_bytes(), ctx);
+    }
+
+    /// Appends an evidence record; timestamps it when a TSA is configured.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn log_evidence(
+        &mut self,
+        kind: EvidenceKind,
+        object: &ObjectId,
+        run: &str,
+        origin: PartyId,
+        payload: Vec<u8>,
+        signature: Option<b2b_crypto::Signature>,
+        now: TimeMs,
+    ) {
+        let timestamp = self.tsa.as_ref().map(|tsa| tsa.stamp(&payload, now));
+        let record = EvidenceRecord::new(
+            kind,
+            object.as_str(),
+            run,
+            origin,
+            payload,
+            signature,
+            timestamp,
+            now,
+        );
+        // A full log is a liveness problem, not a safety one; surface
+        // storage failures as diagnostics rather than panicking.
+        if let Err(e) = self.evidence.append(record) {
+            self.detected.push(Misbehaviour::UnexpectedMessage {
+                detail: format!("evidence log append failed: {e}"),
+            });
+        }
+    }
+
+    pub(crate) fn log_misbehaviour(
+        &mut self,
+        object: &ObjectId,
+        run: &str,
+        m: Misbehaviour,
+        now: TimeMs,
+    ) {
+        let payload = serde_json::to_vec(&m).expect("misbehaviour serialises");
+        self.log_evidence(
+            EvidenceKind::Misbehaviour,
+            object,
+            run,
+            self.me.clone(),
+            payload,
+            None,
+            now,
+        );
+        self.detected.push(m);
+    }
+
+    pub(crate) fn emit(
+        &mut self,
+        object: &ObjectId,
+        run: RunId,
+        kind: CoordEventKind,
+        now: TimeMs,
+    ) {
+        let event = CoordEvent {
+            object: object.clone(),
+            run,
+            event: kind,
+            at: now,
+        };
+        if let Some(rep) = self.replicas.get_mut(object) {
+            rep.object.coord_callback(&event);
+        }
+        self.events.push(event);
+    }
+
+    /// Persists the replica snapshot for `object`.
+    pub(crate) fn persist(&mut self, object: &ObjectId) {
+        let Some(rep) = self.replicas.get(object) else {
+            return;
+        };
+        let snap = ReplicaSnapshot::capture(rep);
+        let bytes = serde_json::to_vec(&snap).expect("snapshot serialises");
+        if let Err(e) = self.snapshots.put_snapshot(&format!("obj-{object}"), bytes) {
+            self.detected.push(Misbehaviour::UnexpectedMessage {
+                detail: format!("snapshot write failed: {e}"),
+            });
+        }
+    }
+
+    pub(crate) fn persist_index(&mut self) {
+        let ids: Vec<String> = self
+            .replicas
+            .keys()
+            .map(|k| k.as_str().to_string())
+            .collect();
+        let bytes = serde_json::to_vec(&ids).expect("index serialises");
+        let _ = self.snapshots.put_snapshot("objects", bytes);
+        let pend: Vec<PendingConnectSnapshot> = self
+            .pending_connects
+            .iter()
+            .map(|(oid, p)| PendingConnectSnapshot {
+                request: p.request.clone(),
+                sponsor: p.sponsor.clone(),
+                object: oid.clone(),
+            })
+            .collect();
+        let bytes = serde_json::to_vec(&pend).expect("pending serialises");
+        let _ = self.snapshots.put_snapshot("pending-connects", bytes);
+    }
+
+    /// Arms the proposer-side run deadline, when configured.
+    pub(crate) fn arm_deadline(&mut self, object: &ObjectId, run: RunId, ctx: &mut NodeCtx) {
+        if let Some(deadline) = self.config.run_deadline {
+            let id = self.next_timer;
+            self.next_timer += 1;
+            self.deadline_timers.insert(id, (object.clone(), run));
+            ctx.set_timer(id, deadline);
+        }
+    }
+
+    fn dispatch(&mut self, from: &PartyId, msg: WireMsg, ctx: &mut NodeCtx) {
+        match msg {
+            WireMsg::Propose(m) => self.on_propose(from, m, ctx),
+            WireMsg::Respond(m) => self.on_respond(from, m, ctx),
+            WireMsg::Decide(m) => self.on_decide(from, m, ctx),
+            WireMsg::ConnectRequest(m) => self.on_connect_request(from, m, ctx),
+            WireMsg::ConnectPropose(m) => self.on_connect_propose(from, m, ctx),
+            WireMsg::MemberRespond(m) => self.on_member_respond(from, m, ctx),
+            WireMsg::MemberDecide(m) => self.on_member_decide(from, m, ctx),
+            WireMsg::Welcome(m) => self.on_welcome(from, m, ctx),
+            WireMsg::ConnectReject(m) => self.on_connect_reject(from, m, ctx),
+            WireMsg::DisconnectRequest(m) => self.on_disconnect_request(from, m, ctx),
+            WireMsg::DisconnectPropose(m) => self.on_disconnect_propose(from, m, ctx),
+            WireMsg::DisconnectAck(m) => self.on_disconnect_ack(from, m, ctx),
+            WireMsg::TtpResolve(m) => self.on_ttp_resolve(from, m, ctx),
+            WireMsg::TtpEvidenceRequest(m) => self.on_ttp_evidence_request(from, m, ctx),
+            WireMsg::TtpEvidence(m) => self.on_ttp_evidence(from, m, ctx),
+            WireMsg::TtpResolution(m) => self.on_ttp_resolution(from, m, ctx),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Crash recovery
+    // -----------------------------------------------------------------
+
+    fn recover_from_storage(&mut self, ctx: &mut NodeCtx) {
+        // Fresh reliable-layer incarnation so peers do not confuse our
+        // restarted sequence numbers with pre-crash traffic.
+        let epoch = self.rng.next_u64();
+        self.mux = ReliableMux::new(self.config.retransmit_after, epoch);
+
+        let ids: Vec<String> = self
+            .snapshots
+            .get_snapshot("objects")
+            .and_then(|b| serde_json::from_slice(&b).ok())
+            .unwrap_or_default();
+        for id in ids {
+            let object_id = ObjectId::new(id);
+            let Some(bytes) = self.snapshots.get_snapshot(&format!("obj-{object_id}")) else {
+                continue;
+            };
+            let Ok(snap) = serde_json::from_slice::<ReplicaSnapshot>(&bytes) else {
+                continue;
+            };
+            let Some(factory) = self.factories.get(&object_id) else {
+                continue;
+            };
+            let replica = snap.restore(object_id.clone(), factory());
+            self.replicas.insert(object_id.clone(), replica);
+            self.resume_run(&object_id, ctx);
+        }
+        // Pending connection attempts (no replica yet at the subject).
+        let pending: Vec<PendingConnectSnapshot> = self
+            .snapshots
+            .get_snapshot("pending-connects")
+            .and_then(|b| serde_json::from_slice(&b).ok())
+            .unwrap_or_default();
+        for p in pending {
+            if self.replicas.contains_key(&p.object) {
+                continue; // welcomed before the crash
+            }
+            let msg = WireMsg::ConnectRequest(p.request.clone());
+            self.send_wire(&p.sponsor.clone(), &msg, ctx);
+            self.connect_status
+                .insert(p.object.clone(), ConnectStatus::Pending);
+            self.pending_connects.insert(
+                p.object,
+                PendingConnect {
+                    request: p.request,
+                    sponsor: p.sponsor,
+                },
+            );
+        }
+    }
+
+    /// Re-sends the in-flight message(s) of a persisted active run.
+    fn resume_run(&mut self, object: &ObjectId, ctx: &mut NodeCtx) {
+        let Some(rep) = self.replicas.get(object) else {
+            return;
+        };
+        let me = self.me.clone();
+        match rep.active.clone() {
+            None => {}
+            Some(ActiveRun::Proposer(run)) => {
+                let recipients = rep.recipients(&me);
+                if let Some(decide) = &run.decided {
+                    let msg = WireMsg::Decide(decide.clone());
+                    for r in recipients {
+                        self.send_wire(&r, &msg, ctx);
+                    }
+                } else {
+                    let msg = WireMsg::Propose(run.propose.clone());
+                    for r in recipients {
+                        if !run.responses.contains_key(&r) {
+                            self.send_wire(&r, &msg, ctx);
+                        }
+                    }
+                }
+            }
+            Some(ActiveRun::Recipient(run)) => {
+                let proposer = run.propose.proposal.proposer.clone();
+                let msg = WireMsg::Respond(run.my_response.clone());
+                self.send_wire(&proposer, &msg, ctx);
+            }
+            Some(ActiveRun::Sponsor(run)) => {
+                self.resume_sponsor_run(object, run, ctx);
+            }
+            Some(ActiveRun::Member(run)) => {
+                let sponsor = match &run.change {
+                    crate::replica::MembershipChange::Connect { propose, .. } => {
+                        propose.proposal.sponsor.clone()
+                    }
+                    crate::replica::MembershipChange::Disconnect { propose, .. } => {
+                        propose.proposal.sponsor.clone()
+                    }
+                };
+                let msg = WireMsg::MemberRespond(run.my_response.clone());
+                self.send_wire(&sponsor, &msg, ctx);
+            }
+            Some(ActiveRun::Leaving(run)) => {
+                let msg = WireMsg::DisconnectRequest(run.request.clone());
+                self.send_wire(&run.sponsor.clone(), &msg, ctx);
+            }
+        }
+    }
+
+    /// Answers a duplicate or post-recovery retransmission of a message
+    /// belonging to an already-completed run. Returns `true` if handled.
+    pub(crate) fn replay_completed_reply(
+        &mut self,
+        object: &ObjectId,
+        run: &RunId,
+        to: &PartyId,
+        ctx: &mut NodeCtx,
+    ) -> bool {
+        let reply = self
+            .replicas
+            .get(object)
+            .and_then(|r| r.completed_replies.get(run))
+            .cloned();
+        match reply {
+            Some(msg) => {
+                self.send_wire(to, &msg, ctx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs the next queued membership request, if the object is idle.
+    pub(crate) fn pump_queue(&mut self, object: &ObjectId, ctx: &mut NodeCtx) {
+        loop {
+            let next = {
+                let Some(rep) = self.replicas.get_mut(object) else {
+                    return;
+                };
+                if rep.active.is_some() || rep.queued.is_empty() {
+                    return;
+                }
+                rep.queued.remove(0)
+            };
+            let started = match next {
+                QueuedRequest::Connect(req) => {
+                    let from = req.request.subject.clone();
+                    self.sponsor_connect(&from, req, ctx)
+                }
+                QueuedRequest::Disconnect(req) => {
+                    let from = req.request.proposer.clone();
+                    self.sponsor_disconnect(&from, req, ctx)
+                }
+            };
+            // If the request started a run we are done; if it was answered
+            // immediately (e.g. rejected), try the next queued request.
+            if started {
+                return;
+            }
+        }
+    }
+}
+
+impl NetNode for Coordinator {
+    fn id(&self) -> PartyId {
+        self.me.clone()
+    }
+
+    fn on_message(&mut self, from: &PartyId, payload: &[u8], ctx: &mut NodeCtx) {
+        match self.mux.on_message(from, payload, ctx) {
+            Inbound::Deliver(bytes) => match WireMsg::from_bytes(&bytes) {
+                Some(msg) => self.dispatch(from, msg, ctx),
+                None => {
+                    let object = ObjectId::new("?");
+                    self.log_misbehaviour(
+                        &object,
+                        "",
+                        Misbehaviour::UnexpectedMessage {
+                            detail: format!("undecodable payload from {from}"),
+                        },
+                        ctx.now(),
+                    );
+                }
+            },
+            Inbound::Duplicate | Inbound::Ack => {}
+            Inbound::Malformed => {
+                // Foreign or corrupted traffic below the protocol layer.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut NodeCtx) {
+        if self.mux.on_timer(timer, ctx) && timer >= b2b_net::RELIABLE_TIMER_BASE {
+            return;
+        }
+        if let Some((object, run)) = self.deadline_timers.remove(&timer) {
+            self.on_run_deadline(&object, run, ctx);
+        }
+        if let Some(run) = self.ttp_timers.remove(&timer) {
+            self.on_ttp_timer(run, ctx);
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Volatile state is lost; the evidence log, checkpoints, key
+        // material and object factories survive.
+        self.replicas.clear();
+        self.pending_connects.clear();
+        self.connect_status.clear();
+        self.outcomes.clear();
+        self.events.clear();
+        self.deadline_timers.clear();
+        self.ttp_cases.clear();
+        self.ttp_timers.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut NodeCtx) {
+        self.recover_from_storage(ctx);
+    }
+}

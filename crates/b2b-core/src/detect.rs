@@ -1,0 +1,198 @@
+//! Misbehaviour detection taxonomy.
+//!
+//! §4.4 enumerates the subversion attempts the protocol must detect:
+//! inconsistent message content, replays from prior runs, omitted and
+//! selectively sent messages, null transitions, and tampering with unsigned
+//! parts. Every detection is recorded in the non-repudiation log as a
+//! `Misbehaviour` evidence record whose payload is the JSON encoding of a
+//! [`Misbehaviour`] value.
+
+use crate::ids::{GroupId, RunId, StateId};
+use b2b_crypto::PartyId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A detected deviation from the protocol, attributable to `culprit` when
+/// signatures make attribution possible.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Misbehaviour {
+    /// A message's signature failed verification: either forged traffic or
+    /// tampering with signed content in transit.
+    BadSignature {
+        /// The claimed signer.
+        claimed: PartyId,
+        /// What kind of message carried the bad signature.
+        message: String,
+    },
+    /// The unsigned body (state or update bytes) does not hash to the value
+    /// bound inside the signed proposal — Dolev-Yao tampering with the
+    /// unsigned part, detected per §4.4.
+    BodyHashMismatch {
+        /// The run concerned.
+        run: RunId,
+    },
+    /// The proposer's view of the group differs from ours.
+    GroupIdMismatch {
+        /// The identifier carried in the message.
+        theirs: GroupId,
+        /// Our current identifier.
+        ours: GroupId,
+    },
+    /// The proposal's predecessor tuple is not our current agreed state
+    /// (invariant 1/3 of §4.2).
+    PredecessorMismatch {
+        /// The predecessor the proposer claimed.
+        theirs: StateId,
+        /// Our agreed state.
+        ours: StateId,
+    },
+    /// The proposed sequence number is not greater than the agreed one
+    /// (invariant 3 of §4.2).
+    SequenceNotGreater {
+        /// Proposed sequence number.
+        proposed: u64,
+        /// Our agreed sequence number.
+        agreed: u64,
+    },
+    /// A proposal tuple already seen was proposed again — a replay from a
+    /// prior run (invariant 4 of §4.2).
+    ReplayedProposal {
+        /// The replayed run label.
+        run: RunId,
+    },
+    /// A proposal to transition to the state we are already in (§4.4:
+    /// "any member can detect that the states are equal and can reject a
+    /// null state transition").
+    NullTransition {
+        /// The run concerned.
+        run: RunId,
+    },
+    /// The revealed authenticator in the decide message does not match the
+    /// commitment `H(r_P)` from the proposal.
+    AuthenticatorMismatch {
+        /// The run concerned.
+        run: RunId,
+    },
+    /// Our own response is missing from, or altered in, the aggregated
+    /// decide message — evidence of selective sending or tampering.
+    ResponseMisrepresented {
+        /// The run concerned.
+        run: RunId,
+    },
+    /// The decide message's response set is internally inconsistent
+    /// (wrong run, wrong responders, duplicate responders).
+    InconsistentDecide {
+        /// The run concerned.
+        run: RunId,
+        /// Description of the inconsistency.
+        detail: String,
+    },
+    /// A membership message came from a party that is not the legitimate
+    /// sponsor for the request (§4.5.1).
+    IllegitimateSponsor {
+        /// Who sent it.
+        claimed: PartyId,
+        /// Who the sponsor should be.
+        expected: PartyId,
+    },
+    /// A message arrived that no protocol state expects (unknown run,
+    /// wrong role, wrong phase).
+    UnexpectedMessage {
+        /// Description of the message and why it was unexpected.
+        detail: String,
+    },
+}
+
+impl Misbehaviour {
+    /// A short stable tag for reports and experiment output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Misbehaviour::BadSignature { .. } => "bad-signature",
+            Misbehaviour::BodyHashMismatch { .. } => "body-hash-mismatch",
+            Misbehaviour::GroupIdMismatch { .. } => "group-id-mismatch",
+            Misbehaviour::PredecessorMismatch { .. } => "predecessor-mismatch",
+            Misbehaviour::SequenceNotGreater { .. } => "sequence-not-greater",
+            Misbehaviour::ReplayedProposal { .. } => "replayed-proposal",
+            Misbehaviour::NullTransition { .. } => "null-transition",
+            Misbehaviour::AuthenticatorMismatch { .. } => "authenticator-mismatch",
+            Misbehaviour::ResponseMisrepresented { .. } => "response-misrepresented",
+            Misbehaviour::InconsistentDecide { .. } => "inconsistent-decide",
+            Misbehaviour::IllegitimateSponsor { .. } => "illegitimate-sponsor",
+            Misbehaviour::UnexpectedMessage { .. } => "unexpected-message",
+        }
+    }
+}
+
+impl fmt::Display for Misbehaviour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b2b_crypto::sha256;
+
+    #[test]
+    fn tags_are_unique() {
+        let run = RunId(sha256(b"r"));
+        let st = StateId {
+            seq: 0,
+            rand_hash: sha256(b"a"),
+            state_hash: sha256(b"b"),
+        };
+        let gid = GroupId {
+            seq: 0,
+            rand_hash: sha256(b"a"),
+            members_hash: sha256(b"b"),
+        };
+        let all = vec![
+            Misbehaviour::BadSignature {
+                claimed: PartyId::new("p"),
+                message: "m1".into(),
+            },
+            Misbehaviour::BodyHashMismatch { run },
+            Misbehaviour::GroupIdMismatch {
+                theirs: gid,
+                ours: gid,
+            },
+            Misbehaviour::PredecessorMismatch {
+                theirs: st,
+                ours: st,
+            },
+            Misbehaviour::SequenceNotGreater {
+                proposed: 1,
+                agreed: 1,
+            },
+            Misbehaviour::ReplayedProposal { run },
+            Misbehaviour::NullTransition { run },
+            Misbehaviour::AuthenticatorMismatch { run },
+            Misbehaviour::ResponseMisrepresented { run },
+            Misbehaviour::InconsistentDecide {
+                run,
+                detail: String::new(),
+            },
+            Misbehaviour::IllegitimateSponsor {
+                claimed: PartyId::new("a"),
+                expected: PartyId::new("b"),
+            },
+            Misbehaviour::UnexpectedMessage {
+                detail: String::new(),
+            },
+        ];
+        let mut tags: Vec<_> = all.iter().map(|m| m.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), all.len());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = Misbehaviour::ReplayedProposal {
+            run: RunId(sha256(b"x")),
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        assert_eq!(serde_json::from_str::<Misbehaviour>(&json).unwrap(), m);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for the middleware core.
+
+use crate::ids::{ObjectId, RunId};
+use b2b_crypto::PartyId;
+use thiserror::Error;
+
+/// Errors returned by coordinator and controller operations.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum CoordError {
+    /// The named object is not coordinated at this party.
+    #[error("object {0} is not registered at this party")]
+    UnknownObject(ObjectId),
+    /// An object with this alias is already registered.
+    #[error("object {0} is already registered")]
+    DuplicateObject(ObjectId),
+    /// A coordination request was made while another run is in progress.
+    ///
+    /// The sponsor "is responsible for blocking new coordination requests
+    /// pending decision on any active request" (§4.5.1); recipients apply
+    /// the same rule to state runs for consistency.
+    #[error("object {object} has an active coordination run")]
+    Busy {
+        /// The object concerned.
+        object: ObjectId,
+    },
+    /// The proposed state transition was vetoed by one or more parties.
+    #[error("state transition invalidated by {vetoers:?}")]
+    Invalidated {
+        /// The parties that rejected, with their diagnostic reasons.
+        vetoers: Vec<(PartyId, String)>,
+    },
+    /// A connection request was rejected (immediately by the sponsor or by
+    /// veto — indistinguishable to the subject, per §4.5.3).
+    #[error("connection request rejected by sponsor")]
+    ConnectionRejected,
+    /// The operation requires group membership this party does not have.
+    #[error("party {party} is not a member of the group for {object}")]
+    NotMember {
+        /// This party.
+        party: PartyId,
+        /// The object concerned.
+        object: ObjectId,
+    },
+    /// The operation must be performed by the current sponsor.
+    #[error("party {party} is not the sponsor (sponsor is {sponsor})")]
+    NotSponsor {
+        /// This party.
+        party: PartyId,
+        /// The legitimate sponsor.
+        sponsor: PartyId,
+    },
+    /// The application's update function failed to apply an update.
+    #[error("update could not be applied: {0}")]
+    UpdateFailed(String),
+    /// A controller scope operation was used outside `enter`/`leave`.
+    #[error("controller scope misuse: {0}")]
+    ScopeMisuse(&'static str),
+    /// A synchronous operation timed out waiting for the protocol outcome.
+    ///
+    /// The paper gives no termination guarantee when parties misbehave
+    /// (§4.1); a timeout surfaces the blocked run to the application for
+    /// extra-protocol dispute resolution.
+    #[error("timed out waiting for outcome of run {0}")]
+    Timeout(RunId),
+    /// Persistent storage failed.
+    #[error("storage failure: {0}")]
+    Storage(String),
+}

@@ -1,0 +1,1002 @@
+//! Wire messages of the coordination protocols.
+//!
+//! Every message separates a **signed part** (a struct with a canonical
+//! byte encoding, carried with its signature) from **unsigned parts**
+//! (bulk state/update bytes, aggregations of other parties' signed
+//! messages). Unsigned bulk data is bound into the signed part by hash, so
+//! Dolev-Yao tampering with unsigned bytes is always detectable (§4.4).
+//!
+//! State coordination (§4.3) is three steps:
+//! `m1` [`ProposeMsg`] → `m2` [`RespondMsg`] → `m3` [`DecideMsg`], i.e.
+//! `3(n−1)` messages for `n` parties. Connection/disconnection (§4.5) wrap
+//! the same propose/respond/decide core with a subject↔sponsor exchange.
+
+use crate::decision::Decision;
+use crate::ids::{GroupId, ObjectId, RunId, StateId};
+use b2b_crypto::{CanonicalEncode, Digest32, Encoder, PartyId, Signature};
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// State coordination (§4.3)
+// ---------------------------------------------------------------------------
+
+/// Whether a proposal overwrites the state or applies an update delta
+/// (§4.3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProposalKind {
+    /// The unsigned body is the complete new state.
+    Overwrite,
+    /// The unsigned body is an update `u_P`; the signed part carries
+    /// `H(u_P)` and the proposed tuple still carries the hash of the state
+    /// *after* application, so recipients "can determine that, if the
+    /// update is agreed and applied, a consistent new state will result".
+    Update {
+        /// `H(u_P)`.
+        update_hash: Digest32,
+    },
+}
+
+impl CanonicalEncode for ProposalKind {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            ProposalKind::Overwrite => enc.put_u8(0),
+            ProposalKind::Update { update_hash } => {
+                enc.put_u8(1);
+                enc.put_digest(update_hash);
+            }
+        }
+    }
+}
+
+/// The signed part of `m1`: identifies proposer and group, and "specifies
+/// the proposed state transition from `t_agreed` to `t_prop`" with the
+/// commitment `H(r_P)` to the run authenticator.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Proposal {
+    /// The shared object.
+    pub object: ObjectId,
+    /// The proposing party `P_P`.
+    pub proposer: PartyId,
+    /// The proposer's view of the group, `gid_P`.
+    pub group: GroupId,
+    /// The agreed state this transition starts from (`t_agreed`).
+    pub prev: StateId,
+    /// The proposed new state tuple (`t_prop`).
+    pub proposed: StateId,
+    /// Commitment `H(r_P)` to the authenticator revealed in `m3`.
+    pub auth_commit: Digest32,
+    /// Overwrite or update.
+    pub kind: ProposalKind,
+}
+
+impl CanonicalEncode for Proposal {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.proposer.encode(enc);
+        self.group.encode(enc);
+        self.prev.encode(enc);
+        self.proposed.encode(enc);
+        enc.put_digest(&self.auth_commit);
+        self.kind.encode(enc);
+    }
+}
+
+impl Proposal {
+    /// The run label this proposal starts.
+    pub fn run_id(&self) -> RunId {
+        RunId::from_bytes(&self.canonical_bytes())
+    }
+}
+
+/// `m1`: signed proposal + unsigned body (state or update bytes).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProposeMsg {
+    /// The signed part.
+    pub proposal: Proposal,
+    /// The unsigned body: full state for overwrites, `u_P` for updates.
+    pub body: Vec<u8>,
+    /// The proposer's signature over the proposal's canonical bytes.
+    pub sig: Signature,
+}
+
+/// The signed part of `m2`: "a receipt from `R_i` for the proposal and a
+/// signed decision on its validity. Inclusion of `t_prop`, `t_agreed` and
+/// `gid_i` permits systematic consistency checks."
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Response {
+    /// The shared object.
+    pub object: ObjectId,
+    /// The responding party `R_i`.
+    pub responder: PartyId,
+    /// The responder's view of the group.
+    pub group: GroupId,
+    /// The run being responded to (digest of the signed proposal — the
+    /// receipt linkage).
+    pub run: RunId,
+    /// The responder's current agreed state tuple.
+    pub prev: StateId,
+    /// Echo of the proposed tuple.
+    pub proposed: StateId,
+    /// The responder's assertion of the integrity (or otherwise) of the
+    /// unsigned body with respect to the hash in the signed proposal.
+    pub body_ok: bool,
+    /// The responder's decision on the validity of the transition.
+    pub decision: Decision,
+}
+
+impl CanonicalEncode for Response {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.responder.encode(enc);
+        self.group.encode(enc);
+        self.run.encode(enc);
+        self.prev.encode(enc);
+        self.proposed.encode(enc);
+        enc.put_bool(self.body_ok);
+        self.decision.encode(enc);
+    }
+}
+
+/// `m2`: signed response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RespondMsg {
+    /// The signed part.
+    pub response: Response,
+    /// The responder's signature over the response's canonical bytes.
+    pub sig: Signature,
+}
+
+/// `m3`: "the aggregation of all decisions and of the non-repudiation
+/// evidence in the form of signed proposals and responses. Any party can
+/// compute the group's decision … `m3` requires no signature since only
+/// `P_P` can produce the authenticator `r_P`."
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DecideMsg {
+    /// The shared object.
+    pub object: ObjectId,
+    /// The run being decided.
+    pub run: RunId,
+    /// The revealed authenticator `r_P` (preimage of the proposal's
+    /// `auth_commit`).
+    pub authenticator: [u8; 32],
+    /// Every recipient's signed response.
+    pub responses: Vec<RespondMsg>,
+}
+
+// ---------------------------------------------------------------------------
+// Connection protocol (§4.5.3)
+// ---------------------------------------------------------------------------
+
+/// The signed part of the subject's initial connection request.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectRequest {
+    /// The object the subject wants to share.
+    pub object: ObjectId,
+    /// The prospective member `P_{n+1}`.
+    pub subject: PartyId,
+    /// `H(r_s)`: hash of a random uniquely labelling this request.
+    pub nonce_hash: Digest32,
+}
+
+impl CanonicalEncode for ConnectRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.subject.encode(enc);
+        enc.put_digest(&self.nonce_hash);
+    }
+}
+
+/// Subject → sponsor: signed connection request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConnectRequestMsg {
+    /// The signed part.
+    pub request: ConnectRequest,
+    /// The subject's signature.
+    pub sig: Signature,
+}
+
+/// The signed part of the sponsor's relay of a connection request to the
+/// current membership.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectProposal {
+    /// The object.
+    pub object: ObjectId,
+    /// The sponsoring member.
+    pub sponsor: PartyId,
+    /// Digest of the subject's signed request (linkage).
+    pub request_digest: Digest32,
+    /// The subject seeking admission.
+    pub subject: PartyId,
+    /// The sponsor's view of the current group.
+    pub group: GroupId,
+    /// The group that would result from admission (`gid_new`).
+    pub new_group: GroupId,
+    /// The sponsor's current agreed state tuple.
+    pub agreed: StateId,
+    /// Commitment `H(r_sponsor)` to the decide authenticator.
+    pub auth_commit: Digest32,
+}
+
+impl CanonicalEncode for ConnectProposal {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.sponsor.encode(enc);
+        enc.put_digest(&self.request_digest);
+        self.subject.encode(enc);
+        self.group.encode(enc);
+        self.new_group.encode(enc);
+        self.agreed.encode(enc);
+        enc.put_digest(&self.auth_commit);
+    }
+}
+
+impl ConnectProposal {
+    /// The run label of this membership run.
+    pub fn run_id(&self) -> RunId {
+        RunId::from_bytes(&self.canonical_bytes())
+    }
+}
+
+/// Sponsor → members: the relayed connection proposal (with the subject's
+/// original signed request attached for verification).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConnectProposeMsg {
+    /// The signed part.
+    pub proposal: ConnectProposal,
+    /// The subject's original request (whose digest the proposal binds).
+    pub request: ConnectRequestMsg,
+    /// The sponsor's signature over the proposal.
+    pub sig: Signature,
+}
+
+/// The signed part of a member's response to a membership proposal
+/// (connection or disconnection): decision plus the member's signed agreed
+/// state tuple, which the welcome uses to let the subject verify the state
+/// it receives (§4.5.3).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberResponse {
+    /// The object.
+    pub object: ObjectId,
+    /// The responding member.
+    pub responder: PartyId,
+    /// The membership run being responded to.
+    pub run: RunId,
+    /// The responder's view of the current group.
+    pub group: GroupId,
+    /// The responder's current agreed state tuple (signed evidence of the
+    /// agreed state at the membership change).
+    pub agreed: StateId,
+    /// The responder's decision.
+    pub decision: Decision,
+}
+
+impl CanonicalEncode for MemberResponse {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.responder.encode(enc);
+        self.run.encode(enc);
+        self.group.encode(enc);
+        self.agreed.encode(enc);
+        self.decision.encode(enc);
+    }
+}
+
+/// Member → sponsor: signed membership response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemberRespondMsg {
+    /// The signed part.
+    pub response: MemberResponse,
+    /// The member's signature.
+    pub sig: Signature,
+}
+
+/// Sponsor → members: aggregated membership decision with the revealed
+/// authenticator (no signature needed — only the sponsor holds the
+/// preimage).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemberDecideMsg {
+    /// The object.
+    pub object: ObjectId,
+    /// The run being decided.
+    pub run: RunId,
+    /// The revealed authenticator `r_sponsor`.
+    pub authenticator: [u8; 32],
+    /// Every polled member's signed response.
+    pub responses: Vec<MemberRespondMsg>,
+    /// `true` if this decide concerns a connection; `false` for
+    /// disconnection/eviction.
+    pub connecting: bool,
+}
+
+/// The signed part of the sponsor's welcome to an admitted member.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Welcome {
+    /// The object.
+    pub object: ObjectId,
+    /// The membership run that admitted the subject.
+    pub run: RunId,
+    /// The new group identifier.
+    pub group: GroupId,
+    /// The member list, in join order (subject last).
+    pub members: Vec<PartyId>,
+    /// The agreed state tuple the carried state must match.
+    pub agreed: StateId,
+}
+
+impl CanonicalEncode for Welcome {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.run.encode(enc);
+        self.group.encode(enc);
+        b2b_crypto::canonical::encode_seq(&self.members, enc);
+        self.agreed.encode(enc);
+    }
+}
+
+/// Sponsor → subject: admission + the current agreed object state, "which
+/// can be verified against each of the signed agreed state tuples supplied
+/// by members" in the attached decide aggregation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WelcomeMsg {
+    /// The signed part.
+    pub welcome: Welcome,
+    /// The unsigned agreed state bytes (bound by `welcome.agreed`).
+    pub state: Vec<u8>,
+    /// The aggregated member decisions admitting the subject.
+    pub decide: MemberDecideMsg,
+    /// The sponsor's signature over the welcome.
+    pub sig: Signature,
+}
+
+/// The signed part of a sponsor's rejection of a connection request.
+///
+/// §4.5.3: on veto "the subject learns no more information than in the
+/// case of immediate rejection by the sponsor" — both paths produce exactly
+/// this message.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectReject {
+    /// The object.
+    pub object: ObjectId,
+    /// The sponsor rejecting.
+    pub sponsor: PartyId,
+    /// Digest of the subject's signed request being rejected.
+    pub request_digest: Digest32,
+}
+
+impl CanonicalEncode for ConnectReject {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.sponsor.encode(enc);
+        enc.put_digest(&self.request_digest);
+    }
+}
+
+/// Sponsor → subject: signed rejection.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConnectRejectMsg {
+    /// The signed part.
+    pub reject: ConnectReject,
+    /// The sponsor's signature.
+    pub sig: Signature,
+}
+
+// ---------------------------------------------------------------------------
+// Disconnection protocols (§4.5.4)
+// ---------------------------------------------------------------------------
+
+/// The signed part of a disconnection/eviction request.
+///
+/// For voluntary disconnection the proposer *is* the (single) subject; for
+/// eviction the proposer is any member and `subjects` may be a set
+/// (subset eviction, §4.5.4).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisconnectRequest {
+    /// The object.
+    pub object: ObjectId,
+    /// The requesting party.
+    pub proposer: PartyId,
+    /// The member(s) to disconnect.
+    pub subjects: Vec<PartyId>,
+    /// `true` for eviction (vetoable), `false` for voluntary
+    /// disconnection (not vetoable — a leaver could simply stop
+    /// cooperating).
+    pub eviction: bool,
+    /// `H(r)` uniquely labelling the request.
+    pub nonce_hash: Digest32,
+}
+
+impl CanonicalEncode for DisconnectRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.proposer.encode(enc);
+        b2b_crypto::canonical::encode_seq(&self.subjects, enc);
+        enc.put_bool(self.eviction);
+        enc.put_digest(&self.nonce_hash);
+    }
+}
+
+/// Proposer → sponsor: signed disconnection request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DisconnectRequestMsg {
+    /// The signed part.
+    pub request: DisconnectRequest,
+    /// The proposer's signature.
+    pub sig: Signature,
+}
+
+/// The signed part of the sponsor's relay of a disconnection/eviction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisconnectProposal {
+    /// The object.
+    pub object: ObjectId,
+    /// The sponsoring member.
+    pub sponsor: PartyId,
+    /// Digest of the signed request (linkage).
+    pub request_digest: Digest32,
+    /// The member(s) leaving.
+    pub subjects: Vec<PartyId>,
+    /// Eviction or voluntary.
+    pub eviction: bool,
+    /// The sponsor's view of the current group.
+    pub group: GroupId,
+    /// The group that would result.
+    pub new_group: GroupId,
+    /// The sponsor's agreed state tuple.
+    pub agreed: StateId,
+    /// Commitment to the decide authenticator.
+    pub auth_commit: Digest32,
+}
+
+impl CanonicalEncode for DisconnectProposal {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.sponsor.encode(enc);
+        enc.put_digest(&self.request_digest);
+        b2b_crypto::canonical::encode_seq(&self.subjects, enc);
+        enc.put_bool(self.eviction);
+        self.group.encode(enc);
+        self.new_group.encode(enc);
+        self.agreed.encode(enc);
+        enc.put_digest(&self.auth_commit);
+    }
+}
+
+impl DisconnectProposal {
+    /// The run label of this membership run.
+    pub fn run_id(&self) -> RunId {
+        RunId::from_bytes(&self.canonical_bytes())
+    }
+}
+
+/// Sponsor → members: relayed disconnection proposal.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DisconnectProposeMsg {
+    /// The signed part.
+    pub proposal: DisconnectProposal,
+    /// The original signed request.
+    pub request: DisconnectRequestMsg,
+    /// The sponsor's signature.
+    pub sig: Signature,
+}
+
+/// The signed part of the sponsor's final acknowledgement to a voluntarily
+/// departing member: "evidence of the group membership and agreed object
+/// state when they disconnected".
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisconnectAck {
+    /// The object.
+    pub object: ObjectId,
+    /// The membership run.
+    pub run: RunId,
+    /// The sponsor.
+    pub sponsor: PartyId,
+    /// The departing member.
+    pub subject: PartyId,
+    /// Group identifier after the departure.
+    pub group: GroupId,
+    /// The agreed state tuple at departure.
+    pub agreed: StateId,
+}
+
+impl CanonicalEncode for DisconnectAck {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.run.encode(enc);
+        self.sponsor.encode(enc);
+        self.subject.encode(enc);
+        self.group.encode(enc);
+        self.agreed.encode(enc);
+    }
+}
+
+/// Sponsor → departing subject: signed acknowledgement (also carries the
+/// decide aggregation as evidence all members saw the request).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DisconnectAckMsg {
+    /// The signed part.
+    pub ack: DisconnectAck,
+    /// The aggregated member responses.
+    pub decide: MemberDecideMsg,
+    /// The sponsor's signature.
+    pub sig: Signature,
+}
+
+// ---------------------------------------------------------------------------
+// TTP-certified termination (§7 extension)
+// ---------------------------------------------------------------------------
+
+/// The signed part of an appeal to the trusted third party over a blocked
+/// run (§7: deadlines "require the involvement of a TTP to guarantee that
+/// all honest parties terminate with the same view"). Both the proposer
+/// and any blocked recipient may appeal.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TtpResolveRequest {
+    /// The object whose run is blocked.
+    pub object: ObjectId,
+    /// The blocked run.
+    pub run: RunId,
+    /// The appealing party (the proposer, or a blocked recipient).
+    pub appellant: PartyId,
+    /// The full member list (join order); the TTP verifies it against the
+    /// group identifier's member hash inside the signed proposal.
+    pub members: Vec<PartyId>,
+}
+
+impl CanonicalEncode for TtpResolveRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.run.encode(enc);
+        self.appellant.encode(enc);
+        b2b_crypto::canonical::encode_seq(&self.members, enc);
+    }
+}
+
+/// Appellant → TTP: appeal with the evidence the appellant holds — the
+/// signed proposal plus, for the proposer, the responses collected so far.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TtpResolveMsg {
+    /// The signed part.
+    pub request: TtpResolveRequest,
+    /// The original signed proposal of the blocked run.
+    pub propose: ProposeMsg,
+    /// The responses the appellant holds (proposer: all collected;
+    /// recipient: typically only its own).
+    pub responses: Vec<RespondMsg>,
+    /// The appellant's signature over the request.
+    pub sig: Signature,
+}
+
+/// The signed part of the TTP's evidence pull from the proposer, issued
+/// when a *recipient* appeals: the proposer may hold the complete response
+/// set that turns an abort into a certified decision.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TtpEvidenceRequest {
+    /// The object.
+    pub object: ObjectId,
+    /// The run under resolution.
+    pub run: RunId,
+    /// The requesting TTP.
+    pub ttp: PartyId,
+}
+
+impl CanonicalEncode for TtpEvidenceRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.run.encode(enc);
+        self.ttp.encode(enc);
+    }
+}
+
+/// TTP → proposer: signed evidence pull.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TtpEvidenceRequestMsg {
+    /// The signed part.
+    pub request: TtpEvidenceRequest,
+    /// The TTP's signature.
+    pub sig: Signature,
+}
+
+/// The signed part of the proposer's evidence reply.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TtpEvidence {
+    /// The object.
+    pub object: ObjectId,
+    /// The run.
+    pub run: RunId,
+    /// The proposer supplying the evidence.
+    pub proposer: PartyId,
+    /// Digest over the attached response set.
+    pub responses_digest: Digest32,
+}
+
+impl CanonicalEncode for TtpEvidence {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.run.encode(enc);
+        self.proposer.encode(enc);
+        enc.put_digest(&self.responses_digest);
+    }
+}
+
+/// Proposer → TTP: the responses it holds for the run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TtpEvidenceMsg {
+    /// The signed part.
+    pub evidence: TtpEvidence,
+    /// The attached responses.
+    pub responses: Vec<RespondMsg>,
+    /// The proposer's signature.
+    pub sig: Signature,
+}
+
+/// What the TTP certifies about a blocked run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TtpVerdict {
+    /// The response set was incomplete: the run is certifiably aborted and
+    /// every replica keeps (or rolls back to) the agreed state.
+    CertifiedAbort,
+    /// A complete, unanimous accepting response set was presented: the run
+    /// is certifiably valid.
+    CertifiedValid,
+    /// A complete response set containing at least one veto was presented:
+    /// the run is certifiably invalidated.
+    CertifiedInvalid,
+}
+
+/// The signed part of the TTP's resolution.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TtpResolution {
+    /// The object.
+    pub object: ObjectId,
+    /// The resolved run.
+    pub run: RunId,
+    /// The certified verdict.
+    pub verdict: TtpVerdict,
+    /// Digest over the response set the verdict was derived from (empty
+    /// digest for an abort with no responses).
+    pub responses_digest: Digest32,
+}
+
+impl CanonicalEncode for TtpResolution {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.run.encode(enc);
+        enc.put_u8(match self.verdict {
+            TtpVerdict::CertifiedAbort => 0,
+            TtpVerdict::CertifiedValid => 1,
+            TtpVerdict::CertifiedInvalid => 2,
+        });
+        enc.put_digest(&self.responses_digest);
+    }
+}
+
+/// Digest binding a resolution to the exact response set it judged.
+pub fn responses_digest(responses: &[RespondMsg]) -> Digest32 {
+    let mut enc = Encoder::new();
+    enc.put_u64(responses.len() as u64);
+    for r in responses {
+        r.response.encode(&mut enc);
+        r.sig.encode(&mut enc);
+    }
+    b2b_crypto::sha256(&enc.finish())
+}
+
+/// TTP → every member: certified resolution of a blocked run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TtpResolutionMsg {
+    /// The signed part.
+    pub resolution: TtpResolution,
+    /// The response set the verdict rests on (recipients re-verify it).
+    pub responses: Vec<RespondMsg>,
+    /// The TTP's signature over the resolution.
+    pub sig: Signature,
+}
+
+// ---------------------------------------------------------------------------
+// Envelope
+// ---------------------------------------------------------------------------
+
+/// Every protocol message that can cross the wire.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum WireMsg {
+    /// State coordination m1.
+    Propose(ProposeMsg),
+    /// State coordination m2.
+    Respond(RespondMsg),
+    /// State coordination m3.
+    Decide(DecideMsg),
+    /// Connection: subject's request to the sponsor.
+    ConnectRequest(ConnectRequestMsg),
+    /// Connection: sponsor's relay to members.
+    ConnectPropose(ConnectProposeMsg),
+    /// Connection/disconnection: member's response to the sponsor.
+    MemberRespond(MemberRespondMsg),
+    /// Connection/disconnection: sponsor's aggregated decide.
+    MemberDecide(MemberDecideMsg),
+    /// Connection: sponsor's welcome to the admitted subject.
+    Welcome(WelcomeMsg),
+    /// Connection: sponsor's rejection to the subject.
+    ConnectReject(ConnectRejectMsg),
+    /// Disconnection: request to the sponsor.
+    DisconnectRequest(DisconnectRequestMsg),
+    /// Disconnection: sponsor's relay to members.
+    DisconnectPropose(DisconnectProposeMsg),
+    /// Disconnection: sponsor's ack to a voluntary leaver.
+    DisconnectAck(DisconnectAckMsg),
+    /// Termination extension: an appeal to the TTP.
+    TtpResolve(TtpResolveMsg),
+    /// Termination extension: the TTP pulls evidence from the proposer.
+    TtpEvidenceRequest(TtpEvidenceRequestMsg),
+    /// Termination extension: the proposer's evidence reply.
+    TtpEvidence(TtpEvidenceMsg),
+    /// Termination extension: the TTP's certified resolution.
+    TtpResolution(TtpResolutionMsg),
+}
+
+impl WireMsg {
+    /// Serialises for the transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("wire message serialises")
+    }
+
+    /// Parses a transport payload; `None` for malformed traffic.
+    pub fn from_bytes(bytes: &[u8]) -> Option<WireMsg> {
+        serde_json::from_slice(bytes).ok()
+    }
+
+    /// A short name for diagnostics and traffic accounting.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WireMsg::Propose(_) => "propose",
+            WireMsg::Respond(_) => "respond",
+            WireMsg::Decide(_) => "decide",
+            WireMsg::ConnectRequest(_) => "connect-request",
+            WireMsg::ConnectPropose(_) => "connect-propose",
+            WireMsg::MemberRespond(_) => "member-respond",
+            WireMsg::MemberDecide(_) => "member-decide",
+            WireMsg::Welcome(_) => "welcome",
+            WireMsg::ConnectReject(_) => "connect-reject",
+            WireMsg::DisconnectRequest(_) => "disconnect-request",
+            WireMsg::DisconnectPropose(_) => "disconnect-propose",
+            WireMsg::DisconnectAck(_) => "disconnect-ack",
+            WireMsg::TtpResolve(_) => "ttp-resolve",
+            WireMsg::TtpEvidenceRequest(_) => "ttp-evidence-request",
+            WireMsg::TtpEvidence(_) => "ttp-evidence",
+            WireMsg::TtpResolution(_) => "ttp-resolution",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b2b_crypto::{sha256, KeyPair, Signer};
+
+    fn state_id(n: u64) -> StateId {
+        StateId {
+            seq: n,
+            rand_hash: sha256(&n.to_be_bytes()),
+            state_hash: sha256(b"state"),
+        }
+    }
+
+    fn group_id() -> GroupId {
+        GroupId {
+            seq: 0,
+            rand_hash: sha256(b"g"),
+            members_hash: sha256(b"m"),
+        }
+    }
+
+    fn proposal() -> Proposal {
+        Proposal {
+            object: ObjectId::new("obj"),
+            proposer: PartyId::new("p"),
+            group: group_id(),
+            prev: state_id(0),
+            proposed: state_id(1),
+            auth_commit: sha256(b"auth"),
+            kind: ProposalKind::Overwrite,
+        }
+    }
+
+    #[test]
+    fn run_id_changes_with_any_field() {
+        let base = proposal();
+        let mut other = proposal();
+        other.proposed.seq = 2;
+        assert_ne!(base.run_id(), other.run_id());
+        let mut other2 = proposal();
+        other2.auth_commit = sha256(b"different");
+        assert_ne!(base.run_id(), other2.run_id());
+    }
+
+    #[test]
+    fn proposal_kind_canonical_disambiguates() {
+        let over = ProposalKind::Overwrite.canonical_bytes();
+        let upd = ProposalKind::Update {
+            update_hash: sha256(b"u"),
+        }
+        .canonical_bytes();
+        assert_ne!(over, upd);
+    }
+
+    #[test]
+    fn wire_roundtrip_propose() {
+        let kp = KeyPair::generate_from_seed(1);
+        let p = proposal();
+        let msg = WireMsg::Propose(ProposeMsg {
+            sig: kp.sign(&p.canonical_bytes()),
+            proposal: p,
+            body: b"state".to_vec(),
+        });
+        let bytes = msg.to_bytes();
+        assert_eq!(WireMsg::from_bytes(&bytes).unwrap(), msg);
+        assert_eq!(msg.kind_name(), "propose");
+    }
+
+    #[test]
+    fn malformed_wire_bytes_rejected() {
+        assert!(WireMsg::from_bytes(b"garbage").is_none());
+        assert!(WireMsg::from_bytes(b"").is_none());
+    }
+
+    #[test]
+    fn response_canonical_covers_decision() {
+        let r = Response {
+            object: ObjectId::new("obj"),
+            responder: PartyId::new("r"),
+            group: group_id(),
+            run: RunId(sha256(b"run")),
+            prev: state_id(0),
+            proposed: state_id(1),
+            body_ok: true,
+            decision: Decision::accept(),
+        };
+        let mut rejected = r.clone();
+        rejected.decision = Decision::reject("no");
+        assert_ne!(r.canonical_bytes(), rejected.canonical_bytes());
+        let mut bad_body = r.clone();
+        bad_body.body_ok = false;
+        assert_ne!(r.canonical_bytes(), bad_body.canonical_bytes());
+    }
+
+    #[test]
+    fn welcome_canonical_covers_members_order() {
+        let w = Welcome {
+            object: ObjectId::new("obj"),
+            run: RunId(sha256(b"run")),
+            group: group_id(),
+            members: vec![PartyId::new("a"), PartyId::new("b")],
+            agreed: state_id(3),
+        };
+        let mut swapped = w.clone();
+        swapped.members.reverse();
+        assert_ne!(w.canonical_bytes(), swapped.canonical_bytes());
+    }
+
+    #[test]
+    fn wire_roundtrip_all_membership_kinds() {
+        let kp = KeyPair::generate_from_seed(2);
+        let req = ConnectRequest {
+            object: ObjectId::new("obj"),
+            subject: PartyId::new("s"),
+            nonce_hash: sha256(b"n"),
+        };
+        let req_msg = ConnectRequestMsg {
+            sig: kp.sign(&req.canonical_bytes()),
+            request: req,
+        };
+        let msg = WireMsg::ConnectRequest(req_msg.clone());
+        assert_eq!(WireMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+
+        let dreq = DisconnectRequest {
+            object: ObjectId::new("obj"),
+            proposer: PartyId::new("p"),
+            subjects: vec![PartyId::new("x"), PartyId::new("y")],
+            eviction: true,
+            nonce_hash: sha256(b"n2"),
+        };
+        let dmsg = WireMsg::DisconnectRequest(DisconnectRequestMsg {
+            sig: kp.sign(&dreq.canonical_bytes()),
+            request: dreq,
+        });
+        assert_eq!(WireMsg::from_bytes(&dmsg.to_bytes()).unwrap(), dmsg);
+        assert_eq!(dmsg.kind_name(), "disconnect-request");
+    }
+
+    #[test]
+    fn ttp_messages_roundtrip_and_bind() {
+        let kp = KeyPair::generate_from_seed(3);
+        let resolution = TtpResolution {
+            object: ObjectId::new("obj"),
+            run: RunId(sha256(b"run")),
+            verdict: TtpVerdict::CertifiedAbort,
+            responses_digest: responses_digest(&[]),
+        };
+        let msg = WireMsg::TtpResolution(TtpResolutionMsg {
+            sig: kp.sign(&resolution.canonical_bytes()),
+            resolution,
+            responses: vec![],
+        });
+        assert_eq!(WireMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        assert_eq!(msg.kind_name(), "ttp-resolution");
+
+        // Verdicts are canonically distinct.
+        let mk = |verdict| TtpResolution {
+            object: ObjectId::new("obj"),
+            run: RunId(sha256(b"run")),
+            verdict,
+            responses_digest: responses_digest(&[]),
+        };
+        assert_ne!(
+            mk(TtpVerdict::CertifiedAbort).canonical_bytes(),
+            mk(TtpVerdict::CertifiedValid).canonical_bytes()
+        );
+        assert_ne!(
+            mk(TtpVerdict::CertifiedValid).canonical_bytes(),
+            mk(TtpVerdict::CertifiedInvalid).canonical_bytes()
+        );
+    }
+
+    #[test]
+    fn responses_digest_binds_set_and_order() {
+        let kp = KeyPair::generate_from_seed(4);
+        let mk = |who: &str, accept: bool| {
+            let response = Response {
+                object: ObjectId::new("obj"),
+                responder: PartyId::new(who),
+                group: group_id(),
+                run: RunId(sha256(b"run")),
+                prev: state_id(0),
+                proposed: state_id(1),
+                body_ok: true,
+                decision: if accept {
+                    Decision::accept()
+                } else {
+                    Decision::reject("no")
+                },
+            };
+            RespondMsg {
+                sig: kp.sign(&response.canonical_bytes()),
+                response,
+            }
+        };
+        let a = mk("a", true);
+        let b = mk("b", true);
+        assert_eq!(
+            responses_digest(&[a.clone(), b.clone()]),
+            responses_digest(&[a.clone(), b.clone()])
+        );
+        assert_ne!(
+            responses_digest(&[a.clone(), b.clone()]),
+            responses_digest(&[b.clone(), a.clone()]),
+            "order is part of the digest"
+        );
+        assert_ne!(
+            responses_digest(std::slice::from_ref(&a)),
+            responses_digest(&[a.clone(), b]),
+            "set size is part of the digest"
+        );
+        // Flipping a decision changes the digest even with the same sig
+        // bytes structure.
+        let a_flipped = mk("a", false);
+        assert_ne!(
+            responses_digest(std::slice::from_ref(&a)),
+            responses_digest(std::slice::from_ref(&a_flipped))
+        );
+    }
+
+    #[test]
+    fn disconnect_request_canonical_covers_eviction_flag() {
+        let mk = |ev: bool| DisconnectRequest {
+            object: ObjectId::new("obj"),
+            proposer: PartyId::new("p"),
+            subjects: vec![PartyId::new("x")],
+            eviction: ev,
+            nonce_hash: sha256(b"n"),
+        };
+        assert_ne!(mk(true).canonical_bytes(), mk(false).canonical_bytes());
+    }
+}

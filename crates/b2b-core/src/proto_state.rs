@@ -1,0 +1,969 @@
+//! The non-repudiable state coordination protocol (§4.3).
+//!
+//! Three steps — `m1` propose, `m2` respond, `m3` decide — giving
+//! "non-repudiable two-phase commit" with richer semantics: the proposer is
+//! committed at initiation, a transition is rejected only by veto, and the
+//! final message is the group's non-repudiable decision, authenticated by
+//! the reveal of `r_P` whose hash was committed in the proposal.
+
+use crate::decision::{CoordEventKind, Decision, Outcome, Verdict};
+use crate::detect::Misbehaviour;
+use crate::error::CoordError;
+use crate::ids::{ObjectId, RunId, StateId};
+use crate::messages::{
+    DecideMsg, Proposal, ProposalKind, ProposeMsg, RespondMsg, Response, WireMsg,
+};
+use crate::replica::{ActiveRun, ProposerRun, RecipientRun, Replica};
+use crate::Coordinator;
+use b2b_crypto::{sha256, CanonicalEncode, PartyId};
+use b2b_evidence::EvidenceKind;
+use b2b_net::NodeCtx;
+
+impl Coordinator {
+    // -----------------------------------------------------------------
+    // Client operations (proposer side)
+    // -----------------------------------------------------------------
+
+    /// Proposes overwriting `object`'s state with `new_state` (§4.3).
+    ///
+    /// Returns the run label; in the simulator the caller then drives the
+    /// network and polls [`Coordinator::outcome_of`], while the controller
+    /// layers blocking/deferred/async semantics on top.
+    ///
+    /// Note that the proposal is *not* validated locally first: "the
+    /// proposer is committed to acceptance of the new state at initiation
+    /// of a protocol run" (§4.3) and validation is the recipients' job —
+    /// which is exactly what lets a cheating party attempt an invalid
+    /// change and be vetoed (Figure 5).
+    ///
+    /// # Errors
+    ///
+    /// [`CoordError::UnknownObject`], [`CoordError::NotMember`] or
+    /// [`CoordError::Busy`].
+    pub fn propose_overwrite(
+        &mut self,
+        object: &ObjectId,
+        new_state: Vec<u8>,
+        ctx: &mut NodeCtx,
+    ) -> Result<RunId, CoordError> {
+        self.start_state_run(
+            object,
+            ProposalKind::Overwrite,
+            new_state.clone(),
+            new_state,
+            ctx,
+        )
+    }
+
+    /// Proposes applying `update` to `object`'s state (§4.3.1): the update
+    /// travels on the wire, while the signed proposal binds both `H(u_P)`
+    /// and the hash of the successor state so recipients can check that a
+    /// consistent new state will result.
+    ///
+    /// # Errors
+    ///
+    /// As [`Coordinator::propose_overwrite`], plus
+    /// [`CoordError::UpdateFailed`] when the local object cannot apply the
+    /// update.
+    pub fn propose_update(
+        &mut self,
+        object: &ObjectId,
+        update: Vec<u8>,
+        ctx: &mut NodeCtx,
+    ) -> Result<RunId, CoordError> {
+        let rep = self
+            .replicas
+            .get(object)
+            .ok_or_else(|| CoordError::UnknownObject(object.clone()))?;
+        let new_state = rep
+            .object
+            .apply_update(&rep.agreed_state, &update)
+            .map_err(CoordError::UpdateFailed)?;
+        let kind = ProposalKind::Update {
+            update_hash: sha256(&update),
+        };
+        self.start_state_run(object, kind, update, new_state, ctx)
+    }
+
+    fn start_state_run(
+        &mut self,
+        object: &ObjectId,
+        kind: ProposalKind,
+        body: Vec<u8>,
+        new_state: Vec<u8>,
+        ctx: &mut NodeCtx,
+    ) -> Result<RunId, CoordError> {
+        let now = ctx.now();
+        let me = self.me.clone();
+        let mut rep = self
+            .replicas
+            .remove(object)
+            .ok_or_else(|| CoordError::UnknownObject(object.clone()))?;
+        let result = (|| {
+            if rep.detached || !rep.is_member(&me) {
+                return Err(CoordError::NotMember {
+                    party: me.clone(),
+                    object: object.clone(),
+                });
+            }
+            if rep.active.is_some() {
+                return Err(CoordError::Busy {
+                    object: object.clone(),
+                });
+            }
+
+            // Sequence number: exactly one past the agreed state. The
+            // paper asks for "greater than any coordination request seen",
+            // but deriving the next number from *seen* proposals lets a
+            // malicious member poison it (one vetoed proposal carrying
+            // seq u64::MAX would brick this party); the random-hash half
+            // of the tuple already provides the disambiguation the paper
+            // wants, so a fixed increment is both safe and sufficient —
+            // and recipients enforce the same exact increment.
+            let seq = rep.agreed.seq + 1;
+            let rand = self.rng.nonce();
+            let proposed = StateId {
+                seq,
+                rand_hash: sha256(&rand),
+                state_hash: sha256(&new_state),
+            };
+            let authenticator = self.rng.nonce();
+            let proposal = Proposal {
+                object: object.clone(),
+                proposer: me.clone(),
+                group: rep.group,
+                prev: rep.agreed,
+                proposed,
+                auth_commit: sha256(&authenticator),
+                kind,
+            };
+            let run = proposal.run_id();
+            let sig = self.signer.sign(&proposal.canonical_bytes());
+            let m1 = ProposeMsg {
+                proposal,
+                body,
+                sig,
+            };
+            rep.seen_runs.insert(run);
+            rep.seen_tuples.insert((seq, proposed.rand_hash));
+
+            let recipients = rep.recipients(&me);
+            if recipients.is_empty() {
+                // Singleton group: trivially unanimous.
+                install_state(&mut rep, proposed, new_state);
+                return Ok((run, m1, None));
+            }
+            rep.active = Some(ActiveRun::Proposer(ProposerRun {
+                run,
+                propose: m1.clone(),
+                authenticator,
+                new_state,
+                responses: Default::default(),
+                decided: None,
+            }));
+            Ok((run, m1, Some(recipients)))
+        })();
+
+        let (run, m1, recipients) = match result {
+            Ok(parts) => parts,
+            Err(e) => {
+                self.replicas.insert(object.clone(), rep);
+                return Err(e);
+            }
+        };
+        self.replicas.insert(object.clone(), rep);
+        self.log_evidence(
+            EvidenceKind::StatePropose,
+            object,
+            &run.to_hex(),
+            self.me.clone(),
+            m1.proposal.canonical_bytes(),
+            Some(m1.sig.clone()),
+            now,
+        );
+        match recipients {
+            None => {
+                // Installed immediately (singleton group).
+                self.checkpoint_evidence(object, run, now);
+                self.persist(object);
+                self.outcomes.insert(
+                    run,
+                    Outcome::Installed {
+                        state: m1.proposal.proposed,
+                    },
+                );
+                self.emit(
+                    object,
+                    run,
+                    CoordEventKind::Completed {
+                        outcome: Outcome::Installed {
+                            state: m1.proposal.proposed,
+                        },
+                    },
+                    now,
+                );
+            }
+            Some(recipients) => {
+                let msg = WireMsg::Propose(m1);
+                for r in &recipients {
+                    self.send_wire(r, &msg, ctx);
+                }
+                self.arm_deadline(object, run, ctx);
+                self.persist(object);
+                self.emit(object, run, CoordEventKind::Proposed, now);
+            }
+        }
+        Ok(run)
+    }
+
+    // -----------------------------------------------------------------
+    // Recipient side
+    // -----------------------------------------------------------------
+
+    pub(crate) fn on_propose(&mut self, from: &PartyId, m1: ProposeMsg, ctx: &mut NodeCtx) {
+        let now = ctx.now();
+        let oid = m1.proposal.object.clone();
+        let run = m1.proposal.run_id();
+        let run_hex = run.to_hex();
+        let me = self.me.clone();
+
+        // Unverifiable content earns no response — only a misbehaviour
+        // record. (A forged message must not be able to extract evidence.)
+        let canonical = m1.proposal.canonical_bytes();
+        if from != &m1.proposal.proposer
+            || self
+                .ring
+                .verify_for(&m1.proposal.proposer, &canonical, &m1.sig)
+                .is_err()
+        {
+            self.log_misbehaviour(
+                &oid,
+                &run_hex,
+                Misbehaviour::BadSignature {
+                    claimed: m1.proposal.proposer.clone(),
+                    message: "propose".into(),
+                },
+                now,
+            );
+            return;
+        }
+
+        // Duplicate of a completed run: replay the stored reply.
+        if self.replay_completed_reply(&oid, &run, from, ctx) {
+            return;
+        }
+
+        let Some(mut rep) = self.replicas.remove(&oid) else {
+            self.log_misbehaviour(
+                &oid,
+                &run_hex,
+                Misbehaviour::UnexpectedMessage {
+                    detail: format!("propose from {from} for unknown object"),
+                },
+                now,
+            );
+            return;
+        };
+
+        // Duplicate of the active run: re-send our response.
+        if let Some(ActiveRun::Recipient(rr)) = &rep.active {
+            if rr.run == run {
+                let reply = WireMsg::Respond(rr.my_response.clone());
+                self.replicas.insert(oid.clone(), rep);
+                self.send_wire(from, &reply, ctx);
+                return;
+            }
+        }
+
+        if rep.detached || !rep.is_member(&me) || !rep.is_member(&m1.proposal.proposer) {
+            self.replicas.insert(oid.clone(), rep);
+            self.log_misbehaviour(
+                &oid,
+                &run_hex,
+                Misbehaviour::UnexpectedMessage {
+                    detail: format!("propose from non-member or to non-member ({from})"),
+                },
+                now,
+            );
+            return;
+        }
+
+        // ---- systematic consistency checks (§4.2 invariants, §4.4) ----
+        let mut misbehaviours: Vec<Misbehaviour> = Vec::new();
+        let mut decision = Decision::accept();
+        let mut track_run = true;
+        let reject = |d: &mut Decision, reason: String| {
+            if d.is_accept() {
+                *d = Decision::reject(reason);
+            }
+        };
+
+        if rep.seen_runs.contains(&run) {
+            // Not the active run and not completed here ⇒ replay.
+            misbehaviours.push(Misbehaviour::ReplayedProposal { run });
+            reject(&mut decision, "replayed proposal".into());
+            track_run = false;
+        }
+        if rep
+            .seen_tuples
+            .contains(&(m1.proposal.proposed.seq, m1.proposal.proposed.rand_hash))
+            && !rep.seen_runs.contains(&run)
+        {
+            misbehaviours.push(Misbehaviour::ReplayedProposal { run });
+            reject(&mut decision, "proposal tuple reused".into());
+            track_run = false;
+        }
+        if m1.proposal.group != rep.group {
+            misbehaviours.push(Misbehaviour::GroupIdMismatch {
+                theirs: m1.proposal.group,
+                ours: rep.group,
+            });
+            reject(&mut decision, "inconsistent group identifier".into());
+            track_run = false;
+        }
+        if m1.proposal.prev != rep.agreed {
+            misbehaviours.push(Misbehaviour::PredecessorMismatch {
+                theirs: m1.proposal.prev,
+                ours: rep.agreed,
+            });
+            reject(&mut decision, "predecessor is not the agreed state".into());
+            track_run = false;
+        }
+        if m1.proposal.proposed.seq != rep.agreed.seq + 1 {
+            // Exact increment: strictly stronger than the paper's
+            // "greater than", and what honest proposers produce; anything
+            // else is a replayed/poisoned sequence number.
+            misbehaviours.push(Misbehaviour::SequenceNotGreater {
+                proposed: m1.proposal.proposed.seq,
+                agreed: rep.agreed.seq,
+            });
+            reject(&mut decision, "sequence number is not agreed + 1".into());
+            track_run = false;
+        }
+        if rep.active.is_some() {
+            // Concurrency control: one run at a time per object. Not
+            // misbehaviour — the proposer simply retries after the active
+            // run completes.
+            reject(&mut decision, "concurrent coordination run active".into());
+            track_run = false;
+        }
+
+        // ---- unsigned-body integrity (Dolev-Yao tampering, §4.4) ----
+        let mut body_ok = true;
+        let mut pending_state: Option<Vec<u8>> = None;
+        match m1.proposal.kind {
+            ProposalKind::Overwrite => {
+                if sha256(&m1.body) == m1.proposal.proposed.state_hash {
+                    pending_state = Some(m1.body.clone());
+                } else {
+                    body_ok = false;
+                }
+            }
+            ProposalKind::Update { update_hash } => {
+                if sha256(&m1.body) != update_hash {
+                    body_ok = false;
+                } else {
+                    match rep.object.apply_update(&rep.agreed_state, &m1.body) {
+                        Ok(next) if sha256(&next) == m1.proposal.proposed.state_hash => {
+                            pending_state = Some(next);
+                        }
+                        Ok(_) => body_ok = false,
+                        Err(reason) => {
+                            reject(&mut decision, format!("update not applicable: {reason}"));
+                        }
+                    }
+                }
+            }
+        }
+        if !body_ok {
+            misbehaviours.push(Misbehaviour::BodyHashMismatch { run });
+            reject(&mut decision, "body does not match signed hashes".into());
+            // An incoherent proposal (like the invariant failures above)
+            // is rejected without holding the object: tracking it would
+            // let a single bogus signed m1 lock the replica until a
+            // decide that may never come. Genuine runs that fail only
+            // application validation still track and await m3.
+            track_run = false;
+        }
+
+        // ---- null transition (§4.4) ----
+        if self.config.reject_null_transitions
+            && m1.proposal.proposed.state_hash == rep.agreed.state_hash
+        {
+            misbehaviours.push(Misbehaviour::NullTransition { run });
+            reject(&mut decision, "null state transition".into());
+        }
+
+        // ---- application validation upcall ----
+        if decision.is_accept() {
+            let app = match (&m1.proposal.kind, &pending_state) {
+                (ProposalKind::Overwrite, _) => {
+                    rep.object
+                        .validate_state(&m1.proposal.proposer, &rep.agreed_state, &m1.body)
+                }
+                (ProposalKind::Update { .. }, _) => {
+                    rep.object
+                        .validate_update(&m1.proposal.proposer, &rep.agreed_state, &m1.body)
+                }
+            };
+            if !app.is_accept() {
+                decision = app;
+            }
+        }
+
+        // `pending_state` survives a local veto: it records the successor
+        // state *if the body is intact*, so that under the §7 majority
+        // extension an outvoted recipient can still follow the group
+        // decision. Under the unanimous rule a veto precludes installation
+        // anyway, so keeping it is harmless there.
+        if decision.is_accept() {
+            debug_assert!(pending_state.is_some());
+        }
+
+        // ---- respond ----
+        let response = Response {
+            object: oid.clone(),
+            responder: me.clone(),
+            group: rep.group,
+            run,
+            prev: rep.agreed,
+            proposed: m1.proposal.proposed,
+            body_ok,
+            decision: decision.clone(),
+        };
+        let sig = self.signer.sign(&response.canonical_bytes());
+        let m2 = RespondMsg { response, sig };
+
+        rep.seen_runs.insert(run);
+        rep.seen_tuples
+            .insert((m1.proposal.proposed.seq, m1.proposal.proposed.rand_hash));
+        let armed_recipient_deadline = track_run && self.config.ttp.is_some();
+        if track_run {
+            rep.active = Some(ActiveRun::Recipient(RecipientRun {
+                run,
+                propose: m1.clone(),
+                my_response: m2.clone(),
+                pending_state,
+            }));
+        }
+        self.replicas.insert(oid.clone(), rep);
+        if armed_recipient_deadline {
+            self.arm_deadline(&oid, run, ctx);
+        }
+
+        self.log_evidence(
+            EvidenceKind::StatePropose,
+            &oid,
+            &run_hex,
+            m1.proposal.proposer.clone(),
+            m1.proposal.canonical_bytes(),
+            Some(m1.sig.clone()),
+            now,
+        );
+        self.log_evidence(
+            EvidenceKind::StateRespond,
+            &oid,
+            &run_hex,
+            me,
+            m2.response.canonical_bytes(),
+            Some(m2.sig.clone()),
+            now,
+        );
+        for m in misbehaviours {
+            self.log_misbehaviour(&oid, &run_hex, m, now);
+        }
+        let proposer = m1.proposal.proposer.clone();
+        self.send_wire(&proposer, &WireMsg::Respond(m2), ctx);
+        self.persist(&oid);
+    }
+
+    // -----------------------------------------------------------------
+    // Proposer side: collecting responses
+    // -----------------------------------------------------------------
+
+    pub(crate) fn on_respond(&mut self, from: &PartyId, m2: RespondMsg, ctx: &mut NodeCtx) {
+        let now = ctx.now();
+        let oid = m2.response.object.clone();
+        let run = m2.response.run;
+        let run_hex = run.to_hex();
+
+        let canonical = m2.response.canonical_bytes();
+        if from != &m2.response.responder
+            || self
+                .ring
+                .verify_for(&m2.response.responder, &canonical, &m2.sig)
+                .is_err()
+        {
+            self.log_misbehaviour(
+                &oid,
+                &run_hex,
+                Misbehaviour::BadSignature {
+                    claimed: m2.response.responder.clone(),
+                    message: "respond".into(),
+                },
+                now,
+            );
+            return;
+        }
+
+        // Late response for a completed run: re-send the decide.
+        if self.replay_completed_reply(&oid, &run, from, ctx) {
+            return;
+        }
+
+        let Some(mut rep) = self.replicas.remove(&oid) else {
+            return;
+        };
+        let mut finalize = false;
+        match &mut rep.active {
+            Some(ActiveRun::Proposer(pr)) if pr.run == run => {
+                // The signed response must echo the actual proposal: a
+                // response that names another object or tuple under this
+                // run id is internally inconsistent and would weaken what
+                // the aggregated evidence proves (§4.4). It is recorded as
+                // misbehaviour and not counted; the run blocks until the
+                // deadline/TTP path resolves it.
+                if m2.response.object != oid
+                    || m2.response.proposed != pr.propose.proposal.proposed
+                {
+                    self.log_misbehaviour(
+                        &oid,
+                        &run_hex,
+                        Misbehaviour::InconsistentDecide {
+                            run,
+                            detail: format!(
+                                "response from {from} echoes a different object/tuple"
+                            ),
+                        },
+                        now,
+                    );
+                } else if !rep.members.contains(from) {
+                    self.log_misbehaviour(
+                        &oid,
+                        &run_hex,
+                        Misbehaviour::UnexpectedMessage {
+                            detail: format!("response from non-member {from}"),
+                        },
+                        now,
+                    );
+                } else {
+                    match pr.responses.get(from) {
+                        Some(existing) if existing == &m2 => {} // duplicate
+                        Some(_) => {
+                            // Two different signed responses to one run:
+                            // irrefutable evidence of misbehaviour.
+                            self.log_misbehaviour(
+                                &oid,
+                                &run_hex,
+                                Misbehaviour::InconsistentDecide {
+                                    run,
+                                    detail: format!("conflicting signed responses from {from}"),
+                                },
+                                now,
+                            );
+                        }
+                        None => {
+                            pr.responses.insert(from.clone(), m2.clone());
+                            self.log_evidence(
+                                EvidenceKind::StateRespond,
+                                &oid,
+                                &run_hex,
+                                from.clone(),
+                                m2.response.canonical_bytes(),
+                                Some(m2.sig.clone()),
+                                now,
+                            );
+                            self.events.push(crate::decision::CoordEvent {
+                                object: oid.clone(),
+                                run,
+                                event: CoordEventKind::ResponseReceived {
+                                    from: from.clone(),
+                                    verdict: m2.response.decision.verdict,
+                                },
+                                at: now,
+                            });
+                            let expected = rep.members.len() - 1;
+                            if pr.responses.len() == expected {
+                                finalize = true;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {
+                self.log_misbehaviour(
+                    &oid,
+                    &run_hex,
+                    Misbehaviour::UnexpectedMessage {
+                        detail: format!("response for unknown run from {from}"),
+                    },
+                    now,
+                );
+            }
+        }
+        self.replicas.insert(oid.clone(), rep);
+        if finalize {
+            self.finalize_state_run(&oid, run, ctx);
+        } else {
+            self.persist(&oid);
+        }
+    }
+
+    /// Computes the group decision, sends `m3`, installs or rolls back.
+    fn finalize_state_run(&mut self, oid: &ObjectId, run: RunId, ctx: &mut NodeCtx) {
+        let now = ctx.now();
+        let run_hex = run.to_hex();
+        let me = self.me.clone();
+        let Some(mut rep) = self.replicas.remove(oid) else {
+            return;
+        };
+        let Some(ActiveRun::Proposer(pr)) = rep.active.take() else {
+            self.replicas.insert(oid.clone(), rep);
+            return;
+        };
+
+        let responses: Vec<RespondMsg> = pr.responses.values().cloned().collect();
+        let (accepted, vetoers) =
+            group_decision(self.config.decision_rule, rep.members.len(), &responses);
+        let decide = DecideMsg {
+            object: oid.clone(),
+            run,
+            authenticator: pr.authenticator,
+            responses,
+        };
+        let outcome = if accepted {
+            install_state(&mut rep, pr.propose.proposal.proposed, pr.new_state.clone());
+            Outcome::Installed {
+                state: pr.propose.proposal.proposed,
+            }
+        } else {
+            // The proposer's working state rolls back to the agreed state;
+            // the engine never installed the proposed state, so rollback is
+            // re-asserting the agreed checkpoint.
+            let agreed = rep.agreed_state.clone();
+            rep.object.apply_state(&agreed);
+            Outcome::Invalidated { vetoers }
+        };
+        let recipients = rep.recipients(&me);
+        rep.completed_replies
+            .insert(run, WireMsg::Decide(decide.clone()));
+        self.replicas.insert(oid.clone(), rep);
+
+        let msg = WireMsg::Decide(decide.clone());
+        for r in &recipients {
+            self.send_wire(r, &msg, ctx);
+        }
+        self.log_evidence(
+            EvidenceKind::StateDecide,
+            oid,
+            &run_hex,
+            me,
+            serde_json::to_vec(&decide).expect("decide serialises"),
+            None,
+            now,
+        );
+        if outcome.is_installed() {
+            self.checkpoint_evidence(oid, run, now);
+        }
+        self.persist(oid);
+        self.outcomes.insert(run, outcome.clone());
+        self.emit(oid, run, CoordEventKind::Completed { outcome }, now);
+        self.pump_queue(oid, ctx);
+    }
+
+    // -----------------------------------------------------------------
+    // Recipient side: the decide
+    // -----------------------------------------------------------------
+
+    pub(crate) fn on_decide(&mut self, from: &PartyId, m3: DecideMsg, ctx: &mut NodeCtx) {
+        let now = ctx.now();
+        let oid = m3.object.clone();
+        let run = m3.run;
+        let run_hex = run.to_hex();
+        let me = self.me.clone();
+
+        if self.outcomes.contains_key(&run) {
+            return; // duplicate decide
+        }
+        let Some(mut rep) = self.replicas.remove(&oid) else {
+            return;
+        };
+        let Some(ActiveRun::Recipient(rr)) = rep.active.clone() else {
+            // A decide for a run we rejected while busy (we kept no run
+            // state) or never saw: ignore — installing anything on the
+            // basis of an unexpected decide would be unsafe.
+            self.replicas.insert(oid, rep);
+            return;
+        };
+        if rr.run != run {
+            self.replicas.insert(oid, rep);
+            return;
+        }
+
+        // ---- authenticator: only the proposer can reveal r_P ----
+        if sha256(&m3.authenticator) != rr.propose.proposal.auth_commit {
+            self.replicas.insert(oid.clone(), rep);
+            self.log_misbehaviour(
+                &oid,
+                &run_hex,
+                Misbehaviour::AuthenticatorMismatch { run },
+                now,
+            );
+            return; // keep the run active: the genuine decide may follow
+        }
+
+        // ---- verify the aggregated responses ----
+        let proposer = rr.propose.proposal.proposer.clone();
+        let mut fault: Option<Misbehaviour> = None;
+        let expected: std::collections::BTreeSet<&PartyId> =
+            rep.members.iter().filter(|m| **m != proposer).collect();
+        let mut seen: std::collections::BTreeSet<&PartyId> = Default::default();
+        for r in &m3.responses {
+            if r.response.run != run
+                || r.response.object != oid
+                || r.response.proposed != rr.propose.proposal.proposed
+            {
+                fault = Some(Misbehaviour::InconsistentDecide {
+                    run,
+                    detail: "response for another run, object or tuple".into(),
+                });
+                break;
+            }
+            if self
+                .ring
+                .verify_for(&r.response.responder, &r.response.canonical_bytes(), &r.sig)
+                .is_err()
+            {
+                fault = Some(Misbehaviour::BadSignature {
+                    claimed: r.response.responder.clone(),
+                    message: "aggregated response".into(),
+                });
+                break;
+            }
+            if !expected.contains(&r.response.responder) || !seen.insert(&r.response.responder) {
+                fault = Some(Misbehaviour::InconsistentDecide {
+                    run,
+                    detail: format!("unexpected or duplicate responder {}", r.response.responder),
+                });
+                break;
+            }
+        }
+        // Under the base (unanimous) rule the response set must be
+        // complete; the §7 majority extension legitimately resolves runs
+        // from a partial set after the deadline.
+        let majority = self.config.decision_rule == crate::config::DecisionRule::Majority;
+        if fault.is_none() && seen.len() != expected.len() && !majority {
+            fault = Some(Misbehaviour::InconsistentDecide {
+                run,
+                detail: "response set incomplete".into(),
+            });
+        }
+        // Our own response, when included, must be byte-identical; under
+        // the unanimous rule it must also be present.
+        if fault.is_none() {
+            let mine = m3.responses.iter().find(|r| r.response.responder == me);
+            match mine {
+                Some(r) if r == &rr.my_response => {}
+                Some(_) => fault = Some(Misbehaviour::ResponseMisrepresented { run }),
+                None if !majority => fault = Some(Misbehaviour::ResponseMisrepresented { run }),
+                None => {}
+            }
+        }
+
+        if let Some(m) = fault {
+            // Fail-safe abort: evidence is logged; the replica keeps its
+            // agreed state. The run stays active awaiting a consistent
+            // decide (or extra-protocol resolution).
+            self.replicas.insert(oid.clone(), rep);
+            self.log_misbehaviour(&oid, &run_hex, m, now);
+            return;
+        }
+
+        // ---- compute the group decision ----
+        let (accepted, vetoers) =
+            group_decision(self.config.decision_rule, rep.members.len(), &m3.responses);
+        // Under the majority extension a *partial* response set may only
+        // resolve the run by demonstrating the installing majority. A
+        // partial veto-only set proves nothing (the missing responses
+        // could be accepts) and, since the decide is unsigned and the
+        // authenticator is public after the first m3, could be a
+        // re-aggregation by the network adversary — keep waiting instead
+        // of diverging from peers that saw the full set.
+        if majority && !accepted && seen.len() != expected.len() {
+            self.replicas.insert(oid, rep);
+            return;
+        }
+        let outcome = if accepted {
+            match rr.pending_state.clone() {
+                Some(next) => {
+                    install_state(&mut rep, rr.propose.proposal.proposed, next);
+                    Outcome::Installed {
+                        state: rr.propose.proposal.proposed,
+                    }
+                }
+                None => {
+                    // Only reachable under the majority extension when we
+                    // ourselves vetoed for body reasons: without a valid
+                    // body we cannot install, so we abort locally.
+                    Outcome::Aborted {
+                        reason: "group accepted but no valid local body".into(),
+                    }
+                }
+            }
+        } else {
+            Outcome::Invalidated { vetoers }
+        };
+        rep.active = None;
+        // Keep our signed response on file: if the proposer crashed and
+        // re-sends m1 on recovery, we answer with the *same* response
+        // instead of minting a conflicting signed rejection (which would
+        // manufacture false evidence of equivocation against us, and
+        // false replay evidence against the honest proposer).
+        rep.completed_replies
+            .insert(run, WireMsg::Respond(rr.my_response.clone()));
+        self.replicas.insert(oid.clone(), rep);
+
+        self.log_evidence(
+            EvidenceKind::StateDecide,
+            &oid,
+            &run_hex,
+            proposer,
+            serde_json::to_vec(&m3).expect("decide serialises"),
+            None,
+            now,
+        );
+        if outcome.is_installed() {
+            self.checkpoint_evidence(&oid, run, now);
+        }
+        self.persist(&oid);
+        self.outcomes.insert(run, outcome.clone());
+        self.emit(&oid, run, CoordEventKind::Completed { outcome }, now);
+        self.pump_queue(&oid, ctx);
+        let _ = from;
+    }
+
+    // -----------------------------------------------------------------
+    // Deadlines (§7 termination extension, proposer side)
+    // -----------------------------------------------------------------
+
+    pub(crate) fn on_run_deadline(&mut self, oid: &ObjectId, run: RunId, ctx: &mut NodeCtx) {
+        let now = ctx.now();
+        // A blocked *recipient* (responded, decide never came) can appeal
+        // to the TTP too; without a TTP it stays blocked per the base
+        // protocol.
+        if matches!(
+            self.replicas.get(oid).and_then(|r| r.active.as_ref()),
+            Some(ActiveRun::Recipient(rr)) if rr.run == run
+        ) {
+            if let Some(ttp) = self.config.ttp.clone() {
+                self.appeal_to_ttp(oid, run, ttp, ctx);
+            }
+            return;
+        }
+        let is_pending = matches!(
+            self.replicas.get(oid).and_then(|r| r.active.as_ref()),
+            Some(ActiveRun::Proposer(pr)) if pr.run == run && pr.decided.is_none()
+        );
+        if !is_pending {
+            return;
+        }
+        match self.config.decision_rule {
+            crate::config::DecisionRule::Majority => {
+                // Resolve with the responses in hand: silence counts
+                // neither for nor against; the majority threshold is over
+                // the whole group.
+                self.finalize_state_run(oid, run, ctx);
+            }
+            crate::config::DecisionRule::Unanimous => {
+                // §7: with an appointed TTP, appeal for a certified
+                // resolution that reaches every member; without one, abort
+                // locally and leave the evidence for extra-protocol
+                // resolution.
+                if let Some(ttp) = self.config.ttp.clone() {
+                    self.appeal_to_ttp(oid, run, ttp, ctx);
+                    return;
+                }
+                if let Some(rep) = self.replicas.get_mut(oid) {
+                    if let Some(ActiveRun::Proposer(_)) = rep.active.take() {
+                        let agreed = rep.agreed_state.clone();
+                        rep.object.apply_state(&agreed);
+                    }
+                }
+                let outcome = Outcome::Aborted {
+                    reason: "response deadline expired".into(),
+                };
+                self.persist(oid);
+                self.outcomes.insert(run, outcome.clone());
+                self.emit(oid, run, CoordEventKind::Completed { outcome }, now);
+                self.pump_queue(oid, ctx);
+            }
+        }
+    }
+
+    pub(crate) fn checkpoint_evidence(
+        &mut self,
+        oid: &ObjectId,
+        run: RunId,
+        now: b2b_crypto::TimeMs,
+    ) {
+        let payload = self
+            .replicas
+            .get(oid)
+            .map(|r| serde_json::to_vec(&r.agreed).expect("state id serialises"))
+            .unwrap_or_default();
+        self.log_evidence(
+            EvidenceKind::Checkpoint,
+            oid,
+            &run.to_hex(),
+            self.me.clone(),
+            payload,
+            None,
+            now,
+        );
+    }
+}
+
+/// Installs a newly validated state into a replica.
+fn install_state(rep: &mut Replica, id: StateId, state: Vec<u8>) {
+    rep.object.apply_state(&state);
+    rep.agreed = id;
+    rep.agreed_state = state;
+}
+
+/// Computes the group decision over a response set.
+///
+/// Under [`crate::DecisionRule::Unanimous`] (the paper): valid iff every
+/// response accepts with an intact body. Under majority: valid iff
+/// `accepts + 1` (the proposer, by definition accepting) form a strict
+/// majority of the whole group.
+pub(crate) fn group_decision(
+    rule: crate::config::DecisionRule,
+    group_size: usize,
+    responses: &[RespondMsg],
+) -> (bool, Vec<(PartyId, String)>) {
+    let vetoers: Vec<(PartyId, String)> = responses
+        .iter()
+        .filter(|r| r.response.decision.verdict == Verdict::Reject || !r.response.body_ok)
+        .map(|r| {
+            (
+                r.response.responder.clone(),
+                r.response
+                    .decision
+                    .reason
+                    .clone()
+                    .unwrap_or_else(|| "rejected".into()),
+            )
+        })
+        .collect();
+    let accepts = responses
+        .iter()
+        .filter(|r| r.response.decision.verdict == Verdict::Accept && r.response.body_ok)
+        .count();
+    let accepted = match rule {
+        crate::config::DecisionRule::Unanimous => {
+            vetoers.is_empty() && accepts == group_size.saturating_sub(1)
+        }
+        crate::config::DecisionRule::Majority => (accepts + 1) * 2 > group_size,
+    };
+    (accepted, vetoers)
+}

@@ -1,0 +1,387 @@
+//! Per-object replica state held by a coordinator.
+//!
+//! Figure 2 of the paper: the logical shared object is realised as
+//! regulated coordination of replicas held at each organisation. A
+//! [`Replica`] is one such replica plus the protocol bookkeeping the
+//! engine needs: the member list in join order (which determines sponsor
+//! selection), the group identifier, the agreed state tuple, replay
+//! detection sets, and at most one active protocol run.
+
+use crate::ids::{GroupId, ObjectId, RunId, StateId};
+use crate::messages::{
+    ConnectProposeMsg, ConnectRequestMsg, DecideMsg, DisconnectProposeMsg, DisconnectRequestMsg,
+    MemberDecideMsg, MemberRespondMsg, ProposeMsg, RespondMsg, WireMsg,
+};
+use crate::object::B2BObject;
+use b2b_crypto::{Digest32, PartyId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A state-coordination run at its proposer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProposerRun {
+    /// Run label.
+    pub run: RunId,
+    /// The m1 we sent (kept for recovery re-sends).
+    pub propose: ProposeMsg,
+    /// The authenticator `r_P` (revealed in m3).
+    pub authenticator: [u8; 32],
+    /// The successor state the run installs on success.
+    pub new_state: Vec<u8>,
+    /// Responses collected so far, by responder.
+    pub responses: BTreeMap<PartyId, RespondMsg>,
+    /// The m3, once computed (kept for recovery re-sends).
+    pub decided: Option<DecideMsg>,
+}
+
+/// A state-coordination run at a recipient.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecipientRun {
+    /// Run label.
+    pub run: RunId,
+    /// The m1 we received.
+    pub propose: ProposeMsg,
+    /// The m2 we sent (re-sent on recovery or duplicate m1).
+    pub my_response: RespondMsg,
+    /// For accepted proposals: the successor state to install on a
+    /// positive decide (body for overwrites, computed state for updates).
+    pub pending_state: Option<Vec<u8>>,
+}
+
+/// What a membership run is changing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum MembershipChange {
+    /// Admitting `subject`.
+    Connect {
+        /// The joining party.
+        subject: PartyId,
+        /// The subject's original signed request.
+        request: ConnectRequestMsg,
+        /// The sponsor's relay (kept for recovery re-sends).
+        propose: ConnectProposeMsg,
+    },
+    /// Removing `subjects` (voluntarily or by eviction).
+    Disconnect {
+        /// The leaving parties.
+        subjects: Vec<PartyId>,
+        /// `true` for eviction.
+        eviction: bool,
+        /// The original signed request.
+        request: DisconnectRequestMsg,
+        /// The sponsor's relay.
+        propose: DisconnectProposeMsg,
+    },
+}
+
+/// A membership run at its sponsor.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SponsorRun {
+    /// Run label.
+    pub run: RunId,
+    /// What is being changed.
+    pub change: MembershipChange,
+    /// The authenticator revealed in the decide.
+    pub authenticator: [u8; 32],
+    /// The member list that results if agreed (join order).
+    pub new_members: Vec<PartyId>,
+    /// The group identifier that results if agreed.
+    pub new_group: GroupId,
+    /// The members polled (recipients of the proposal).
+    pub polled: Vec<PartyId>,
+    /// Responses collected so far.
+    pub responses: BTreeMap<PartyId, MemberRespondMsg>,
+    /// The decide, once computed.
+    pub decided: Option<MemberDecideMsg>,
+}
+
+/// A membership run at a polled member.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MemberRun {
+    /// Run label.
+    pub run: RunId,
+    /// What is being changed.
+    pub change: MembershipChange,
+    /// The response we sent to the sponsor.
+    pub my_response: MemberRespondMsg,
+}
+
+/// A voluntary disconnection at its subject, awaiting the sponsor's ack.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LeavingRun {
+    /// The request we sent.
+    pub request: DisconnectRequestMsg,
+    /// The sponsor we sent it to.
+    pub sponsor: PartyId,
+}
+
+/// The at-most-one protocol run currently active at this replica.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ActiveRun {
+    /// We proposed a state change.
+    Proposer(ProposerRun),
+    /// We are validating another party's state change.
+    Recipient(RecipientRun),
+    /// We sponsor a membership change.
+    Sponsor(SponsorRun),
+    /// We are polled about a membership change.
+    Member(MemberRun),
+    /// We asked to leave and await the ack.
+    Leaving(LeavingRun),
+}
+
+impl ActiveRun {
+    /// The run label, where one exists (a [`LeavingRun`] has none until the
+    /// sponsor assigns it).
+    pub fn run_id(&self) -> Option<RunId> {
+        match self {
+            ActiveRun::Proposer(r) => Some(r.run),
+            ActiveRun::Recipient(r) => Some(r.run),
+            ActiveRun::Sponsor(r) => Some(r.run),
+            ActiveRun::Member(r) => Some(r.run),
+            ActiveRun::Leaving(_) => None,
+        }
+    }
+}
+
+/// A queued membership request, deferred while another run is active
+/// (§4.5.1: the sponsor blocks new coordination requests pending decision
+/// on any active request).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum QueuedRequest {
+    /// A connection request from a prospective member.
+    Connect(ConnectRequestMsg),
+    /// A disconnection/eviction request.
+    Disconnect(DisconnectRequestMsg),
+}
+
+/// One party's replica of a shared object plus protocol bookkeeping.
+pub struct Replica {
+    /// The object alias.
+    pub object_id: ObjectId,
+    /// The application object (validation upcalls, state install).
+    pub object: Box<dyn B2BObject>,
+    /// Member list in join order: `members.last()` is the most recently
+    /// joined member — the connection sponsor (§4.5.1).
+    pub members: Vec<PartyId>,
+    /// Current group identifier.
+    pub group: GroupId,
+    /// The agreed state tuple `t_agreed`.
+    pub agreed: StateId,
+    /// Bytes of the agreed state (checkpointed for recovery/rollback).
+    pub agreed_state: Vec<u8>,
+    /// Run labels ever seen (replay detection across runs).
+    pub seen_runs: HashSet<RunId>,
+    /// Proposal tuples ever seen: invariant 4 of §4.2.
+    pub seen_tuples: HashSet<(u64, Digest32)>,
+    /// At most one active run.
+    pub active: Option<ActiveRun>,
+    /// Membership requests deferred behind the active run.
+    pub queued: Vec<QueuedRequest>,
+    /// Responses we produced for already-completed runs, so a duplicate or
+    /// post-recovery retransmission of m1/m3 gets a consistent re-reply.
+    pub completed_replies: HashMap<RunId, WireMsg>,
+    /// Set when this party has left (or been evicted from) the group; the
+    /// replica is kept for inspection but no longer coordinates.
+    pub detached: bool,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("object_id", &self.object_id)
+            .field("members", &self.members)
+            .field("group", &self.group)
+            .field("agreed", &self.agreed)
+            .field("active", &self.active.is_some())
+            .field("detached", &self.detached)
+            .finish()
+    }
+}
+
+impl Replica {
+    /// The current connection sponsor: the most recently joined member.
+    pub fn sponsor(&self) -> &PartyId {
+        self.members.last().expect("group is never empty")
+    }
+
+    /// The sponsor for a disconnection of `subjects`: the most recently
+    /// joined member that is not itself leaving (§4.5.1).
+    pub fn sponsor_for_disconnect(&self, subjects: &[PartyId]) -> Option<&PartyId> {
+        self.members.iter().rev().find(|m| !subjects.contains(m))
+    }
+
+    /// Returns `true` if `party` is currently a member.
+    pub fn is_member(&self, party: &PartyId) -> bool {
+        self.members.contains(party)
+    }
+
+    /// The recipients of a proposal by `proposer`: all members but them.
+    pub fn recipients(&self, proposer: &PartyId) -> Vec<PartyId> {
+        self.members
+            .iter()
+            .filter(|m| *m != proposer)
+            .cloned()
+            .collect()
+    }
+}
+
+/// The durable image of a replica, written to the snapshot store after
+/// every installation and membership change and reloaded on recovery.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplicaSnapshot {
+    /// Member list in join order.
+    pub members: Vec<PartyId>,
+    /// Group identifier.
+    pub group: GroupId,
+    /// Agreed state tuple.
+    pub agreed: StateId,
+    /// Agreed state bytes.
+    pub agreed_state: Vec<u8>,
+    /// Replay-detection: runs seen.
+    pub seen_runs: Vec<RunId>,
+    /// Replay-detection: proposal tuples seen.
+    pub seen_tuples: Vec<(u64, Digest32)>,
+    /// The active run, if one was in progress.
+    pub active: Option<ActiveRun>,
+    /// Deferred membership requests.
+    pub queued: Vec<QueuedRequest>,
+    /// Re-replies for completed runs (so retransmitted traffic after a
+    /// crash still receives the decide it is waiting for).
+    pub completed_replies: Vec<(RunId, WireMsg)>,
+    /// Whether the party had left the group.
+    pub detached: bool,
+}
+
+impl ReplicaSnapshot {
+    /// Captures the durable image of `replica`.
+    pub fn capture(replica: &Replica) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            members: replica.members.clone(),
+            group: replica.group,
+            agreed: replica.agreed,
+            agreed_state: replica.agreed_state.clone(),
+            seen_runs: replica.seen_runs.iter().copied().collect(),
+            seen_tuples: replica.seen_tuples.iter().copied().collect(),
+            active: replica.active.clone(),
+            queued: replica.queued.clone(),
+            completed_replies: replica
+                .completed_replies
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
+            detached: replica.detached,
+        }
+    }
+
+    /// Rebuilds a replica around a freshly constructed application object
+    /// (the object's state is re-installed from the checkpoint).
+    pub fn restore(self, object_id: ObjectId, mut object: Box<dyn B2BObject>) -> Replica {
+        object.apply_state(&self.agreed_state);
+        Replica {
+            object_id,
+            object,
+            members: self.members,
+            group: self.group,
+            agreed: self.agreed,
+            agreed_state: self.agreed_state,
+            seen_runs: self.seen_runs.into_iter().collect(),
+            seen_tuples: self.seen_tuples.into_iter().collect(),
+            active: self.active,
+            queued: self.queued,
+            completed_replies: self.completed_replies.into_iter().collect(),
+            detached: self.detached,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::Decision;
+    use crate::object::SharedCell;
+    use b2b_crypto::sha256;
+
+    fn replica(members: &[&str]) -> Replica {
+        let object = Box::new(SharedCell::new(0u64));
+        let members: Vec<PartyId> = members.iter().map(|m| PartyId::new(*m)).collect();
+        let state = serde_json::to_vec(&0u64).unwrap();
+        Replica {
+            object_id: ObjectId::new("obj"),
+            object,
+            group: GroupId::genesis(sha256(b"g"), &members),
+            agreed: StateId::genesis(sha256(b"r"), &state),
+            agreed_state: state,
+            members,
+            seen_runs: HashSet::new(),
+            seen_tuples: HashSet::new(),
+            active: None,
+            queued: Vec::new(),
+            completed_replies: HashMap::new(),
+            detached: false,
+        }
+    }
+
+    #[test]
+    fn sponsor_is_most_recently_joined() {
+        let r = replica(&["a", "b", "c"]);
+        assert_eq!(r.sponsor(), &PartyId::new("c"));
+    }
+
+    #[test]
+    fn disconnect_sponsor_skips_subjects() {
+        let r = replica(&["a", "b", "c"]);
+        assert_eq!(
+            r.sponsor_for_disconnect(&[PartyId::new("c")]),
+            Some(&PartyId::new("b"))
+        );
+        assert_eq!(
+            r.sponsor_for_disconnect(&[PartyId::new("b")]),
+            Some(&PartyId::new("c"))
+        );
+        assert_eq!(
+            r.sponsor_for_disconnect(&[PartyId::new("a"), PartyId::new("b"), PartyId::new("c")]),
+            None
+        );
+    }
+
+    #[test]
+    fn recipients_exclude_proposer() {
+        let r = replica(&["a", "b", "c"]);
+        assert_eq!(
+            r.recipients(&PartyId::new("b")),
+            vec![PartyId::new("a"), PartyId::new("c")]
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_protocol_state() {
+        let mut r = replica(&["a", "b"]);
+        r.seen_tuples.insert((3, sha256(b"t")));
+        r.seen_runs.insert(RunId(sha256(b"run")));
+        let snap = ReplicaSnapshot::capture(&r);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ReplicaSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = back.restore(ObjectId::new("obj"), Box::new(SharedCell::new(99u64)));
+        assert_eq!(restored.members, r.members);
+        assert_eq!(restored.group, r.group);
+        assert_eq!(restored.agreed, r.agreed);
+        assert_eq!(restored.agreed_state, r.agreed_state);
+        assert!(restored.seen_tuples.contains(&(3, sha256(b"t"))));
+        // The fresh object had state 99 but restore installs the checkpoint.
+        assert_eq!(restored.object.get_state(), r.agreed_state);
+    }
+
+    #[test]
+    fn shared_cell_validator_is_irrelevant_here_but_object_installs() {
+        // Guard: restore must call apply_state even for accept-all cells.
+        let snap = ReplicaSnapshot::capture(&replica(&["a"]));
+        let restored = snap.restore(
+            ObjectId::new("obj"),
+            Box::new(SharedCell::new(5u64).with_validator(|_w, _o, _n| Decision::accept())),
+        );
+        assert_eq!(
+            restored.object.get_state(),
+            serde_json::to_vec(&0u64).unwrap()
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end dispute resolution: claims judged against the
+//! non-repudiation logs produced by real protocol runs.
+
+mod common;
+
+use b2b_core::{Arbiter, Claim, ObjectId, StateId};
+use b2b_crypto::sha256;
+use common::*;
+
+fn state_id_of(cluster: &Cluster, who: usize, alias: &str) -> StateId {
+    cluster
+        .net
+        .node(&party(who))
+        .agreed_id(&ObjectId::new(alias))
+        .unwrap()
+}
+
+#[test]
+fn proposer_proves_validity_of_installed_state_from_its_own_log() {
+    let mut cluster = Cluster::new(3, 90);
+    cluster.setup_object("counter", counter_factory);
+    cluster.propose(0, "counter", enc(5));
+    let state = state_id_of(&cluster, 0, "counter");
+
+    let arbiter = Arbiter::new(cluster.ring.clone());
+    let claim = Claim::StateValid {
+        object: ObjectId::new("counter"),
+        proposer: party(0),
+        members: cluster.members(0, "counter"),
+        state,
+    };
+    let ruling = arbiter.judge(&claim, &*cluster.stores[&party(0)]);
+    assert!(ruling.is_upheld(), "ruling: {ruling:?}");
+}
+
+#[test]
+fn recipient_can_also_prove_validity_from_its_log() {
+    // The decide aggregation reaches every recipient, so any party can
+    // demonstrate validity ("any party can compute the group's decision").
+    let mut cluster = Cluster::new(3, 91);
+    cluster.setup_object("counter", counter_factory);
+    cluster.propose(1, "counter", enc(8));
+    let state = state_id_of(&cluster, 2, "counter");
+
+    let arbiter = Arbiter::new(cluster.ring.clone());
+    let claim = Claim::StateValid {
+        object: ObjectId::new("counter"),
+        proposer: party(1),
+        members: cluster.members(2, "counter"),
+        state,
+    };
+    assert!(arbiter
+        .judge(&claim, &*cluster.stores[&party(2)])
+        .is_upheld());
+}
+
+#[test]
+fn vetoed_state_cannot_be_misrepresented_as_valid() {
+    // §4.1: "no party can misrepresent the validity of object state".
+    let mut cluster = Cluster::new(2, 92);
+    cluster.setup_object("counter", counter_factory);
+    cluster.propose(0, "counter", enc(10));
+    let run = cluster.propose(1, "counter", enc(2)); // vetoed decrease
+    let arbiter = Arbiter::new(cluster.ring.clone());
+
+    // The (dishonest) proposer cannot get the vetoed tuple upheld — even
+    // from its own log, which contains the signed rejection.
+    let fake_state = StateId {
+        seq: 2,
+        rand_hash: sha256(b"whatever"),
+        state_hash: sha256(&enc(2)),
+    };
+    let claim = Claim::StateValid {
+        object: ObjectId::new("counter"),
+        proposer: party(1),
+        members: cluster.members(0, "counter"),
+        state: fake_state,
+    };
+    assert!(!arbiter
+        .judge(&claim, &*cluster.stores[&party(1)])
+        .is_upheld());
+
+    // Conversely the veto itself is provable by either party.
+    let veto_claim = Claim::StateVetoed {
+        object: ObjectId::new("counter"),
+        run,
+    };
+    assert!(arbiter
+        .judge(&veto_claim, &*cluster.stores[&party(0)])
+        .is_upheld());
+    assert!(arbiter
+        .judge(&veto_claim, &*cluster.stores[&party(1)])
+        .is_upheld());
+}
+
+#[test]
+fn valid_state_cannot_be_misrepresented_as_vetoed() {
+    let mut cluster = Cluster::new(3, 93);
+    cluster.setup_object("counter", counter_factory);
+    let run = cluster.propose(0, "counter", enc(5));
+    let arbiter = Arbiter::new(cluster.ring.clone());
+    for who in 0..3 {
+        let claim = Claim::StateVetoed {
+            object: ObjectId::new("counter"),
+            run,
+        };
+        assert!(
+            !arbiter
+                .judge(&claim, &*cluster.stores[&party(who)])
+                .is_upheld(),
+            "org{who} must not be able to prove a veto of an agreed state"
+        );
+    }
+}
+
+#[test]
+fn whole_log_audit_is_clean_after_honest_runs() {
+    let mut cluster = Cluster::new(3, 94);
+    cluster.setup_object("counter", counter_factory);
+    cluster.propose(0, "counter", enc(1));
+    cluster.propose(1, "counter", enc(2));
+    let auditor =
+        b2b_evidence::LogAuditor::new(cluster.ring.clone(), Some(cluster.tsa.public_key()));
+    for who in 0..3 {
+        let report = auditor.audit(&*cluster.stores[&party(who)]);
+        assert!(report.is_clean(), "org{who} log audit: {:?}", report.faults);
+        assert!(report.total > 0);
+    }
+}

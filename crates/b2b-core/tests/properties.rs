@@ -1,0 +1,110 @@
+//! Property-based tests (proptest) on the middleware's core invariants:
+//! replica convergence under arbitrary workloads, safety of identifier
+//! tuples, and canonical-encoding injectivity.
+
+mod common;
+
+use b2b_core::messages::{Proposal, ProposalKind};
+use b2b_core::{members_digest, GroupId, ObjectId, StateId};
+use b2b_crypto::{sha256, CanonicalEncode, PartyId};
+use common::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever interleaving of valid/invalid proposals from whichever
+    /// parties, all replicas converge to identical state and identical
+    /// agreed tuples, and only policy-respecting values are ever installed.
+    #[test]
+    fn replicas_always_converge(
+        seed in 0u64..5_000,
+        ops in proptest::collection::vec((0usize..3, 0u64..1_000), 1..8),
+    ) {
+        let mut cluster = Cluster::new(3, seed);
+        cluster.setup_object("counter", counter_factory);
+        let mut expected = 0u64;
+        for (who, value) in ops {
+            cluster.propose(who, "counter", enc(value));
+            // A value installs iff it respects the grow-only policy and is
+            // not a null transition.
+            if value > expected {
+                expected = value;
+            }
+        }
+        let states: Vec<u64> = (0..3).map(|w| dec(&cluster.state(w, "counter"))).collect();
+        prop_assert!(states.iter().all(|s| *s == states[0]), "diverged: {states:?}");
+        prop_assert_eq!(states[0], expected);
+        let ids: Vec<StateId> = (0..3)
+            .map(|w| cluster.net.node(&party(w)).agreed_id(&ObjectId::new("counter")).unwrap())
+            .collect();
+        prop_assert!(ids.iter().all(|i| *i == ids[0]), "agreed tuples diverged");
+    }
+
+    /// State identifier tuples identify exactly the state they hash.
+    #[test]
+    fn state_id_identifies_iff_equal(a: Vec<u8>, b: Vec<u8>) {
+        let id = StateId::genesis(sha256(b"r"), &a);
+        prop_assert_eq!(id.identifies(&b), a == b);
+    }
+
+    /// Group identifiers are injective over member lists (incl. order).
+    #[test]
+    fn group_identity_tracks_member_lists(
+        xs in proptest::collection::vec("[a-z]{1,6}", 1..5),
+        ys in proptest::collection::vec("[a-z]{1,6}", 1..5),
+    ) {
+        let mx: Vec<PartyId> = xs.iter().map(PartyId::new).collect();
+        let my: Vec<PartyId> = ys.iter().map(PartyId::new).collect();
+        let gid = GroupId::genesis(sha256(b"r"), &mx);
+        prop_assert_eq!(gid.identifies(&my), mx == my);
+        prop_assert_eq!(members_digest(&mx) == members_digest(&my), mx == my);
+    }
+
+    /// Canonical proposal encodings are injective across every field the
+    /// protocol relies on: two proposals differing anywhere get different
+    /// run labels.
+    #[test]
+    fn proposal_run_labels_are_injective(
+        obj1 in "[a-z]{1,8}", obj2 in "[a-z]{1,8}",
+        p1 in "[a-z]{1,8}", p2 in "[a-z]{1,8}",
+        seq1 in 0u64..100, seq2 in 0u64..100,
+        s1: Vec<u8>, s2: Vec<u8>,
+        upd1: bool, upd2: bool,
+    ) {
+        let mk = |obj: &str, p: &str, seq: u64, s: &[u8], upd: bool| Proposal {
+            object: ObjectId::new(obj),
+            proposer: PartyId::new(p),
+            group: GroupId::genesis(sha256(b"g"), &[PartyId::new(p)]),
+            prev: StateId::genesis(sha256(b"r"), b"prev"),
+            proposed: StateId { seq, rand_hash: sha256(b"n"), state_hash: sha256(s) },
+            auth_commit: sha256(b"a"),
+            kind: if upd {
+                ProposalKind::Update { update_hash: sha256(s) }
+            } else {
+                ProposalKind::Overwrite
+            },
+        };
+        let a = mk(&obj1, &p1, seq1, &s1, upd1);
+        let b = mk(&obj2, &p2, seq2, &s2, upd2);
+        prop_assert_eq!(a.run_id() == b.run_id(), a == b);
+        prop_assert_eq!(a.canonical_bytes() == b.canonical_bytes(), a == b);
+    }
+
+    /// The agreed sequence number never decreases, across any workload.
+    #[test]
+    fn agreed_seq_is_monotone(
+        seed in 0u64..1_000,
+        ops in proptest::collection::vec((0usize..2, 0u64..100), 1..6),
+    ) {
+        let mut cluster = Cluster::new(2, seed);
+        cluster.setup_object("counter", counter_factory);
+        let mut last_seq = 0;
+        for (who, value) in ops {
+            cluster.propose(who, "counter", enc(value));
+            let id = cluster.net.node(&party(0)).agreed_id(&ObjectId::new("counter")).unwrap();
+            prop_assert!(id.seq >= last_seq, "agreed seq went backwards");
+            last_seq = id.seq;
+        }
+    }
+}

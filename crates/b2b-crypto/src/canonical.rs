@@ -1,0 +1,274 @@
+//! Deterministic canonical encoding for signed content.
+//!
+//! A signature is only meaningful if every party serialises the signed
+//! structure to exactly the same bytes. General-purpose serialisation
+//! formats do not promise that, so the "signed parts" of every protocol
+//! message implement [`CanonicalEncode`]: a tiny, explicitly-specified
+//! big-endian, length-prefixed encoding.
+//!
+//! # Example
+//!
+//! ```
+//! use b2b_crypto::{CanonicalEncode, Encoder};
+//!
+//! struct Pair { a: u64, b: String }
+//! impl CanonicalEncode for Pair {
+//!     fn encode(&self, enc: &mut Encoder) {
+//!         self.a.encode(enc);
+//!         self.b.encode(enc);
+//!     }
+//! }
+//!
+//! let p = Pair { a: 7, b: "x".into() };
+//! assert_eq!(p.canonical_bytes(), Pair { a: 7, b: "x".into() }.canonical_bytes());
+//! ```
+
+use crate::hash::{sha256, Digest32};
+use crate::identity::PartyId;
+use crate::time::TimeMs;
+
+/// An append-only byte buffer with deterministic primitive encoders.
+///
+/// All integers are big-endian; all variable-length data is prefixed with a
+/// `u64` byte count; `Option` is a presence byte followed by the value;
+/// sequences are a `u64` element count followed by the elements.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a boolean as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends variable-length bytes with a `u64` length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a UTF-8 string with a `u64` length prefix.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends a fixed 32-byte digest with no length prefix.
+    pub fn put_digest(&mut self, d: &Digest32) {
+        self.buf.extend_from_slice(d.as_bytes());
+    }
+
+    /// Returns the number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Types that have a single, deterministic byte representation for signing.
+pub trait CanonicalEncode {
+    /// Appends this value's canonical encoding to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Returns this value's canonical encoding as a fresh byte vector.
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Returns the SHA-256 digest of the canonical encoding.
+    fn canonical_digest(&self) -> Digest32 {
+        sha256(&self.canonical_bytes())
+    }
+}
+
+impl CanonicalEncode for u8 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(*self);
+    }
+}
+
+impl CanonicalEncode for u32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+}
+
+impl CanonicalEncode for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+}
+
+impl CanonicalEncode for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+}
+
+impl CanonicalEncode for str {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+}
+
+impl CanonicalEncode for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+}
+
+impl CanonicalEncode for [u8] {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self);
+    }
+}
+
+impl CanonicalEncode for Vec<u8> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self);
+    }
+}
+
+impl CanonicalEncode for Digest32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_digest(self);
+    }
+}
+
+impl CanonicalEncode for PartyId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self.as_str());
+    }
+}
+
+impl CanonicalEncode for TimeMs {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.as_millis());
+    }
+}
+
+impl<T: CanonicalEncode> CanonicalEncode for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+}
+
+impl<T: CanonicalEncode + ?Sized> CanonicalEncode for &T {
+    fn encode(&self, enc: &mut Encoder) {
+        (**self).encode(enc);
+    }
+}
+
+/// Encodes a slice of non-byte elements (element count + elements).
+///
+/// `Vec<u8>` intentionally encodes as raw bytes, so sequences of structured
+/// values use this helper instead of a conflicting `Vec<T>` impl.
+pub fn encode_seq<T: CanonicalEncode>(items: &[T], enc: &mut Encoder) {
+    enc.put_u64(items.len() as u64);
+    for item in items {
+        item.encode(enc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_are_deterministic() {
+        let mut a = Encoder::new();
+        7u64.encode(&mut a);
+        "hi".encode(&mut a);
+        true.encode(&mut a);
+        let mut b = Encoder::new();
+        7u64.encode(&mut b);
+        "hi".encode(&mut b);
+        true.encode(&mut b);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn length_prefix_prevents_ambiguity() {
+        // ("ab","c") must differ from ("a","bc")
+        let mut a = Encoder::new();
+        "ab".encode(&mut a);
+        "c".encode(&mut a);
+        let mut b = Encoder::new();
+        "a".encode(&mut b);
+        "bc".encode(&mut b);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn option_encoding_distinguishes_none_some() {
+        let none: Option<u64> = None;
+        let some: Option<u64> = Some(0);
+        assert_ne!(none.canonical_bytes(), some.canonical_bytes());
+    }
+
+    #[test]
+    fn seq_encoding_includes_count() {
+        let mut a = Encoder::new();
+        encode_seq(&[1u64, 2u64], &mut a);
+        let bytes = a.finish();
+        assert_eq!(&bytes[..8], &2u64.to_be_bytes());
+        assert_eq!(bytes.len(), 8 + 16);
+    }
+
+    #[test]
+    fn digest_is_fixed_width() {
+        let d = sha256(b"x");
+        assert_eq!(d.canonical_bytes().len(), 32);
+    }
+
+    #[test]
+    fn canonical_digest_matches_manual_hash() {
+        let v = 42u64;
+        assert_eq!(v.canonical_digest(), sha256(&42u64.to_be_bytes()));
+    }
+
+    #[test]
+    fn empty_encoder_reports_empty() {
+        let enc = Encoder::new();
+        assert!(enc.is_empty());
+        assert_eq!(enc.len(), 0);
+    }
+}

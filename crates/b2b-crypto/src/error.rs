@@ -1,0 +1,33 @@
+//! Error types for the crypto substrate.
+
+use thiserror::Error;
+
+/// Errors arising from cryptographic operations.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A signature failed verification against the claimed key and message.
+    #[error("signature verification failed for scheme {scheme}")]
+    BadSignature {
+        /// The scheme the signature claimed to use.
+        scheme: &'static str,
+    },
+    /// A signature used a scheme the verifier does not recognise.
+    #[error("unknown signature scheme tag {0}")]
+    UnknownScheme(u8),
+    /// A signature or key had the wrong byte length for its scheme.
+    #[error("malformed {what}: expected {expected} bytes, got {got}")]
+    MalformedBytes {
+        /// What was malformed ("signature", "public key", ...).
+        what: &'static str,
+        /// The expected length.
+        expected: usize,
+        /// The actual length.
+        got: usize,
+    },
+    /// A key was requested for a party not present in the key ring.
+    #[error("no public key registered for party {0}")]
+    UnknownParty(String),
+    /// A time-stamp token failed verification.
+    #[error("time-stamp verification failed: {0}")]
+    BadTimeStamp(&'static str),
+}

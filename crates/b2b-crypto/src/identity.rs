@@ -1,0 +1,104 @@
+//! Party identity.
+//!
+//! The paper identifies protocol participants as `P_1 … P_n`; a participant
+//! identifier "is assumed to provide access to the information necessary
+//! both to establish a connection with the party and to verify the party's
+//! signature" (§4.5.3). [`PartyId`] is the name half of that assumption; the
+//! [`crate::KeyRing`] and [`crate::Certificate`] machinery provide the rest.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+
+/// The identity of an organisation participating in information sharing.
+///
+/// # Example
+///
+/// ```
+/// use b2b_crypto::PartyId;
+/// let customer = PartyId::new("customer");
+/// assert_eq!(customer.as_str(), "customer");
+/// assert_eq!(customer.to_string(), "customer");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PartyId(String);
+
+impl PartyId {
+    /// Creates a party identifier from any string-like name.
+    pub fn new(name: impl Into<String>) -> PartyId {
+        PartyId(name.into())
+    }
+
+    /// Returns the identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PartyId({})", self.0)
+    }
+}
+
+impl From<&str> for PartyId {
+    fn from(s: &str) -> Self {
+        PartyId::new(s)
+    }
+}
+
+impl From<String> for PartyId {
+    fn from(s: String) -> Self {
+        PartyId::new(s)
+    }
+}
+
+impl Borrow<str> for PartyId {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for PartyId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn construction_and_display() {
+        let p = PartyId::new("org1");
+        assert_eq!(p.to_string(), "org1");
+        assert_eq!(format!("{p:?}"), "PartyId(org1)");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: PartyId = "x".into();
+        let b: PartyId = String::from("x").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn borrow_str_allows_map_lookup_without_allocation() {
+        let mut m: HashMap<PartyId, u32> = HashMap::new();
+        m.insert(PartyId::new("supplier"), 1);
+        assert_eq!(m.get("supplier"), Some(&1));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(PartyId::new("a") < PartyId::new("b"));
+    }
+}

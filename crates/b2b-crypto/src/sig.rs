@@ -1,0 +1,194 @@
+//! Signature schemes: [`Signer`] / [`SigVerifier`] traits, the production
+//! Ed25519 implementation, and an intentionally weak ablation-only signer.
+//!
+//! The paper (§4.2) requires "a signature scheme such that a signature by a
+//! party on data is both verifiable and unforgeable". [`crate::KeyPair`]
+//! (Ed25519) provides that. [`InsecureSigner`] exists solely so the
+//! benchmark suite can measure what non-repudiation costs (experiment E4);
+//! it is forgeable by construction and must never be used outside benches.
+
+use crate::error::CryptoError;
+use crate::hash::sha256_concat;
+use crate::keys::PublicKey;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The signature scheme a [`Signature`] or [`PublicKey`] belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignatureScheme {
+    /// Ed25519 (production scheme; unforgeable).
+    Ed25519,
+    /// Truncated-hash pseudo-signature. **Forgeable**: benchmarking only.
+    Insecure,
+}
+
+impl SignatureScheme {
+    /// A short, stable name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SignatureScheme::Ed25519 => "ed25519",
+            SignatureScheme::Insecure => "insecure",
+        }
+    }
+}
+
+/// A detached signature over a byte string.
+///
+/// Rendered in the paper's notation as `sig_P(x)`. Signatures appear inside
+/// protocol messages and evidence records.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    scheme: SignatureScheme,
+    bytes: Vec<u8>,
+}
+
+impl Signature {
+    /// Creates a signature value from raw scheme output.
+    pub fn new(scheme: SignatureScheme, bytes: Vec<u8>) -> Signature {
+        Signature { scheme, bytes }
+    }
+
+    /// The scheme that produced this signature.
+    pub fn scheme(&self) -> SignatureScheme {
+        self.scheme
+    }
+
+    /// The raw signature bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl crate::canonical::CanonicalEncode for Signature {
+    fn encode(&self, enc: &mut crate::canonical::Encoder) {
+        enc.put_u8(match self.scheme {
+            SignatureScheme::Ed25519 => 1,
+            SignatureScheme::Insecure => 2,
+        });
+        enc.put_bytes(&self.bytes);
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Signature({}, {}…)",
+            self.scheme.name(),
+            hex::encode(&self.bytes[..self.bytes.len().min(4)])
+        )
+    }
+}
+
+/// Types that can produce signatures binding a key-holder to data.
+pub trait Signer: Send + Sync {
+    /// Signs `msg`, returning a detached signature.
+    fn sign(&self, msg: &[u8]) -> Signature;
+
+    /// Returns the public (verification) key corresponding to this signer.
+    fn public_key(&self) -> PublicKey;
+}
+
+impl<T: Signer + ?Sized> Signer for Box<T> {
+    fn sign(&self, msg: &[u8]) -> Signature {
+        (**self).sign(msg)
+    }
+    fn public_key(&self) -> PublicKey {
+        (**self).public_key()
+    }
+}
+
+/// Types that can verify signatures (public keys, key rings).
+pub trait SigVerifier {
+    /// Verifies `sig` over `msg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadSignature`] when verification fails, or a
+    /// scheme/format error when the signature is malformed.
+    fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), CryptoError>;
+}
+
+/// A deliberately forgeable "signature" scheme for the crypto-overhead
+/// ablation benchmark (experiment E4).
+///
+/// The signature is a truncated hash of `public key bytes || message`, so
+/// anyone holding the public key can forge it. It exercises the same code
+/// paths (sign on send, verify on receive) at negligible CPU cost, which is
+/// exactly what the ablation needs to isolate Ed25519's contribution.
+#[derive(Clone, Debug)]
+pub struct InsecureSigner {
+    key_id: [u8; 8],
+}
+
+impl InsecureSigner {
+    /// Creates an insecure signer with the given 8-byte key identity.
+    pub fn new(key_id: [u8; 8]) -> InsecureSigner {
+        InsecureSigner { key_id }
+    }
+
+    /// Creates an insecure signer whose key identity derives from a seed.
+    pub fn from_seed(seed: u64) -> InsecureSigner {
+        InsecureSigner {
+            key_id: seed.to_be_bytes(),
+        }
+    }
+}
+
+impl Signer for InsecureSigner {
+    fn sign(&self, msg: &[u8]) -> Signature {
+        let digest = sha256_concat(&[&self.key_id, msg]);
+        Signature::new(SignatureScheme::Insecure, digest.as_bytes()[..16].to_vec())
+    }
+
+    fn public_key(&self) -> PublicKey {
+        PublicKey::new(SignatureScheme::Insecure, self.key_id.to_vec())
+    }
+}
+
+pub(crate) fn verify_insecure(
+    key_bytes: &[u8],
+    msg: &[u8],
+    sig: &Signature,
+) -> Result<(), CryptoError> {
+    let digest = sha256_concat(&[key_bytes, msg]);
+    if sig.as_bytes() == &digest.as_bytes()[..16] {
+        Ok(())
+    } else {
+        Err(CryptoError::BadSignature {
+            scheme: SignatureScheme::Insecure.name(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insecure_sign_verify_roundtrip() {
+        let s = InsecureSigner::from_seed(1);
+        let sig = s.sign(b"msg");
+        assert!(s.public_key().verify(b"msg", &sig).is_ok());
+        assert!(s.public_key().verify(b"other", &sig).is_err());
+    }
+
+    #[test]
+    fn insecure_different_keys_differ() {
+        let a = InsecureSigner::from_seed(1).sign(b"m");
+        let b = InsecureSigner::from_seed(2).sign(b"m");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn signature_debug_shows_scheme() {
+        let sig = InsecureSigner::from_seed(1).sign(b"m");
+        assert!(format!("{sig:?}").contains("insecure"));
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(SignatureScheme::Ed25519.name(), "ed25519");
+        assert_eq!(SignatureScheme::Insecure.name(), "insecure");
+    }
+}

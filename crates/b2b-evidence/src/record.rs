@@ -1,0 +1,191 @@
+//! Evidence records: the unit of a party's non-repudiation log.
+
+use b2b_crypto::{PartyId, Signature, TimeMs, TimeStamp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which protocol action a record evidences.
+///
+/// One variant per evidence-bearing message of the coordination protocols
+/// (paper §4.3 and §4.5), plus local events that matter for recovery and
+/// arbitration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvidenceKind {
+    /// m1 of state coordination: a signed state-transition proposal.
+    StatePropose,
+    /// m2: a recipient's signed receipt + validity decision.
+    StateRespond,
+    /// m3: the proposer's aggregated decision with revealed authenticator.
+    StateDecide,
+    /// Initial request from a prospective member to the sponsor.
+    ConnectRequest,
+    /// Sponsor's relay of a connection proposal to current members.
+    ConnectPropose,
+    /// A member's signed decision on a connection request.
+    ConnectRespond,
+    /// Sponsor's aggregated connection decision.
+    ConnectDecide,
+    /// Sponsor's welcome to an admitted member (carries agreed state).
+    ConnectWelcome,
+    /// Sponsor's signed immediate rejection of a connection request.
+    ConnectReject,
+    /// A member's request for voluntary disconnection or an eviction
+    /// proposal.
+    DisconnectRequest,
+    /// Sponsor's relay of a disconnection/eviction proposal.
+    DisconnectPropose,
+    /// A member's signed decision on a disconnection/eviction.
+    DisconnectRespond,
+    /// Sponsor's aggregated disconnection decision.
+    DisconnectDecide,
+    /// Final acknowledgement to a voluntarily departing member.
+    DisconnectAck,
+    /// A locally installed checkpoint of newly validated object state.
+    Checkpoint,
+    /// A locally detected misbehaviour or inconsistency (diagnostics).
+    Misbehaviour,
+    /// A TTP-certified abort of a blocked run (§7 termination extension).
+    TtpAbort,
+}
+
+impl EvidenceKind {
+    /// Short stable name used in exported logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvidenceKind::StatePropose => "state-propose",
+            EvidenceKind::StateRespond => "state-respond",
+            EvidenceKind::StateDecide => "state-decide",
+            EvidenceKind::ConnectRequest => "connect-request",
+            EvidenceKind::ConnectPropose => "connect-propose",
+            EvidenceKind::ConnectRespond => "connect-respond",
+            EvidenceKind::ConnectDecide => "connect-decide",
+            EvidenceKind::ConnectWelcome => "connect-welcome",
+            EvidenceKind::ConnectReject => "connect-reject",
+            EvidenceKind::DisconnectRequest => "disconnect-request",
+            EvidenceKind::DisconnectPropose => "disconnect-propose",
+            EvidenceKind::DisconnectRespond => "disconnect-respond",
+            EvidenceKind::DisconnectDecide => "disconnect-decide",
+            EvidenceKind::DisconnectAck => "disconnect-ack",
+            EvidenceKind::Checkpoint => "checkpoint",
+            EvidenceKind::Misbehaviour => "misbehaviour",
+            EvidenceKind::TtpAbort => "ttp-abort",
+        }
+    }
+}
+
+impl fmt::Display for EvidenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One entry in a party's non-repudiation log.
+///
+/// The `payload` holds the canonical bytes of the evidenced (signed)
+/// content; `signature` is the originator's signature over exactly those
+/// bytes, and `timestamp` is the TSA's token over them (§4.2 requires all
+/// signed evidence to be time-stamped).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceRecord {
+    /// Log sequence number, assigned by the store on append.
+    pub seq: u64,
+    /// The protocol action evidenced.
+    pub kind: EvidenceKind,
+    /// The shared object (coordination alias) the action concerns.
+    pub object: String,
+    /// Hex-rendered identifier of the protocol run the action belongs to.
+    pub run: String,
+    /// The party whose action this record evidences (the signer).
+    pub origin: PartyId,
+    /// Canonical bytes of the evidenced content.
+    pub payload: Vec<u8>,
+    /// The originator's signature over `payload` (absent for purely local
+    /// events such as checkpoints).
+    pub signature: Option<Signature>,
+    /// TSA token over `payload`.
+    pub timestamp: Option<TimeStamp>,
+    /// Local time at which the record was appended.
+    pub logged_at: TimeMs,
+}
+
+impl EvidenceRecord {
+    /// Creates a record awaiting a store-assigned sequence number.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kind: EvidenceKind,
+        object: impl Into<String>,
+        run: impl Into<String>,
+        origin: PartyId,
+        payload: Vec<u8>,
+        signature: Option<Signature>,
+        timestamp: Option<TimeStamp>,
+        logged_at: TimeMs,
+    ) -> EvidenceRecord {
+        EvidenceRecord {
+            seq: 0,
+            kind,
+            object: object.into(),
+            run: run.into(),
+            origin,
+            payload,
+            signature,
+            timestamp,
+            logged_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_unique() {
+        use EvidenceKind::*;
+        let kinds = [
+            StatePropose,
+            StateRespond,
+            StateDecide,
+            ConnectRequest,
+            ConnectPropose,
+            ConnectRespond,
+            ConnectDecide,
+            ConnectWelcome,
+            ConnectReject,
+            DisconnectRequest,
+            DisconnectPropose,
+            DisconnectRespond,
+            DisconnectDecide,
+            DisconnectAck,
+            Checkpoint,
+            Misbehaviour,
+            TtpAbort,
+        ];
+        let mut names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn record_serde_roundtrip() {
+        let rec = EvidenceRecord::new(
+            EvidenceKind::StatePropose,
+            "order-1",
+            "abcd",
+            PartyId::new("customer"),
+            vec![1, 2, 3],
+            None,
+            None,
+            TimeMs(42),
+        );
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: EvidenceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(EvidenceKind::StateDecide.to_string(), "state-decide");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the file WAL: arbitrary record batches survive
+//! reopen, and arbitrary corruption of the tail never corrupts the valid
+//! prefix.
+
+use b2b_crypto::{PartyId, TimeMs};
+use b2b_evidence::{EvidenceKind, EvidenceRecord, EvidenceStore, FileStore};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn temp_dir(tag: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "b2b-wal-prop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+fn record(run: &str, payload: Vec<u8>) -> EvidenceRecord {
+    EvidenceRecord::new(
+        EvidenceKind::StatePropose,
+        "obj",
+        run,
+        PartyId::new("p"),
+        payload,
+        None,
+        None,
+        TimeMs(1),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any sequence of appended payloads is read back identically after
+    /// reopen, in order, with sequential sequence numbers.
+    #[test]
+    fn wal_roundtrips_arbitrary_batches(
+        tag in 0u64..1_000_000,
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..512), 1..20),
+    ) {
+        let dir = temp_dir(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = FileStore::open(&dir).unwrap();
+            for (i, p) in payloads.iter().enumerate() {
+                let seq = store.append(record(&format!("r{i}"), p.clone())).unwrap();
+                prop_assert_eq!(seq, i as u64);
+            }
+        }
+        let store = FileStore::open(&dir).unwrap();
+        prop_assert_eq!(store.len(), payloads.len());
+        for (i, p) in payloads.iter().enumerate() {
+            let rec = store.get(i as u64).unwrap();
+            prop_assert_eq!(&rec.payload, p);
+            prop_assert_eq!(rec.seq, i as u64);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Truncating the file at any point, or appending arbitrary garbage,
+    /// loses at most the torn tail: every fully-written prefix record
+    /// whose frame survives is recovered intact.
+    #[test]
+    fn wal_survives_arbitrary_tail_damage(
+        tag in 1_000_000u64..2_000_000,
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 2..10),
+        cut_fraction in 0.0f64..1.0,
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let dir = temp_dir(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = FileStore::open(&dir).unwrap();
+            for (i, p) in payloads.iter().enumerate() {
+                store.append(record(&format!("r{i}"), p.clone())).unwrap();
+            }
+        }
+        let wal = dir.join("evidence.wal");
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        bytes.truncate(cut);
+        bytes.extend_from_slice(&garbage);
+        std::fs::write(&wal, &bytes).unwrap();
+
+        let store = FileStore::open(&dir).unwrap();
+        // Every recovered record matches the original at its index.
+        for (i, original) in payloads.iter().enumerate().take(store.len()) {
+            let rec = store.get(i as u64).unwrap();
+            prop_assert_eq!(&rec.payload, original);
+        }
+        // And the store accepts new appends cleanly after damage.
+        let seq = store.append(record("after", vec![1])).unwrap();
+        prop_assert_eq!(seq as usize, store.len() - 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Snapshots: last write wins for arbitrary key/value sequences.
+    #[test]
+    fn snapshots_last_write_wins(
+        tag in 2_000_000u64..3_000_000,
+        writes in proptest::collection::vec(("key[a-c]", proptest::collection::vec(any::<u8>(), 0..64)), 1..12),
+    ) {
+        use b2b_evidence::SnapshotStore;
+        let dir = temp_dir(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::open(&dir).unwrap();
+        let mut expected: std::collections::HashMap<String, Vec<u8>> = Default::default();
+        for (k, v) in &writes {
+            store.put_snapshot(k, v.clone()).unwrap();
+            expected.insert(k.clone(), v.clone());
+        }
+        for (k, v) in &expected {
+            let got = store.get_snapshot(k);
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-link fault plans for the network simulator.
+//!
+//! The paper's liveness guarantee holds "despite a bounded number of
+//! temporary network and computer related failures" (§1). Fault plans make
+//! those failures injectable and reproducible: message loss, duplication,
+//! and delay jitter (which also produces reordering).
+
+use b2b_crypto::TimeMs;
+
+/// The failure behaviour of a directed link (or of the whole network).
+///
+/// Construct with the builder-style setters; the default plan is a perfect
+/// link with a fixed 1 ms delay.
+///
+/// # Example
+///
+/// ```
+/// use b2b_crypto::TimeMs;
+/// use b2b_net::FaultPlan;
+///
+/// let lossy = FaultPlan::new()
+///     .drop_rate(0.2)
+///     .dup_rate(0.05)
+///     .delay(TimeMs(5), TimeMs(50));
+/// assert_eq!(lossy.drop_rate, 0.2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that a datagram is silently dropped.
+    pub drop_rate: f64,
+    /// Probability in `[0, 1]` that a datagram is delivered twice.
+    pub dup_rate: f64,
+    /// Minimum one-way delay.
+    pub min_delay: TimeMs,
+    /// Maximum one-way delay (inclusive). Jitter between `min_delay` and
+    /// `max_delay` reorders messages.
+    pub max_delay: TimeMs,
+}
+
+impl FaultPlan {
+    /// A perfect link: no loss, no duplication, fixed 1 ms delay.
+    pub fn new() -> FaultPlan {
+        FaultPlan {
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            min_delay: TimeMs(1),
+            max_delay: TimeMs(1),
+        }
+    }
+
+    /// Sets the drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1]`.
+    pub fn drop_rate(mut self, rate: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&rate), "drop rate must be in [0,1]");
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1]`.
+    pub fn dup_rate(mut self, rate: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&rate), "dup rate must be in [0,1]");
+        self.dup_rate = rate;
+        self
+    }
+
+    /// Sets the one-way delay window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn delay(mut self, min: TimeMs, max: TimeMs) -> FaultPlan {
+        assert!(min <= max, "min delay must not exceed max delay");
+        self.min_delay = min;
+        self.max_delay = max;
+        self
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_perfect_link() {
+        let p = FaultPlan::default();
+        assert_eq!(p.drop_rate, 0.0);
+        assert_eq!(p.dup_rate, 0.0);
+        assert_eq!(p.min_delay, TimeMs(1));
+        assert_eq!(p.max_delay, TimeMs(1));
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let p = FaultPlan::new()
+            .drop_rate(0.5)
+            .dup_rate(0.25)
+            .delay(TimeMs(2), TimeMs(9));
+        assert_eq!(p.drop_rate, 0.5);
+        assert_eq!(p.dup_rate, 0.25);
+        assert_eq!(p.min_delay, TimeMs(2));
+        assert_eq!(p.max_delay, TimeMs(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop rate")]
+    fn rejects_out_of_range_drop() {
+        let _ = FaultPlan::new().drop_rate(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "min delay")]
+    fn rejects_inverted_delay_window() {
+        let _ = FaultPlan::new().delay(TimeMs(5), TimeMs(1));
+    }
+}

@@ -1,0 +1,441 @@
+//! Threaded in-process transport.
+//!
+//! Runs each [`NetNode`] engine on its own OS thread with a real clock and
+//! crossbeam channels between nodes — the deployment-shaped counterpart of
+//! the deterministic simulator, playing the role Java RMI played for the
+//! paper's prototype. The same engines run unmodified on both drivers.
+//!
+//! Client threads interact with a node through its [`NodeHandle`]:
+//! [`NodeHandle::invoke`] performs a local call (e.g. a controller
+//! operation) and [`NodeHandle::wait_until`] blocks until the engine
+//! reaches a state of interest, which is how the synchronous communication
+//! mode is realised.
+
+use crate::node::{NetNode, NodeCtx};
+use crate::stats::NetStats;
+use b2b_crypto::{PartyId, TimeMs};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+enum Envelope {
+    Msg { from: PartyId, payload: Vec<u8> },
+    Wake,
+    Stop,
+}
+
+struct Router {
+    channels: RwLock<HashMap<PartyId, Sender<Envelope>>>,
+    start: Instant,
+    sent: AtomicU64,
+    delivered: AtomicU64,
+}
+
+impl Router {
+    fn now(&self) -> TimeMs {
+        TimeMs(self.start.elapsed().as_millis() as u64)
+    }
+
+    fn send(&self, from: &PartyId, to: &PartyId, payload: Vec<u8>) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        if let Some(tx) = self.channels.read().get(to) {
+            // A send to a stopped node fails harmlessly: the paper's model
+            // treats it as a lost message that retransmission recovers.
+            let _ = tx.send(Envelope::Msg {
+                from: from.clone(),
+                payload,
+            });
+        }
+    }
+}
+
+struct Inner<N> {
+    node: N,
+    timers: BinaryHeap<Reverse<(TimeMs, u64)>>,
+}
+
+struct Shared<N> {
+    inner: Mutex<Inner<N>>,
+    cv: Condvar,
+}
+
+/// A handle for interacting with one node of a [`ThreadedNet`].
+pub struct NodeHandle<N> {
+    id: PartyId,
+    shared: Arc<Shared<N>>,
+    tx: Sender<Envelope>,
+    router: Arc<Router>,
+}
+
+impl<N> Clone for NodeHandle<N> {
+    fn clone(&self) -> Self {
+        NodeHandle {
+            id: self.id.clone(),
+            shared: Arc::clone(&self.shared),
+            tx: self.tx.clone(),
+            router: Arc::clone(&self.router),
+        }
+    }
+}
+
+impl<N: NetNode> NodeHandle<N> {
+    /// This node's identity.
+    pub fn id(&self) -> &PartyId {
+        &self.id
+    }
+
+    /// Runs a local call against the engine, applies its effects (sends and
+    /// timers), and returns the call's result.
+    ///
+    /// This is how application clients reach the middleware: controller
+    /// operations queue protocol messages, which this method dispatches.
+    pub fn invoke<R>(&self, f: impl FnOnce(&mut N, &mut NodeCtx) -> R) -> R {
+        let mut ctx = NodeCtx::new(self.router.now());
+        let result = {
+            let mut inner = self.shared.inner.lock();
+            let result = f(&mut inner.node, &mut ctx);
+            flush(&self.id, &mut inner, &mut ctx, &self.router);
+            self.shared.cv.notify_all();
+            result
+        };
+        // Recompute the event-loop deadline in case a timer was armed.
+        let _ = self.tx.send(Envelope::Wake);
+        result
+    }
+
+    /// Reads from the engine without applying effects.
+    pub fn read<R>(&self, f: impl FnOnce(&N) -> R) -> R {
+        f(&self.shared.inner.lock().node)
+    }
+
+    /// Blocks until `pred` holds or `timeout` elapses; returns whether the
+    /// predicate was satisfied.
+    ///
+    /// The predicate is re-evaluated after every event the node processes.
+    pub fn wait_until(&self, timeout: Duration, mut pred: impl FnMut(&N) -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock();
+        loop {
+            if pred(&inner.node) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            if self.shared.cv.wait_until(&mut inner, deadline).timed_out() {
+                return pred(&inner.node);
+            }
+        }
+    }
+}
+
+fn flush<N: NetNode>(id: &PartyId, inner: &mut Inner<N>, ctx: &mut NodeCtx, router: &Router) {
+    for (to, payload) in ctx.take_outgoing() {
+        router.send(id, &to, payload);
+    }
+    let now = router.now();
+    for (timer_id, after) in ctx.take_timers() {
+        inner.timers.push(Reverse((now + after, timer_id)));
+    }
+}
+
+/// A running network of engine threads.
+///
+/// Dropping the net stops all node threads.
+///
+/// # Example
+///
+/// ```
+/// use b2b_crypto::PartyId;
+/// use b2b_net::{NetNode, NodeCtx, ThreadedNet};
+/// use std::time::Duration;
+///
+/// struct Counter { id: PartyId, seen: u32 }
+/// impl NetNode for Counter {
+///     fn id(&self) -> PartyId { self.id.clone() }
+///     fn on_message(&mut self, _f: &PartyId, _p: &[u8], _c: &mut NodeCtx) { self.seen += 1; }
+/// }
+///
+/// let net = ThreadedNet::spawn(vec![
+///     Counter { id: PartyId::new("a"), seen: 0 },
+///     Counter { id: PartyId::new("b"), seen: 0 },
+/// ]);
+/// net.handle(&PartyId::new("a")).invoke(|_n, ctx| {
+///     ctx.send(PartyId::new("b"), vec![1]);
+/// });
+/// let got = net.handle(&PartyId::new("b")).wait_until(Duration::from_secs(2), |n| n.seen == 1);
+/// assert!(got);
+/// ```
+pub struct ThreadedNet<N: NetNode> {
+    handles: HashMap<PartyId, NodeHandle<N>>,
+    threads: Vec<(Sender<Envelope>, JoinHandle<()>)>,
+    router: Arc<Router>,
+}
+
+impl<N: NetNode> ThreadedNet<N> {
+    /// Registers all nodes, spawns one thread per node, and runs each
+    /// node's `on_start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two nodes share an id.
+    pub fn spawn(nodes: Vec<N>) -> ThreadedNet<N> {
+        let router = Arc::new(Router {
+            channels: RwLock::new(HashMap::new()),
+            start: Instant::now(),
+            sent: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+        });
+        let mut handles = HashMap::new();
+        type Starter<N> = (
+            PartyId,
+            Arc<Shared<N>>,
+            Receiver<Envelope>,
+            Sender<Envelope>,
+        );
+        let mut starters: Vec<Starter<N>> = Vec::new();
+
+        for node in nodes {
+            let id = node.id();
+            let (tx, rx) = unbounded();
+            assert!(
+                router
+                    .channels
+                    .write()
+                    .insert(id.clone(), tx.clone())
+                    .is_none(),
+                "duplicate node id {id} in ThreadedNet"
+            );
+            let shared = Arc::new(Shared {
+                inner: Mutex::new(Inner {
+                    node,
+                    timers: BinaryHeap::new(),
+                }),
+                cv: Condvar::new(),
+            });
+            handles.insert(
+                id.clone(),
+                NodeHandle {
+                    id: id.clone(),
+                    shared: Arc::clone(&shared),
+                    tx: tx.clone(),
+                    router: Arc::clone(&router),
+                },
+            );
+            starters.push((id, shared, rx, tx));
+        }
+
+        let mut spawned = Vec::new();
+        for (id, shared, rx, tx) in starters {
+            let router2 = Arc::clone(&router);
+            let handle = std::thread::Builder::new()
+                .name(format!("b2b-node-{id}"))
+                .spawn(move || run_node(id, shared, rx, router2))
+                .expect("spawn node thread");
+            spawned.push((tx, handle));
+        }
+
+        // Run on_start for every node now that all channels exist.
+        let net = ThreadedNet {
+            handles,
+            threads: spawned,
+            router,
+        };
+        for handle in net.handles.values() {
+            handle.invoke(|n, ctx| n.on_start(ctx));
+        }
+        net
+    }
+
+    /// Returns the handle for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn handle(&self, id: &PartyId) -> &NodeHandle<N> {
+        self.handles
+            .get(id)
+            .unwrap_or_else(|| panic!("unknown node {id}"))
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            sent: self.router.sent.load(Ordering::Relaxed),
+            delivered: self.router.delivered.load(Ordering::Relaxed),
+            dropped: 0,
+            duplicated: 0,
+            undeliverable: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Stops all node threads and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        for (tx, _) in &self.threads {
+            let _ = tx.send(Envelope::Stop);
+        }
+        for (_, handle) in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<N: NetNode> Drop for ThreadedNet<N> {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn run_node<N: NetNode>(
+    id: PartyId,
+    shared: Arc<Shared<N>>,
+    rx: Receiver<Envelope>,
+    router: Arc<Router>,
+) {
+    loop {
+        // Next timer deadline, if any.
+        let next_deadline = {
+            let inner = shared.inner.lock();
+            inner.timers.peek().map(|Reverse((t, _))| *t)
+        };
+        let timeout = match next_deadline {
+            Some(deadline) => {
+                let now = router.now();
+                Duration::from_millis(deadline.saturating_sub(now).as_millis())
+            }
+            None => Duration::from_millis(500),
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(Envelope::Msg { from, payload }) => {
+                router.delivered.fetch_add(1, Ordering::Relaxed);
+                let mut ctx = NodeCtx::new(router.now());
+                let mut inner = shared.inner.lock();
+                inner.node.on_message(&from, &payload, &mut ctx);
+                flush(&id, &mut inner, &mut ctx, &router);
+                shared.cv.notify_all();
+            }
+            Ok(Envelope::Wake) => {}
+            Ok(Envelope::Stop) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        // Fire all due timers.
+        loop {
+            let now = router.now();
+            let due = {
+                let mut inner = shared.inner.lock();
+                match inner.timers.peek() {
+                    Some(Reverse((t, _))) if *t <= now => {
+                        let Reverse((_, timer_id)) = inner.timers.pop().expect("peeked");
+                        Some(timer_id)
+                    }
+                    _ => None,
+                }
+            };
+            match due {
+                Some(timer_id) => {
+                    let mut ctx = NodeCtx::new(router.now());
+                    let mut inner = shared.inner.lock();
+                    inner.node.on_timer(timer_id, &mut ctx);
+                    flush(&id, &mut inner, &mut ctx, &router);
+                    shared.cv.notify_all();
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct PingPong {
+        id: PartyId,
+        peer: PartyId,
+        pings_received: u32,
+        pongs_received: u32,
+        timer_fired: bool,
+    }
+
+    impl PingPong {
+        fn new(id: &str, peer: &str) -> PingPong {
+            PingPong {
+                id: PartyId::new(id),
+                peer: PartyId::new(peer),
+                pings_received: 0,
+                pongs_received: 0,
+                timer_fired: false,
+            }
+        }
+    }
+
+    impl NetNode for PingPong {
+        fn id(&self) -> PartyId {
+            self.id.clone()
+        }
+        fn on_message(&mut self, from: &PartyId, payload: &[u8], ctx: &mut NodeCtx) {
+            match payload {
+                b"ping" => {
+                    self.pings_received += 1;
+                    ctx.send(from.clone(), b"pong".to_vec());
+                }
+                b"pong" => self.pongs_received += 1,
+                _ => {}
+            }
+        }
+        fn on_timer(&mut self, _timer: u64, _ctx: &mut NodeCtx) {
+            self.timer_fired = true;
+        }
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let net = ThreadedNet::spawn(vec![PingPong::new("a", "b"), PingPong::new("b", "a")]);
+        let a = net.handle(&PartyId::new("a"));
+        let peer = a.read(|n| n.peer.clone());
+        a.invoke(|_n, ctx| ctx.send(peer, b"ping".to_vec()));
+        assert!(a.wait_until(Duration::from_secs(5), |n| n.pongs_received == 1));
+        assert!(net
+            .handle(&PartyId::new("b"))
+            .wait_until(Duration::from_secs(1), |n| n.pings_received == 1));
+        net.shutdown();
+    }
+
+    #[test]
+    fn timers_fire_in_threaded_mode() {
+        let net = ThreadedNet::spawn(vec![PingPong::new("a", "b"), PingPong::new("b", "a")]);
+        let a = net.handle(&PartyId::new("a"));
+        a.invoke(|_n, ctx| ctx.set_timer(1, TimeMs(20)));
+        assert!(a.wait_until(Duration::from_secs(5), |n| n.timer_fired));
+        net.shutdown();
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let net = ThreadedNet::spawn(vec![PingPong::new("a", "b"), PingPong::new("b", "a")]);
+        let a = net.handle(&PartyId::new("a"));
+        a.invoke(|_n, ctx| ctx.send(PartyId::new("b"), b"ping".to_vec()));
+        assert!(a.wait_until(Duration::from_secs(5), |n| n.pongs_received == 1));
+        let stats = net.stats();
+        assert!(stats.sent >= 2);
+        net.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn duplicate_ids_rejected() {
+        let _ = ThreadedNet::spawn(vec![PingPong::new("a", "b"), PingPong::new("a", "b")]);
+    }
+}

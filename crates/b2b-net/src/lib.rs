@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Network substrate for the B2BObjects middleware.
+//!
+//! The coordination protocols (paper §4.2) assume "eventual, once-only
+//! message delivery", with the middleware itself masking weaker channel
+//! semantics. This crate provides:
+//!
+//! * [`node`] — the [`NetNode`] event-driven interface protocol engines
+//!   implement, and the [`NodeCtx`] through which they send messages and
+//!   arm timers;
+//! * [`sim`] — a deterministic discrete-event network simulator with
+//!   virtual time, seeded randomness, node crash/recovery and healing
+//!   partitions;
+//! * [`fault`] — per-link fault plans (drop, duplicate, delay, reorder);
+//! * [`intruder`] — a programmable Dolev-Yao adversary that observes,
+//!   removes, delays, replays and tampers with traffic;
+//! * [`reliable`] — an ack/retransmit/dedup layer that presents the paper's
+//!   assumed *eventual once-only delivery* on top of lossy links;
+//! * [`inproc`] — a threaded in-process transport that drives the same
+//!   engines concurrently (the role Java RMI played in the prototype).
+
+pub mod fault;
+pub mod inproc;
+pub mod intruder;
+pub mod node;
+pub mod reliable;
+pub mod sim;
+pub mod stats;
+
+pub use fault::FaultPlan;
+pub use inproc::{NodeHandle, ThreadedNet};
+pub use intruder::{InterceptAction, Intruder, PassThrough};
+pub use node::{NetNode, NodeCtx};
+pub use reliable::{ReliableMux, RELIABLE_TIMER_BASE};
+pub use sim::SimNet;
+pub use stats::NetStats;

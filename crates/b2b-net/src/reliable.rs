@@ -1,0 +1,414 @@
+//! Reliable delivery: masking lossy links to present *eventual, once-only*
+//! message delivery.
+//!
+//! Paper §4.2: "It is assumed that the communications infrastructure
+//! provides eventual, once-only message delivery. If the underlying
+//! communications system does not support these semantics then the
+//! coordination middleware masks this and presents the assumed semantics.
+//! There is no requirement for the communications system to order
+//! messages."
+//!
+//! [`ReliableMux`] is that masking layer: per-peer sequence numbers, acks,
+//! timer-driven retransmission and duplicate suppression. It deliberately
+//! does **not** order messages — the coordination protocols above tolerate
+//! reordering, exactly as the paper states.
+
+use crate::node::NodeCtx;
+use b2b_crypto::{PartyId, TimeMs};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Timer ids at or above this value belong to the reliable layer; protocol
+/// engines must allocate their own timer ids strictly below it.
+pub const RELIABLE_TIMER_BASE: u64 = 1 << 62;
+
+const KIND_DATA: u8 = 0;
+const KIND_ACK: u8 = 1;
+
+/// What [`ReliableMux::on_message`] concluded about an incoming frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inbound {
+    /// A payload delivered for the first time: hand it to the protocol.
+    Deliver(Vec<u8>),
+    /// A duplicate of an already-delivered payload: suppressed.
+    Duplicate,
+    /// An ack for one of our outstanding sends: bookkeeping only.
+    Ack,
+    /// A frame that failed to parse (corrupt or foreign traffic).
+    Malformed,
+}
+
+#[derive(Debug, Default)]
+struct PeerState {
+    next_send_seq: u64,
+    /// Unacknowledged outbound payloads by sequence number.
+    outstanding: BTreeMap<u64, Vec<u8>>,
+    /// Inbound `(epoch, seq)` pairs already delivered upward. The epoch
+    /// distinguishes a peer's pre-crash sends from its post-recovery sends,
+    /// which restart sequence numbering.
+    delivered: BTreeSet<(u64, u64)>,
+}
+
+/// Reliable, once-only (but unordered) delivery over unreliable links, for
+/// one node talking to many peers.
+///
+/// # Integration contract
+///
+/// * Send with [`ReliableMux::send`] instead of [`NodeCtx::send`].
+/// * Feed every raw payload to [`ReliableMux::on_message`] and act only on
+///   [`Inbound::Deliver`].
+/// * Forward timer ids `>= RELIABLE_TIMER_BASE` to
+///   [`ReliableMux::on_timer`].
+///
+/// # Example
+///
+/// ```
+/// use b2b_crypto::{PartyId, TimeMs};
+/// use b2b_net::{NodeCtx, ReliableMux};
+/// use b2b_net::reliable::Inbound;
+///
+/// let mut alice = ReliableMux::new(TimeMs(100), 1);
+/// let mut bob = ReliableMux::new(TimeMs(100), 2);
+/// let (a, b) = (PartyId::new("alice"), PartyId::new("bob"));
+///
+/// // Alice sends; the frame is what actually crosses the wire.
+/// let mut ctx = NodeCtx::new(TimeMs(0));
+/// alice.send(b.clone(), b"hi".to_vec(), &mut ctx);
+/// let (_to, frame) = ctx.take_outgoing().pop().unwrap();
+///
+/// // Bob receives the frame once: delivered. Twice: suppressed.
+/// let mut bob_ctx = NodeCtx::new(TimeMs(1));
+/// assert_eq!(bob.on_message(&a, &frame, &mut bob_ctx), Inbound::Deliver(b"hi".to_vec()));
+/// assert_eq!(bob.on_message(&a, &frame, &mut bob_ctx), Inbound::Duplicate);
+/// ```
+#[derive(Debug)]
+pub struct ReliableMux {
+    peers: HashMap<PartyId, PeerState>,
+    retransmit_after: TimeMs,
+    /// Identifies this mux incarnation; a node picks a fresh random epoch
+    /// after crash-recovery so receivers do not mistake its restarted
+    /// sequence numbers for duplicates of pre-crash traffic.
+    epoch: u64,
+    next_timer: u64,
+    timer_targets: HashMap<u64, (PartyId, u64)>,
+    /// Count of protocol-level payloads sent (excluding retransmits/acks).
+    sent_payloads: u64,
+    /// Count of retransmitted frames.
+    retransmits: u64,
+}
+
+impl ReliableMux {
+    /// Creates a mux with the given retransmission interval and incarnation
+    /// epoch (pick a fresh random epoch after every crash recovery).
+    pub fn new(retransmit_after: TimeMs, epoch: u64) -> ReliableMux {
+        ReliableMux {
+            peers: HashMap::new(),
+            retransmit_after,
+            epoch,
+            next_timer: RELIABLE_TIMER_BASE,
+            timer_targets: HashMap::new(),
+            sent_payloads: 0,
+            retransmits: 0,
+        }
+    }
+
+    /// This mux incarnation's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sends `payload` to `to` with at-least-once retransmission; the
+    /// receiver's mux suppresses duplicates, yielding once-only delivery.
+    pub fn send(&mut self, to: PartyId, payload: Vec<u8>, ctx: &mut NodeCtx) {
+        let peer = self.peers.entry(to.clone()).or_default();
+        let seq = peer.next_send_seq;
+        peer.next_send_seq += 1;
+        peer.outstanding.insert(seq, payload.clone());
+        self.sent_payloads += 1;
+        ctx.send(
+            to.clone(),
+            encode_frame(KIND_DATA, self.epoch, seq, &payload),
+        );
+        self.arm_retransmit(to, seq, ctx);
+    }
+
+    /// Processes a raw inbound payload; acks data frames and classifies the
+    /// result for the caller.
+    pub fn on_message(&mut self, from: &PartyId, raw: &[u8], ctx: &mut NodeCtx) -> Inbound {
+        let Some((kind, epoch, seq, body)) = decode_frame(raw) else {
+            return Inbound::Malformed;
+        };
+        match kind {
+            KIND_DATA => {
+                // Always re-ack: the previous ack may have been lost.
+                ctx.send(from.clone(), encode_frame(KIND_ACK, epoch, seq, &[]));
+                let peer = self.peers.entry(from.clone()).or_default();
+                if peer.delivered.insert((epoch, seq)) {
+                    Inbound::Deliver(body.to_vec())
+                } else {
+                    Inbound::Duplicate
+                }
+            }
+            KIND_ACK => {
+                if epoch == self.epoch {
+                    if let Some(peer) = self.peers.get_mut(from) {
+                        peer.outstanding.remove(&seq);
+                    }
+                }
+                Inbound::Ack
+            }
+            _ => Inbound::Malformed,
+        }
+    }
+
+    /// Handles a reliable-layer timer; returns `true` if the id belonged to
+    /// this mux (otherwise the caller should treat it as a protocol timer).
+    pub fn on_timer(&mut self, timer: u64, ctx: &mut NodeCtx) -> bool {
+        if timer < RELIABLE_TIMER_BASE {
+            return false;
+        }
+        if let Some((peer_id, seq)) = self.timer_targets.remove(&timer) {
+            let still_outstanding = self
+                .peers
+                .get(&peer_id)
+                .map(|p| p.outstanding.contains_key(&seq))
+                .unwrap_or(false);
+            if still_outstanding {
+                let payload = self.peers[&peer_id].outstanding[&seq].clone();
+                self.retransmits += 1;
+                ctx.send(
+                    peer_id.clone(),
+                    encode_frame(KIND_DATA, self.epoch, seq, &payload),
+                );
+                self.arm_retransmit(peer_id, seq, ctx);
+            }
+        }
+        true
+    }
+
+    /// Number of distinct payloads submitted for sending.
+    pub fn sent_payloads(&self) -> u64 {
+        self.sent_payloads
+    }
+
+    /// Number of retransmitted frames so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Returns `true` if every sent payload has been acknowledged.
+    pub fn all_acked(&self) -> bool {
+        self.peers.values().all(|p| p.outstanding.is_empty())
+    }
+
+    fn arm_retransmit(&mut self, peer: PartyId, seq: u64, ctx: &mut NodeCtx) {
+        let id = self.next_timer;
+        self.next_timer += 1;
+        self.timer_targets.insert(id, (peer, seq));
+        ctx.set_timer(id, self.retransmit_after);
+    }
+}
+
+fn encode_frame(kind: u8, epoch: u64, seq: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17 + body.len());
+    out.push(kind);
+    out.extend_from_slice(&epoch.to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+fn decode_frame(raw: &[u8]) -> Option<(u8, u64, u64, &[u8])> {
+    if raw.len() < 17 {
+        return None;
+    }
+    let kind = raw[0];
+    let epoch = u64::from_be_bytes(raw[1..9].try_into().ok()?);
+    let seq = u64::from_be_bytes(raw[9..17].try_into().ok()?);
+    Some((kind, epoch, seq, &raw[17..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::node::NetNode;
+    use crate::sim::SimNet;
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = encode_frame(KIND_DATA, 7, 42, b"payload");
+        let (k, e, s, b) = decode_frame(&f).unwrap();
+        assert_eq!(k, KIND_DATA);
+        assert_eq!(e, 7);
+        assert_eq!(s, 42);
+        assert_eq!(b, b"payload");
+    }
+
+    #[test]
+    fn new_epoch_is_not_a_duplicate() {
+        // A recovered sender restarts seq numbering under a new epoch; the
+        // receiver must deliver, not suppress.
+        let mut rx = ReliableMux::new(TimeMs(10), 0);
+        let from = PartyId::new("tx");
+        let mut ctx = NodeCtx::new(TimeMs(0));
+        let before = encode_frame(KIND_DATA, 1, 0, b"pre-crash");
+        let after = encode_frame(KIND_DATA, 2, 0, b"post-crash");
+        assert_eq!(
+            rx.on_message(&from, &before, &mut ctx),
+            Inbound::Deliver(b"pre-crash".to_vec())
+        );
+        assert_eq!(
+            rx.on_message(&from, &after, &mut ctx),
+            Inbound::Deliver(b"post-crash".to_vec())
+        );
+        assert_eq!(rx.on_message(&from, &after, &mut ctx), Inbound::Duplicate);
+    }
+
+    #[test]
+    fn stale_epoch_ack_is_ignored() {
+        let mut tx = ReliableMux::new(TimeMs(10), 5);
+        let to = PartyId::new("rx");
+        let mut ctx = NodeCtx::new(TimeMs(0));
+        tx.send(to.clone(), b"m".to_vec(), &mut ctx);
+        // An ack for another epoch must not clear our outstanding send.
+        let stale = encode_frame(KIND_ACK, 4, 0, &[]);
+        tx.on_message(&to, &stale, &mut ctx);
+        assert!(!tx.all_acked());
+        let good = encode_frame(KIND_ACK, 5, 0, &[]);
+        tx.on_message(&to, &good, &mut ctx);
+        assert!(tx.all_acked());
+    }
+
+    #[test]
+    fn short_frames_are_malformed() {
+        assert!(decode_frame(&[1, 2, 3]).is_none());
+        let mut mux = ReliableMux::new(TimeMs(10), 1);
+        let mut ctx = NodeCtx::new(TimeMs(0));
+        assert_eq!(
+            mux.on_message(&PartyId::new("x"), &[1, 2, 3], &mut ctx),
+            Inbound::Malformed
+        );
+    }
+
+    #[test]
+    fn ack_clears_outstanding() {
+        let mut a = ReliableMux::new(TimeMs(10), 1);
+        let mut b = ReliableMux::new(TimeMs(10), 2);
+        let (pa, pb) = (PartyId::new("a"), PartyId::new("b"));
+        let mut ctx = NodeCtx::new(TimeMs(0));
+        a.send(pb.clone(), b"m".to_vec(), &mut ctx);
+        let (_, frame) = ctx.take_outgoing().remove(0);
+        assert!(!a.all_acked());
+
+        let mut bctx = NodeCtx::new(TimeMs(1));
+        b.on_message(&pa, &frame, &mut bctx);
+        let (_, ack) = bctx.take_outgoing().remove(0);
+
+        let mut actx = NodeCtx::new(TimeMs(2));
+        assert_eq!(a.on_message(&pb, &ack, &mut actx), Inbound::Ack);
+        assert!(a.all_acked());
+    }
+
+    #[test]
+    fn retransmit_fires_only_while_outstanding() {
+        let mut a = ReliableMux::new(TimeMs(10), 1);
+        let pb = PartyId::new("b");
+        let mut ctx = NodeCtx::new(TimeMs(0));
+        a.send(pb.clone(), b"m".to_vec(), &mut ctx);
+        let timers = ctx.take_timers();
+        assert_eq!(timers.len(), 1);
+        let (tid, after) = timers[0];
+        assert!(tid >= RELIABLE_TIMER_BASE);
+        assert_eq!(after, TimeMs(10));
+
+        // Fire the timer while unacked: retransmits and re-arms.
+        let mut ctx2 = NodeCtx::new(TimeMs(10));
+        assert!(a.on_timer(tid, &mut ctx2));
+        assert_eq!(ctx2.take_outgoing().len(), 1);
+        assert_eq!(a.retransmits(), 1);
+        let (tid2, _) = ctx2.take_timers()[0];
+
+        // Ack arrives; the pending timer becomes a no-op.
+        let frame_ack = encode_frame(KIND_ACK, 1, 0, &[]);
+        let mut ctx3 = NodeCtx::new(TimeMs(15));
+        a.on_message(&pb, &frame_ack, &mut ctx3);
+        let mut ctx4 = NodeCtx::new(TimeMs(20));
+        assert!(a.on_timer(tid2, &mut ctx4));
+        assert!(ctx4.take_outgoing().is_empty());
+        assert!(ctx4.take_timers().is_empty());
+    }
+
+    #[test]
+    fn protocol_timer_ids_are_not_consumed() {
+        let mut a = ReliableMux::new(TimeMs(10), 1);
+        let mut ctx = NodeCtx::new(TimeMs(0));
+        assert!(!a.on_timer(5, &mut ctx));
+    }
+
+    /// End-to-end: a flooding sender and a counting receiver over a lossy,
+    /// duplicating, reordering network still achieve exactly-once delivery
+    /// of every payload.
+    struct ReliProbe {
+        id: PartyId,
+        mux: ReliableMux,
+        peer: PartyId,
+        to_send: Vec<Vec<u8>>,
+        delivered: Vec<Vec<u8>>,
+    }
+
+    impl NetNode for ReliProbe {
+        fn id(&self) -> PartyId {
+            self.id.clone()
+        }
+        fn on_start(&mut self, ctx: &mut NodeCtx) {
+            for m in std::mem::take(&mut self.to_send) {
+                let peer = self.peer.clone();
+                self.mux.send(peer, m, ctx);
+            }
+        }
+        fn on_message(&mut self, from: &PartyId, payload: &[u8], ctx: &mut NodeCtx) {
+            if let Inbound::Deliver(m) = self.mux.on_message(from, payload, ctx) {
+                self.delivered.push(m);
+            }
+        }
+        fn on_timer(&mut self, timer: u64, ctx: &mut NodeCtx) {
+            self.mux.on_timer(timer, ctx);
+        }
+    }
+
+    #[test]
+    fn once_only_delivery_over_lossy_network() {
+        for seed in [1u64, 2, 3, 4, 5] {
+            let mut net: SimNet<ReliProbe> = SimNet::new(seed);
+            net.set_default_plan(
+                FaultPlan::new()
+                    .drop_rate(0.4)
+                    .dup_rate(0.3)
+                    .delay(TimeMs(1), TimeMs(30)),
+            );
+            let msgs: Vec<Vec<u8>> = (0..25u8).map(|i| vec![i]).collect();
+            net.add_node(ReliProbe {
+                id: PartyId::new("rx"),
+                mux: ReliableMux::new(TimeMs(40), 10),
+                peer: PartyId::new("tx"),
+                to_send: vec![],
+                delivered: vec![],
+            });
+            net.add_node(ReliProbe {
+                id: PartyId::new("tx"),
+                mux: ReliableMux::new(TimeMs(40), 11),
+                peer: PartyId::new("rx"),
+                to_send: msgs.clone(),
+                delivered: vec![],
+            });
+            net.run_until_quiet(TimeMs(60_000));
+            let rx = net.node(&PartyId::new("rx"));
+            let mut got = rx.delivered.clone();
+            got.sort();
+            let mut want = msgs;
+            want.sort();
+            assert_eq!(got, want, "seed {seed}: every payload exactly once");
+            assert!(net.node(&PartyId::new("tx")).mux.all_acked());
+        }
+    }
+}

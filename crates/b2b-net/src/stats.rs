@@ -1,0 +1,60 @@
+//! Traffic statistics collected by the network drivers.
+//!
+//! Experiment E1 (message complexity vs group size) and E6 (liveness under
+//! faults) read these counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters of datagram fates inside a network driver.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Datagrams handed to the network by nodes.
+    pub sent: u64,
+    /// Datagrams delivered to a node's `on_message`.
+    pub delivered: u64,
+    /// Datagrams removed by the fault plan or the intruder.
+    pub dropped: u64,
+    /// Extra copies delivered due to duplication faults.
+    pub duplicated: u64,
+    /// Datagrams discarded because the destination was crashed or
+    /// partitioned away at delivery time.
+    pub undeliverable: u64,
+    /// Total payload bytes handed to the network by nodes.
+    pub bytes_sent: u64,
+}
+
+impl NetStats {
+    /// Returns a zeroed counter set.
+    pub fn new() -> NetStats {
+        NetStats::default()
+    }
+
+    /// Total datagrams that failed to reach a live destination.
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.undeliverable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lost_sums_failures() {
+        let s = NetStats {
+            sent: 10,
+            delivered: 6,
+            dropped: 3,
+            duplicated: 0,
+            undeliverable: 1,
+            bytes_sent: 100,
+        };
+        assert_eq!(s.lost(), 4);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NetStats::new(), NetStats::default());
+        assert_eq!(NetStats::new().lost(), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Distributed auction (§2 scenario 3): three auction houses operate one
+//! regulated market place; clients bid through whichever house they use
+//! and get the same guarantees.
+//!
+//! Run with: `cargo run --example auction`
+
+use b2bobjects::apps::auction::{Auction, AuctionObject};
+use b2bobjects::core::{Coordinator, ObjectId, Outcome};
+use b2bobjects::crypto::{KeyPair, KeyRing, PartyId, Signer, TimeMs};
+use b2bobjects::net::SimNet;
+
+fn main() {
+    let houses: Vec<PartyId> = (0..3).map(|i| PartyId::new(format!("house{i}"))).collect();
+    let mut ring = KeyRing::new();
+    let mut keys = Vec::new();
+    for (i, h) in houses.iter().enumerate() {
+        let kp = KeyPair::generate_from_seed(i as u64 + 1);
+        ring.register(h.clone(), kp.public_key());
+        keys.push(kp);
+    }
+    let mut net = SimNet::new(99);
+    for (h, kp) in houses.iter().zip(keys) {
+        net.add_node(
+            Coordinator::builder(h.clone(), kp)
+                .ring(ring.clone())
+                .seed(3)
+                .build(),
+        );
+    }
+
+    let opener = houses[0].clone();
+    let factory = move || -> Box<dyn b2bobjects::core::B2BObject> {
+        Box::new(AuctionObject::new(Auction::open(
+            "vintage-guitar",
+            PartyId::new("house0"),
+            500,
+        )))
+    };
+    let f = factory;
+    net.invoke(&opener, move |c, _| {
+        c.register_object(ObjectId::new("lot-1"), Box::new(f))
+            .unwrap();
+    });
+    for i in 1..3 {
+        let f = factory;
+        let sponsor = houses[i - 1].clone();
+        net.invoke(&houses[i], move |c, ctx| {
+            c.request_connect(ObjectId::new("lot-1"), Box::new(f), sponsor, ctx)
+                .unwrap();
+        });
+        net.run_until_quiet(TimeMs(60_000));
+    }
+    println!(
+        "auction houses sharing lot-1: {:?}",
+        net.node(&opener).members(&ObjectId::new("lot-1")).unwrap()
+    );
+
+    let mut bid = |house: usize, bidder: &str, amount: u64| {
+        let h = houses[house].clone();
+        let state = net.node(&h).agreed_state(&ObjectId::new("lot-1")).unwrap();
+        let mut auction = Auction::from_bytes(&state).unwrap();
+        auction.place_bid(bidder, h.clone(), amount);
+        let oid = ObjectId::new("lot-1");
+        let bytes = auction.to_bytes();
+        let run = net.invoke(&h, move |c, ctx| {
+            c.propose_overwrite(&oid, bytes, ctx).unwrap()
+        });
+        net.run_until_quiet(TimeMs(60_000));
+        match net.node(&h).outcome_of(&run).unwrap() {
+            Outcome::Installed { .. } => {
+                println!("  {bidder} bids {amount} via house{house}: ACCEPTED")
+            }
+            Outcome::Invalidated { vetoers } => println!(
+                "  {bidder} bids {amount} via house{house}: rejected ({})",
+                vetoers[0].1
+            ),
+            other => println!("  {other:?}"),
+        }
+    };
+
+    bid(1, "alice", 500);
+    bid(2, "bob", 650);
+    bid(0, "carol", 600); // does not beat bob
+    bid(1, "alice", 700);
+    bid(2, "dave", 400); // below the running best
+
+    // Only the opening house may close.
+    let state = net
+        .node(&opener)
+        .agreed_state(&ObjectId::new("lot-1"))
+        .unwrap();
+    let mut auction = Auction::from_bytes(&state).unwrap();
+    auction.closed = true;
+    let oid = ObjectId::new("lot-1");
+    let bytes = auction.to_bytes();
+    net.invoke(&opener, move |c, ctx| {
+        c.propose_overwrite(&oid, bytes, ctx).unwrap();
+    });
+    net.run_until_quiet(TimeMs(60_000));
+
+    for h in &houses {
+        let auction =
+            Auction::from_bytes(&net.node(h).agreed_state(&ObjectId::new("lot-1")).unwrap())
+                .unwrap();
+        println!("{h} sees: {auction}");
+    }
+}

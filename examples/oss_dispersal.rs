@@ -1,0 +1,128 @@
+//! §2 scenario 2: dispersal of Operational Support Systems — a telco and
+//! its customer share the service configuration, each controlling the
+//! aspects that logically belong to them.
+//!
+//! Run with: `cargo run --example oss_dispersal`
+
+use b2bobjects::apps::oss::{OssObject, ServiceConfig};
+use b2bobjects::core::{Coordinator, ObjectId, Outcome};
+use b2bobjects::crypto::{KeyPair, KeyRing, PartyId, Signer, TimeMs};
+use b2bobjects::net::SimNet;
+
+fn main() {
+    let telco = PartyId::new("telco");
+    let customer = PartyId::new("customer");
+    let kp_t = KeyPair::generate_from_seed(1);
+    let kp_c = KeyPair::generate_from_seed(2);
+    let mut ring = KeyRing::new();
+    ring.register(telco.clone(), kp_t.public_key());
+    ring.register(customer.clone(), kp_c.public_key());
+
+    let mut net = SimNet::new(11);
+    net.add_node(
+        Coordinator::builder(telco.clone(), kp_t)
+            .ring(ring.clone())
+            .seed(1)
+            .build(),
+    );
+    net.add_node(
+        Coordinator::builder(customer.clone(), kp_c)
+            .ring(ring)
+            .seed(2)
+            .build(),
+    );
+
+    let factory = {
+        let t = telco.clone();
+        let c = customer.clone();
+        move || -> Box<dyn b2bobjects::core::B2BObject> {
+            Box::new(OssObject::new(c.clone(), t.clone()))
+        }
+    };
+    let f = factory.clone();
+    net.invoke(&telco, move |c, _| {
+        c.register_object(ObjectId::new("svc-1042"), Box::new(f))
+            .unwrap();
+    });
+    let sponsor = telco.clone();
+    net.invoke(&customer, move |c, ctx| {
+        c.request_connect(ObjectId::new("svc-1042"), Box::new(factory), sponsor, ctx)
+            .unwrap();
+    });
+    net.run_until_quiet(TimeMs(60_000));
+
+    let mut act = |who: &PartyId, describe: &str, mutate: &dyn Fn(&mut ServiceConfig)| {
+        let state = net
+            .node(who)
+            .agreed_state(&ObjectId::new("svc-1042"))
+            .unwrap();
+        let mut cfg = ServiceConfig::from_bytes(&state).unwrap();
+        mutate(&mut cfg);
+        let oid = ObjectId::new("svc-1042");
+        let bytes = cfg.to_bytes();
+        let run = net.invoke(who, move |c, ctx| {
+            c.propose_overwrite(&oid, bytes, ctx).unwrap()
+        });
+        net.run_until_quiet(TimeMs(60_000));
+        match net.node(who).outcome_of(&run).unwrap() {
+            Outcome::Installed { .. } => println!("✓ {describe}"),
+            Outcome::Invalidated { vetoers } => {
+                println!(
+                    "✗ {describe} — VETOED by {}: {}",
+                    vetoers[0].0, vetoers[0].1
+                )
+            }
+            other => println!("? {describe}: {other:?}"),
+        }
+    };
+
+    act(
+        &customer,
+        "customer enables call-forwarding and picks low-latency routing",
+        &|c| {
+            c.features.insert("call-forwarding".into(), true);
+            c.routing_policy = "low-latency".into();
+        },
+    );
+    act(&telco, "telco provisions 200 capacity units", &|c| {
+        c.capacity = 200;
+    });
+    act(
+        &telco,
+        "telco tries to flip the customer's feature toggle",
+        &|c| {
+            c.features.insert("call-forwarding".into(), false);
+        },
+    );
+    act(&customer, "customer opens a fault ticket", &|c| {
+        c.open_ticket("SIP registrations flapping");
+    });
+    act(
+        &customer,
+        "customer tries to resolve its own ticket",
+        &|c| {
+            c.resolve_ticket(1, "self-declared fixed");
+        },
+    );
+    act(&telco, "telco resolves the ticket", &|c| {
+        c.resolve_ticket(1, "re-homed to a healthy SBC");
+    });
+
+    let final_cfg = ServiceConfig::from_bytes(
+        &net.node(&customer)
+            .agreed_state(&ObjectId::new("svc-1042"))
+            .unwrap(),
+    )
+    .unwrap();
+    println!(
+        "\nagreed configuration: features={:?} routing={} capacity={} tickets={}",
+        final_cfg.features,
+        final_cfg.routing_policy,
+        final_cfg.capacity,
+        final_cfg.tickets.len()
+    );
+    println!(
+        "ticket #1: {} → {:?}",
+        final_cfg.tickets[0].description, final_cfg.tickets[0].resolution
+    );
+}

@@ -1,0 +1,111 @@
+//! Figure 5 replay: the Tic-Tac-Toe game, including Cross's cheating move
+//! being vetoed and "not reflected at Nought's server".
+//!
+//! Run with: `cargo run --example tictactoe`
+
+use b2bobjects::apps::tictactoe::{Board, GameObject, Mark, Players};
+use b2bobjects::core::{Coordinator, ObjectId, Outcome};
+use b2bobjects::crypto::{KeyPair, KeyRing, PartyId, Signer, TimeMs};
+use b2bobjects::net::SimNet;
+
+fn main() {
+    let cross = PartyId::new("cross");
+    let nought = PartyId::new("nought");
+    let players = Players {
+        cross: cross.clone(),
+        nought: nought.clone(),
+    };
+
+    let kp_c = KeyPair::generate_from_seed(1);
+    let kp_n = KeyPair::generate_from_seed(2);
+    let mut ring = KeyRing::new();
+    ring.register(cross.clone(), kp_c.public_key());
+    ring.register(nought.clone(), kp_n.public_key());
+
+    let mut net = SimNet::new(7);
+    net.add_node(
+        Coordinator::builder(cross.clone(), kp_c)
+            .ring(ring.clone())
+            .seed(1)
+            .build(),
+    );
+    net.add_node(
+        Coordinator::builder(nought.clone(), kp_n)
+            .ring(ring)
+            .seed(2)
+            .build(),
+    );
+
+    let p = players.clone();
+    net.invoke(&cross, move |c, _| {
+        c.register_object(
+            ObjectId::new("game"),
+            Box::new(move || Box::new(GameObject::new(p.clone()))),
+        )
+        .unwrap();
+    });
+    let p = players;
+    let sponsor = cross.clone();
+    net.invoke(&nought, move |c, ctx| {
+        c.request_connect(
+            ObjectId::new("game"),
+            Box::new(move || Box::new(GameObject::new(p.clone()))),
+            sponsor,
+            ctx,
+        )
+        .unwrap();
+    });
+    net.run_until_quiet(TimeMs(60_000));
+
+    let mut play = |who: &PartyId, describe: &str, mutate: &dyn Fn(&mut Board)| {
+        let state = net.node(who).agreed_state(&ObjectId::new("game")).unwrap();
+        let mut board = Board::from_bytes(&state).unwrap();
+        mutate(&mut board);
+        let oid = ObjectId::new("game");
+        let bytes = board.to_bytes();
+        let run = net.invoke(who, move |c, ctx| {
+            c.propose_overwrite(&oid, bytes, ctx).unwrap()
+        });
+        net.run_until_quiet(TimeMs(60_000));
+        println!("== {describe}");
+        match net.node(who).outcome_of(&run).unwrap() {
+            Outcome::Installed { .. } => {
+                let b = Board::from_bytes(
+                    &net.node(&PartyId::new("nought"))
+                        .agreed_state(&ObjectId::new("game"))
+                        .unwrap(),
+                )
+                .unwrap();
+                println!("   agreed at both servers:\n{b}");
+            }
+            Outcome::Invalidated { vetoers } => {
+                println!("   VETOED by {} — \"{}\"", vetoers[0].0, vetoers[0].1);
+                let b = Board::from_bytes(
+                    &net.node(&PartyId::new("nought"))
+                        .agreed_state(&ObjectId::new("game"))
+                        .unwrap(),
+                )
+                .unwrap();
+                println!("   Nought's server still shows:\n{b}");
+            }
+            other => println!("   {other:?}"),
+        }
+    };
+
+    // The Figure 5 move sequence.
+    play(&cross, "Cross claims middle row, centre square", &|b| {
+        b.play(Mark::X, 1, 1).unwrap()
+    });
+    play(&nought, "Nought claims top row, left square", &|b| {
+        b.play(Mark::O, 0, 0).unwrap()
+    });
+    play(&cross, "Cross claims middle row, right square", &|b| {
+        b.play(Mark::X, 1, 2).unwrap()
+    });
+    play(
+        &cross,
+        "Cross attempts to mark bottom row, centre square with a ZERO (cheat!)",
+        &|b| b.cheat_set(Mark::O, 2, 1),
+    );
+    println!("Cross forfeits the game — Nought holds signed evidence of the attempt.");
+}

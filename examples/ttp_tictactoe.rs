@@ -1,0 +1,106 @@
+//! Figure 6 replay: Tic-Tac-Toe played *through a trusted third party*
+//! that validates each move before it takes effect — protecting an honest
+//! player even when both player servers hold broken rule encodings.
+//!
+//! Run with: `cargo run --example ttp_tictactoe`
+
+use b2bobjects::apps::tictactoe::{Board, GameObject, Mark, Players};
+use b2bobjects::apps::ttp::lenient_game_object;
+use b2bobjects::core::{Coordinator, ObjectId, Outcome};
+use b2bobjects::crypto::{KeyPair, KeyRing, PartyId, Signer, TimeMs};
+use b2bobjects::net::SimNet;
+
+fn main() {
+    let ttp = PartyId::new("ttp");
+    let cross = PartyId::new("cross");
+    let nought = PartyId::new("nought");
+    let players = Players {
+        cross: cross.clone(),
+        nought: nought.clone(),
+    };
+
+    let mut ring = KeyRing::new();
+    let kps: Vec<KeyPair> = (0..3).map(|i| KeyPair::generate_from_seed(i + 1)).collect();
+    for (p, kp) in [&ttp, &cross, &nought].into_iter().zip(&kps) {
+        ring.register(p.clone(), kp.public_key());
+    }
+    let mut net = SimNet::new(5);
+    for (p, kp) in [&ttp, &cross, &nought].into_iter().zip(kps) {
+        net.add_node(
+            Coordinator::builder(p.clone(), kp)
+                .ring(ring.clone())
+                .seed(9)
+                .build(),
+        );
+    }
+
+    // The TTP holds the REFERENCE rules; the players' servers are lenient
+    // (imagine mis-encoded or tampered game logic at the player side).
+    let p = players.clone();
+    net.invoke(&ttp, move |c, _| {
+        c.register_object(
+            ObjectId::new("game"),
+            Box::new(move || Box::new(GameObject::new(p.clone()))),
+        )
+        .unwrap();
+    });
+    for (joiner, sponsor) in [(&cross, &ttp), (&nought, &cross)] {
+        let p = players.clone();
+        let s = sponsor.clone();
+        net.invoke(joiner, move |c, ctx| {
+            c.request_connect(
+                ObjectId::new("game"),
+                Box::new(move || lenient_game_object(p.clone())),
+                s,
+                ctx,
+            )
+            .unwrap();
+        });
+        net.run_until_quiet(TimeMs(60_000));
+    }
+    println!(
+        "group: {:?}",
+        net.node(&ttp).members(&ObjectId::new("game")).unwrap()
+    );
+
+    let mut attempt = |who: &PartyId, describe: &str, mutate: &dyn Fn(&mut Board)| {
+        let state = net.node(who).agreed_state(&ObjectId::new("game")).unwrap();
+        let mut board = Board::from_bytes(&state).unwrap();
+        mutate(&mut board);
+        let oid = ObjectId::new("game");
+        let bytes = board.to_bytes();
+        let run = net.invoke(who, move |c, ctx| {
+            c.propose_overwrite(&oid, bytes, ctx).unwrap()
+        });
+        net.run_until_quiet(TimeMs(60_000));
+        println!("== {describe}");
+        match net.node(who).outcome_of(&run).unwrap() {
+            Outcome::Installed { .. } => println!("   validated by the TTP and installed"),
+            Outcome::Invalidated { vetoers } => {
+                println!("   VETOED by {} — \"{}\"", vetoers[0].0, vetoers[0].1)
+            }
+            other => println!("   {other:?}"),
+        }
+    };
+
+    attempt(&cross, "Cross plays centre (legal)", &|b| {
+        b.play(Mark::X, 1, 1).unwrap()
+    });
+    attempt(&nought, "Nought plays top-left (legal)", &|b| {
+        b.play(Mark::O, 0, 0).unwrap()
+    });
+    attempt(
+        &cross,
+        "Cross writes a ZERO out of turn — Nought's lenient server would allow it",
+        &|b| b.cheat_set(Mark::O, 2, 1),
+    );
+
+    let board = Board::from_bytes(
+        &net.node(&nought)
+            .agreed_state(&ObjectId::new("game"))
+            .unwrap(),
+    )
+    .unwrap();
+    println!("agreed board after the vetoed cheat:\n{board}");
+    println!("only the TTP needed correct rules — Figure 6's point.");
+}

@@ -1,0 +1,136 @@
+//! Shared harness for the cross-crate scenario tests: a simulated network
+//! of coordinators driven through the public facade API.
+
+#![allow(dead_code)]
+
+use b2bobjects::core::{B2BObject, Coordinator, ObjectId, Outcome, RunId};
+use b2bobjects::crypto::{KeyPair, KeyRing, PartyId, Signer, TimeMs, TimeStampAuthority};
+use b2bobjects::evidence::MemStore;
+use b2bobjects::net::SimNet;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+pub const QUIET: TimeMs = TimeMs(600_000);
+
+pub struct World {
+    pub net: SimNet<Coordinator>,
+    pub parties: Vec<PartyId>,
+    pub stores: HashMap<PartyId, Arc<MemStore>>,
+    pub ring: KeyRing,
+}
+
+impl World {
+    /// Builds coordinators named after `names` on a perfect network.
+    pub fn new(names: &[&str], seed: u64) -> World {
+        let mut ring = KeyRing::new();
+        let mut keys = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let kp = KeyPair::generate_from_seed(500 + i as u64);
+            ring.register(PartyId::new(*name), kp.public_key());
+            keys.push((PartyId::new(*name), kp));
+        }
+        let tsa = TimeStampAuthority::new(KeyPair::generate_from_seed(777));
+        let mut net = SimNet::new(seed);
+        let mut stores = HashMap::new();
+        for (i, (id, kp)) in keys.into_iter().enumerate() {
+            let store = Arc::new(MemStore::new());
+            stores.insert(id.clone(), store.clone());
+            net.add_node(
+                Coordinator::builder(id, kp)
+                    .ring(ring.clone())
+                    .tsa(tsa.clone())
+                    .store(store)
+                    .seed(seed + i as u64)
+                    .build(),
+            );
+        }
+        World {
+            net,
+            parties: names.iter().map(|n| PartyId::new(*n)).collect(),
+            stores,
+            ring,
+        }
+    }
+
+    pub fn run(&mut self) {
+        self.net.run_until_quiet(QUIET);
+    }
+
+    /// Registers an object at `owner` and joins the remaining `joiners` in
+    /// order, each sponsored by the previously joined member.
+    pub fn share<F>(&mut self, alias: &str, owner: &str, joiners: &[&str], factory: F)
+    where
+        F: Fn() -> Box<dyn B2BObject> + Clone + Send + 'static,
+    {
+        let f = factory.clone();
+        self.net.invoke(&PartyId::new(owner), move |c, _| {
+            c.register_object(ObjectId::new(alias.to_string()), Box::new(f))
+                .unwrap();
+        });
+        let mut sponsor = PartyId::new(owner);
+        let alias = alias.to_string();
+        for joiner in joiners {
+            let f = factory.clone();
+            let s = sponsor.clone();
+            let a = alias.clone();
+            self.net.invoke(&PartyId::new(*joiner), move |c, ctx| {
+                c.request_connect(ObjectId::new(a), Box::new(f), s, ctx)
+                    .unwrap();
+            });
+            self.run();
+            assert!(
+                self.net
+                    .node(&PartyId::new(*joiner))
+                    .is_member(&ObjectId::new(alias.clone())),
+                "{joiner} failed to join {alias}"
+            );
+            sponsor = PartyId::new(*joiner);
+        }
+    }
+
+    /// Joins with a party-specific factory (e.g. a TTP holding different
+    /// rules than the players).
+    pub fn join_with(
+        &mut self,
+        alias: &str,
+        joiner: &str,
+        sponsor: &str,
+        factory: impl Fn() -> Box<dyn B2BObject> + Send + 'static,
+    ) {
+        let s = PartyId::new(sponsor);
+        let a = alias.to_string();
+        self.net.invoke(&PartyId::new(joiner), move |c, ctx| {
+            c.request_connect(ObjectId::new(a), Box::new(factory), s, ctx)
+                .unwrap();
+        });
+        self.run();
+        assert!(self
+            .net
+            .node(&PartyId::new(joiner))
+            .is_member(&ObjectId::new(alias)));
+    }
+
+    /// Proposes `state` on `alias` from `who`; drives to quiescence and
+    /// returns the run and its outcome at the proposer.
+    pub fn propose(&mut self, who: &str, alias: &str, state: Vec<u8>) -> (RunId, Outcome) {
+        let a = ObjectId::new(alias);
+        let run = self.net.invoke(&PartyId::new(who), move |c, ctx| {
+            c.propose_overwrite(&a, state, ctx).unwrap()
+        });
+        self.run();
+        let outcome = self
+            .net
+            .node(&PartyId::new(who))
+            .outcome_of(&run)
+            .cloned()
+            .expect("run completed");
+        (run, outcome)
+    }
+
+    pub fn state(&self, who: &str, alias: &str) -> Vec<u8> {
+        self.net
+            .node(&PartyId::new(who))
+            .agreed_state(&ObjectId::new(alias))
+            .expect("state present")
+    }
+}

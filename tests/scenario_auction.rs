@@ -1,0 +1,91 @@
+//! The distributed auction service of §2, scenario 3: four auction houses
+//! jointly operating a regulated market place, "the same chance of a
+//! successful outcome irrespective of which individual server is used".
+
+mod common;
+
+use b2bobjects::apps::auction::{Auction, AuctionObject};
+use b2bobjects::core::Outcome;
+use b2bobjects::crypto::PartyId;
+use common::World;
+
+fn factory() -> Box<dyn b2bobjects::core::B2BObject> {
+    Box::new(AuctionObject::new(Auction::open(
+        "painting",
+        PartyId::new("house0"),
+        100,
+    )))
+}
+
+#[test]
+fn bids_from_any_house_are_equally_validated() {
+    let houses = ["house0", "house1", "house2", "house3"];
+    let mut world = World::new(&houses, 130);
+    world.share("lot-42", "house0", &houses[1..], factory);
+
+    // Clients bid through different houses; all must beat the best bid.
+    let bids = [
+        ("house1", "alice", 100u64, true),
+        ("house3", "bob", 150, true),
+        ("house2", "carol", 150, false), // does not beat bob
+        ("house0", "dave", 200, true),
+        ("house2", "erin", 90, false), // below best (and reserve logic)
+    ];
+    for (house, bidder, amount, should_install) in bids {
+        let mut auction = Auction::from_bytes(&world.state(house, "lot-42")).unwrap();
+        auction.place_bid(bidder, PartyId::new(house), amount);
+        let (_, outcome) = world.propose(house, "lot-42", auction.to_bytes());
+        assert_eq!(
+            outcome.is_installed(),
+            should_install,
+            "bid {amount} by {bidder} via {house}"
+        );
+    }
+
+    // Only the opening house may close.
+    let mut closed = Auction::from_bytes(&world.state("house2", "lot-42")).unwrap();
+    closed.closed = true;
+    let (_, outcome) = world.propose("house2", "lot-42", closed.to_bytes());
+    assert!(!outcome.is_installed(), "house2 cannot close");
+
+    let mut closed = Auction::from_bytes(&world.state("house0", "lot-42")).unwrap();
+    closed.closed = true;
+    let (_, outcome) = world.propose("house0", "lot-42", closed.to_bytes());
+    assert!(outcome.is_installed());
+
+    // Every house sees the same winner — the TTP-like guarantee the
+    // collaborating houses provide to their clients.
+    for house in houses {
+        let auction = Auction::from_bytes(&world.state(house, "lot-42")).unwrap();
+        let winner = auction.winner().expect("closed with winner");
+        assert_eq!(winner.bidder, "dave");
+        assert_eq!(winner.amount, 200);
+    }
+}
+
+#[test]
+fn dishonest_house_cannot_rewrite_bid_history() {
+    let houses = ["house0", "house1", "house2"];
+    let mut world = World::new(&houses, 131);
+    world.share("lot-7", "house0", &houses[1..], factory);
+
+    let mut auction = Auction::from_bytes(&world.state("house1", "lot-7")).unwrap();
+    auction.place_bid("alice", PartyId::new("house1"), 120);
+    assert!(world
+        .propose("house1", "lot-7", auction.to_bytes())
+        .1
+        .is_installed());
+
+    // house2 tries to demote alice's bid while inserting its client's.
+    let mut rigged = Auction::from_bytes(&world.state("house2", "lot-7")).unwrap();
+    rigged.bids[0].amount = 1;
+    rigged.place_bid("mallory", PartyId::new("house2"), 2);
+    let (_, outcome) = world.propose("house2", "lot-7", rigged.to_bytes());
+    match outcome {
+        Outcome::Invalidated { vetoers } => assert!(!vetoers.is_empty()),
+        other => panic!("expected veto, got {other:?}"),
+    }
+    let auction = Auction::from_bytes(&world.state("house0", "lot-7")).unwrap();
+    assert_eq!(auction.best_bid().unwrap().bidder, "alice");
+    assert_eq!(auction.best_bid().unwrap().amount, 120);
+}

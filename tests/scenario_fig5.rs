@@ -1,0 +1,107 @@
+//! Reproduction of **Figure 5**: the Tic-Tac-Toe game in progress, with
+//! Cross's cheating move vetoed and "not reflected at Nought's server",
+//! Nought holding evidence of the attempt to cheat.
+//!
+//! Move script from the paper: "Cross claims middle row, centre square;
+//! Nought claims top row, left square; Cross claims middle row, right
+//! square; then Cross attempts to mark bottom row, centre square with a
+//! zero."
+
+mod common;
+
+use b2bobjects::apps::tictactoe::{Board, GameObject, Mark, Players};
+use b2bobjects::core::{Arbiter, Claim, ObjectId, Outcome};
+use b2bobjects::crypto::PartyId;
+use common::World;
+
+fn players() -> Players {
+    Players {
+        cross: PartyId::new("cross"),
+        nought: PartyId::new("nought"),
+    }
+}
+
+fn game_factory() -> Box<dyn b2bobjects::core::B2BObject> {
+    Box::new(GameObject::new(players()))
+}
+
+#[test]
+fn figure5_cheating_move_is_vetoed_and_not_reflected() {
+    let mut world = World::new(&["cross", "nought"], 100);
+    world.share("game", "cross", &["nought"], game_factory);
+
+    // The three legitimate moves of Figure 5.
+    let moves = [
+        ("cross", Mark::X, 1, 1),  // middle row, centre
+        ("nought", Mark::O, 0, 0), // top row, left
+        ("cross", Mark::X, 1, 2),  // middle row, right
+    ];
+    for (who, mark, row, col) in moves {
+        let mut board = Board::from_bytes(&world.state(who, "game")).unwrap();
+        board.play(mark, row, col).unwrap();
+        let (_, outcome) = world.propose(who, "game", board.to_bytes());
+        assert!(outcome.is_installed(), "{who}'s legal move installs");
+    }
+    let agreed_before_cheat = world.state("nought", "game");
+
+    // "The final move is an attempt by Cross to gain advantage by
+    // pre-empting Nought's next move": Cross marks bottom-centre with a O.
+    let mut cheat = Board::from_bytes(&world.state("cross", "game")).unwrap();
+    cheat.cheat_set(Mark::O, 2, 1);
+    let (run, outcome) = world.propose("cross", "game", cheat.to_bytes());
+
+    // "The state change is invalid and is not reflected at Nought's
+    // server. The agreed state of the game has not been updated."
+    match outcome {
+        Outcome::Invalidated { vetoers } => {
+            assert_eq!(vetoers[0].0, PartyId::new("nought"));
+        }
+        other => panic!("expected veto, got {other:?}"),
+    }
+    assert_eq!(world.state("nought", "game"), agreed_before_cheat);
+    assert_eq!(world.state("cross", "game"), agreed_before_cheat);
+
+    // "Nought will have evidence of the attempt to cheat": the veto is
+    // provable from Nought's log — and Cross cannot prove the cheat valid.
+    let arbiter = Arbiter::new(world.ring.clone());
+    let veto_claim = Claim::StateVetoed {
+        object: ObjectId::new("game"),
+        run,
+    };
+    assert!(arbiter
+        .judge(&veto_claim, &*world.stores[&PartyId::new("nought")])
+        .is_upheld());
+
+    let board = Board::from_bytes(&agreed_before_cheat).unwrap();
+    assert_eq!(board.at(1, 1), Some(Mark::X));
+    assert_eq!(board.at(0, 0), Some(Mark::O));
+    assert_eq!(board.at(1, 2), Some(Mark::X));
+    assert_eq!(board.at(2, 1), None, "the cheat square stays vacant");
+}
+
+#[test]
+fn the_game_plays_to_a_win_when_honest() {
+    let mut world = World::new(&["cross", "nought"], 101);
+    world.share("game", "cross", &["nought"], game_factory);
+    // X: (1,1) (1,0) (1,2) — middle row win. O: (0,0) (2,2).
+    let script = [
+        ("cross", Mark::X, 1, 1),
+        ("nought", Mark::O, 0, 0),
+        ("cross", Mark::X, 1, 0),
+        ("nought", Mark::O, 2, 2),
+        ("cross", Mark::X, 1, 2),
+    ];
+    for (who, mark, row, col) in script {
+        let mut board = Board::from_bytes(&world.state(who, "game")).unwrap();
+        board.play(mark, row, col).unwrap();
+        let (_, outcome) = world.propose(who, "game", board.to_bytes());
+        assert!(outcome.is_installed());
+    }
+    let board = Board::from_bytes(&world.state("nought", "game")).unwrap();
+    assert_eq!(board.winner(), Some(Mark::X));
+    // Any move after the win is vetoed.
+    let mut late = board.clone();
+    late.cheat_set(Mark::O, 0, 1);
+    let (_, outcome) = world.propose("nought", "game", late.to_bytes());
+    assert!(!outcome.is_installed());
+}

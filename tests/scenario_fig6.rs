@@ -1,0 +1,82 @@
+//! Reproduction of **Figure 6**: Tic-Tac-Toe played through a trusted
+//! third party "that validates each player's move", guaranteeing the rules
+//! "are encoded and observed correctly" even when a player's own server
+//! holds a corrupted (lenient) rule encoding.
+
+mod common;
+
+use b2bobjects::apps::tictactoe::{Board, GameObject, Mark, Players};
+use b2bobjects::apps::ttp::lenient_game_object;
+use b2bobjects::core::Outcome;
+use b2bobjects::crypto::PartyId;
+use common::World;
+
+fn players() -> Players {
+    Players {
+        cross: PartyId::new("cross"),
+        nought: PartyId::new("nought"),
+    }
+}
+
+#[test]
+fn ttp_vetoes_cheat_even_when_opponent_server_is_lenient() {
+    let mut world = World::new(&["ttp", "cross", "nought"], 120);
+    // The TTP holds the reference rules; the players' servers are lenient
+    // (their operators could have mis-encoded or corrupted the rules).
+    let p = players();
+    world.net.invoke(&PartyId::new("ttp"), move |c, _| {
+        c.register_object(
+            b2bobjects::core::ObjectId::new("game"),
+            Box::new(move || Box::new(GameObject::new(p.clone()))),
+        )
+        .unwrap();
+    });
+    let p = players();
+    world.join_with("game", "cross", "ttp", move || {
+        lenient_game_object(p.clone())
+    });
+    let p = players();
+    world.join_with("game", "nought", "cross", move || {
+        lenient_game_object(p.clone())
+    });
+
+    // A legal opening move passes everyone.
+    let mut board = Board::from_bytes(&world.state("cross", "game")).unwrap();
+    board.play(Mark::X, 1, 1).unwrap();
+    let (_, outcome) = world.propose("cross", "game", board.to_bytes());
+    assert!(outcome.is_installed());
+
+    // Nought's lenient server would accept Cross's cheat — only the TTP
+    // objects, and its veto protects Nought.
+    let mut cheat = Board::from_bytes(&world.state("cross", "game")).unwrap();
+    cheat.cheat_set(Mark::O, 2, 1); // Cross plays a zero out of turn
+    let before = world.state("nought", "game");
+    let (_, outcome) = world.propose("cross", "game", cheat.to_bytes());
+    match outcome {
+        Outcome::Invalidated { vetoers } => {
+            assert_eq!(vetoers.len(), 1, "only the TTP vetoes");
+            assert_eq!(vetoers[0].0, PartyId::new("ttp"));
+        }
+        other => panic!("expected TTP veto, got {other:?}"),
+    }
+    assert_eq!(world.state("nought", "game"), before);
+}
+
+#[test]
+fn without_ttp_a_lenient_opponent_would_be_cheated() {
+    // The control experiment motivating Figure 6: two lenient servers with
+    // no TTP accept the illegal move — the regulated-market guarantee is
+    // gone. (Direct interaction, Figure 1a, with broken rule encodings.)
+    let mut world = World::new(&["cross", "nought"], 121);
+    let p = players();
+    world.share("game", "cross", &["nought"], move || {
+        lenient_game_object(p.clone())
+    });
+    let mut cheat = Board::from_bytes(&world.state("cross", "game")).unwrap();
+    cheat.cheat_set(Mark::O, 2, 1);
+    let (_, outcome) = world.propose("cross", "game", cheat.to_bytes());
+    assert!(
+        outcome.is_installed(),
+        "lenient servers accept the cheat — demonstrating why the TTP matters"
+    );
+}

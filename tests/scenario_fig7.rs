@@ -1,0 +1,144 @@
+//! Reproduction of **Figure 7**: the order-processing application.
+//!
+//! Script from §5.2: "the customer orders 2 widget1s. This is a valid
+//! entry. The supplier then prices widget1 at 10 per unit … The customer
+//! then amends the order for the supply of 10 widget2s … Then the supplier
+//! attempts to both price widget2 (a valid action) and change the quantity
+//! required (an invalid action). This update to the order is rejected and
+//! is not reflected in the customer's copy."
+
+mod common;
+
+use b2bobjects::apps::order::{Order, OrderObject, OrderRoles};
+use b2bobjects::core::Outcome;
+use b2bobjects::crypto::PartyId;
+use common::World;
+
+fn roles() -> OrderRoles {
+    OrderRoles::two_party(PartyId::new("customer"), PartyId::new("supplier"))
+}
+
+fn order_factory() -> Box<dyn b2bobjects::core::B2BObject> {
+    Box::new(OrderObject::new(roles()))
+}
+
+#[test]
+fn figure7_invalid_supplier_update_not_reflected_at_customer() {
+    let mut world = World::new(&["customer", "supplier"], 110);
+    world.share("order", "customer", &["supplier"], order_factory);
+
+    // Customer orders 2 widget1s: valid.
+    let mut order = Order::from_bytes(&world.state("customer", "order")).unwrap();
+    order.set_quantity("widget1", 2);
+    let (_, outcome) = world.propose("customer", "order", order.to_bytes());
+    assert!(outcome.is_installed());
+
+    // Supplier prices widget1 at 10: valid, reflected at the customer.
+    let mut order = Order::from_bytes(&world.state("supplier", "order")).unwrap();
+    assert!(order.set_price("widget1", 10));
+    let (_, outcome) = world.propose("supplier", "order", order.to_bytes());
+    assert!(outcome.is_installed());
+    let at_customer = Order::from_bytes(&world.state("customer", "order")).unwrap();
+    assert_eq!(at_customer.line("widget1").unwrap().unit_price, Some(10));
+
+    // Customer orders 10 widget2s: valid, reflected at the supplier.
+    let mut order = Order::from_bytes(&world.state("customer", "order")).unwrap();
+    order.set_quantity("widget2", 10);
+    let (_, outcome) = world.propose("customer", "order", order.to_bytes());
+    assert!(outcome.is_installed());
+    let at_supplier = Order::from_bytes(&world.state("supplier", "order")).unwrap();
+    assert_eq!(at_supplier.line("widget2").unwrap().qty, 10);
+
+    // Supplier prices widget2 (valid) AND changes the quantity (invalid):
+    // the whole update is rejected.
+    let before = world.state("customer", "order");
+    let mut order = Order::from_bytes(&world.state("supplier", "order")).unwrap();
+    assert!(order.set_price("widget2", 7));
+    order.set_quantity("widget2", 99);
+    let (_, outcome) = world.propose("supplier", "order", order.to_bytes());
+    match outcome {
+        Outcome::Invalidated { vetoers } => {
+            assert_eq!(vetoers[0].0, PartyId::new("customer"));
+        }
+        other => panic!("expected veto, got {other:?}"),
+    }
+    // "…and is not reflected in the customer's copy."
+    assert_eq!(world.state("customer", "order"), before);
+    let final_order = Order::from_bytes(&world.state("supplier", "order")).unwrap();
+    assert_eq!(final_order.line("widget2").unwrap().qty, 10);
+    assert_eq!(final_order.line("widget2").unwrap().unit_price, None);
+}
+
+#[test]
+fn four_party_order_with_approver_and_dispatcher() {
+    // §5.2's alternative instantiation: "an approver to sanction the items
+    // ordered by the customer and a dispatcher to commit to delivery
+    // terms. The order object would then be shared between four parties."
+    let roles = OrderRoles::four_party(
+        PartyId::new("customer"),
+        PartyId::new("supplier"),
+        PartyId::new("approver"),
+        PartyId::new("dispatcher"),
+    );
+    let factory = move || -> Box<dyn b2bobjects::core::B2BObject> {
+        Box::new(OrderObject::new(roles.clone()))
+    };
+    let mut world = World::new(&["customer", "supplier", "approver", "dispatcher"], 111);
+    world.share(
+        "order",
+        "customer",
+        &["supplier", "approver", "dispatcher"],
+        factory,
+    );
+
+    // Customer orders.
+    let mut order = Order::from_bytes(&world.state("customer", "order")).unwrap();
+    order.set_quantity("gadget", 4);
+    assert!(world
+        .propose("customer", "order", order.to_bytes())
+        .1
+        .is_installed());
+
+    // Approver sanctions the line.
+    let mut order = Order::from_bytes(&world.state("approver", "order")).unwrap();
+    assert!(order.approve("gadget"));
+    assert!(world
+        .propose("approver", "order", order.to_bytes())
+        .1
+        .is_installed());
+
+    // Supplier prices it.
+    let mut order = Order::from_bytes(&world.state("supplier", "order")).unwrap();
+    assert!(order.set_price("gadget", 25));
+    assert!(world
+        .propose("supplier", "order", order.to_bytes())
+        .1
+        .is_installed());
+
+    // Dispatcher commits delivery terms.
+    let mut order = Order::from_bytes(&world.state("dispatcher", "order")).unwrap();
+    order.delivery_terms = Some("rail freight, 5 days".into());
+    assert!(world
+        .propose("dispatcher", "order", order.to_bytes())
+        .1
+        .is_installed());
+
+    // A supplier attempt to self-approve is vetoed by the other three.
+    let mut order = Order::from_bytes(&world.state("supplier", "order")).unwrap();
+    order.set_quantity("extra", 1); // suppliers cannot add items either
+    let (_, outcome) = world.propose("supplier", "order", order.to_bytes());
+    assert!(!outcome.is_installed());
+
+    // All four replicas agree on the final order.
+    let reference = world.state("customer", "order");
+    for who in ["supplier", "approver", "dispatcher"] {
+        assert_eq!(world.state(who, "order"), reference);
+    }
+    let final_order = Order::from_bytes(&reference).unwrap();
+    assert_eq!(final_order.line("gadget").unwrap().unit_price, Some(25));
+    assert!(final_order.line("gadget").unwrap().approved);
+    assert_eq!(
+        final_order.delivery_terms.as_deref(),
+        Some("rail freight, 5 days")
+    );
+}

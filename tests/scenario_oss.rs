@@ -1,0 +1,75 @@
+//! §2 scenario 2 end-to-end: dispersal of OSS — customer and provider
+//! share the service configuration, each controlling their own aspects,
+//! jointly working the fault queue.
+
+mod common;
+
+use b2bobjects::apps::oss::{OssObject, ServiceConfig};
+use b2bobjects::core::Outcome;
+use b2bobjects::crypto::PartyId;
+use common::World;
+
+fn factory() -> Box<dyn b2bobjects::core::B2BObject> {
+    Box::new(OssObject::new(
+        PartyId::new("customer"),
+        PartyId::new("telco"),
+    ))
+}
+
+#[test]
+fn dispersed_oss_roles_enforced_end_to_end() {
+    let mut world = World::new(&["telco", "customer"], 160);
+    world.share("svc", "telco", &["customer"], factory);
+
+    // The customer tailors its own aspects.
+    let mut cfg = ServiceConfig::from_bytes(&world.state("customer", "svc")).unwrap();
+    cfg.features.insert("voicemail".into(), true);
+    cfg.routing_policy = "least-cost".into();
+    assert!(world
+        .propose("customer", "svc", cfg.to_bytes())
+        .1
+        .is_installed());
+
+    // The provider provisions capacity.
+    let mut cfg = ServiceConfig::from_bytes(&world.state("telco", "svc")).unwrap();
+    cfg.capacity = 500;
+    assert!(world
+        .propose("telco", "svc", cfg.to_bytes())
+        .1
+        .is_installed());
+
+    // The provider reaching into customer-controlled aspects is vetoed —
+    // the autonomy boundary §2 demands.
+    let before = world.state("customer", "svc");
+    let mut cfg = ServiceConfig::from_bytes(&world.state("telco", "svc")).unwrap();
+    cfg.features.insert("voicemail".into(), false);
+    let (_, outcome) = world.propose("telco", "svc", cfg.to_bytes());
+    match outcome {
+        Outcome::Invalidated { vetoers } => assert_eq!(vetoers[0].0, PartyId::new("customer")),
+        other => panic!("expected veto, got {other:?}"),
+    }
+    assert_eq!(world.state("customer", "svc"), before);
+
+    // Fault handling: customer opens, provider resolves; both replicated.
+    let mut cfg = ServiceConfig::from_bytes(&world.state("customer", "svc")).unwrap();
+    let id = cfg.open_ticket("intermittent packet loss");
+    assert!(world
+        .propose("customer", "svc", cfg.to_bytes())
+        .1
+        .is_installed());
+    let mut cfg = ServiceConfig::from_bytes(&world.state("telco", "svc")).unwrap();
+    assert!(cfg.resolve_ticket(id, "replaced faulty linecard"));
+    assert!(world
+        .propose("telco", "svc", cfg.to_bytes())
+        .1
+        .is_installed());
+
+    let final_cfg = ServiceConfig::from_bytes(&world.state("customer", "svc")).unwrap();
+    assert_eq!(final_cfg.capacity, 500);
+    assert_eq!(final_cfg.features.get("voicemail"), Some(&true));
+    assert_eq!(
+        final_cfg.tickets[0].resolution.as_deref(),
+        Some("replaced faulty linecard")
+    );
+    assert_eq!(world.state("telco", "svc"), world.state("customer", "svc"));
+}
