@@ -1,52 +1,71 @@
 //! Regenerates the experiment tables recorded in `EXPERIMENTS.md`.
 //!
 //! Usage: `cargo run -p b2b-bench --release --bin exp -- <e1|...|e9|all>`
+//!
+//! Besides its markdown table, every experiment merges the fleet-wide
+//! metrics registries of all the fleets it ran and writes the result as
+//! a JSON sidecar to `target/metrics/<exp>.metrics.json` (see
+//! `EXPERIMENTS.md` for the format).
 
 use b2b_bench::{append_blob_factory, counter_factory, enc, party, Crypto, Fleet};
 use b2b_core::{ConnectStatus, CoordinatorConfig, DecisionRule, ObjectId, Outcome};
 use b2b_crypto::TimeMs;
 use b2b_net::FaultPlan;
+use b2b_telemetry::MetricsSnapshot;
 use std::time::Instant;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let known = ["all", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
     if !known.contains(&which.as_str()) {
-        eprintln!("unknown experiment '{which}'; expected one of: {}", known.join(", "));
+        eprintln!(
+            "unknown experiment '{which}'; expected one of: {}",
+            known.join(", ")
+        );
         std::process::exit(2);
     }
     let all = which == "all";
-    if all || which == "e1" {
-        e1_message_complexity();
+    type Experiment = fn() -> MetricsSnapshot;
+    let experiments: [(&str, Experiment); 9] = [
+        ("e1", e1_message_complexity),
+        ("e2", e2_protocol_latency),
+        ("e3", e3_overwrite_vs_update),
+        ("e4", e4_crypto_ablation),
+        ("e5", e5_modes),
+        ("e6", e6_liveness_under_faults),
+        ("e7", e7_recovery),
+        ("e8", e8_membership),
+        ("e9", e9_termination),
+    ];
+    for (name, run) in experiments {
+        if all || which == name {
+            let metrics = run();
+            write_sidecar(name, &metrics);
+        }
     }
-    if all || which == "e2" {
-        e2_protocol_latency();
+}
+
+/// Writes the merged metrics of one experiment as a JSON sidecar under
+/// `target/metrics/` and prints the human-readable table.
+fn write_sidecar(name: &str, metrics: &MetricsSnapshot) {
+    let dir = std::path::Path::new("target").join("metrics");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
     }
-    if all || which == "e3" {
-        e3_overwrite_vs_update();
-    }
-    if all || which == "e4" {
-        e4_crypto_ablation();
-    }
-    if all || which == "e5" {
-        e5_modes();
-    }
-    if all || which == "e6" {
-        e6_liveness_under_faults();
-    }
-    if all || which == "e7" {
-        e7_recovery();
-    }
-    if all || which == "e8" {
-        e8_membership();
-    }
-    if all || which == "e9" {
-        e9_termination();
+    let path = dir.join(format!("{name}.metrics.json"));
+    match std::fs::write(&path, metrics.to_json()) {
+        Ok(()) => {
+            println!("\nmetrics sidecar: {}", path.display());
+            println!("{}", metrics.render_table());
+        }
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
     }
 }
 
 /// E1 — §7 message-efficiency claim: a state run costs 3(n−1) messages.
-fn e1_message_complexity() {
+fn e1_message_complexity() -> MetricsSnapshot {
+    let mut metrics = MetricsSnapshot::default();
     println!("\n## E1 — messages per state-coordination run vs group size\n");
     println!("| n parties | measured msgs | model 3(n-1) | bytes on wire |");
     println!("|---|---|---|---|");
@@ -59,11 +78,14 @@ fn e1_message_complexity() {
         let msgs = fleet.total_protocol_messages() - msgs_before;
         let bytes = fleet.net.stats().bytes_sent - bytes_before;
         println!("| {n} | {msgs} | {} | {bytes} |", 3 * (n - 1));
+        metrics.merge(&fleet.metrics());
     }
+    metrics
 }
 
 /// E2 — three-step protocol: completion latency vs group size and link delay.
-fn e2_protocol_latency() {
+fn e2_protocol_latency() -> MetricsSnapshot {
+    let mut metrics = MetricsSnapshot::default();
     println!("\n## E2 — state-run completion latency (virtual time)\n");
     println!("| n parties | link delay | latency (all installed) | model 3d |");
     println!("|---|---|---|---|");
@@ -94,12 +116,15 @@ fn e2_protocol_latency() {
             }
             let latency = fleet.net.now() - t0;
             println!("| {n} | {delay}ms | {latency} | {}ms |", 3 * delay);
+            metrics.merge(&fleet.metrics());
         }
     }
+    metrics
 }
 
 /// E3 — §4.3.1 overwrite vs update for growing state.
-fn e3_overwrite_vs_update() {
+fn e3_overwrite_vs_update() -> MetricsSnapshot {
+    let mut metrics = MetricsSnapshot::default();
     println!("\n## E3 — overwrite vs update (64 B appended to a large state)\n");
     println!("| state size | mode | wire bytes/run | wall time/run |");
     println!("|---|---|---|---|");
@@ -136,12 +161,15 @@ fn e3_overwrite_vs_update() {
                 wire,
                 wall
             );
+            metrics.merge(&fleet.metrics());
         }
     }
+    metrics
 }
 
 /// E4 — the cost of the non-repudiation machinery.
-fn e4_crypto_ablation() {
+fn e4_crypto_ablation() -> MetricsSnapshot {
+    let mut metrics = MetricsSnapshot::default();
     println!("\n## E4 — crypto ablation: Ed25519+TSA vs insecure signer\n");
     println!("| n parties | crypto | wall time / run |");
     println!("|---|---|---|");
@@ -166,12 +194,15 @@ fn e4_crypto_ablation() {
                 fleet.propose((i % n as u64) as usize, "c", enc(i + 1));
             }
             println!("| {n} | {label} | {:?} |", t.elapsed() / runs as u32);
+            metrics.merge(&fleet.metrics());
         }
     }
+    metrics
 }
 
 /// E5 — communication modes: sequential blocking vs pipelined deferred.
-fn e5_modes() {
+fn e5_modes() -> MetricsSnapshot {
+    let mut metrics = MetricsSnapshot::default();
     println!("\n## E5 — sync (sequential) vs deferred (pipelined across objects)\n");
     println!("| objects | mode | virtual time for one update each |");
     println!("|---|---|---|");
@@ -186,6 +217,7 @@ fn e5_modes() {
             fleet.propose(0, &format!("obj{i}"), enc(1)); // runs to quiescence: sequential
         }
         let sync_time = fleet.net.now() - t0;
+        metrics.merge(&fleet.metrics());
         // Deferred: fire all proposals, then drive once.
         let mut fleet = Fleet::new(2, 6);
         for i in 0..k {
@@ -200,13 +232,16 @@ fn e5_modes() {
         }
         fleet.run();
         let deferred_time = fleet.net.now() - t0;
+        metrics.merge(&fleet.metrics());
         println!("| {k} | sync | {sync_time} |");
         println!("| {k} | deferred | {deferred_time} |");
     }
+    metrics
 }
 
 /// E6 — liveness despite temporary failures: completion under loss.
-fn e6_liveness_under_faults() {
+fn e6_liveness_under_faults() -> MetricsSnapshot {
+    let mut metrics = MetricsSnapshot::default();
     println!("\n## E6 — liveness under message loss (3 parties, retransmit 200 ms)\n");
     println!("| loss rate | runs completed | median completion (virtual) |");
     println!("|---|---|---|");
@@ -238,6 +273,7 @@ fn e6_liveness_under_faults() {
                 completed += 1;
                 completions.push((fleet.net.now() - t0).as_millis());
             }
+            metrics.merge(&fleet.metrics());
         }
         completions.sort_unstable();
         let median = completions
@@ -249,10 +285,12 @@ fn e6_liveness_under_faults() {
             loss = loss * 100.0
         );
     }
+    metrics
 }
 
 /// E7 — crash recovery: a recipient crashes mid-run, recovers, completes.
-fn e7_recovery() {
+fn e7_recovery() -> MetricsSnapshot {
+    let mut metrics = MetricsSnapshot::default();
     println!("\n## E7 — recipient crash + recovery during a run\n");
     println!("| downtime | run completes | completion after recovery |");
     println!("|---|---|---|");
@@ -271,11 +309,14 @@ fn e7_recovery() {
         });
         let after_recovery = (fleet.net.now() - t0).saturating_sub(TimeMs(downtime));
         println!("| {downtime}ms | {ok} | +{after_recovery} |");
+        metrics.merge(&fleet.metrics());
     }
+    metrics
 }
 
 /// E8 — membership protocol cost vs group size.
-fn e8_membership() {
+fn e8_membership() -> MetricsSnapshot {
+    let mut metrics = MetricsSnapshot::default();
     println!("\n## E8 — membership change cost vs group size\n");
     println!("| group n | change | measured msgs | model |");
     println!("|---|---|---|---|");
@@ -329,11 +370,14 @@ fn e8_membership() {
             3 * (n + 1 - 2)
         );
         let _ = sub;
+        metrics.merge(&fleet.metrics());
     }
+    metrics
 }
 
 /// E9 — §7 termination extensions: deadlines and majority decision.
-fn e9_termination() {
+fn e9_termination() -> MetricsSnapshot {
+    let mut metrics = MetricsSnapshot::default();
     println!("\n## E9 — termination extensions (one silent party)\n");
     println!("| rule | deadline | outcome at proposer | time to resolution |");
     println!("|---|---|---|---|");
@@ -390,6 +434,8 @@ fn e9_termination() {
                 .map(|t| (t - t0).to_string())
                 .unwrap_or_else(|| ">60000ms".into());
             println!("| {label} | {deadline}ms | {outcome} | {elapsed} |");
+            metrics.merge(&fleet.metrics());
         }
     }
+    metrics
 }

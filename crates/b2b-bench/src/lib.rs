@@ -16,6 +16,7 @@ use b2b_core::{
 use b2b_crypto::{InsecureSigner, KeyPair, KeyRing, PartyId, Signer, TimeMs, TimeStampAuthority};
 use b2b_evidence::MemStore;
 use b2b_net::{FaultPlan, SimNet};
+use b2b_telemetry::{MetricsSnapshot, Telemetry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -44,6 +45,7 @@ pub fn add_notary(fleet: &mut Fleet, seed: u64) -> PartyId {
         Coordinator::builder(notary.clone(), kp)
             .ring(fleet.ring.clone())
             .seed(seed)
+            .telemetry(fleet.telemetry.clone())
             .build(),
     );
     notary
@@ -59,6 +61,10 @@ pub struct Fleet {
     pub stores: HashMap<PartyId, Arc<MemStore>>,
     /// The shared key ring.
     pub ring: KeyRing,
+    /// Fleet-wide observability handle, shared by every coordinator and
+    /// the simulated network; its registry accumulates metrics for the
+    /// whole experiment.
+    pub telemetry: Telemetry,
 }
 
 /// Returns the canonical party id for index `i`.
@@ -179,8 +185,10 @@ impl Fleet {
             Crypto::Ed25519 => TimeStampAuthority::new(KeyPair::generate_from_seed(9999)),
             Crypto::Insecure => TimeStampAuthority::new(InsecureSigner::from_seed(9999)),
         });
+        let telemetry = Telemetry::new();
         let mut net = SimNet::new(seed);
         net.set_default_plan(plan);
+        net.set_telemetry(telemetry.clone());
         let mut stores = HashMap::new();
         for (i, make_signer) in signers.into_iter().enumerate() {
             let store = Arc::new(MemStore::new());
@@ -189,7 +197,8 @@ impl Fleet {
                 .ring(ring.clone())
                 .config(config.clone())
                 .store(store)
-                .seed(seed.wrapping_add(i as u64));
+                .seed(seed.wrapping_add(i as u64))
+                .telemetry(telemetry.clone());
             if let Some(tsa) = &tsa {
                 builder = builder.tsa(tsa.clone());
             }
@@ -200,6 +209,7 @@ impl Fleet {
             parties: (0..n).map(party).collect(),
             stores,
             ring,
+            telemetry,
         }
     }
 
@@ -261,6 +271,15 @@ impl Fleet {
             .iter()
             .map(|p| self.net.node(p).messages_sent())
             .sum()
+    }
+
+    /// A point-in-time snapshot of the fleet-wide metrics registry.
+    ///
+    /// Every coordinator shares the fleet's [`Telemetry`] handle, so this
+    /// already aggregates across parties; use
+    /// [`MetricsSnapshot::merge`] to combine several fleets.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.telemetry.metrics().snapshot()
     }
 }
 

@@ -471,9 +471,7 @@ impl<A: CoordAccess> Controller<A> {
     /// [`CoordError::Busy`].
     pub fn wait_idle(&self) -> Result<(), CoordError> {
         let object = self.object.clone();
-        let idle = self
-            .access
-            .wait(self.timeout, move |c| !c.is_busy(&object));
+        let idle = self.access.wait(self.timeout, move |c| !c.is_busy(&object));
         if idle {
             Ok(())
         } else {

@@ -21,6 +21,7 @@ use b2b_crypto::{sha256, KeyRing, PartyId, SecureRng, Signer, TimeMs, TimeStampA
 use b2b_evidence::{EvidenceKind, EvidenceRecord, EvidenceStore, SnapshotStore};
 use b2b_net::reliable::Inbound;
 use b2b_net::{NetNode, NodeCtx, ReliableMux};
+use b2b_telemetry::{names, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -79,6 +80,10 @@ pub struct Coordinator {
     pub(crate) ttp_cases: HashMap<RunId, crate::termination::TtpCase>,
     pub(crate) ttp_timers: HashMap<u64, RunId>,
     pub(crate) next_timer: u64,
+    pub(crate) telemetry: Telemetry,
+    /// Virtual start time of runs this party is participating in, used to
+    /// observe `round_latency_ms` when the run completes. Volatile.
+    pub(crate) run_started: HashMap<RunId, TimeMs>,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -100,6 +105,7 @@ pub struct CoordinatorBuilder {
     evidence: Option<Arc<dyn EvidenceStore>>,
     snapshots: Option<Arc<dyn SnapshotStore>>,
     seed: u64,
+    telemetry: Telemetry,
 }
 
 impl CoordinatorBuilder {
@@ -137,6 +143,15 @@ impl CoordinatorBuilder {
         self
     }
 
+    /// Attaches an observability handle (metrics registry + optional trace
+    /// sink). Without this call the coordinator runs with a private,
+    /// sink-less [`Telemetry`] — observably identical behaviour, nothing to
+    /// read out.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> CoordinatorBuilder {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Builds the coordinator. Without an explicit store, an in-memory
     /// store is created (sufficient when crash-recovery is not exercised).
     pub fn build(self) -> Coordinator {
@@ -152,12 +167,14 @@ impl CoordinatorBuilder {
         };
         let mut rng = SecureRng::seeded(self.seed);
         let epoch = rng.next_u64();
+        let mut mux = ReliableMux::new(self.config.retransmit_after, epoch);
+        mux.set_telemetry(self.telemetry.clone(), self.me.clone());
         Coordinator {
             me: self.me,
             signer: self.signer,
             ring: self.ring,
             tsa: self.tsa,
-            mux: ReliableMux::new(self.config.retransmit_after, epoch),
+            mux,
             config: self.config,
             evidence,
             snapshots,
@@ -174,6 +191,8 @@ impl CoordinatorBuilder {
             ttp_cases: HashMap::new(),
             ttp_timers: HashMap::new(),
             next_timer: 1,
+            telemetry: self.telemetry,
+            run_started: HashMap::new(),
         }
     }
 }
@@ -201,6 +220,7 @@ impl Coordinator {
             evidence: None,
             snapshots: None,
             seed: 0,
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -359,6 +379,11 @@ impl Coordinator {
         &self.evidence
     }
 
+    /// The observability handle this coordinator reports into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     // -----------------------------------------------------------------
     // Internal plumbing shared by the protocol modules
     // -----------------------------------------------------------------
@@ -366,6 +391,47 @@ impl Coordinator {
     pub(crate) fn send_wire(&mut self, to: &PartyId, msg: &WireMsg, ctx: &mut NodeCtx) {
         *self.msg_counts.entry(msg.kind_name()).or_default() += 1;
         self.mux.send(to.clone(), msg.to_bytes(), ctx);
+    }
+
+    /// Verifies `sig` over `msg` against `party`'s registered key, counting
+    /// the verification into telemetry. All protocol-layer verifications go
+    /// through here so `sig_verify_count` reflects the real crypto load.
+    pub(crate) fn verify_for(
+        &self,
+        party: &PartyId,
+        msg: &[u8],
+        sig: &b2b_crypto::Signature,
+    ) -> Result<(), b2b_crypto::CryptoError> {
+        self.telemetry.inc(names::SIG_VERIFY_COUNT);
+        self.ring.verify_for(party, msg, sig)
+    }
+
+    /// Records a trace event under this party's label.
+    pub(crate) fn trace(
+        &self,
+        now: TimeMs,
+        span: &str,
+        phase: &str,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.telemetry
+            .trace(now.as_millis(), self.me.as_str(), span, phase, detail);
+    }
+
+    /// Notes that `run` started at `now` (for round-latency observation).
+    pub(crate) fn note_run_started(&mut self, run: RunId, now: TimeMs) {
+        self.run_started.entry(run).or_insert(now);
+    }
+
+    /// Observes the latency of `run` completing at `now`, if its start was
+    /// recorded on this party.
+    pub(crate) fn observe_run_latency(&mut self, run: &RunId, now: TimeMs) {
+        if let Some(started) = self.run_started.remove(run) {
+            self.telemetry.observe_ms(
+                names::ROUND_LATENCY_MS,
+                now.saturating_sub(started).as_millis(),
+            );
+        }
     }
 
     /// Appends an evidence record; timestamps it when a TSA is configured.
@@ -393,10 +459,11 @@ impl Coordinator {
         );
         // A full log is a liveness problem, not a safety one; surface
         // storage failures as diagnostics rather than panicking.
-        if let Err(e) = self.evidence.append(record) {
-            self.detected.push(Misbehaviour::UnexpectedMessage {
+        match self.evidence.append(record) {
+            Ok(_) => self.telemetry.inc(names::EVIDENCE_RECORDS_APPENDED),
+            Err(e) => self.detected.push(Misbehaviour::UnexpectedMessage {
                 detail: format!("evidence log append failed: {e}"),
-            });
+            }),
         }
     }
 
@@ -510,10 +577,15 @@ impl Coordinator {
     // -----------------------------------------------------------------
 
     fn recover_from_storage(&mut self, ctx: &mut NodeCtx) {
+        self.trace(ctx.now(), "recovery", "begin", || {
+            "restoring replicas from checkpoints".to_string()
+        });
         // Fresh reliable-layer incarnation so peers do not confuse our
         // restarted sequence numbers with pre-crash traffic.
         let epoch = self.rng.next_u64();
         self.mux = ReliableMux::new(self.config.retransmit_after, epoch);
+        self.mux
+            .set_telemetry(self.telemetry.clone(), self.me.clone());
 
         let ids: Vec<String> = self
             .snapshots
@@ -557,6 +629,9 @@ impl Coordinator {
                 },
             );
         }
+        self.trace(ctx.now(), "recovery", "done", || {
+            format!("replicas={}", self.replicas.len())
+        });
     }
 
     /// Re-sends the in-flight message(s) of a persisted active run.
@@ -706,7 +781,8 @@ impl NetNode for Coordinator {
 
     fn on_crash(&mut self) {
         // Volatile state is lost; the evidence log, checkpoints, key
-        // material and object factories survive.
+        // material, object factories — and the telemetry handle, which
+        // models an external observer — survive.
         self.replicas.clear();
         self.pending_connects.clear();
         self.connect_status.clear();
@@ -715,6 +791,7 @@ impl NetNode for Coordinator {
         self.deadline_timers.clear();
         self.ttp_cases.clear();
         self.ttp_timers.clear();
+        self.run_started.clear();
     }
 
     fn on_recover(&mut self, ctx: &mut NodeCtx) {

@@ -25,6 +25,7 @@ use crate::Coordinator;
 use b2b_crypto::{sha256, CanonicalEncode, PartyId};
 use b2b_evidence::EvidenceKind;
 use b2b_net::NodeCtx;
+use b2b_telemetry::names;
 
 impl Coordinator {
     // =================================================================
@@ -79,6 +80,9 @@ impl Coordinator {
             Some(msg.sig.clone()),
             ctx.now(),
         );
+        self.trace(ctx.now(), "membership", "connect_request", || {
+            format!("object={object} sponsor={sponsor}")
+        });
         self.send_wire(&sponsor, &WireMsg::ConnectRequest(msg), ctx);
         self.persist_index();
         Ok(())
@@ -104,7 +108,6 @@ impl Coordinator {
         };
         if from != &sponsor
             || self
-                .ring
                 .verify_for(&sponsor, &msg.welcome.canonical_bytes(), &msg.sig)
                 .is_err()
         {
@@ -150,7 +153,6 @@ impl Coordinator {
                 && expected.contains(&r.response.responder)
                 && seen_responders.insert(&r.response.responder)
                 && self
-                    .ring
                     .verify_for(&r.response.responder, &r.response.canonical_bytes(), &r.sig)
                     .is_ok()
         }) && seen_responders.len() == expected.len();
@@ -190,6 +192,14 @@ impl Coordinator {
         self.pending_connects.remove(&oid);
         self.connect_status
             .insert(oid.clone(), ConnectStatus::Member);
+        self.telemetry.inc(names::MEMBERSHIP_CHANGES);
+        self.trace(now, "membership", "install", || {
+            format!(
+                "object={oid} run={} joined_as_member members={}",
+                run.to_hex(),
+                msg.welcome.members.len()
+            )
+        });
         self.log_evidence(
             EvidenceKind::ConnectWelcome,
             &oid,
@@ -239,7 +249,6 @@ impl Coordinator {
             || from != &msg.reject.sponsor
             || msg.reject.request_digest != expected_digest
             || self
-                .ring
                 .verify_for(&msg.reject.sponsor, &msg.reject.canonical_bytes(), &msg.sig)
                 .is_err()
         {
@@ -286,7 +295,6 @@ impl Coordinator {
         // and the subject's own signature is what authenticates the
         // request either way.
         if self
-            .ring
             .verify_for(
                 &msg.request.subject,
                 &msg.request.canonical_bytes(),
@@ -409,6 +417,7 @@ impl Coordinator {
             return false;
         }
 
+        let subject_label = subject.clone();
         rep.active = Some(ActiveRun::Sponsor(SponsorRun {
             run,
             change: MembershipChange::Connect {
@@ -432,6 +441,13 @@ impl Coordinator {
             Some(propose.sig.clone()),
             now,
         );
+        self.trace(now, "membership", "propose", || {
+            format!(
+                "object={oid} run={} change=connect subject={subject_label} polled={}",
+                run.to_hex(),
+                polled.len()
+            )
+        });
         let wire = WireMsg::ConnectPropose(propose);
         for p in &polled {
             self.send_wire(p, &wire, ctx);
@@ -528,6 +544,15 @@ impl Coordinator {
             }
         }
         self.persist(oid);
+        self.telemetry.inc(names::MEMBERSHIP_CHANGES);
+        self.trace(now, "membership", "install", || {
+            format!(
+                "object={oid} run={} members={} leavers={}",
+                run.to_hex(),
+                new_members.len(),
+                leavers.len()
+            )
+        });
         self.outcomes.insert(
             run,
             Outcome::Installed {
@@ -564,7 +589,6 @@ impl Coordinator {
 
         if from != &msg.proposal.sponsor
             || self
-                .ring
                 .verify_for(
                     &msg.proposal.sponsor,
                     &msg.proposal.canonical_bytes(),
@@ -649,7 +673,6 @@ impl Coordinator {
         let req_ok = msg.request.request.subject == msg.proposal.subject
             && msg.request.request.canonical_digest() == msg.proposal.request_digest
             && self
-                .ring
                 .verify_for(
                     &msg.request.request.subject,
                     &msg.request.request.canonical_bytes(),
@@ -761,6 +784,17 @@ impl Coordinator {
         for mis in misbehaviours {
             self.log_misbehaviour(oid, &run.to_hex(), mis, now);
         }
+        self.trace(now, "membership", "respond", || {
+            format!(
+                "object={oid} run={} decision={}",
+                run.to_hex(),
+                if m.response.decision.is_accept() {
+                    "accept"
+                } else {
+                    "reject"
+                }
+            )
+        });
         self.send_wire(&sponsor, &WireMsg::MemberRespond(m), ctx);
         self.persist(oid);
     }
@@ -776,7 +810,6 @@ impl Coordinator {
         let run = msg.response.run;
         if from != &msg.response.responder
             || self
-                .ring
                 .verify_for(
                     &msg.response.responder,
                     &msg.response.canonical_bytes(),
@@ -916,6 +949,12 @@ impl Coordinator {
         for p in &sr.polled {
             self.send_wire(p, &wire, ctx);
         }
+        self.trace(now, "membership", "decide", || {
+            format!(
+                "object={oid} run={} connecting={connecting} accepted={accepted}",
+                run.to_hex()
+            )
+        });
         self.log_evidence(
             decide_kind,
             oid,
@@ -1052,7 +1091,6 @@ impl Coordinator {
                 break;
             }
             if self
-                .ring
                 .verify_for(&r.response.responder, &r.response.canonical_bytes(), &r.sig)
                 .is_err()
             {
@@ -1201,6 +1239,9 @@ impl Coordinator {
             Some(msg.sig.clone()),
             ctx.now(),
         );
+        self.trace(ctx.now(), "membership", "disconnect_request", || {
+            format!("object={object} sponsor={sponsor}")
+        });
         self.send_wire(&sponsor, &WireMsg::DisconnectRequest(msg), ctx);
         self.persist(object);
         Ok(())
@@ -1275,6 +1316,12 @@ impl Coordinator {
             .sponsor_for_disconnect(&subjects)
             .expect("proposer remains")
             .clone();
+        self.trace(ctx.now(), "membership", "evict_request", || {
+            format!(
+                "object={object} sponsor={sponsor} subjects={}",
+                subjects.len()
+            )
+        });
         if sponsor == me {
             // §4.5.4: when the sponsor proposes the eviction, the request
             // step is omitted.
@@ -1296,7 +1343,6 @@ impl Coordinator {
         // As with connection requests, the proposer's signature (not the
         // sender identity) authenticates a possibly-forwarded request.
         if self
-            .ring
             .verify_for(
                 &msg.request.proposer,
                 &msg.request.canonical_bytes(),
@@ -1484,6 +1530,13 @@ impl Coordinator {
             Some(propose.sig.clone()),
             now,
         );
+        self.trace(now, "membership", "propose", || {
+            format!(
+                "object={oid} run={} change=disconnect eviction={eviction} polled={}",
+                run.to_hex(),
+                polled.len()
+            )
+        });
         let wire = WireMsg::DisconnectPropose(propose);
         for p in &polled {
             self.send_wire(p, &wire, ctx);
@@ -1504,7 +1557,6 @@ impl Coordinator {
 
         if from != &msg.proposal.sponsor
             || self
-                .ring
                 .verify_for(
                     &msg.proposal.sponsor,
                     &msg.proposal.canonical_bytes(),
@@ -1601,7 +1653,6 @@ impl Coordinator {
             && req.eviction == eviction
             && (eviction || (req.subjects.len() == 1 && req.proposer == req.subjects[0]))
             && self
-                .ring
                 .verify_for(&req.proposer, &req.canonical_bytes(), &msg.request.sig)
                 .is_ok();
         if !req_ok {
@@ -1703,7 +1754,6 @@ impl Coordinator {
         if from != &lr.sponsor
             || msg.ack.subject != self.me
             || self
-                .ring
                 .verify_for(&lr.sponsor, &msg.ack.canonical_bytes(), &msg.sig)
                 .is_err()
         {
@@ -1739,6 +1789,10 @@ impl Coordinator {
             now,
         );
         self.persist(&oid);
+        self.telemetry.inc(names::MEMBERSHIP_CHANGES);
+        self.trace(now, "membership", "install", || {
+            format!("object={oid} run={} detached", run.to_hex())
+        });
         self.outcomes.insert(
             run,
             Outcome::Installed {

@@ -18,6 +18,7 @@ use crate::Coordinator;
 use b2b_crypto::{sha256, CanonicalEncode, PartyId};
 use b2b_evidence::EvidenceKind;
 use b2b_net::NodeCtx;
+use b2b_telemetry::names;
 
 impl Coordinator {
     // -----------------------------------------------------------------
@@ -172,6 +173,16 @@ impl Coordinator {
             }
         };
         self.replicas.insert(object.clone(), rep);
+        self.telemetry.inc(names::ROUNDS_STARTED);
+        self.note_run_started(run, now);
+        self.trace(now, "state_run", "propose", || {
+            format!(
+                "object={object} run={} seq={} peers={}",
+                run.to_hex(),
+                m1.proposal.proposed.seq,
+                recipients.as_ref().map(Vec::len).unwrap_or(0)
+            )
+        });
         self.log_evidence(
             EvidenceKind::StatePropose,
             object,
@@ -186,6 +197,11 @@ impl Coordinator {
                 // Installed immediately (singleton group).
                 self.checkpoint_evidence(object, run, now);
                 self.persist(object);
+                self.telemetry.inc(names::ROUNDS_COMMITTED);
+                self.observe_run_latency(&run, now);
+                self.trace(now, "state_run", "install", || {
+                    format!("object={object} run={} singleton", run.to_hex())
+                });
                 self.outcomes.insert(
                     run,
                     Outcome::Installed {
@@ -232,7 +248,6 @@ impl Coordinator {
         let canonical = m1.proposal.canonical_bytes();
         if from != &m1.proposal.proposer
             || self
-                .ring
                 .verify_for(&m1.proposal.proposer, &canonical, &m1.sig)
                 .is_err()
         {
@@ -472,6 +487,23 @@ impl Coordinator {
         for m in misbehaviours {
             self.log_misbehaviour(&oid, &run_hex, m, now);
         }
+        if track_run {
+            // A recipient's round begins when it starts tracking the
+            // proposal, so fleet-wide `rounds_started` bounds
+            // `rounds_committed + rounds_aborted`.
+            self.telemetry.inc(names::ROUNDS_STARTED);
+            self.note_run_started(run, now);
+        }
+        self.trace(now, "state_run", "respond", || {
+            format!(
+                "object={oid} run={run_hex} decision={}",
+                if decision.is_accept() {
+                    "accept"
+                } else {
+                    "reject"
+                }
+            )
+        });
         let proposer = m1.proposal.proposer.clone();
         self.send_wire(&proposer, &WireMsg::Respond(m2), ctx);
         self.persist(&oid);
@@ -490,10 +522,13 @@ impl Coordinator {
         let canonical = m2.response.canonical_bytes();
         if from != &m2.response.responder
             || self
-                .ring
                 .verify_for(&m2.response.responder, &canonical, &m2.sig)
                 .is_err()
         {
+            self.telemetry.inc(names::VOTES_INVALID);
+            self.trace(now, "state_run", "vote_collect", || {
+                format!("object={oid} run={run_hex} from={from} vote=invalid_sig")
+            });
             self.log_misbehaviour(
                 &oid,
                 &run_hex,
@@ -523,17 +558,14 @@ impl Coordinator {
                 // the aggregated evidence proves (§4.4). It is recorded as
                 // misbehaviour and not counted; the run blocks until the
                 // deadline/TTP path resolves it.
-                if m2.response.object != oid
-                    || m2.response.proposed != pr.propose.proposal.proposed
+                if m2.response.object != oid || m2.response.proposed != pr.propose.proposal.proposed
                 {
                     self.log_misbehaviour(
                         &oid,
                         &run_hex,
                         Misbehaviour::InconsistentDecide {
                             run,
-                            detail: format!(
-                                "response from {from} echoes a different object/tuple"
-                            ),
+                            detail: format!("response from {from} echoes a different object/tuple"),
                         },
                         now,
                     );
@@ -564,6 +596,15 @@ impl Coordinator {
                         }
                         None => {
                             pr.responses.insert(from.clone(), m2.clone());
+                            self.telemetry.inc(names::VOTES_VALID);
+                            let (got, want) = (pr.responses.len(), rep.members.len() - 1);
+                            self.trace(now, "state_run", "vote_collect", || {
+                                format!(
+                                    "object={oid} run={run_hex} from={from} verdict={:?} \
+                                     {got}/{want}",
+                                    m2.response.decision.verdict
+                                )
+                            });
                             self.log_evidence(
                                 EvidenceKind::StateRespond,
                                 &oid,
@@ -653,6 +694,12 @@ impl Coordinator {
         for r in &recipients {
             self.send_wire(r, &msg, ctx);
         }
+        self.trace(now, "state_run", "decide", || {
+            format!(
+                "object={oid} run={run_hex} accepted={accepted} responses={}",
+                decide.responses.len()
+            )
+        });
         self.log_evidence(
             EvidenceKind::StateDecide,
             oid,
@@ -664,7 +711,17 @@ impl Coordinator {
         );
         if outcome.is_installed() {
             self.checkpoint_evidence(oid, run, now);
+            self.telemetry.inc(names::ROUNDS_COMMITTED);
+            self.trace(now, "state_run", "install", || {
+                format!("object={oid} run={run_hex}")
+            });
+        } else {
+            self.telemetry.inc(names::ROUNDS_ABORTED);
+            self.trace(now, "state_run", "rollback", || {
+                format!("object={oid} run={run_hex}")
+            });
         }
+        self.observe_run_latency(&run, now);
         self.persist(oid);
         self.outcomes.insert(run, outcome.clone());
         self.emit(oid, run, CoordEventKind::Completed { outcome }, now);
@@ -730,7 +787,6 @@ impl Coordinator {
                 break;
             }
             if self
-                .ring
                 .verify_for(&r.response.responder, &r.response.canonical_bytes(), &r.sig)
                 .is_err()
             {
@@ -834,7 +890,17 @@ impl Coordinator {
         );
         if outcome.is_installed() {
             self.checkpoint_evidence(&oid, run, now);
+            self.telemetry.inc(names::ROUNDS_COMMITTED);
+            self.trace(now, "state_run", "install", || {
+                format!("object={oid} run={run_hex}")
+            });
+        } else {
+            self.telemetry.inc(names::ROUNDS_ABORTED);
+            self.trace(now, "state_run", "rollback", || {
+                format!("object={oid} run={run_hex}")
+            });
         }
+        self.observe_run_latency(&run, now);
         self.persist(&oid);
         self.outcomes.insert(run, outcome.clone());
         self.emit(&oid, run, CoordEventKind::Completed { outcome }, now);
@@ -892,6 +958,11 @@ impl Coordinator {
                 let outcome = Outcome::Aborted {
                     reason: "response deadline expired".into(),
                 };
+                self.telemetry.inc(names::ROUNDS_ABORTED);
+                self.observe_run_latency(&run, now);
+                self.trace(now, "state_run", "abort", || {
+                    format!("object={oid} run={} reason=deadline", run.to_hex())
+                });
                 self.persist(oid);
                 self.outcomes.insert(run, outcome.clone());
                 self.emit(oid, run, CoordEventKind::Completed { outcome }, now);

@@ -122,7 +122,6 @@ impl Coordinator {
 
         let appeal_ok = from == &msg.request.appellant
             && self
-                .ring
                 .verify_for(
                     &msg.request.appellant,
                     &msg.request.canonical_bytes(),
@@ -132,7 +131,6 @@ impl Coordinator {
             && msg.propose.proposal.run_id() == run
             && msg.propose.proposal.object == oid
             && self
-                .ring
                 .verify_for(
                     &msg.propose.proposal.proposer,
                     &msg.propose.proposal.canonical_bytes(),
@@ -229,7 +227,6 @@ impl Coordinator {
         let run = msg.request.run;
         if from != &msg.request.ttp
             || self
-                .ring
                 .verify_for(&msg.request.ttp, &msg.request.canonical_bytes(), &msg.sig)
                 .is_err()
         {
@@ -302,7 +299,6 @@ impl Coordinator {
             || msg.evidence.proposer != proposer
             || msg.evidence.responses_digest != responses_digest(&msg.responses)
             || self
-                .ring
                 .verify_for(&proposer, &msg.evidence.canonical_bytes(), &msg.sig)
                 .is_err()
         {
@@ -357,7 +353,6 @@ impl Coordinator {
                 || !expected.contains(&r.response.responder)
                 || !seen.insert(&r.response.responder)
                 || self
-                    .ring
                     .verify_for(&r.response.responder, &r.response.canonical_bytes(), &r.sig)
                     .is_err()
             {
@@ -452,7 +447,6 @@ impl Coordinator {
         };
         if from != &ttp
             || self
-                .ring
                 .verify_for(&ttp, &msg.resolution.canonical_bytes(), &msg.sig)
                 .is_err()
             || msg.resolution.responses_digest != responses_digest(&msg.responses)

@@ -403,8 +403,16 @@ fn poisoned_sequence_number_cannot_brick_future_proposals() {
 
     // Craft the poisoned m1 with org1's (harness-seeded) key.
     let org1_key = KeyPair::generate_from_seed(1001);
-    let group = cluster.net.node(&party(0)).group(&ObjectId::new("counter")).unwrap();
-    let agreed = cluster.net.node(&party(0)).agreed_id(&ObjectId::new("counter")).unwrap();
+    let group = cluster
+        .net
+        .node(&party(0))
+        .group(&ObjectId::new("counter"))
+        .unwrap();
+    let agreed = cluster
+        .net
+        .node(&party(0))
+        .agreed_id(&ObjectId::new("counter"))
+        .unwrap();
     let body = enc(1_000_000);
     let proposal = Proposal {
         object: ObjectId::new("counter"),

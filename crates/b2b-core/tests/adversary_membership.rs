@@ -8,7 +8,7 @@ mod common;
 use b2b_core::messages::WireMsg;
 use b2b_core::{ConnectStatus, ObjectId};
 use b2b_crypto::{PartyId, TimeMs};
-use b2b_net::intruder::{FnIntruder, InterceptAction, Injection};
+use b2b_net::intruder::{FnIntruder, Injection, InterceptAction};
 use common::*;
 
 const FRAME_HEADER: usize = 17;

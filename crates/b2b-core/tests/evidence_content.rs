@@ -117,8 +117,8 @@ fn validate_locally_preflights_policy() {
     });
     assert!(ok.is_accept());
     assert!(!bad.is_accept());
-    let err = cluster
-        .net
-        .invoke(&party(1), |c, _| c.validate_locally(&ObjectId::new("nope"), &enc(1)));
+    let err = cluster.net.invoke(&party(1), |c, _| {
+        c.validate_locally(&ObjectId::new("nope"), &enc(1))
+    });
     assert!(err.is_err());
 }

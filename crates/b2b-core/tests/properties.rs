@@ -1,6 +1,9 @@
-//! Property-based tests (proptest) on the middleware's core invariants:
-//! replica convergence under arbitrary workloads, safety of identifier
-//! tuples, and canonical-encoding injectivity.
+//! Randomized tests of the middleware's core invariants: replica
+//! convergence under arbitrary workloads, safety of identifier tuples, and
+//! canonical-encoding injectivity.
+//!
+//! These were property-based (proptest) tests; the offline build vendors no
+//! proptest, so each property runs as a seeded deterministic loop instead.
 
 mod common;
 
@@ -8,19 +11,38 @@ use b2b_core::messages::{Proposal, ProposalKind};
 use b2b_core::{members_digest, GroupId, ObjectId, StateId};
 use b2b_crypto::{sha256, CanonicalEncode, PartyId};
 use common::*;
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn bytes(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| rng.gen_range(0..=255u64) as u8).collect()
+}
 
-    /// Whatever interleaving of valid/invalid proposals from whichever
-    /// parties, all replicas converge to identical state and identical
-    /// agreed tuples, and only policy-respecting values are ever installed.
-    #[test]
-    fn replicas_always_converge(
-        seed in 0u64..5_000,
-        ops in proptest::collection::vec((0usize..3, 0u64..1_000), 1..8),
-    ) {
+fn word(rng: &mut StdRng, min_len: usize, max_len: usize) -> String {
+    let len = rng.gen_range(min_len..=max_len);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u32) as u8) as char)
+        .collect()
+}
+
+fn word_list(rng: &mut StdRng, max_items: usize) -> Vec<String> {
+    let n = rng.gen_range(1..=max_items);
+    (0..n).map(|_| word(rng, 1, 6)).collect()
+}
+
+/// Whatever interleaving of valid/invalid proposals from whichever
+/// parties, all replicas converge to identical state and identical
+/// agreed tuples, and only policy-respecting values are ever installed.
+#[test]
+fn replicas_always_converge() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xC04 ^ case);
+        let seed = rng.gen_range(0..5_000u64);
+        let n_ops = rng.gen_range(1..8usize);
+        let ops: Vec<(usize, u64)> = (0..n_ops)
+            .map(|_| (rng.gen_range(0..3usize), rng.gen_range(0..1_000u64)))
+            .collect();
+
         let mut cluster = Cluster::new(3, seed);
         cluster.setup_object("counter", counter_factory);
         let mut expected = 0u64;
@@ -33,77 +55,138 @@ proptest! {
             }
         }
         let states: Vec<u64> = (0..3).map(|w| dec(&cluster.state(w, "counter"))).collect();
-        prop_assert!(states.iter().all(|s| *s == states[0]), "diverged: {states:?}");
-        prop_assert_eq!(states[0], expected);
+        assert!(
+            states.iter().all(|s| *s == states[0]),
+            "diverged: {states:?}"
+        );
+        assert_eq!(states[0], expected);
         let ids: Vec<StateId> = (0..3)
-            .map(|w| cluster.net.node(&party(w)).agreed_id(&ObjectId::new("counter")).unwrap())
+            .map(|w| {
+                cluster
+                    .net
+                    .node(&party(w))
+                    .agreed_id(&ObjectId::new("counter"))
+                    .unwrap()
+            })
             .collect();
-        prop_assert!(ids.iter().all(|i| *i == ids[0]), "agreed tuples diverged");
+        assert!(ids.iter().all(|i| *i == ids[0]), "agreed tuples diverged");
     }
+}
 
-    /// State identifier tuples identify exactly the state they hash.
-    #[test]
-    fn state_id_identifies_iff_equal(a: Vec<u8>, b: Vec<u8>) {
+/// State identifier tuples identify exactly the state they hash.
+#[test]
+fn state_id_identifies_iff_equal() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x51A ^ case);
+        let a = bytes(&mut rng, 48);
+        let b = if rng.gen_bool(0.5) {
+            a.clone()
+        } else {
+            bytes(&mut rng, 48)
+        };
         let id = StateId::genesis(sha256(b"r"), &a);
-        prop_assert_eq!(id.identifies(&b), a == b);
+        assert_eq!(id.identifies(&b), a == b);
     }
+}
 
-    /// Group identifiers are injective over member lists (incl. order).
-    #[test]
-    fn group_identity_tracks_member_lists(
-        xs in proptest::collection::vec("[a-z]{1,6}", 1..5),
-        ys in proptest::collection::vec("[a-z]{1,6}", 1..5),
-    ) {
+/// Group identifiers are injective over member lists (incl. order).
+#[test]
+fn group_identity_tracks_member_lists() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x6A0 ^ case);
+        let xs = word_list(&mut rng, 4);
+        let ys = if rng.gen_bool(0.5) {
+            xs.clone()
+        } else {
+            word_list(&mut rng, 4)
+        };
         let mx: Vec<PartyId> = xs.iter().map(PartyId::new).collect();
         let my: Vec<PartyId> = ys.iter().map(PartyId::new).collect();
         let gid = GroupId::genesis(sha256(b"r"), &mx);
-        prop_assert_eq!(gid.identifies(&my), mx == my);
-        prop_assert_eq!(members_digest(&mx) == members_digest(&my), mx == my);
+        assert_eq!(gid.identifies(&my), mx == my);
+        assert_eq!(members_digest(&mx) == members_digest(&my), mx == my);
     }
+}
 
-    /// Canonical proposal encodings are injective across every field the
-    /// protocol relies on: two proposals differing anywhere get different
-    /// run labels.
-    #[test]
-    fn proposal_run_labels_are_injective(
-        obj1 in "[a-z]{1,8}", obj2 in "[a-z]{1,8}",
-        p1 in "[a-z]{1,8}", p2 in "[a-z]{1,8}",
-        seq1 in 0u64..100, seq2 in 0u64..100,
-        s1: Vec<u8>, s2: Vec<u8>,
-        upd1: bool, upd2: bool,
-    ) {
-        let mk = |obj: &str, p: &str, seq: u64, s: &[u8], upd: bool| Proposal {
-            object: ObjectId::new(obj),
-            proposer: PartyId::new(p),
-            group: GroupId::genesis(sha256(b"g"), &[PartyId::new(p)]),
-            prev: StateId::genesis(sha256(b"r"), b"prev"),
-            proposed: StateId { seq, rand_hash: sha256(b"n"), state_hash: sha256(s) },
-            auth_commit: sha256(b"a"),
-            kind: if upd {
-                ProposalKind::Update { update_hash: sha256(s) }
-            } else {
-                ProposalKind::Overwrite
-            },
+/// Canonical proposal encodings are injective across every field the
+/// protocol relies on: two proposals differing anywhere get different
+/// run labels.
+#[test]
+fn proposal_run_labels_are_injective() {
+    let mk = |obj: &str, p: &str, seq: u64, s: &[u8], upd: bool| Proposal {
+        object: ObjectId::new(obj),
+        proposer: PartyId::new(p),
+        group: GroupId::genesis(sha256(b"g"), &[PartyId::new(p)]),
+        prev: StateId::genesis(sha256(b"r"), b"prev"),
+        proposed: StateId {
+            seq,
+            rand_hash: sha256(b"n"),
+            state_hash: sha256(s),
+        },
+        auth_commit: sha256(b"a"),
+        kind: if upd {
+            ProposalKind::Update {
+                update_hash: sha256(s),
+            }
+        } else {
+            ProposalKind::Overwrite
+        },
+    };
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x1B1 ^ case);
+        let obj1 = word(&mut rng, 1, 8);
+        let p1 = word(&mut rng, 1, 8);
+        let seq1 = rng.gen_range(0..100u64);
+        let s1 = bytes(&mut rng, 24);
+        let upd1 = rng.gen_bool(0.5);
+        // Half the time mutate exactly one field, otherwise keep an
+        // identical twin — both branches of the iff get exercised.
+        let (obj2, p2, seq2, s2, upd2) = if rng.gen_bool(0.5) {
+            (obj1.clone(), p1.clone(), seq1, s1.clone(), upd1)
+        } else {
+            match rng.gen_range(0..5u32) {
+                0 => (word(&mut rng, 1, 8), p1.clone(), seq1, s1.clone(), upd1),
+                1 => (obj1.clone(), word(&mut rng, 1, 8), seq1, s1.clone(), upd1),
+                2 => (
+                    obj1.clone(),
+                    p1.clone(),
+                    rng.gen_range(0..100u64),
+                    s1.clone(),
+                    upd1,
+                ),
+                3 => (obj1.clone(), p1.clone(), seq1, bytes(&mut rng, 24), upd1),
+                _ => (obj1.clone(), p1.clone(), seq1, s1.clone(), !upd1),
+            }
         };
         let a = mk(&obj1, &p1, seq1, &s1, upd1);
         let b = mk(&obj2, &p2, seq2, &s2, upd2);
-        prop_assert_eq!(a.run_id() == b.run_id(), a == b);
-        prop_assert_eq!(a.canonical_bytes() == b.canonical_bytes(), a == b);
+        assert_eq!(a.run_id() == b.run_id(), a == b);
+        assert_eq!(a.canonical_bytes() == b.canonical_bytes(), a == b);
     }
+}
 
-    /// The agreed sequence number never decreases, across any workload.
-    #[test]
-    fn agreed_seq_is_monotone(
-        seed in 0u64..1_000,
-        ops in proptest::collection::vec((0usize..2, 0u64..100), 1..6),
-    ) {
+/// The agreed sequence number never decreases, across any workload.
+#[test]
+fn agreed_seq_is_monotone() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E9 ^ case);
+        let seed = rng.gen_range(0..1_000u64);
+        let n_ops = rng.gen_range(1..6usize);
+        let ops: Vec<(usize, u64)> = (0..n_ops)
+            .map(|_| (rng.gen_range(0..2usize), rng.gen_range(0..100u64)))
+            .collect();
+
         let mut cluster = Cluster::new(2, seed);
         cluster.setup_object("counter", counter_factory);
         let mut last_seq = 0;
         for (who, value) in ops {
             cluster.propose(who, "counter", enc(value));
-            let id = cluster.net.node(&party(0)).agreed_id(&ObjectId::new("counter")).unwrap();
-            prop_assert!(id.seq >= last_seq, "agreed seq went backwards");
+            let id = cluster
+                .net
+                .node(&party(0))
+                .agreed_id(&ObjectId::new("counter"))
+                .unwrap();
+            assert!(id.seq >= last_seq, "agreed seq went backwards");
             last_seq = id.seq;
         }
     }

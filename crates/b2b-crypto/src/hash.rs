@@ -86,7 +86,7 @@ impl From<[u8; 32]> for Digest32 {
 pub fn sha256(data: &[u8]) -> Digest32 {
     let mut hasher = Sha256::new();
     hasher.update(data);
-    Digest32(hasher.finalize().into())
+    Digest32(hasher.finalize())
 }
 
 /// Hashes the concatenation of several byte slices, each length-prefixed so
@@ -106,7 +106,7 @@ pub fn sha256_concat(parts: &[&[u8]]) -> Digest32 {
         hasher.update((part.len() as u64).to_be_bytes());
         hasher.update(part);
     }
-    Digest32(hasher.finalize().into())
+    Digest32(hasher.finalize())
 }
 
 #[cfg(test)]

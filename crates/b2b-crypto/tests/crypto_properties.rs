@@ -1,91 +1,171 @@
-//! Property-based tests of the cryptographic substrate: signature
-//! soundness over arbitrary messages, canonical-encoding injectivity, and
-//! certificate window semantics.
+//! Randomized tests of the cryptographic substrate: signature soundness
+//! over arbitrary messages, canonical-encoding injectivity, and certificate
+//! window semantics.
+//!
+//! These were property-based (proptest) tests; the offline build vendors no
+//! proptest, so each property runs as a seeded deterministic loop instead —
+//! same invariants, reproducible cases.
 
 use b2b_crypto::{
     sha256, CanonicalEncode, CertificateAuthority, Encoder, KeyPair, PartyId, SigVerifier, Signer,
     TimeMs, TimeStampAuthority,
 };
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    /// Signatures verify on the signed message and fail on any other.
-    #[test]
-    fn signatures_bind_exactly_one_message(seed in 0u64..1_000, a: Vec<u8>, b: Vec<u8>) {
-        let kp = KeyPair::generate_from_seed(seed);
-        let sig = kp.sign(&a);
-        prop_assert!(kp.public_key().verify(&a, &sig).is_ok());
-        prop_assert_eq!(kp.public_key().verify(&b, &sig).is_ok(), a == b);
+fn bytes(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| rng.gen_range(0..=255u64) as u8).collect()
+}
+
+/// Half the time returns a copy of `a`, so `eq`-conditioned assertions
+/// exercise both branches (random byte vectors are almost never equal).
+fn same_or_fresh(rng: &mut StdRng, a: &[u8], max_len: usize) -> Vec<u8> {
+    if rng.gen_bool(0.5) {
+        a.to_vec()
+    } else {
+        bytes(rng, max_len)
     }
+}
 
-    /// Signatures do not verify under a different key.
-    #[test]
-    fn signatures_bind_exactly_one_key(s1 in 0u64..500, s2 in 0u64..500, msg: Vec<u8>) {
+fn words(rng: &mut StdRng, max_items: usize, max_len: usize) -> Vec<String> {
+    let n = rng.gen_range(0..=max_items);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(0..=max_len);
+            (0..len)
+                .map(|_| (b'a' + rng.gen_range(0..26u32) as u8) as char)
+                .collect()
+        })
+        .collect()
+}
+
+/// Signatures verify on the signed message and fail on any other.
+#[test]
+fn signatures_bind_exactly_one_message() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x51B1 ^ case);
+        let kp = KeyPair::generate_from_seed(rng.gen_range(0..1_000u64));
+        let a = bytes(&mut rng, 48);
+        let b = same_or_fresh(&mut rng, &a, 48);
+        let sig = kp.sign(&a);
+        assert!(kp.public_key().verify(&a, &sig).is_ok());
+        assert_eq!(kp.public_key().verify(&b, &sig).is_ok(), a == b);
+    }
+}
+
+/// Signatures do not verify under a different key.
+#[test]
+fn signatures_bind_exactly_one_key() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x51B2 ^ case);
+        let s1 = rng.gen_range(0..500u64);
+        let s2 = if rng.gen_bool(0.5) {
+            s1
+        } else {
+            rng.gen_range(0..500u64)
+        };
+        let msg = bytes(&mut rng, 48);
         let k1 = KeyPair::generate_from_seed(s1);
         let k2 = KeyPair::generate_from_seed(s2);
         let sig = k1.sign(&msg);
-        prop_assert_eq!(k2.public_key().verify(&msg, &sig).is_ok(), s1 == s2);
+        assert_eq!(k2.public_key().verify(&msg, &sig).is_ok(), s1 == s2);
     }
+}
 
-    /// The length-prefixed string encoding is injective over sequences:
-    /// two different string lists never produce the same bytes.
-    #[test]
-    fn canonical_string_sequences_are_injective(
-        xs in proptest::collection::vec(".{0,12}", 0..6),
-        ys in proptest::collection::vec(".{0,12}", 0..6),
-    ) {
-        let encode = |list: &[String]| {
-            let mut enc = Encoder::new();
-            enc.put_u64(list.len() as u64);
-            for s in list {
-                s.encode(&mut enc);
-            }
-            enc.finish()
+/// The length-prefixed string encoding is injective over sequences:
+/// two different string lists never produce the same bytes.
+#[test]
+fn canonical_string_sequences_are_injective() {
+    let encode = |list: &[String]| {
+        let mut enc = Encoder::new();
+        enc.put_u64(list.len() as u64);
+        for s in list {
+            s.encode(&mut enc);
+        }
+        enc.finish()
+    };
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x51B3 ^ case);
+        let xs = words(&mut rng, 5, 12);
+        let ys = if rng.gen_bool(0.5) {
+            xs.clone()
+        } else {
+            words(&mut rng, 5, 12)
         };
-        prop_assert_eq!(encode(&xs) == encode(&ys), xs == ys);
+        assert_eq!(encode(&xs) == encode(&ys), xs == ys);
     }
+}
 
-    /// Hash concatenation with length prefixes is injective over splits.
-    #[test]
-    fn sha256_concat_resists_splice(a: Vec<u8>, b: Vec<u8>, c: Vec<u8>) {
-        use b2b_crypto::sha256_concat;
-        let left = sha256_concat(&[&a, &b]);
-        let right = sha256_concat(&[&c]);
+/// Hash concatenation with length prefixes is injective over splits.
+#[test]
+fn sha256_concat_resists_splice() {
+    use b2b_crypto::sha256_concat;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x51B4 ^ case);
+        let a = bytes(&mut rng, 32);
+        let b = bytes(&mut rng, 32);
+        let c = bytes(&mut rng, 32);
         // A two-part hash never equals a one-part hash of the concatenation
         // (length prefixes differ) unless it is the trivially same input
         // structure — which it never is here.
-        prop_assert_ne!(left, right);
+        assert_ne!(sha256_concat(&[&a, &b]), sha256_concat(&[&c]));
     }
+}
 
-    /// Time-stamp tokens verify exactly on the stamped message.
-    #[test]
-    fn timestamps_bind_message_and_time(t in 0u64..1_000_000, msg: Vec<u8>, other: Vec<u8>) {
+/// Time-stamp tokens verify exactly on the stamped message.
+#[test]
+fn timestamps_bind_message_and_time() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x51B5 ^ case);
+        let t = rng.gen_range(0..1_000_000u64);
+        let msg = bytes(&mut rng, 48);
+        let other = same_or_fresh(&mut rng, &msg, 48);
         let tsa = TimeStampAuthority::new(KeyPair::generate_from_seed(9));
         let token = tsa.stamp(&msg, TimeMs(t));
-        prop_assert!(token.verify(&tsa.public_key(), &msg).is_ok());
-        prop_assert_eq!(token.verify(&tsa.public_key(), &other).is_ok(), msg == other);
+        assert!(token.verify(&tsa.public_key(), &msg).is_ok());
+        assert_eq!(
+            token.verify(&tsa.public_key(), &other).is_ok(),
+            msg == other
+        );
     }
+}
 
-    /// Certificates are valid exactly within their window.
-    #[test]
-    fn certificate_window_is_half_open(
-        nb in 0u64..1_000,
-        len in 1u64..1_000,
-        probe in 0u64..3_000,
-    ) {
-        let ca = CertificateAuthority::new(PartyId::new("ca"), KeyPair::generate_from_seed(1));
-        let kp = KeyPair::generate_from_seed(2);
-        let cert = ca.issue(PartyId::new("s"), kp.public_key(), TimeMs(nb), TimeMs(nb + len));
+/// Certificates are valid exactly within their window.
+#[test]
+fn certificate_window_is_half_open() {
+    let ca = CertificateAuthority::new(PartyId::new("ca"), KeyPair::generate_from_seed(1));
+    let kp = KeyPair::generate_from_seed(2);
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x51B6 ^ case);
+        let nb = rng.gen_range(0..1_000u64);
+        let len = rng.gen_range(1..1_000u64);
+        // Bias probes toward the window edges to hit both boundaries.
+        let probe = match rng.gen_range(0..4u32) {
+            0 => nb,
+            1 => nb + len,
+            _ => rng.gen_range(0..3_000u64),
+        };
+        let cert = ca.issue(
+            PartyId::new("s"),
+            kp.public_key(),
+            TimeMs(nb),
+            TimeMs(nb + len),
+        );
         let valid = probe >= nb && probe < nb + len;
-        prop_assert_eq!(cert.verify(&ca.public_key(), TimeMs(probe)).is_ok(), valid);
+        assert_eq!(cert.verify(&ca.public_key(), TimeMs(probe)).is_ok(), valid);
     }
+}
 
-    /// Digests are stable and collision-free over distinct small inputs
-    /// (sanity property, not a cryptographic claim).
-    #[test]
-    fn digest_equality_mirrors_input_equality(a: Vec<u8>, b: Vec<u8>) {
-        prop_assert_eq!(sha256(&a) == sha256(&b), a == b);
+/// Digests are stable and collision-free over distinct small inputs
+/// (sanity property, not a cryptographic claim).
+#[test]
+fn digest_equality_mirrors_input_equality() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x51B7 ^ case);
+        let a = bytes(&mut rng, 48);
+        let b = same_or_fresh(&mut rng, &a, 48);
+        assert_eq!(sha256(&a) == sha256(&b), a == b);
     }
 }

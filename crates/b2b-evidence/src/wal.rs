@@ -13,6 +13,7 @@
 
 use crate::record::EvidenceRecord;
 use crate::store::{EvidenceStore, SnapshotStore, StoreError};
+use b2b_telemetry::{names, Telemetry};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -51,6 +52,7 @@ struct WalInner {
 pub struct FileStore {
     dir: PathBuf,
     inner: Mutex<WalInner>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for FileStore {
@@ -90,7 +92,15 @@ impl FileStore {
         Ok(FileStore {
             dir,
             inner: Mutex::new(WalInner { file, records }),
+            telemetry: Telemetry::default(),
         })
+    }
+
+    /// Attaches an observability handle; every successful append then bumps
+    /// the `wal_appends` counter in its registry.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> FileStore {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The directory this store lives in.
@@ -146,6 +156,7 @@ impl EvidenceStore for FileStore {
         inner.file.write_all(&frame)?;
         inner.file.flush()?;
         inner.records.push(record);
+        self.telemetry.inc(names::WAL_APPENDS);
         Ok(seq)
     }
 
@@ -283,6 +294,17 @@ mod tests {
         // Keys with path-hostile characters are safe (hex-encoded).
         store.put_snapshot("../evil", vec![9]).unwrap();
         assert_eq!(store.get_snapshot("../evil"), Some(vec![9]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appends_are_counted_into_telemetry() {
+        let dir = temp_dir("telemetry");
+        let tel = Telemetry::new();
+        let store = FileStore::open(&dir).unwrap().with_telemetry(tel.clone());
+        store.append(rec("a", vec![1])).unwrap();
+        store.append(rec("b", vec![2])).unwrap();
+        assert_eq!(tel.metrics().snapshot().counter(names::WAL_APPENDS), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

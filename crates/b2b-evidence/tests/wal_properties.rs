@@ -1,11 +1,16 @@
-//! Property-based tests of the file WAL: arbitrary record batches survive
+//! Randomized tests of the file WAL: arbitrary record batches survive
 //! reopen, and arbitrary corruption of the tail never corrupts the valid
 //! prefix.
+//!
+//! These were property-based (proptest) tests; the offline build vendors no
+//! proptest, so each property runs as a seeded deterministic loop instead.
 
 use b2b_crypto::{PartyId, TimeMs};
 use b2b_evidence::{EvidenceKind, EvidenceRecord, EvidenceStore, FileStore};
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::path::PathBuf;
+
+const CASES: u64 = 16;
 
 fn temp_dir(tag: u64) -> PathBuf {
     std::env::temp_dir().join(format!(
@@ -28,46 +33,53 @@ fn record(run: &str, payload: Vec<u8>) -> EvidenceRecord {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+fn bytes(rng: &mut StdRng, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(min_len..=max_len);
+    (0..len).map(|_| rng.gen_range(0..=255u64) as u8).collect()
+}
 
-    /// Any sequence of appended payloads is read back identically after
-    /// reopen, in order, with sequential sequence numbers.
-    #[test]
-    fn wal_roundtrips_arbitrary_batches(
-        tag in 0u64..1_000_000,
-        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..512), 1..20),
-    ) {
-        let dir = temp_dir(tag);
+/// Any sequence of appended payloads is read back identically after
+/// reopen, in order, with sequential sequence numbers.
+#[test]
+fn wal_roundtrips_arbitrary_batches() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x3A15EED ^ case);
+        let n = rng.gen_range(1..20usize);
+        let payloads: Vec<Vec<u8>> = (0..n).map(|_| bytes(&mut rng, 0, 512)).collect();
+
+        let dir = temp_dir(case);
         let _ = std::fs::remove_dir_all(&dir);
         {
             let store = FileStore::open(&dir).unwrap();
             for (i, p) in payloads.iter().enumerate() {
                 let seq = store.append(record(&format!("r{i}"), p.clone())).unwrap();
-                prop_assert_eq!(seq, i as u64);
+                assert_eq!(seq, i as u64);
             }
         }
         let store = FileStore::open(&dir).unwrap();
-        prop_assert_eq!(store.len(), payloads.len());
+        assert_eq!(store.len(), payloads.len());
         for (i, p) in payloads.iter().enumerate() {
             let rec = store.get(i as u64).unwrap();
-            prop_assert_eq!(&rec.payload, p);
-            prop_assert_eq!(rec.seq, i as u64);
+            assert_eq!(&rec.payload, p);
+            assert_eq!(rec.seq, i as u64);
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }
+}
 
-    /// Truncating the file at any point, or appending arbitrary garbage,
-    /// loses at most the torn tail: every fully-written prefix record
-    /// whose frame survives is recovered intact.
-    #[test]
-    fn wal_survives_arbitrary_tail_damage(
-        tag in 1_000_000u64..2_000_000,
-        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 2..10),
-        cut_fraction in 0.0f64..1.0,
-        garbage in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
-        let dir = temp_dir(tag);
+/// Truncating the file at any point, or appending arbitrary garbage,
+/// loses at most the torn tail: every fully-written prefix record
+/// whose frame survives is recovered intact.
+#[test]
+fn wal_survives_arbitrary_tail_damage() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xDA3A6E ^ case);
+        let n = rng.gen_range(2..10usize);
+        let payloads: Vec<Vec<u8>> = (0..n).map(|_| bytes(&mut rng, 1, 64)).collect();
+        let cut_fraction = rng.gen_range(0..=1000u64) as f64 / 1000.0;
+        let garbage = bytes(&mut rng, 0, 64);
+
+        let dir = temp_dir(1_000_000 + case);
         let _ = std::fs::remove_dir_all(&dir);
         {
             let store = FileStore::open(&dir).unwrap();
@@ -76,32 +88,40 @@ proptest! {
             }
         }
         let wal = dir.join("evidence.wal");
-        let mut bytes = std::fs::read(&wal).unwrap();
-        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
-        bytes.truncate(cut);
-        bytes.extend_from_slice(&garbage);
-        std::fs::write(&wal, &bytes).unwrap();
+        let mut damaged = std::fs::read(&wal).unwrap();
+        let cut = ((damaged.len() as f64) * cut_fraction) as usize;
+        damaged.truncate(cut);
+        damaged.extend_from_slice(&garbage);
+        std::fs::write(&wal, &damaged).unwrap();
 
         let store = FileStore::open(&dir).unwrap();
         // Every recovered record matches the original at its index.
         for (i, original) in payloads.iter().enumerate().take(store.len()) {
             let rec = store.get(i as u64).unwrap();
-            prop_assert_eq!(&rec.payload, original);
+            assert_eq!(&rec.payload, original);
         }
         // And the store accepts new appends cleanly after damage.
         let seq = store.append(record("after", vec![1])).unwrap();
-        prop_assert_eq!(seq as usize, store.len() - 1);
+        assert_eq!(seq as usize, store.len() - 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
+}
 
-    /// Snapshots: last write wins for arbitrary key/value sequences.
-    #[test]
-    fn snapshots_last_write_wins(
-        tag in 2_000_000u64..3_000_000,
-        writes in proptest::collection::vec(("key[a-c]", proptest::collection::vec(any::<u8>(), 0..64)), 1..12),
-    ) {
-        use b2b_evidence::SnapshotStore;
-        let dir = temp_dir(tag);
+/// Snapshots: last write wins for arbitrary key/value sequences.
+#[test]
+fn snapshots_last_write_wins() {
+    use b2b_evidence::SnapshotStore;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5A45 ^ case);
+        let n = rng.gen_range(1..12usize);
+        let writes: Vec<(String, Vec<u8>)> = (0..n)
+            .map(|_| {
+                let key = format!("key{}", (b'a' + rng.gen_range(0..3u32) as u8) as char);
+                (key, bytes(&mut rng, 0, 64))
+            })
+            .collect();
+
+        let dir = temp_dir(2_000_000 + case);
         let _ = std::fs::remove_dir_all(&dir);
         let store = FileStore::open(&dir).unwrap();
         let mut expected: std::collections::HashMap<String, Vec<u8>> = Default::default();
@@ -111,7 +131,7 @@ proptest! {
         }
         for (k, v) in &expected {
             let got = store.get_snapshot(k);
-            prop_assert_eq!(got.as_ref(), Some(v));
+            assert_eq!(got.as_ref(), Some(v));
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

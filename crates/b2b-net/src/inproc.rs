@@ -269,10 +269,7 @@ impl<N: NetNode> ThreadedNet<N> {
         NetStats {
             sent: self.router.sent.load(Ordering::Relaxed),
             delivered: self.router.delivered.load(Ordering::Relaxed),
-            dropped: 0,
-            duplicated: 0,
-            undeliverable: 0,
-            bytes_sent: 0,
+            ..NetStats::default()
         }
     }
 

@@ -15,6 +15,7 @@
 
 use crate::node::NodeCtx;
 use b2b_crypto::{PartyId, TimeMs};
+use b2b_telemetry::{names, Telemetry};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Timer ids at or above this value belong to the reliable layer; protocol
@@ -94,6 +95,13 @@ pub struct ReliableMux {
     sent_payloads: u64,
     /// Count of retransmitted frames.
     retransmits: u64,
+    /// Count of duplicate data frames suppressed before delivery.
+    dedup_drops: u64,
+    /// Observability handle; the default handle records counters into a
+    /// private registry and traces nothing.
+    telemetry: Telemetry,
+    /// Party label stamped on trace events (the node owning this mux).
+    owner: Option<PartyId>,
 }
 
 impl ReliableMux {
@@ -108,12 +116,28 @@ impl ReliableMux {
             timer_targets: HashMap::new(),
             sent_payloads: 0,
             retransmits: 0,
+            dedup_drops: 0,
+            telemetry: Telemetry::default(),
+            owner: None,
         }
+    }
+
+    /// Attaches an observability handle; `owner` labels trace events with
+    /// the party this mux belongs to. Retransmissions and duplicate drops
+    /// are counted into the handle's registry and, when a sink is attached,
+    /// emitted as `net/retransmit` and `net/dedup_drop` trace events.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, owner: PartyId) {
+        self.telemetry = telemetry;
+        self.owner = Some(owner);
     }
 
     /// This mux incarnation's epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    fn owner_label(&self) -> &str {
+        self.owner.as_ref().map(PartyId::as_str).unwrap_or("?")
     }
 
     /// Sends `payload` to `to` with at-least-once retransmission; the
@@ -145,6 +169,15 @@ impl ReliableMux {
                 if peer.delivered.insert((epoch, seq)) {
                     Inbound::Deliver(body.to_vec())
                 } else {
+                    self.dedup_drops += 1;
+                    self.telemetry.inc(names::DEDUP_DROPS);
+                    self.telemetry.trace(
+                        ctx.now().as_millis(),
+                        self.owner_label(),
+                        "net",
+                        "dedup_drop",
+                        || format!("from={from} epoch={epoch} seq={seq}"),
+                    );
                     Inbound::Duplicate
                 }
             }
@@ -175,6 +208,14 @@ impl ReliableMux {
             if still_outstanding {
                 let payload = self.peers[&peer_id].outstanding[&seq].clone();
                 self.retransmits += 1;
+                self.telemetry.inc(names::RETRANSMITS);
+                self.telemetry.trace(
+                    ctx.now().as_millis(),
+                    self.owner_label(),
+                    "net",
+                    "retransmit",
+                    || format!("to={peer_id} seq={seq} epoch={}", self.epoch),
+                );
                 ctx.send(
                     peer_id.clone(),
                     encode_frame(KIND_DATA, self.epoch, seq, &payload),
@@ -193,6 +234,11 @@ impl ReliableMux {
     /// Number of retransmitted frames so far.
     pub fn retransmits(&self) -> u64 {
         self.retransmits
+    }
+
+    /// Number of duplicate data frames suppressed so far.
+    pub fn dedup_drops(&self) -> u64 {
+        self.dedup_drops
     }
 
     /// Returns `true` if every sent payload has been acknowledged.
@@ -262,6 +308,31 @@ mod tests {
             Inbound::Deliver(b"post-crash".to_vec())
         );
         assert_eq!(rx.on_message(&from, &after, &mut ctx), Inbound::Duplicate);
+        assert_eq!(rx.dedup_drops(), 1);
+    }
+
+    #[test]
+    fn telemetry_counts_retransmits_and_dedup_drops() {
+        use b2b_telemetry::names;
+        let tel = Telemetry::new();
+        let mut a = ReliableMux::new(TimeMs(10), 1);
+        a.set_telemetry(tel.clone(), PartyId::new("a"));
+        let pb = PartyId::new("b");
+        let mut ctx = NodeCtx::new(TimeMs(0));
+        a.send(pb.clone(), b"m".to_vec(), &mut ctx);
+        let (tid, _) = ctx.take_timers()[0];
+        let mut ctx2 = NodeCtx::new(TimeMs(10));
+        a.on_timer(tid, &mut ctx2);
+        assert_eq!(tel.metrics().snapshot().counter(names::RETRANSMITS), 1);
+
+        let mut rx = ReliableMux::new(TimeMs(10), 0);
+        rx.set_telemetry(tel.clone(), PartyId::new("rx"));
+        let frame = encode_frame(KIND_DATA, 1, 0, b"x");
+        let mut rctx = NodeCtx::new(TimeMs(1));
+        rx.on_message(&PartyId::new("tx"), &frame, &mut rctx);
+        rx.on_message(&PartyId::new("tx"), &frame, &mut rctx);
+        assert_eq!(tel.metrics().snapshot().counter(names::DEDUP_DROPS), 1);
+        assert_eq!(rx.dedup_drops(), 1);
     }
 
     #[test]

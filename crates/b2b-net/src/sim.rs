@@ -40,6 +40,7 @@ use crate::intruder::{InterceptAction, Intruder, PassThrough};
 use crate::node::{NetNode, NodeCtx};
 use crate::stats::NetStats;
 use b2b_crypto::{PartyId, TimeMs};
+use b2b_telemetry::{names, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -131,6 +132,7 @@ pub struct SimNet<N: NetNode> {
     partitions: Vec<Partition>,
     intruder: Box<dyn Intruder>,
     stats: NetStats,
+    telemetry: Telemetry,
 }
 
 impl<N: NetNode> SimNet<N> {
@@ -147,7 +149,17 @@ impl<N: NetNode> SimNet<N> {
             partitions: Vec::new(),
             intruder: Box::new(PassThrough),
             stats: NetStats::new(),
+            telemetry: Telemetry::default(),
         }
+    }
+
+    /// Attaches an observability handle. When its sink is set, the driver
+    /// emits `net/send`, `net/deliver` and `net/drop` trace events stamped
+    /// with virtual time; and [`SimNet::stats`] surfaces the registry's
+    /// reliable-layer counters (`retransmits`, `dedup_drops`) — share the
+    /// same handle with the nodes' [`crate::ReliableMux`]es to see them.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Sets the fault plan applied to links without a specific plan.
@@ -192,8 +204,16 @@ impl<N: NetNode> SimNet<N> {
     }
 
     /// Traffic statistics so far.
+    ///
+    /// The `retransmits`/`dedup_drops` fields are harvested from the
+    /// attached telemetry registry (zero without one — the driver itself
+    /// cannot see inside the nodes' reliable layers).
     pub fn stats(&self) -> NetStats {
-        self.stats
+        let mut stats = self.stats;
+        let snap = self.telemetry.metrics().snapshot();
+        stats.retransmits = snap.counter(names::RETRANSMITS);
+        stats.dedup_drops = snap.counter(names::DEDUP_DROPS);
+        stats
     }
 
     /// Immutable access to a node's engine for assertions.
@@ -286,9 +306,20 @@ impl<N: NetNode> SimNet<N> {
                 };
                 if deliverable {
                     self.stats.delivered += 1;
+                    self.telemetry.trace(
+                        self.now.as_millis(),
+                        to.as_str(),
+                        "net",
+                        "deliver",
+                        || format!("from={from} bytes={}", payload.len()),
+                    );
                     self.with_node(&to, |n, ctx| n.on_message(&from, &payload, ctx));
                 } else {
                     self.stats.undeliverable += 1;
+                    self.telemetry
+                        .trace(self.now.as_millis(), to.as_str(), "net", "drop", || {
+                            format!("from={from} reason=crashed_or_unknown")
+                        });
                 }
             }
             EventKind::Timer { node, id } => {
@@ -384,6 +415,10 @@ impl<N: NetNode> SimNet<N> {
         for (to, payload) in ctx.take_outgoing() {
             self.stats.sent += 1;
             self.stats.bytes_sent += payload.len() as u64;
+            self.telemetry
+                .trace(self.now.as_millis(), from.as_str(), "net", "send", || {
+                    format!("to={to} bytes={}", payload.len())
+                });
             let action = self.intruder.intercept(&from, &to, &payload, self.now);
             match action {
                 InterceptAction::Deliver => {
@@ -416,6 +451,10 @@ impl<N: NetNode> SimNet<N> {
             .any(|p| p.separates(&from, &to, self.now))
         {
             self.stats.undeliverable += 1;
+            self.telemetry
+                .trace(self.now.as_millis(), from.as_str(), "net", "drop", || {
+                    format!("to={to} reason=partition")
+                });
             return;
         }
         let plan = self
@@ -425,6 +464,10 @@ impl<N: NetNode> SimNet<N> {
             .unwrap_or(self.default_plan);
         if plan.drop_rate > 0.0 && self.rng.gen_bool(plan.drop_rate) {
             self.stats.dropped += 1;
+            self.telemetry
+                .trace(self.now.as_millis(), from.as_str(), "net", "drop", || {
+                    format!("to={to} reason=fault_plan")
+                });
             return;
         }
         let delay = if plan.max_delay > plan.min_delay {

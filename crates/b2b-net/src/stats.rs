@@ -21,6 +21,12 @@ pub struct NetStats {
     pub undeliverable: u64,
     /// Total payload bytes handed to the network by nodes.
     pub bytes_sent: u64,
+    /// Frames retransmitted by the nodes' reliable layers (harvested from
+    /// each node's [`crate::ReliableMux`]; zero for transports without one).
+    pub retransmits: u64,
+    /// Duplicate frames suppressed by the nodes' reliable layers before
+    /// delivery to the protocol (harvested likewise).
+    pub dedup_drops: u64,
 }
 
 impl NetStats {
@@ -30,6 +36,9 @@ impl NetStats {
     }
 
     /// Total datagrams that failed to reach a live destination.
+    ///
+    /// Deliberately unchanged by the reliable-layer counters: retransmits
+    /// and dedup drops describe *masking* work, not loss.
     pub fn lost(&self) -> u64 {
         self.dropped + self.undeliverable
     }
@@ -48,8 +57,20 @@ mod tests {
             duplicated: 0,
             undeliverable: 1,
             bytes_sent: 100,
+            retransmits: 2,
+            dedup_drops: 1,
         };
         assert_eq!(s.lost(), 4);
+    }
+
+    #[test]
+    fn reliable_layer_counters_do_not_count_as_loss() {
+        let s = NetStats {
+            retransmits: 7,
+            dedup_drops: 5,
+            ..NetStats::default()
+        };
+        assert_eq!(s.lost(), 0);
     }
 
     #[test]

@@ -1,12 +1,27 @@
-//! Property-based tests of the reliable-delivery layer: *eventual,
-//! once-only delivery* (paper §4.2) must hold for arbitrary message
-//! batches under arbitrary loss/duplication/jitter schedules, and across
-//! crash-recovery epochs.
+//! Randomized tests of the reliable-delivery layer: *eventual, once-only
+//! delivery* (paper §4.2) must hold for arbitrary message batches under
+//! arbitrary loss/duplication/jitter schedules, and across crash-recovery
+//! epochs.
+//!
+//! These were property-based (proptest) tests; the offline build vendors no
+//! proptest, so each property runs as a seeded deterministic loop instead.
 
 use b2b_crypto::{PartyId, TimeMs};
 use b2b_net::reliable::Inbound;
 use b2b_net::{FaultPlan, NetNode, NodeCtx, ReliableMux, SimNet};
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const CASES: u64 = 24;
+
+fn bytes(rng: &mut StdRng, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(min_len..=max_len);
+    (0..len).map(|_| rng.gen_range(0..=255u64) as u8).collect()
+}
+
+fn batch(rng: &mut StdRng, max_items: usize, max_len: usize) -> Vec<Vec<u8>> {
+    let n = rng.gen_range(0..=max_items);
+    (0..n).map(|_| bytes(rng, 0, max_len)).collect()
+}
 
 /// A node that reliably sends a fixed batch on start and records every
 /// payload delivered up the stack.
@@ -38,19 +53,18 @@ impl NetNode for Endpoint {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Every payload is delivered exactly once, whatever the fault plan.
+#[test]
+fn once_only_delivery_under_arbitrary_faults() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x2E11AB1E ^ case);
+        let seed = rng.gen_range(0..10_000u64);
+        let drop_rate = rng.gen_range(0..600u64) as f64 / 1000.0;
+        let dup_rate = rng.gen_range(0..500u64) as f64 / 1000.0;
+        let max_delay = rng.gen_range(1..60u64);
+        let batch_a = batch(&mut rng, 14, 32);
+        let batch_b = batch(&mut rng, 14, 32);
 
-    /// Every payload is delivered exactly once, whatever the fault plan.
-    #[test]
-    fn once_only_delivery_under_arbitrary_faults(
-        seed in 0u64..10_000,
-        drop_rate in 0.0f64..0.6,
-        dup_rate in 0.0f64..0.5,
-        max_delay in 1u64..60,
-        batch_a in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..15),
-        batch_b in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..15),
-    ) {
         let mut net: SimNet<Endpoint> = SimNet::new(seed);
         net.set_default_plan(
             FaultPlan::new()
@@ -78,25 +92,29 @@ proptest! {
         let mut want_b = batch_a;
         got_b.sort();
         want_b.sort();
-        prop_assert_eq!(got_b, want_b, "b receives a's batch exactly once");
+        assert_eq!(got_b, want_b, "b receives a's batch exactly once");
 
         let mut got_a = net.node(&PartyId::new("a")).delivered.clone();
         let mut want_a = batch_b;
         got_a.sort();
         want_a.sort();
-        prop_assert_eq!(got_a, want_a, "a receives b's batch exactly once");
-        prop_assert!(net.node(&PartyId::new("a")).mux.all_acked());
-        prop_assert!(net.node(&PartyId::new("b")).mux.all_acked());
+        assert_eq!(got_a, want_a, "a receives b's batch exactly once");
+        assert!(net.node(&PartyId::new("a")).mux.all_acked());
+        assert!(net.node(&PartyId::new("b")).mux.all_acked());
     }
+}
 
-    /// A receiver crash (losing dedup state) never manufactures duplicate
-    /// *new-epoch* deliveries: payloads sent after the receiver's recovery
-    /// under a fresh sender epoch arrive exactly once.
-    #[test]
-    fn fresh_epochs_deliver_exactly_once_after_dedup_loss(
-        seed in 0u64..10_000,
-        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..10),
-    ) {
+/// A receiver crash (losing dedup state) never manufactures duplicate
+/// *new-epoch* deliveries: payloads sent after the receiver's recovery
+/// under a fresh sender epoch arrive exactly once.
+#[test]
+fn fresh_epochs_deliver_exactly_once_after_dedup_loss() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xE90C ^ case);
+        let seed = rng.gen_range(0..10_000u64);
+        let n = rng.gen_range(1..10usize);
+        let payloads: Vec<Vec<u8>> = (0..n).map(|_| bytes(&mut rng, 1, 16)).collect();
+
         // Model: two muxes; receiver state reset mid-stream; sender
         // restarts with a new epoch (as the coordinator does on recovery).
         let from = PartyId::new("tx");
@@ -130,10 +148,10 @@ proptest! {
                 }
                 // A duplicate of the same frame is suppressed.
                 let mut rctx2 = NodeCtx::new(TimeMs(4));
-                prop_assert_eq!(rx.on_message(&from, &frame, &mut rctx2), Inbound::Duplicate);
+                assert_eq!(rx.on_message(&from, &frame, &mut rctx2), Inbound::Duplicate);
             }
         }
-        prop_assert_eq!(post, payloads);
+        assert_eq!(post, payloads);
         let _ = delivered;
     }
 }

@@ -1,0 +1,186 @@
+//! Deterministic observability for the B2BObjects middleware.
+//!
+//! The paper argues safety and liveness over *protocol rounds* (§4.3 state
+//! coordination, §4.5 membership); this crate makes those rounds visible
+//! without disturbing them:
+//!
+//! - [`metrics`] — a deterministic metrics registry: named counters and
+//!   virtual-time histograms, per-coordinator, mergeable fleet-wide, with
+//!   JSON and table exporters.
+//! - [`trace`] — a span/event flight recorder: the [`trace::TraceSink`]
+//!   trait with a bounded ring-buffer recorder and a line-writer sink.
+//!   Events are stamped with virtual `TimeMs` only, so traces from the
+//!   seeded simulator are byte-identical across reruns.
+//!
+//! [`Telemetry`] bundles both behind one cheap `Clone + Send + Sync` handle.
+//! The default handle has a live metrics registry (atomically cheap) and no
+//! trace sink; every instrumentation point is written so that the no-sink
+//! path does not even format its detail string.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use trace::{LineWriter, NoopSink, RingRecorder, TraceEvent, TraceSink};
+
+use std::sync::Arc;
+
+/// Well-known metric names emitted by the middleware layers.
+///
+/// Keeping them in one place makes sidecar files and dashboards stable
+/// across crates; nothing prevents registering ad-hoc names as well.
+pub mod names {
+    /// State-coordination rounds entered, at the proposer when it sends
+    /// m1 and at each recipient when it starts tracking the proposal.
+    pub const ROUNDS_STARTED: &str = "rounds_started";
+    /// Rounds that installed the proposed state.
+    pub const ROUNDS_COMMITTED: &str = "rounds_committed";
+    /// Rounds that ended in rollback/abort.
+    pub const ROUNDS_ABORTED: &str = "rounds_aborted";
+    /// Phase-1 responses that validated and counted.
+    pub const VOTES_VALID: &str = "votes_valid";
+    /// Phase-1 responses rejected (bad signature, stale run, misbehaviour).
+    pub const VOTES_INVALID: &str = "votes_invalid";
+    /// Signature verifications performed.
+    pub const SIG_VERIFY_COUNT: &str = "sig_verify_count";
+    /// Evidence records appended to the store.
+    pub const EVIDENCE_RECORDS_APPENDED: &str = "evidence_records_appended";
+    /// Frames appended to the write-ahead log.
+    pub const WAL_APPENDS: &str = "wal_appends";
+    /// Payload retransmissions by the reliable layer.
+    pub const RETRANSMITS: &str = "retransmits";
+    /// Duplicate payloads suppressed by the reliable layer.
+    pub const DEDUP_DROPS: &str = "dedup_drops";
+    /// Membership changes (connects/disconnects) installed.
+    pub const MEMBERSHIP_CHANGES: &str = "membership_changes";
+    /// Histogram: virtual-time latency of completed rounds.
+    pub const ROUND_LATENCY_MS: &str = "round_latency_ms";
+}
+
+/// A cheap, shareable handle bundling a metrics registry and an optional
+/// trace sink.
+///
+/// `Telemetry::default()` is the opt-out state: metrics still accumulate
+/// (they cost one mutex-guarded map bump) but no trace events are built or
+/// recorded. Attach a sink with [`Telemetry::with_sink`] or
+/// [`Telemetry::set_sink`] to turn on the flight recorder.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    metrics: MetricsRegistry,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl Telemetry {
+    /// Creates a handle with a fresh registry and no trace sink.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Creates a handle recording trace events into `sink`.
+    pub fn with_sink(sink: Arc<dyn TraceSink>) -> Telemetry {
+        Telemetry {
+            metrics: MetricsRegistry::default(),
+            sink: Some(sink),
+        }
+    }
+
+    /// Attaches (or replaces) the trace sink.
+    pub fn set_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// The underlying metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Returns `true` when a trace sink is attached.
+    pub fn tracing_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.metrics.add(name, 1);
+    }
+
+    /// Increments counter `name` by `delta`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.metrics.add(name, delta);
+    }
+
+    /// Records `value_ms` (virtual milliseconds) into histogram `name`.
+    pub fn observe_ms(&self, name: &str, value_ms: u64) {
+        self.metrics.observe(name, value_ms);
+    }
+
+    /// Records a trace event if a sink is attached.
+    ///
+    /// `detail` is a closure so the no-sink path never formats the string —
+    /// the instrumentation cost without a sink is one `Option` check.
+    pub fn trace(
+        &self,
+        time_ms: u64,
+        party: &str,
+        span: &str,
+        phase: &str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if let Some(sink) = &self.sink {
+            sink.record(TraceEvent {
+                time_ms,
+                party: party.to_string(),
+                span: span.to_string(),
+                phase: phase.to_string(),
+                detail: detail(),
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("tracing_enabled", &self.tracing_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_handle_counts_but_does_not_trace() {
+        let tel = Telemetry::new();
+        assert!(!tel.tracing_enabled());
+        tel.inc(names::ROUNDS_STARTED);
+        let mut formatted = false;
+        tel.trace(1, "a", "state_run", "propose", || {
+            formatted = true;
+            String::new()
+        });
+        assert!(!formatted, "no-sink path must not format details");
+        assert_eq!(tel.metrics().snapshot().counter(names::ROUNDS_STARTED), 1);
+    }
+
+    #[test]
+    fn sink_receives_events() {
+        let ring = Arc::new(RingRecorder::new(8));
+        let tel = Telemetry::with_sink(ring.clone());
+        tel.trace(7, "org1", "net", "send", || "to=org2".to_string());
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].time_ms, 7);
+        assert_eq!(events[0].party, "org1");
+        assert_eq!(events[0].detail, "to=org2");
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let tel = Telemetry::new();
+        let clone = tel.clone();
+        clone.inc(names::RETRANSMITS);
+        assert_eq!(tel.metrics().snapshot().counter(names::RETRANSMITS), 1);
+    }
+}

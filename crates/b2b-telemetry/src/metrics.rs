@@ -1,0 +1,374 @@
+//! Deterministic metrics: named counters and virtual-time histograms.
+//!
+//! The registry is a `Clone + Send + Sync` handle over a mutex-guarded
+//! `BTreeMap`, so iteration order — and therefore every exporter's output —
+//! is deterministic. Values are only ever fed from virtual [`u64`]
+//! milliseconds or event counts; the registry itself never reads a clock.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Upper bounds (inclusive) of the histogram buckets, in virtual ms.
+///
+/// A 1-2-5 ladder wide enough for every experiment in the bench suite; the
+/// final implicit bucket is unbounded.
+pub const BUCKET_BOUNDS: [u64; 14] = [
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10_000, 20_000,
+];
+
+/// A latency histogram over [`BUCKET_BOUNDS`] plus an overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Per-bucket observation counts; `counts[i]` covers values up to and
+    /// including `BUCKET_BOUNDS[i]`, the last entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKET_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.counts[idx] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Mean observed value, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A shareable, deterministic metrics registry.
+///
+/// Cloning shares the underlying maps; use [`MetricsRegistry::snapshot`] for
+/// a point-in-time copy and [`MetricsSnapshot::merge`] for fleet-wide
+/// aggregation.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero if absent.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.counters.get_mut(name) {
+            Some(slot) => *slot += delta,
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Records `value` into histogram `name`, creating it if absent.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Returns the current value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Takes a point-in-time copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+
+    /// Folds a snapshot into this registry (fleet-wide aggregation).
+    pub fn merge_snapshot(&self, snap: &MetricsSnapshot) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for (name, value) in &snap.counters {
+            *inner.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &snap.histograms {
+            inner
+                .histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(hist);
+        }
+    }
+}
+
+/// A point-in-time, serializable copy of a registry.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values keyed by name, sorted.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms keyed by name, sorted.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Returns counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Returns histogram `name` if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Folds `other` into `self` (fleet-wide aggregation).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+
+    /// Serializes the snapshot to deterministic JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+
+    /// Parses a snapshot from JSON produced by [`MetricsSnapshot::to_json`].
+    pub fn from_json(json: &str) -> Result<MetricsSnapshot, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Renders a human-readable metrics table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let width = self
+                .counters
+                .keys()
+                .map(|k| k.len())
+                .max()
+                .unwrap_or(0)
+                .max("counter".len());
+            let _ = writeln!(out, "{:<width$}  value", "counter");
+            let _ = writeln!(out, "{:-<width$}  -----", "");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "{name:<width$}  {value}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let width = self
+                .histograms
+                .keys()
+                .map(|k| k.len())
+                .max()
+                .unwrap_or(0)
+                .max("histogram".len());
+            let _ = writeln!(
+                out,
+                "{:<width$}  count      sum      min      max     mean",
+                "histogram"
+            );
+            let _ = writeln!(
+                out,
+                "{:-<width$}  -----      ---      ---      ---     ----",
+                ""
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{name:<width$}  {:>5}  {:>7}  {:>7}  {:>7}  {:>7.1}",
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.mean()
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.inc("a");
+        reg.add("a", 2);
+        reg.inc("b");
+        assert_eq!(reg.counter("a"), 3);
+        assert_eq!(reg.counter("b"), 1);
+        assert_eq!(reg.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = Histogram::default();
+        // Exactly on a bound goes into that bucket (inclusive upper bound).
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        assert_eq!(h.counts[0], 2, "0 and 1 share the first bucket");
+        assert_eq!(h.counts[1], 1, "2 is on the second bound");
+        assert_eq!(h.counts[2], 1, "3 lands in the (2,5] bucket");
+        // Overflow bucket.
+        h.observe(u64::MAX);
+        assert_eq!(*h.counts.last().expect("overflow bucket"), 1);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, u64::MAX);
+        // Saturating sum must not wrap.
+        assert_eq!(h.sum, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_tracks_extremes() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.observe(5);
+        b.observe(100);
+        b.observe(1);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, 1);
+        assert_eq!(a.max, 100);
+        assert_eq!(a.sum, 106);
+        // Merging an empty histogram changes nothing.
+        let before = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn registry_merge_is_fleet_aggregation() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.inc("rounds_started");
+        a.observe("round_latency_ms", 10);
+        b.add("rounds_started", 2);
+        b.inc("retransmits");
+        b.observe("round_latency_ms", 30);
+
+        let mut fleet = a.snapshot();
+        fleet.merge(&b.snapshot());
+        assert_eq!(fleet.counter("rounds_started"), 3);
+        assert_eq!(fleet.counter("retransmits"), 1);
+        let h = fleet.histogram("round_latency_ms").expect("merged");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 40);
+    }
+
+    #[test]
+    fn json_roundtrip_is_stable() {
+        let reg = MetricsRegistry::new();
+        reg.inc("z");
+        reg.inc("a");
+        reg.observe("lat", 7);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).expect("parses");
+        assert_eq!(back, snap);
+        // Deterministic bytes: sorted keys, stable rendering.
+        assert_eq!(json, back.to_json());
+        assert!(json.find("\"a\"").expect("a") < json.find("\"z\"").expect("z"));
+    }
+
+    #[test]
+    fn table_renders_counters_and_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.add("rounds_started", 4);
+        reg.observe("round_latency_ms", 12);
+        let table = reg.snapshot().render_table();
+        assert!(table.contains("rounds_started"));
+        assert!(table.contains("round_latency_ms"));
+        assert!(table.contains('4'));
+        assert_eq!(
+            MetricsSnapshot::default().render_table(),
+            "(no metrics recorded)\n"
+        );
+    }
+}

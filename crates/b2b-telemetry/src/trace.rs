@@ -1,0 +1,236 @@
+//! The protocol flight recorder: span/event tracing with pluggable sinks.
+//!
+//! A [`TraceEvent`] is one timestamped step of a protocol span — e.g. span
+//! `state_run`, phase `propose` — stamped with *virtual* milliseconds, never
+//! wall-clock, so recordings of a seeded simulation are byte-identical
+//! across reruns. Sinks implement [`TraceSink`]; the crate ships a bounded
+//! in-memory [`RingRecorder`] (the flight recorder proper) and a
+//! [`LineWriter`] that streams formatted lines into any `io::Write`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// One recorded protocol step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time of the event in milliseconds.
+    pub time_ms: u64,
+    /// The party on which the event occurred.
+    pub party: String,
+    /// Span name, e.g. `state_run`, `membership`, `recovery`, `net`.
+    pub span: String,
+    /// Phase within the span, e.g. `propose`, `vote_collect`, `decide`.
+    pub phase: String,
+    /// Deterministic free-form detail (run labels, peers, sequence numbers).
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// Renders the canonical single-line form used by [`LineWriter`].
+    pub fn render_line(&self) -> String {
+        if self.detail.is_empty() {
+            format!(
+                "t={:>6} {:<8} {}/{}",
+                self.time_ms, self.party, self.span, self.phase
+            )
+        } else {
+            format!(
+                "t={:>6} {:<8} {}/{} {}",
+                self.time_ms, self.party, self.span, self.phase, self.detail
+            )
+        }
+    }
+}
+
+/// Receives trace events. Implementations must be cheap and infallible —
+/// instrumentation points fire inside protocol hot paths.
+pub trait TraceSink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: TraceEvent);
+}
+
+/// A sink that discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// A bounded in-memory recorder keeping the most recent `capacity` events.
+///
+/// This is the flight recorder used to debug adversary tests: run the seeded
+/// simulation, then read back [`RingRecorder::events`] — identical runs give
+/// identical buffers.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// Creates a recorder retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> RingRecorder {
+        RingRecorder {
+            capacity: capacity.max(1),
+            inner: Mutex::new(RingInner::default()),
+        }
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.events.iter().cloned().collect()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.events.len()
+    }
+
+    /// Returns `true` if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.dropped
+    }
+
+    /// Clears the buffer (the dropped count too).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.events.clear();
+        inner.dropped = 0;
+    }
+
+    /// Renders all retained events, one canonical line each.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for event in &inner.events {
+            out.push_str(&event.render_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&self, event: TraceEvent) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event);
+    }
+}
+
+/// A sink that writes each event as one formatted line.
+///
+/// Useful for piping a live trace to stderr or a file:
+///
+/// ```
+/// use b2b_telemetry::{LineWriter, TraceSink, TraceEvent};
+/// let sink = LineWriter::new(Vec::new());
+/// sink.record(TraceEvent {
+///     time_ms: 5,
+///     party: "org1".into(),
+///     span: "net".into(),
+///     phase: "send".into(),
+///     detail: "to=org2".into(),
+/// });
+/// let bytes = sink.into_inner();
+/// assert!(String::from_utf8(bytes).unwrap().contains("net/send"));
+/// ```
+pub struct LineWriter<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> LineWriter<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> LineWriter<W> {
+        LineWriter {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<W: Write + Send> TraceSink for LineWriter<W> {
+    fn record(&self, event: TraceEvent) {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // Sinks are infallible by contract; a failed write drops the line.
+        let _ = writeln!(writer, "{}", event.render_line());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, detail: &str) -> TraceEvent {
+        TraceEvent {
+            time_ms: t,
+            party: "p".to_string(),
+            span: "s".to_string(),
+            phase: "ph".to_string(),
+            detail: detail.to_string(),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let ring = RingRecorder::new(2);
+        assert!(ring.is_empty());
+        ring.record(ev(1, "a"));
+        ring.record(ev(2, "b"));
+        ring.record(ev(3, "c"));
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].detail, "b");
+        assert_eq!(events[1].detail, "c");
+        assert_eq!(ring.dropped(), 1);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn line_writer_formats_events() {
+        let sink = LineWriter::new(Vec::new());
+        sink.record(ev(12, "x=1"));
+        sink.record(ev(13, ""));
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("t=    12"));
+        assert!(lines[0].contains("s/ph x=1"));
+        assert!(lines[1].ends_with("s/ph"));
+    }
+
+    #[test]
+    fn events_serialize_deterministically() {
+        let a = ev(1, "d");
+        let json = serde_json::to_string(&a).expect("serializes");
+        let b: TraceEvent = serde_json::from_str(&json).expect("parses");
+        assert_eq!(a, b);
+        assert_eq!(json, serde_json::to_string(&b).expect("serializes"));
+    }
+}

@@ -1,12 +1,19 @@
 //! Figure 5 replay: the Tic-Tac-Toe game, including Cross's cheating move
 //! being vetoed and "not reflected at Nought's server".
 //!
+//! Both coordinators share a telemetry handle with a ring-buffer flight
+//! recorder, so each move prints the protocol rounds behind it (propose →
+//! vote-collect → decide → install) and the run ends with the merged
+//! metrics table.
+//!
 //! Run with: `cargo run --example tictactoe`
 
 use b2bobjects::apps::tictactoe::{Board, GameObject, Mark, Players};
 use b2bobjects::core::{Coordinator, ObjectId, Outcome};
 use b2bobjects::crypto::{KeyPair, KeyRing, PartyId, Signer, TimeMs};
 use b2bobjects::net::SimNet;
+use b2bobjects::telemetry::{RingRecorder, Telemetry};
+use std::sync::Arc;
 
 fn main() {
     let cross = PartyId::new("cross");
@@ -22,17 +29,22 @@ fn main() {
     ring.register(cross.clone(), kp_c.public_key());
     ring.register(nought.clone(), kp_n.public_key());
 
+    let flight = Arc::new(RingRecorder::new(4096));
+    let telemetry = Telemetry::with_sink(flight.clone());
     let mut net = SimNet::new(7);
+    net.set_telemetry(telemetry.clone());
     net.add_node(
         Coordinator::builder(cross.clone(), kp_c)
             .ring(ring.clone())
             .seed(1)
+            .telemetry(telemetry.clone())
             .build(),
     );
     net.add_node(
         Coordinator::builder(nought.clone(), kp_n)
             .ring(ring)
             .seed(2)
+            .telemetry(telemetry.clone())
             .build(),
     );
 
@@ -56,6 +68,21 @@ fn main() {
         .unwrap();
     });
     net.run_until_quiet(TimeMs(60_000));
+
+    // Protocol-level events only; the `net` span (send/deliver/retransmit)
+    // is recorded too but would drown the per-move story.
+    let mut seen = 0usize;
+    let print_round_trace = |seen: &mut usize| {
+        let events = flight.events();
+        for event in &events[*seen..] {
+            if event.span != "net" {
+                println!("   {}", event.render_line());
+            }
+        }
+        *seen = events.len();
+    };
+    println!("== Nought joins the game (sponsored by Cross)");
+    print_round_trace(&mut seen);
 
     let mut play = |who: &PartyId, describe: &str, mutate: &dyn Fn(&mut Board)| {
         let state = net.node(who).agreed_state(&ObjectId::new("game")).unwrap();
@@ -90,6 +117,7 @@ fn main() {
             }
             other => println!("   {other:?}"),
         }
+        print_round_trace(&mut seen);
     };
 
     // The Figure 5 move sequence.
@@ -108,4 +136,6 @@ fn main() {
         &|b| b.cheat_set(Mark::O, 2, 1),
     );
     println!("Cross forfeits the game — Nought holds signed evidence of the attempt.");
+    println!("\n== Final metrics (both servers, merged)\n");
+    println!("{}", telemetry.metrics().snapshot().render_table());
 }

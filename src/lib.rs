@@ -19,6 +19,9 @@
 //! * [`apps`] — proof-of-concept applications: Tic-Tac-Toe, order
 //!   processing, a distributed auction, a shared whiteboard and
 //!   trusted-agent (TTP) interposition.
+//! * [`telemetry`] — deterministic observability: a mergeable metrics
+//!   registry and the protocol flight recorder (span/event tracing over
+//!   virtual time).
 //!
 //! See the `examples/` directory for runnable scenarios, starting with
 //! `quickstart.rs`.
@@ -28,3 +31,4 @@ pub use b2b_core as core;
 pub use b2b_crypto as crypto;
 pub use b2b_evidence as evidence;
 pub use b2b_net as net;
+pub use b2b_telemetry as telemetry;
