@@ -1,0 +1,232 @@
+//! Minimal offline stand-in for the `ed25519-dalek` crate (v2 API subset).
+//!
+//! **This is not Ed25519.** The build environment has no crates.io registry,
+//! so instead of curve arithmetic this crate implements a deterministic
+//! SHA-256-based signature scheme behind the dalek API:
+//!
+//! - the verifying key is `SHA-256("b2b-sim-ed25519-vk" || secret)`;
+//! - a signature is `SHA-256(tag1 || secret || msg) || SHA-256(tag2 || secret
+//!   || msg)` (64 bytes, like a real Ed25519 signature);
+//! - verification recovers the secret from a process-global registry of keys
+//!   created in this process (`SigningKey::from_bytes` registers), recomputes
+//!   the MAC and compares.
+//!
+//! Within the simulator's threat model (an in-process Dolev-Yao intruder that
+//! can replay, reorder and corrupt bytes but holds no keys) this is
+//! unforgeable: producing a valid signature for a verifying key requires the
+//! 32-byte secret, which never crosses the simulated wire. It is **not**
+//! transferable across processes and must never be used in a deployment.
+
+use sha2::{Digest, Sha256};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+const VK_TAG: &[u8] = b"b2b-sim-ed25519-vk";
+const SIG_TAG_R: &[u8] = b"b2b-sim-ed25519-r";
+const SIG_TAG_S: &[u8] = b"b2b-sim-ed25519-s";
+
+fn registry() -> &'static Mutex<HashMap<[u8; 32], [u8; 32]>> {
+    static REG: OnceLock<Mutex<HashMap<[u8; 32], [u8; 32]>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn hash3(tag: &[u8], a: &[u8], b: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(tag);
+    h.update((a.len() as u64).to_be_bytes());
+    h.update(a);
+    h.update(b);
+    h.finalize()
+}
+
+fn mac(secret: &[u8; 32], msg: &[u8]) -> [u8; 64] {
+    let r = hash3(SIG_TAG_R, secret, msg);
+    let s = hash3(SIG_TAG_S, secret, msg);
+    let mut out = [0u8; 64];
+    out[..32].copy_from_slice(&r);
+    out[32..].copy_from_slice(&s);
+    out
+}
+
+/// Error produced by failed verification or malformed key material.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureError;
+
+impl std::fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "signature error")
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// A 64-byte signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    bytes: [u8; 64],
+}
+
+impl Signature {
+    /// Builds a signature from raw bytes (infallible, as in dalek v2).
+    pub fn from_bytes(bytes: &[u8; 64]) -> Signature {
+        Signature { bytes: *bytes }
+    }
+
+    /// The raw 64 signature bytes.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        self.bytes
+    }
+}
+
+/// A verifying (public) key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey {
+    bytes: [u8; 32],
+}
+
+impl VerifyingKey {
+    /// Builds a verifying key from raw bytes.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<VerifyingKey, SignatureError> {
+        Ok(VerifyingKey { bytes: *bytes })
+    }
+
+    /// The raw 32 key bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.bytes
+    }
+
+    /// The raw key bytes as a reference.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.bytes
+    }
+}
+
+/// A signing (secret) key.
+#[derive(Clone)]
+pub struct SigningKey {
+    secret: [u8; 32],
+    verifying: VerifyingKey,
+}
+
+impl SigningKey {
+    /// Builds a signing key from 32 secret bytes and registers its verifying
+    /// key in the process-global verification registry.
+    pub fn from_bytes(secret: &[u8; 32]) -> SigningKey {
+        let vk = hash3(VK_TAG, secret, &[]);
+        registry()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(vk, *secret);
+        SigningKey {
+            secret: *secret,
+            verifying: VerifyingKey { bytes: vk },
+        }
+    }
+
+    /// The secret bytes this key was built from.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.secret
+    }
+
+    /// The matching verifying key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.verifying
+    }
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the secret.
+        write!(f, "SigningKey({:02x?}…)", &self.verifying.bytes[..4])
+    }
+}
+
+/// Objects that can sign messages.
+pub trait Signer {
+    /// Signs `msg`.
+    fn sign(&self, msg: &[u8]) -> Signature;
+}
+
+impl Signer for SigningKey {
+    fn sign(&self, msg: &[u8]) -> Signature {
+        Signature {
+            bytes: mac(&self.secret, msg),
+        }
+    }
+}
+
+/// Objects that can verify signatures.
+pub trait Verifier {
+    /// Verifies `sig` over `msg`.
+    fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), SignatureError>;
+}
+
+impl Verifier for VerifyingKey {
+    fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), SignatureError> {
+        let secret = registry()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&self.bytes)
+            .copied()
+            .ok_or(SignatureError)?;
+        let expected = mac(&secret, msg);
+        // Constant-time-ish compare; timing is irrelevant in simulation but
+        // the branch-free fold costs nothing.
+        let diff = expected
+            .iter()
+            .zip(sig.bytes.iter())
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b));
+        if diff == 0 {
+            Ok(())
+        } else {
+            Err(SignatureError)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = SigningKey::from_bytes(&[7u8; 32]);
+        let sig = sk.sign(b"msg");
+        assert!(sk.verifying_key().verify(b"msg", &sig).is_ok());
+        assert!(sk.verifying_key().verify(b"other", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let a = SigningKey::from_bytes(&[1u8; 32]);
+        let b = SigningKey::from_bytes(&[2u8; 32]);
+        let sig = a.sign(b"m");
+        assert!(b.verifying_key().verify(b"m", &sig).is_err());
+    }
+
+    #[test]
+    fn unknown_verifying_key_rejected() {
+        let vk = VerifyingKey::from_bytes(&[9u8; 32]).unwrap();
+        let sig = Signature::from_bytes(&[0u8; 64]);
+        assert_eq!(vk.verify(b"m", &sig), Err(SignatureError));
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let sk = SigningKey::from_bytes(&[3u8; 32]);
+        let sig = sk.sign(b"x");
+        let restored = Signature::from_bytes(&sig.to_bytes());
+        assert!(sk.verifying_key().verify(b"x", &restored).is_ok());
+    }
+
+    #[test]
+    fn deterministic_keys_and_signatures() {
+        let a = SigningKey::from_bytes(&[5u8; 32]);
+        let b = SigningKey::from_bytes(&[5u8; 32]);
+        assert_eq!(a.verifying_key(), b.verifying_key());
+        assert_eq!(
+            a.sign(b"m").to_bytes().to_vec(),
+            b.sign(b"m").to_bytes().to_vec()
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Minimal offline stand-in for the `hex` crate.
+//!
+//! Implements the subset of the API used by this workspace: [`encode`] and
+//! [`decode`]. Vendored because the build environment has no access to a
+//! crates.io registry.
+
+/// Error returned by [`decode`] on malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FromHexError {
+    /// A character outside `[0-9a-fA-F]` was found at the given offset.
+    InvalidHexCharacter {
+        /// The offending character.
+        c: char,
+        /// Byte offset of the offending character.
+        index: usize,
+    },
+    /// The input length was not even.
+    OddLength,
+}
+
+impl std::fmt::Display for FromHexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FromHexError::InvalidHexCharacter { c, index } => {
+                write!(f, "invalid hex character {c:?} at position {index}")
+            }
+            FromHexError::OddLength => write!(f, "odd number of hex digits"),
+        }
+    }
+}
+
+impl std::error::Error for FromHexError {}
+
+const HEX_CHARS: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes `data` as a lowercase hex string.
+pub fn encode<T: AsRef<[u8]>>(data: T) -> String {
+    let bytes = data.as_ref();
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX_CHARS[(b >> 4) as usize] as char);
+        out.push(HEX_CHARS[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+fn val(c: u8, index: usize) -> Result<u8, FromHexError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(FromHexError::InvalidHexCharacter {
+            c: c as char,
+            index,
+        }),
+    }
+}
+
+/// Decodes a hex string (upper or lower case) into bytes.
+pub fn decode<T: AsRef<[u8]>>(data: T) -> Result<Vec<u8>, FromHexError> {
+    let bytes = data.as_ref();
+    if bytes.len() % 2 != 0 {
+        return Err(FromHexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = val(pair[0], i * 2)?;
+        let lo = val(pair[1], i * 2 + 1)?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0u8, 1, 0x7f, 0x80, 0xff];
+        let s = encode(data);
+        assert_eq!(s, "00017f80ff");
+        assert_eq!(decode(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode("abc"), Err(FromHexError::OddLength));
+        assert!(matches!(
+            decode("zz"),
+            Err(FromHexError::InvalidHexCharacter { c: 'z', index: 0 })
+        ));
+    }
+
+    #[test]
+    fn accepts_uppercase() {
+        assert_eq!(decode("DEADBEEF").unwrap(), [0xde, 0xad, 0xbe, 0xef]);
+    }
+}

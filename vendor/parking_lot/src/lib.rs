@@ -1,0 +1,238 @@
+//! Minimal offline stand-in for the `parking_lot` crate.
+//!
+//! Wraps `std::sync` primitives behind the `parking_lot` API subset this
+//! workspace uses: `Mutex::lock`, `RwLock::read/write` (no `Result`s —
+//! poisoning is swallowed, matching parking_lot's no-poisoning semantics)
+//! and `Condvar::wait_until(&mut guard, Instant)`. Vendored because the
+//! build environment has no crates.io registry.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::time::Instant;
+
+/// A mutex that hands out guards without poisoning.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.0.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+
+    /// Returns a mutable reference to the data without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Mutex").field(&self.0).finish()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+///
+/// The inner `Option` exists so [`Condvar::wait_until`] can temporarily take
+/// the std guard while blocking; it is `Some` at every other moment.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("guard present outside wait")
+    }
+}
+
+/// A reader-writer lock without poisoning.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock protecting `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Returns a mutable reference to the data without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("RwLock").field(&self.0).finish()
+    }
+}
+
+/// Shared guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// Exclusive guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Returns `true` if the wait ended because the deadline passed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable compatible with [`Mutex`]/[`MutexGuard`].
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Wakes all threads blocked on this condvar.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Wakes one thread blocked on this condvar.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Blocks until notified or `deadline` passes, releasing the guard's
+    /// lock while waiting. Mirrors parking_lot's `&mut guard` signature.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard present outside wait");
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let (std_guard, result) = self
+            .0
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult(result.timed_out())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn condvar_timeout_and_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Timeout path.
+        {
+            let mut guard = pair.0.lock();
+            let res = pair
+                .1
+                .wait_until(&mut guard, Instant::now() + Duration::from_millis(10));
+            assert!(res.timed_out());
+            assert!(!*guard);
+        }
+        // Notify path.
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            *pair2.0.lock() = true;
+            pair2.1.notify_all();
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut guard = pair.0.lock();
+        while !*guard {
+            if pair.1.wait_until(&mut guard, deadline).timed_out() {
+                break;
+            }
+        }
+        assert!(*guard);
+        t.join().unwrap();
+    }
+}

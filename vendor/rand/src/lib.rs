@@ -1,0 +1,288 @@
+//! Minimal offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Provides the traits ([`RngCore`], [`CryptoRng`], [`SeedableRng`], [`Rng`])
+//! and [`rngs::StdRng`] used by this workspace. `StdRng` here is a
+//! xoshiro256++ generator seeded with SplitMix64 — deterministic for a given
+//! seed, which is all the simulator requires, but it does NOT produce the
+//! same stream as the upstream `rand::rngs::StdRng` (ChaCha12). Fixed-seed
+//! tests calibrated against the upstream stream may need re-seeding.
+//! Vendored because the build environment has no crates.io registry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Core pseudo-random number generation interface.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Marker trait for generators considered cryptographically strong.
+///
+/// Our [`rngs::StdRng`] is *not* cryptographically strong; the marker is kept
+/// so call sites written against the upstream API compile unchanged. All
+/// security-relevant uses in this workspace are simulation-scoped.
+pub trait CryptoRng {}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed material type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator by expanding a 64-bit seed with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64(state);
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Builds the generator from ambient (non-reproducible) entropy.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(entropy_u64())
+    }
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Ranges that can be sampled by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from this range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn sample_u64_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    assert!(lo <= hi, "gen_range: empty range");
+    let span = hi.wrapping_sub(lo).wrapping_add(1);
+    if span == 0 {
+        // Full u64 range.
+        return rng.next_u64();
+    }
+    // Multiply-shift mapping; bias is < 2^-64 per draw, irrelevant for
+    // simulation workloads.
+    let v = rng.next_u64();
+    lo + ((v as u128 * span as u128) >> 64) as u64
+}
+
+impl SampleRange<u64> for std::ops::RangeInclusive<u64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        sample_u64_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+impl SampleRange<u64> for std::ops::Range<u64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        sample_u64_inclusive(rng, self.start, self.end - 1)
+    }
+}
+
+impl SampleRange<usize> for std::ops::RangeInclusive<usize> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        sample_u64_inclusive(rng, *self.start() as u64, *self.end() as u64) as usize
+    }
+}
+
+impl SampleRange<usize> for std::ops::Range<usize> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "gen_range: empty range");
+        sample_u64_inclusive(rng, self.start as u64, (self.end - 1) as u64) as usize
+    }
+}
+
+impl SampleRange<u32> for std::ops::Range<u32> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> u32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        sample_u64_inclusive(rng, self.start as u64, (self.end - 1) as u64) as u32
+    }
+}
+
+impl SampleRange<u32> for std::ops::RangeInclusive<u32> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> u32 {
+        sample_u64_inclusive(rng, *self.start() as u64, *self.end() as u64) as u32
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn entropy_u64() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let stack_probe = &count as *const _ as u64;
+    // Mix the sources so consecutive calls differ even within one timer tick.
+    let mut sm = SplitMix64(
+        nanos
+            .wrapping_mul(0x2545f4914f6cdd1d)
+            .wrapping_add(count.wrapping_mul(0x9e3779b97f4a7c15))
+            ^ stack_probe,
+    );
+    sm.next_u64()
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{CryptoRng, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator behind the `StdRng` name.
+    ///
+    /// Same-seed instances produce identical streams; the stream differs
+    /// from upstream `rand`'s ChaCha12-based `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s == [0, 0, 0, 0] {
+                // xoshiro must not start at the all-zero state.
+                s[0] = 0x9e3779b97f4a7c15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    impl CryptoRng for StdRng {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn entropy_instances_differ() {
+        let mut a = StdRng::from_entropy();
+        let mut b = StdRng::from_entropy();
+        let sa: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&v));
+            let w = rng.gen_range(5usize..8);
+            assert!((5..8).contains(&w));
+        }
+        // Degenerate singleton range.
+        assert_eq!(rng.gen_range(3u64..=3), 3);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_distribution() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+}

@@ -1,0 +1,710 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! Real serde is a zero-copy visitor framework; this stand-in uses a much
+//! simpler model that is sufficient for the workspace's needs: every
+//! [`Serialize`] type renders itself into an owned [`Value`] tree, and every
+//! [`Deserialize`] type rebuilds itself from one. `serde_json` (also
+//! vendored) converts `Value` trees to and from JSON text. The data model
+//! mirrors serde_json conventions: structs are maps, `Option` is
+//! null-or-value, enums are externally tagged, newtype structs are
+//! transparent, and byte arrays are sequences of numbers.
+//!
+//! Determinism: hash-based containers (`HashMap`, `HashSet`) are sorted by
+//! serialized key on serialization, so equal values always produce
+//! byte-identical encodings — a property the middleware's evidence layer and
+//! deterministic-replay tests rely on.
+//!
+//! Vendored because the build environment has no crates.io registry.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialized form of any value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion-ordered `(key, value)` pairs.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the map entries if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total ordering over values, used to canonicalize hash containers.
+    fn cmp_canonical(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::U64(_) => 2,
+                Value::I64(_) => 3,
+                Value::F64(_) => 4,
+                Value::Str(_) => 5,
+                Value::Seq(_) => 6,
+                Value::Map(_) => 7,
+            }
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::U64(a), Value::U64(b)) => a.cmp(b),
+            (Value::I64(a), Value::I64(b)) => a.cmp(b),
+            (Value::F64(a), Value::F64(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Seq(a), Value::Seq(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let ord = x.cmp_canonical(y);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Value::Map(a), Value::Map(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    let ord = ka.cmp(kb);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                    let ord = va.cmp_canonical(vb);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error carrying `msg`.
+    pub fn msg(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Mirror of serde's `de` module for the paths this workspace imports.
+pub mod de {
+    /// Owned deserialization marker. The shim's [`crate::Deserialize`] has no
+    /// borrowed-lifetime form, so every `Deserialize` type qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+// ---- Primitive impls -------------------------------------------------------
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                        f as u64
+                    }
+                    ref other => {
+                        return Err(Error::msg(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) if n <= i64::MAX as u64 => n as i64,
+                    Value::F64(f) if f.fract() == 0.0 && f.abs() < i64::MAX as f64 => f as i64,
+                    ref other => {
+                        return Err(Error::msg(format!(
+                            "expected signed integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            ref other => Err(Error::msg(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(_v: &Value) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+// ---- Reference / smart-pointer impls ---------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Arc::new)
+    }
+}
+
+// ---- Option ----------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+// ---- Sequences -------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::msg(format!("expected sequence, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_value(v)?.into())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+// ---- Tuples ----------------------------------------------------------------
+
+macro_rules! tuple_impls {
+    ($(($($name:ident $idx:tt),+);)+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = v
+                    .as_seq()
+                    .ok_or_else(|| Error::msg(format!("expected tuple sequence, got {v:?}")))?;
+                if items.len() != LEN {
+                    return Err(Error::msg(format!(
+                        "expected tuple of length {LEN}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+// ---- Maps ------------------------------------------------------------------
+
+/// Serializes `(key, value)` pairs. Keys rendering as strings produce an
+/// object; any other key shape falls back to a sequence of `[key, value]`
+/// pairs. Output is sorted for canonical form.
+fn serialize_pairs<'a, K, V, I>(pairs: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let rendered: Vec<(Value, Value)> = pairs.map(|(k, v)| (k.to_value(), v.to_value())).collect();
+    if rendered.iter().all(|(k, _)| matches!(k, Value::Str(_))) {
+        let mut entries: Vec<(String, Value)> = rendered
+            .into_iter()
+            .map(|(k, v)| match k {
+                Value::Str(s) => (s, v),
+                _ => unreachable!("checked above"),
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    } else {
+        let mut entries = rendered;
+        entries.sort_by(|a, b| a.0.cmp_canonical(&b.0));
+        Value::Seq(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Seq(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+fn deserialize_pairs<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .map(|(k, val)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(val)?)))
+            .collect(),
+        Value::Seq(items) => items
+            .iter()
+            .map(|item| {
+                let pair = item
+                    .as_seq()
+                    .filter(|s| s.len() == 2)
+                    .ok_or_else(|| Error::msg("expected [key, value] pair"))?;
+                Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+            })
+            .collect(),
+        other => Err(Error::msg(format!("expected map, got {other:?}"))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        serialize_pairs(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(deserialize_pairs::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        serialize_pairs(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: Default + std::hash::BuildHasher> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(deserialize_pairs::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+// ---- Sets ------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by(|a, b| a.cmp_canonical(b));
+        Value::Seq(items)
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_value(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by(|a, b| a.cmp_canonical(b));
+        Value::Seq(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: Default + std::hash::BuildHasher> Deserialize
+    for HashSet<T, S>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_value(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---- Helpers used by derive-generated code ---------------------------------
+
+static NULL: Value = Value::Null;
+
+/// Extracts map entries, reporting `ty` on mismatch (derive support).
+pub fn de_map<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+    v.as_map()
+        .ok_or_else(|| Error::msg(format!("expected map for {ty}, got {v:?}")))
+}
+
+/// Extracts a sequence of exactly `n` items (derive support).
+pub fn de_seq<'a>(v: &'a Value, n: usize, ty: &str) -> Result<&'a [Value], Error> {
+    let items = v
+        .as_seq()
+        .ok_or_else(|| Error::msg(format!("expected sequence for {ty}, got {v:?}")))?;
+    if items.len() != n {
+        return Err(Error::msg(format!(
+            "expected {n} elements for {ty}, got {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+/// Looks up and deserializes a struct field; absent keys read as `Null`
+/// so `Option` fields tolerate missing entries (derive support).
+pub fn de_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    let v = entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL);
+    T::from_value(v).map_err(|e| Error::msg(format!("{ty}.{key}: {e}")))
+}
+
+/// Splits an externally tagged enum value into `(variant, payload)`
+/// (derive support).
+pub fn de_enum<'a>(v: &'a Value, ty: &str) -> Result<(&'a str, &'a Value), Error> {
+    match v {
+        Value::Str(tag) => Ok((tag.as_str(), &NULL)),
+        Value::Map(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
+        other => Err(Error::msg(format!(
+            "expected enum tag for {ty}, got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(Some(5u64).to_value(), Value::U64(5));
+        assert_eq!(None::<u64>.to_value(), Value::Null);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::U64(5)).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn hashmap_with_string_keys_is_sorted_object() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        assert_eq!(
+            m.to_value(),
+            Value::Map(vec![
+                ("a".to_string(), Value::U64(1)),
+                ("b".to_string(), Value::U64(2)),
+            ])
+        );
+        let back = HashMap::<String, u64>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn map_with_non_string_keys_uses_pairs() {
+        let mut m = BTreeMap::new();
+        m.insert(2u64, "two".to_string());
+        m.insert(1u64, "one".to_string());
+        let v = m.to_value();
+        assert!(matches!(v, Value::Seq(_)));
+        let back = BTreeMap::<u64, String>::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let a = [1u8, 2, 3];
+        let v = a.to_value();
+        assert_eq!(<[u8; 3]>::from_value(&v).unwrap(), a);
+        assert!(<[u8; 4]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn hashset_serialization_is_order_independent() {
+        let mut a = HashSet::new();
+        let mut b = HashSet::new();
+        for x in 0..100u64 {
+            a.insert(x);
+        }
+        for x in (0..100u64).rev() {
+            b.insert(x);
+        }
+        assert_eq!(a.to_value(), b.to_value());
+    }
+
+    #[test]
+    fn signed_unsigned_cross_reads() {
+        assert_eq!(i64::from_value(&Value::U64(7)).unwrap(), 7);
+        assert_eq!(u64::from_value(&Value::I64(7)).unwrap(), 7);
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        let t = (1u64, "x".to_string(), true);
+        let v = t.to_value();
+        assert_eq!(
+            <(u64, String, bool)>::from_value(&v).unwrap(),
+            (1, "x".to_string(), true)
+        );
+    }
+}

@@ -1,0 +1,383 @@
+//! Minimal offline stand-in for the `serde_derive` crate.
+//!
+//! Generates impls of the vendored `serde`'s [`Serialize`]/[`Deserialize`]
+//! traits (a value-tree model, not the upstream visitor framework) for
+//! non-generic structs and enums without `#[serde(...)]` attributes:
+//!
+//! - named structs → maps keyed by field name;
+//! - newtype structs → transparent;
+//! - tuple structs → sequences;
+//! - enums → externally tagged (`"Variant"` or `{"Variant": payload}`).
+//!
+//! Implemented directly over `proc_macro` token trees — no `syn`/`quote` —
+//! because the build environment has no crates.io registry.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input).map(|item| gen_serialize(&item)) {
+        Ok(code) => code.parse().expect("generated code parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("parses"),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input).map(|item| gen_deserialize(&item)) {
+        Ok(code) => code.parse().expect("generated code parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("parses"),
+    }
+}
+
+// ---- Parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let kind;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                kind = id.to_string();
+                i += 1;
+                break;
+            }
+            Some(_) => i += 1,
+            None => return Err("derive(Serialize/Deserialize): no item found".to_string()),
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing item name".to_string()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type {name}: unsupported by vendored serde_derive"
+            ));
+        }
+    }
+    if kind == "struct" {
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(named_field_names(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        Ok(Item::Struct { name, shape })
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => return Err(format!("enum {name}: missing body")),
+        };
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (doc comments etc).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token {other} in enum body")),
+            None => break,
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(named_field_names(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                return Err(format!("variant {name}: discriminants unsupported"));
+            }
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+/// Splits field-list tokens on commas outside `<…>` generic arguments.
+fn split_fields(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().expect("non-empty").push(tok);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_fields(stream).len()
+}
+
+fn named_field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_fields(stream) {
+        let mut j = 0;
+        while let Some(TokenTree::Punct(p)) = chunk.get(j) {
+            if p.as_char() != '#' {
+                break;
+            }
+            j += 2;
+        }
+        if let Some(TokenTree::Ident(id)) = chunk.get(j) {
+            if id.to_string() == "pub" {
+                j += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(j) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        j += 1;
+                    }
+                }
+            }
+        }
+        match chunk.get(j) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            _ => return Err("expected field name".to_string()),
+        }
+    }
+    Ok(names)
+}
+
+// ---- Codegen ---------------------------------------------------------------
+
+fn ser_named_body(expr_prefix: &str, fields: &[String], deref: bool) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let access = if deref {
+                f.to_string()
+            } else {
+                format!("&{expr_prefix}{f}")
+            };
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({access}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => ser_named_body("self.", fields, false),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("_f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(_f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let payload = ser_named_body("", fields, true);
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn de_named_body(ctor: &str, ty_label: &str, fields: &[String], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de_field({map_expr}, \"{f}\", \"{ty_label}\")?"))
+        .collect();
+    format!("{ctor} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                        .collect();
+                    format!(
+                        "let s = ::serde::de_seq(v, {n}, \"{name}\")?;\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    format!(
+                        "let m = ::serde::de_map(v, \"{name}\")?;\n\
+                         ::std::result::Result::Ok({})",
+                        de_named_body(name, name, fields, "m")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let label = format!("{name}::{vn}");
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet s = ::serde::de_seq(payload, {n}, \"{label}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet m = ::serde::de_map(payload, \"{label}\")?;\n\
+                             ::std::result::Result::Ok({})\n}},\n",
+                            de_named_body(&format!("{name}::{vn}"), &label, fields, "m")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let (tag, payload) = ::serde::de_enum(v, \"{name}\")?;\n\
+                 let _ = payload;\n\
+                 match tag {{\n{arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\
+                 \"unknown variant {{other}} for {name}\"))),\n}}\n}}\n}}\n"
+            )
+        }
+    }
+}

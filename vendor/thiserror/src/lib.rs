@@ -1,0 +1,374 @@
+//! Minimal offline stand-in for the `thiserror` crate.
+//!
+//! Provides `#[derive(Error)]` for plain (non-generic) enums, supporting the
+//! subset this workspace uses:
+//!
+//! - `#[error("…")]` display attributes with `{field}`, `{field:?}` and
+//!   positional `{0}` / `{0:?}` interpolation;
+//! - `#[from]` on a variant's single field, generating the `From` impl;
+//! - an empty `std::error::Error` impl (no `source()` chaining).
+//!
+//! Implemented directly over `proc_macro` token trees — no `syn`/`quote` —
+//! because the build environment has no crates.io registry.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    /// Named-field name, or `None` for tuple fields.
+    name: Option<String>,
+    /// Source text of the field's type.
+    ty: String,
+    /// Whether the field carried `#[from]`.
+    from: bool,
+}
+
+struct Variant {
+    name: String,
+    /// The `#[error("…")]` literal, source form including quotes.
+    fmt: Option<String>,
+    /// `None` for unit variants, `Some((named, fields))` otherwise.
+    fields: Option<(bool, Vec<Field>)>,
+}
+
+/// Derives `Display`, `std::error::Error` and `#[from]` conversions.
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(code) => code.parse().expect("generated code parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("parses"),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility, find `enum Name { … }`.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                i += 1;
+                break;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return Err("derive(Error) shim supports enums only".to_string());
+            }
+            Some(_) => i += 1,
+            None => return Err("derive(Error): no enum found".to_string()),
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive(Error): missing enum name".to_string()),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => return Err(format!("derive(Error): generic enum {name} unsupported")),
+    };
+
+    let variants = parse_variants(body)?;
+    if variants.is_empty() {
+        return Err(format!("derive(Error): enum {name} has no variants"));
+    }
+
+    let mut out = String::new();
+
+    // Display impl.
+    out.push_str(&format!(
+        "impl ::std::fmt::Display for {name} {{\n\
+         fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         match self {{\n"
+    ));
+    for v in &variants {
+        let fmt = v
+            .fmt
+            .as_ref()
+            .ok_or_else(|| format!("variant {}::{} lacks #[error(…)]", name, v.name))?;
+        match &v.fields {
+            None => {
+                out.push_str(&format!(
+                    "{}::{} => ::std::write!(f, {}),\n",
+                    name, v.name, fmt
+                ));
+            }
+            Some((false, fields)) => {
+                let binders: Vec<String> = (0..fields.len()).map(|k| format!("_{k}")).collect();
+                let rewritten = rewrite_positional(fmt);
+                out.push_str(&format!(
+                    "{}::{}({}) => ::std::write!(f, {}),\n",
+                    name,
+                    v.name,
+                    binders.join(", "),
+                    rewritten
+                ));
+            }
+            Some((true, fields)) => {
+                let names: Vec<String> = fields
+                    .iter()
+                    .map(|fld| fld.name.clone().expect("named field"))
+                    .collect();
+                let binders: Vec<String> = names.iter().map(|n| format!("{n}: _{n}")).collect();
+                let rewritten = rewrite_named(fmt, &names);
+                out.push_str(&format!(
+                    "{}::{} {{ {} }} => ::std::write!(f, {}),\n",
+                    name,
+                    v.name,
+                    binders.join(", "),
+                    rewritten
+                ));
+            }
+        }
+    }
+    out.push_str("}\n}\n}\n");
+
+    // Error impl.
+    out.push_str(&format!("impl ::std::error::Error for {name} {{}}\n"));
+
+    // From impls for #[from] fields.
+    for v in &variants {
+        if let Some((named, fields)) = &v.fields {
+            if let Some(pos) = fields.iter().position(|f| f.from) {
+                if fields.len() != 1 {
+                    return Err(format!(
+                        "#[from] variant {}::{} must have exactly one field",
+                        name, v.name
+                    ));
+                }
+                let ty = &fields[pos].ty;
+                let construct = if *named {
+                    format!(
+                        "{}::{} {{ {}: source }}",
+                        name,
+                        v.name,
+                        fields[pos].name.as_ref().expect("named field")
+                    )
+                } else {
+                    format!("{}::{}(source)", name, v.name)
+                };
+                out.push_str(&format!(
+                    "impl ::std::convert::From<{ty}> for {name} {{\n\
+                     fn from(source: {ty}) -> Self {{ {construct} }}\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+
+    Ok(out)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut fmt = None;
+        // Leading attributes; capture #[error("…")].
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "error" {
+                        if let Some(TokenTree::Literal(lit)) = args.stream().into_iter().next() {
+                            fmt = Some(lit.to_string());
+                        }
+                    }
+                }
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token {other} in enum body")),
+            None => break,
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Some((false, parse_fields(g.stream(), false)?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some((true, parse_fields(g.stream(), true)?))
+            }
+            _ => None,
+        };
+        // Trailing comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fmt, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_fields(stream: TokenStream, named: bool) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    // Split on commas outside angle brackets (groups are atomic token trees,
+    // so only generic arguments need depth tracking).
+    let mut chunks: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().expect("non-empty").push(tok);
+    }
+    for chunk in chunks {
+        if chunk.is_empty() {
+            continue;
+        }
+        let mut j = 0;
+        let mut from = false;
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = chunk.get(j) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = chunk.get(j + 1) {
+                if g.stream().to_string().trim() == "from" {
+                    from = true;
+                }
+            }
+            j += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = chunk.get(j) {
+            if id.to_string() == "pub" {
+                j += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(j) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        j += 1;
+                    }
+                }
+            }
+        }
+        let name = if named {
+            let n = match chunk.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return Err("expected field name".to_string()),
+            };
+            j += 1;
+            // Skip the ':'.
+            j += 1;
+            Some(n)
+        } else {
+            None
+        };
+        let ty = tokens_to_string(&chunk[j..]);
+        fields.push(Field { name, ty, from });
+    }
+    Ok(fields)
+}
+
+/// Renders tokens back to source, inserting spaces only between adjacent
+/// identifier-like tokens (so `std :: io :: Error` comes out `std::io::Error`
+/// but `dyn Trait` keeps its space).
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    for tok in tokens {
+        let text = tok.to_string();
+        let needs_gap = matches!(
+            (out.chars().next_back(), text.chars().next()),
+            (Some(a), Some(b)) if (a.is_alphanumeric() || a == '_') && (b.is_alphanumeric() || b == '_')
+        );
+        if needs_gap {
+            out.push(' ');
+        }
+        out.push_str(&text);
+    }
+    out
+}
+
+/// Returns `true` when the `{` at byte offset `at` opens a `\u{…}` escape.
+fn is_unicode_escape(chars: &[char], at: usize) -> bool {
+    at >= 2 && chars[at - 1] == 'u' && chars[at - 2] == '\\'
+}
+
+fn rewrite_placeholders(fmt: &str, map: impl Fn(&str) -> Option<String>) -> String {
+    let chars: Vec<char> = fmt.chars().collect();
+    let mut out = String::with_capacity(fmt.len() + 8);
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '{' {
+            if chars.get(i + 1) == Some(&'{') || is_unicode_escape(&chars, i) {
+                out.push(c);
+                if chars.get(i + 1) == Some(&'{') {
+                    out.push('{');
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            // Collect the argument up to ':' or '}'.
+            let start = i + 1;
+            let mut end = start;
+            while end < chars.len() && chars[end] != ':' && chars[end] != '}' {
+                end += 1;
+            }
+            let arg: String = chars[start..end].iter().collect();
+            out.push('{');
+            match map(&arg) {
+                Some(repl) => out.push_str(&repl),
+                None => out.push_str(&arg),
+            }
+            i = end;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Rewrites `{0}` / `{0:?}` to `{_0}` / `{_0:?}`.
+fn rewrite_positional(fmt: &str) -> String {
+    rewrite_placeholders(fmt, |arg| {
+        if !arg.is_empty() && arg.chars().all(|c| c.is_ascii_digit()) {
+            Some(format!("_{arg}"))
+        } else {
+            None
+        }
+    })
+}
+
+/// Rewrites `{field}` / `{field:?}` to `{_field}` / `{_field:?}`.
+fn rewrite_named(fmt: &str, names: &[String]) -> String {
+    rewrite_placeholders(fmt, |arg| {
+        if names.iter().any(|n| n == arg) {
+            Some(format!("_{arg}"))
+        } else {
+            None
+        }
+    })
+}
