@@ -8,15 +8,17 @@
 //! `EXPERIMENTS.md` for the format).
 
 use b2b_bench::{append_blob_factory, counter_factory, enc, party, Crypto, Fleet};
-use b2b_core::{ConnectStatus, CoordinatorConfig, DecisionRule, ObjectId, Outcome};
-use b2b_crypto::TimeMs;
-use b2b_net::FaultPlan;
-use b2b_telemetry::MetricsSnapshot;
-use std::time::Instant;
+use b2b_core::{ConnectStatus, Coordinator, CoordinatorConfig, DecisionRule, ObjectId, Outcome};
+use b2b_crypto::{KeyPair, KeyRing, Signer, TimeMs};
+use b2b_net::{FaultPlan, ThreadedNet};
+use b2b_telemetry::{names, MetricsSnapshot, Telemetry};
+use std::time::{Duration, Instant};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    let known = ["all", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+    let known = [
+        "all", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+    ];
     if !known.contains(&which.as_str()) {
         eprintln!(
             "unknown experiment '{which}'; expected one of: {}",
@@ -26,7 +28,7 @@ fn main() {
     }
     let all = which == "all";
     type Experiment = fn() -> MetricsSnapshot;
-    let experiments: [(&str, Experiment); 9] = [
+    let experiments: [(&str, Experiment); 10] = [
         ("e1", e1_message_complexity),
         ("e2", e2_protocol_latency),
         ("e3", e3_overwrite_vs_update),
@@ -36,6 +38,7 @@ fn main() {
         ("e7", e7_recovery),
         ("e8", e8_membership),
         ("e9", e9_termination),
+        ("e10", e10_throughput),
     ];
     for (name, run) in experiments {
         if all || which == name {
@@ -438,4 +441,271 @@ fn e9_termination() -> MetricsSnapshot {
         }
     }
     metrics
+}
+
+// ---------------------------------------------------------------------
+// E10 — protocol throughput (the perf-pass regression anchor)
+// ---------------------------------------------------------------------
+
+/// Pre-optimisation reference numbers for the E10 workload, measured on
+/// this machine class at the commit immediately before the perf pass
+/// (memoized canonical digests, signature-verification cache, multicast
+/// fan-out, group-commit WAL) landed, release build, identical seeds.
+/// They are recorded in `BENCH_protocol.json` so future PRs can
+/// regress-check the trajectory.
+mod e10_baseline {
+    /// Simulator transport, n=4 sync update workload: runs per second.
+    pub const SIM_RUNS_PER_SEC: f64 = 32.99;
+    /// Simulator transport: signature verifications per run.
+    pub const SIM_VERIFIES_PER_RUN: f64 = 15.0;
+    /// Threaded transport, n=4 sync update workload: runs per second.
+    pub const THREADED_RUNS_PER_SEC: f64 = 63.59;
+    /// Threaded transport: signature verifications per run.
+    pub const THREADED_VERIFIES_PER_RUN: f64 = 15.0;
+}
+
+/// One transport's measured E10 numbers.
+struct E10Sample {
+    transport: &'static str,
+    runs: u64,
+    wall: Duration,
+    sig_verifies: u64,
+    cache_hits: u64,
+    canonical_hits: u64,
+    fanout_avoided: u64,
+}
+
+impl E10Sample {
+    fn runs_per_sec(&self) -> f64 {
+        self.runs as f64 / self.wall.as_secs_f64()
+    }
+    fn per_run(&self, count: u64) -> f64 {
+        count as f64 / self.runs as f64
+    }
+}
+
+/// Counter deltas between two snapshots, attributed to the measured loop.
+fn e10_delta(tel: &Telemetry, before: &MetricsSnapshot, name: &str) -> u64 {
+    tel.metrics().snapshot().counter(name) - before.counter(name)
+}
+
+const E10_N: usize = 4;
+const E10_CHUNK: usize = 16;
+
+/// Sync-mode update workload on the deterministic simulator.
+fn e10_sim(runs: u64) -> (E10Sample, MetricsSnapshot) {
+    let mut fleet = Fleet::with_options(
+        E10_N,
+        10,
+        CoordinatorConfig::default(),
+        FaultPlan::default(),
+        Crypto::Ed25519,
+        false,
+    );
+    fleet.setup_object("blob", append_blob_factory);
+    for i in 0..3u64 {
+        // Warm-up: populate caches/pages outside the measured window.
+        fleet.propose_update((i % E10_N as u64) as usize, "blob", vec![0xEE; E10_CHUNK]);
+    }
+    let before = fleet.metrics();
+    let t = Instant::now();
+    for i in 0..runs {
+        fleet.propose_update((i % E10_N as u64) as usize, "blob", vec![0xEE; E10_CHUNK]);
+    }
+    let wall = t.elapsed();
+    let tel = &fleet.telemetry;
+    let sample = E10Sample {
+        transport: "sim",
+        runs,
+        wall,
+        sig_verifies: e10_delta(tel, &before, names::SIG_VERIFY_COUNT),
+        cache_hits: e10_delta(tel, &before, names::SIG_CACHE_HITS),
+        canonical_hits: e10_delta(tel, &before, names::CANONICAL_CACHE_HITS),
+        fanout_avoided: e10_delta(tel, &before, names::FANOUT_SERIALIZATIONS_AVOIDED),
+    };
+    (sample, fleet.metrics())
+}
+
+/// Sync-mode update workload over real threads and channels.
+fn e10_threaded(runs: u64) -> (E10Sample, MetricsSnapshot) {
+    let telemetry = Telemetry::new();
+    let mut ring = KeyRing::new();
+    let mut keys = Vec::new();
+    for i in 0..E10_N {
+        let kp = KeyPair::generate_from_seed(1000 + i as u64);
+        ring.register(party(i), kp.public_key());
+        keys.push(kp);
+    }
+    let nodes = keys
+        .into_iter()
+        .enumerate()
+        .map(|(i, kp)| {
+            Coordinator::builder(party(i), kp)
+                .ring(ring.clone())
+                .seed(10 + i as u64)
+                .telemetry(telemetry.clone())
+                .build()
+        })
+        .collect();
+    let net = ThreadedNet::spawn(nodes);
+    let oid = ObjectId::new("blob");
+    net.handle(&party(0)).invoke({
+        let oid = oid.clone();
+        move |c, _| {
+            c.register_object(oid, Box::new(append_blob_factory))
+                .unwrap();
+        }
+    });
+    for i in 1..E10_N {
+        let sponsor = party(i - 1);
+        let h = net.handle(&party(i));
+        let o = oid.clone();
+        h.invoke(move |c, ctx| {
+            c.request_connect(o, Box::new(append_blob_factory), sponsor, ctx)
+                .unwrap();
+        });
+        let o = oid.clone();
+        assert!(
+            h.wait_until(Duration::from_secs(30), move |c| c.is_member(&o)),
+            "org{i} failed to join"
+        );
+    }
+    // Sync mode: every proposal comes from org0 and the next one starts
+    // only once org0 has its outcome (per-link FIFO keeps recipients in
+    // step, so no busy-rejections occur).
+    let h0 = net.handle(&party(0)).clone();
+    let one_run = |i: u64| {
+        let o = oid.clone();
+        let run =
+            h0.invoke(move |c, ctx| c.propose_update(&o, vec![0xEE; E10_CHUNK], ctx).unwrap());
+        assert!(
+            h0.wait_until(Duration::from_secs(30), move |c| c
+                .outcome_of(&run)
+                .is_some()),
+            "run {i} did not complete"
+        );
+    };
+    for i in 0..3 {
+        one_run(i);
+    }
+    let before = telemetry.metrics().snapshot();
+    let t = Instant::now();
+    for i in 0..runs {
+        one_run(i);
+    }
+    let wall = t.elapsed();
+    let sample = E10Sample {
+        transport: "threaded",
+        runs,
+        wall,
+        sig_verifies: e10_delta(&telemetry, &before, names::SIG_VERIFY_COUNT),
+        cache_hits: e10_delta(&telemetry, &before, names::SIG_CACHE_HITS),
+        canonical_hits: e10_delta(&telemetry, &before, names::CANONICAL_CACHE_HITS),
+        fanout_avoided: e10_delta(&telemetry, &before, names::FANOUT_SERIALIZATIONS_AVOIDED),
+    };
+    let snap = telemetry.metrics().snapshot();
+    net.shutdown();
+    (sample, snap)
+}
+
+/// E10 — k back-to-back update runs over n parties on both transports:
+/// runs/sec, verifications per run, and cache work avoided, with the
+/// pre-optimisation baseline recorded alongside in `BENCH_protocol.json`.
+fn e10_throughput() -> MetricsSnapshot {
+    let mut metrics = MetricsSnapshot::default();
+    println!("\n## E10 — protocol throughput (n=4, sync update workload)\n");
+    println!("| transport | runs | runs/sec | sig verifies/run | cache hits/run | canonical memo hits/run | fan-out serialisations avoided/run |");
+    println!("|---|---|---|---|---|---|---|");
+    let (sim, sim_metrics) = e10_sim(200);
+    let (threaded, threaded_metrics) = e10_threaded(60);
+    for s in [&sim, &threaded] {
+        println!(
+            "| {} | {} | {:.1} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            s.transport,
+            s.runs,
+            s.runs_per_sec(),
+            s.per_run(s.sig_verifies),
+            s.per_run(s.cache_hits),
+            s.per_run(s.canonical_hits),
+            s.per_run(s.fanout_avoided),
+        );
+    }
+    metrics.merge(&sim_metrics);
+    metrics.merge(&threaded_metrics);
+    write_bench_protocol(&sim, &threaded);
+    metrics
+}
+
+/// Writes the repo-root `BENCH_protocol.json` trajectory file: the fixed
+/// pre-optimisation baseline plus this run's measurement, so future PRs
+/// can regress-check both the deterministic counters and the indicative
+/// wall-clock throughput.
+fn write_bench_protocol(sim: &E10Sample, threaded: &E10Sample) {
+    // The vendored serde_json is a minimal encoder (no Value/json! macro),
+    // so the trajectory document is formatted by hand.
+    let entry = |s: &E10Sample, base_rps: f64, base_vpr: f64| {
+        let speedup = if base_rps > 0.0 {
+            s.runs_per_sec() / base_rps
+        } else {
+            0.0
+        };
+        format!(
+            concat!(
+                "{{\n",
+                "      \"runs\": {},\n",
+                "      \"wall_ms\": {:.3},\n",
+                "      \"runs_per_sec\": {:.2},\n",
+                "      \"sig_verifies_per_run\": {:.3},\n",
+                "      \"sig_cache_hits_per_run\": {:.3},\n",
+                "      \"canonical_cache_hits_per_run\": {:.3},\n",
+                "      \"fanout_serializations_avoided_per_run\": {:.3},\n",
+                "      \"baseline\": {{ \"runs_per_sec\": {:.2}, \"sig_verifies_per_run\": {:.3} }},\n",
+                "      \"speedup_vs_baseline\": {:.3}\n",
+                "    }}"
+            ),
+            s.runs,
+            s.wall.as_secs_f64() * 1e3,
+            s.runs_per_sec(),
+            s.per_run(s.sig_verifies),
+            s.per_run(s.cache_hits),
+            s.per_run(s.canonical_hits),
+            s.per_run(s.fanout_avoided),
+            base_rps,
+            base_vpr,
+            speedup,
+        )
+    };
+    let body = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e10\",\n",
+            "  \"workload\": {{\n",
+            "    \"parties\": {},\n",
+            "    \"mode\": \"sync update\",\n",
+            "    \"chunk_bytes\": {},\n",
+            "    \"crypto\": \"ed25519, no TSA\"\n",
+            "  }},\n",
+            "  \"transports\": {{\n",
+            "    \"sim\": {},\n",
+            "    \"threaded\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        E10_N,
+        E10_CHUNK,
+        entry(
+            sim,
+            e10_baseline::SIM_RUNS_PER_SEC,
+            e10_baseline::SIM_VERIFIES_PER_RUN
+        ),
+        entry(
+            threaded,
+            e10_baseline::THREADED_RUNS_PER_SEC,
+            e10_baseline::THREADED_VERIFIES_PER_RUN
+        ),
+    );
+    match std::fs::write("BENCH_protocol.json", body) {
+        Ok(()) => println!("\ntrajectory file: BENCH_protocol.json"),
+        Err(e) => eprintln!("cannot write BENCH_protocol.json: {e}"),
+    }
 }

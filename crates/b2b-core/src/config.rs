@@ -41,6 +41,28 @@ pub struct CoordinatorConfig {
     /// the paper's base behaviour: a blocked run stays blocked and is
     /// surfaced to the application.
     pub run_deadline: Option<TimeMs>,
+    /// Capacity of the signature-verification cache: how many distinct
+    /// `(party, digest, signature)` triples whose verification already
+    /// succeeded are remembered, so a signature checked at m2 receipt is
+    /// not re-verified at m3 aggregation. `0` disables the cache (every
+    /// verification does the full public-key operation). The cache never
+    /// changes what is *accepted* — a tampered byte yields a different
+    /// digest and always misses — and it is cleared whenever the key ring
+    /// changes (see [`crate::Coordinator::update_ring`]).
+    pub sig_cache_capacity: usize,
+    /// Replay-detection window: how many proposal tuples / run labels at or
+    /// below the agreed sequence number are retained after an installation.
+    /// Tuples older than the window are pruned — they are still rejected
+    /// (the sequence check requires `seq == agreed.seq + 1`), only the
+    /// misbehaviour label degrades from `ReplayedProposal` to the generic
+    /// sequence complaint. Bounds the per-replica snapshot size, which
+    /// otherwise grows without bound across runs.
+    pub replay_window: u64,
+    /// How many completed-run re-replies are retained for duplicate and
+    /// post-recovery retransmissions. Oldest entries are dropped first; a
+    /// peer that retransmits a run older than this simply gets silence and
+    /// recovers through the normal state-transfer path.
+    pub completed_replies_cap: usize,
 }
 
 impl CoordinatorConfig {
@@ -52,6 +74,9 @@ impl CoordinatorConfig {
             decision_rule: DecisionRule::Unanimous,
             ttp: None,
             run_deadline: None,
+            sig_cache_capacity: 1024,
+            replay_window: 64,
+            completed_replies_cap: 64,
         }
     }
 
@@ -84,6 +109,24 @@ impl CoordinatorConfig {
         self.ttp = Some(ttp);
         self
     }
+
+    /// Sets the signature-verification cache capacity (`0` disables).
+    pub fn sig_cache_capacity(mut self, capacity: usize) -> CoordinatorConfig {
+        self.sig_cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the replay-detection window (tuples/runs kept past install).
+    pub fn replay_window(mut self, window: u64) -> CoordinatorConfig {
+        self.replay_window = window;
+        self
+    }
+
+    /// Sets how many completed-run re-replies are retained.
+    pub fn completed_replies_cap(mut self, cap: usize) -> CoordinatorConfig {
+        self.completed_replies_cap = cap;
+        self
+    }
 }
 
 impl Default for CoordinatorConfig {
@@ -103,6 +146,9 @@ mod tests {
         assert!(c.reject_null_transitions);
         assert_eq!(c.run_deadline, None);
         assert_eq!(c.ttp, None);
+        assert_eq!(c.sig_cache_capacity, 1024);
+        assert_eq!(c.replay_window, 64);
+        assert_eq!(c.completed_replies_cap, 64);
     }
 
     #[test]
@@ -112,8 +158,14 @@ mod tests {
             .reject_null_transitions(false)
             .decision_rule(DecisionRule::Majority)
             .run_deadline(TimeMs(5_000))
-            .ttp(b2b_crypto::PartyId::new("notary"));
+            .ttp(b2b_crypto::PartyId::new("notary"))
+            .sig_cache_capacity(0)
+            .replay_window(8)
+            .completed_replies_cap(4);
         assert_eq!(c.ttp, Some(b2b_crypto::PartyId::new("notary")));
+        assert_eq!(c.sig_cache_capacity, 0);
+        assert_eq!(c.replay_window, 8);
+        assert_eq!(c.completed_replies_cap, 4);
         assert_eq!(c.retransmit_after, TimeMs(50));
         assert!(!c.reject_null_transitions);
         assert_eq!(c.decision_rule, DecisionRule::Majority);

@@ -17,12 +17,16 @@ use crate::ids::{GroupId, ObjectId, RunId, StateId};
 use crate::messages::{ConnectRequestMsg, WireMsg};
 use crate::object::B2BObject;
 use crate::replica::{ActiveRun, QueuedRequest, Replica, ReplicaSnapshot};
-use b2b_crypto::{sha256, KeyRing, PartyId, SecureRng, Signer, TimeMs, TimeStampAuthority};
+use b2b_crypto::{
+    sha256, Digest32, KeyRing, PartyId, SecureRng, SigVerifyCache, Signature, Signer, TimeMs,
+    TimeStampAuthority,
+};
 use b2b_evidence::{EvidenceKind, EvidenceRecord, EvidenceStore, SnapshotStore};
 use b2b_net::reliable::Inbound;
 use b2b_net::{NetNode, NodeCtx, ReliableMux};
 use b2b_telemetry::{names, Telemetry};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -80,6 +84,12 @@ pub struct Coordinator {
     pub(crate) ttp_cases: HashMap<RunId, crate::termination::TtpCase>,
     pub(crate) ttp_timers: HashMap<u64, RunId>,
     pub(crate) next_timer: u64,
+    /// Bounded memo of signature checks that already succeeded, so a
+    /// signature verified at m2 receipt is not cryptographically
+    /// re-verified at m3 aggregation. `RefCell` because verification sites
+    /// hold `&self`; the coordinator is single-threaded per event. Cleared
+    /// on [`Coordinator::update_ring`] and on crash (volatile state).
+    pub(crate) sig_cache: RefCell<SigVerifyCache>,
     pub(crate) telemetry: Telemetry,
     /// Virtual start time of runs this party is participating in, used to
     /// observe `round_latency_ms` when the run completes. Volatile.
@@ -169,6 +179,7 @@ impl CoordinatorBuilder {
         let epoch = rng.next_u64();
         let mut mux = ReliableMux::new(self.config.retransmit_after, epoch);
         mux.set_telemetry(self.telemetry.clone(), self.me.clone());
+        let sig_cache = RefCell::new(SigVerifyCache::new(self.config.sig_cache_capacity));
         Coordinator {
             me: self.me,
             signer: self.signer,
@@ -191,6 +202,7 @@ impl CoordinatorBuilder {
             ttp_cases: HashMap::new(),
             ttp_timers: HashMap::new(),
             next_timer: 1,
+            sig_cache,
             telemetry: self.telemetry,
             run_started: HashMap::new(),
         }
@@ -262,6 +274,7 @@ impl Coordinator {
             active: None,
             queued: Vec::new(),
             completed_replies: HashMap::new(),
+            completed_order: Default::default(),
             detached: false,
         };
         self.factories.insert(object_id.clone(), factory);
@@ -393,17 +406,100 @@ impl Coordinator {
         self.mux.send(to.clone(), msg.to_bytes(), ctx);
     }
 
-    /// Verifies `sig` over `msg` against `party`'s registered key, counting
-    /// the verification into telemetry. All protocol-layer verifications go
-    /// through here so `sig_verify_count` reflects the real crypto load.
+    /// Sends one wire message to every recipient, serializing it once: the
+    /// reliable layer frames the shared bytes per peer, so an m1/m3 fanned
+    /// out to n−1 members costs one JSON encoding instead of n−1.
+    pub(crate) fn send_wire_all(
+        &mut self,
+        recipients: &[PartyId],
+        msg: &WireMsg,
+        ctx: &mut NodeCtx,
+    ) {
+        if recipients.is_empty() {
+            return;
+        }
+        let bytes = msg.to_bytes();
+        *self.msg_counts.entry(msg.kind_name()).or_default() += recipients.len() as u64;
+        self.telemetry.add(
+            names::FANOUT_SERIALIZATIONS_AVOIDED,
+            (recipients.len() - 1) as u64,
+        );
+        for r in recipients {
+            self.mux.send(r.clone(), &bytes, ctx);
+        }
+    }
+
+    /// Verifies `sig` over `msg` against `party`'s registered key.
+    ///
+    /// `sig_verify_count` counts the *real* public-key operations; checks
+    /// answered by the verification cache count under `sig_cache_hits`
+    /// instead. A tampered byte, substituted signature or impersonated
+    /// origin always misses the cache (the key binds all three), so §4.4
+    /// detection is unaffected.
     pub(crate) fn verify_for(
         &self,
         party: &PartyId,
         msg: &[u8],
-        sig: &b2b_crypto::Signature,
+        sig: &Signature,
     ) -> Result<(), b2b_crypto::CryptoError> {
+        self.verify_cached(party, msg, sha256(msg), sig)
+    }
+
+    /// As [`Coordinator::verify_for`], for callers that already hold the
+    /// digest of `msg` (from a [`b2b_crypto::CachedCanonical`] memo) and
+    /// need not re-hash.
+    pub(crate) fn verify_cached(
+        &self,
+        party: &PartyId,
+        msg: &[u8],
+        digest: Digest32,
+        sig: &Signature,
+    ) -> Result<(), b2b_crypto::CryptoError> {
+        if self.sig_cache.borrow_mut().check(party, &digest, sig) {
+            self.telemetry.inc(names::SIG_CACHE_HITS);
+            return Ok(());
+        }
         self.telemetry.inc(names::SIG_VERIFY_COUNT);
-        self.ring.verify_for(party, msg, sig)
+        self.ring.verify_for(party, msg, sig)?;
+        self.sig_cache
+            .borrow_mut()
+            .insert(party.clone(), digest, sig.clone());
+        Ok(())
+    }
+
+    /// Signs `msg` and seeds the verification cache with our own signature,
+    /// so re-encountering it (e.g. our response aggregated into an m3) is a
+    /// cache hit rather than a self re-verification.
+    pub(crate) fn sign_and_cache(&self, msg: &[u8], digest: Digest32) -> Signature {
+        let sig = self.signer.sign(msg);
+        self.sig_cache
+            .borrow_mut()
+            .insert(self.me.clone(), digest, sig.clone());
+        sig
+    }
+
+    /// Replaces the key ring and flushes the signature-verification cache:
+    /// a cached accept must not outlive the key material it was checked
+    /// against (§4.4 — detection re-checks everything under new keys).
+    pub fn update_ring(&mut self, ring: KeyRing) {
+        self.ring = ring;
+        self.sig_cache.borrow_mut().clear();
+    }
+
+    /// Returns `m1`'s memoized proposal bytes, counting memo hits.
+    pub(crate) fn proposal_bytes_of(&self, m1: &crate::messages::ProposeMsg) -> Arc<[u8]> {
+        if m1.memo.is_cached() {
+            self.telemetry.inc(names::CANONICAL_CACHE_HITS);
+        }
+        m1.proposal_bytes()
+    }
+
+    /// Returns `m2`'s memoized response bytes, counting memo hits.
+    pub(crate) fn response_bytes_of(&self, m2: &crate::messages::RespondMsg) -> Arc<[u8]> {
+        if m2.memo.is_cached() {
+            self.telemetry.inc(names::CANONICAL_CACHE_HITS);
+        }
+        m2.response_bytes()
     }
 
     /// Records a trace event under this party's label.
@@ -464,6 +560,18 @@ impl Coordinator {
             Err(e) => self.detected.push(Misbehaviour::UnexpectedMessage {
                 detail: format!("evidence log append failed: {e}"),
             }),
+        }
+    }
+
+    /// Flushes a group-commit evidence batch at a protocol-step boundary
+    /// (no-op for durable-per-append stores). Called at the end of every
+    /// message/timer delivery and client operation, so a batch never spans
+    /// the externally visible effects of a step.
+    pub(crate) fn flush_evidence(&mut self) {
+        if let Err(e) = self.evidence.flush() {
+            self.detected.push(Misbehaviour::UnexpectedMessage {
+                detail: format!("evidence flush failed: {e}"),
+            });
         }
     }
 
@@ -646,16 +754,14 @@ impl Coordinator {
                 let recipients = rep.recipients(&me);
                 if let Some(decide) = &run.decided {
                     let msg = WireMsg::Decide(decide.clone());
-                    for r in recipients {
-                        self.send_wire(&r, &msg, ctx);
-                    }
+                    self.send_wire_all(&recipients, &msg, ctx);
                 } else {
                     let msg = WireMsg::Propose(run.propose.clone());
-                    for r in recipients {
-                        if !run.responses.contains_key(&r) {
-                            self.send_wire(&r, &msg, ctx);
-                        }
-                    }
+                    let pending: Vec<PartyId> = recipients
+                        .into_iter()
+                        .filter(|r| !run.responses.contains_key(r))
+                        .collect();
+                    self.send_wire_all(&pending, &msg, ctx);
                 }
             }
             Some(ActiveRun::Recipient(run)) => {
@@ -765,6 +871,7 @@ impl NetNode for Coordinator {
                 // Foreign or corrupted traffic below the protocol layer.
             }
         }
+        self.flush_evidence();
     }
 
     fn on_timer(&mut self, timer: u64, ctx: &mut NodeCtx) {
@@ -777,6 +884,7 @@ impl NetNode for Coordinator {
         if let Some(run) = self.ttp_timers.remove(&timer) {
             self.on_ttp_timer(run, ctx);
         }
+        self.flush_evidence();
     }
 
     fn on_crash(&mut self) {
@@ -792,9 +900,11 @@ impl NetNode for Coordinator {
         self.ttp_cases.clear();
         self.ttp_timers.clear();
         self.run_started.clear();
+        self.sig_cache.borrow_mut().clear();
     }
 
     fn on_recover(&mut self, ctx: &mut NodeCtx) {
         self.recover_from_storage(ctx);
+        self.flush_evidence();
     }
 }

@@ -256,7 +256,11 @@ mod tests {
             decision,
         };
         let sig = kp.sign(&response.canonical_bytes());
-        RespondMsg { response, sig }
+        RespondMsg {
+            response,
+            sig,
+            memo: Default::default(),
+        }
     }
 
     fn log_decide(store: &MemStore, f: &Fixture, responses: Vec<RespondMsg>) {

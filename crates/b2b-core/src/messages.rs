@@ -13,8 +13,9 @@
 
 use crate::decision::Decision;
 use crate::ids::{GroupId, ObjectId, RunId, StateId};
-use b2b_crypto::{CanonicalEncode, Digest32, Encoder, PartyId, Signature};
+use b2b_crypto::{CachedCanonical, CanonicalEncode, Digest32, Encoder, PartyId, Signature};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // State coordination (§4.3)
@@ -97,6 +98,29 @@ pub struct ProposeMsg {
     pub body: Vec<u8>,
     /// The proposer's signature over the proposal's canonical bytes.
     pub sig: Signature,
+    /// Memo of the proposal's canonical encoding: computed on first use,
+    /// kept across clones, serialized as `null` (a message decoded off the
+    /// wire always re-encodes what was actually received).
+    pub memo: CachedCanonical,
+}
+
+impl ProposeMsg {
+    /// Canonical bytes of the signed proposal, encoded once per message
+    /// lifetime.
+    pub fn proposal_bytes(&self) -> Arc<[u8]> {
+        self.memo.get_or_encode(&self.proposal).0
+    }
+
+    /// SHA-256 digest of the proposal's canonical bytes.
+    pub fn proposal_digest(&self) -> Digest32 {
+        self.memo.get_or_encode(&self.proposal).1
+    }
+
+    /// The run label this proposal starts (digest of the signed part),
+    /// derived from the memo rather than a fresh encoding.
+    pub fn run_id(&self) -> RunId {
+        RunId(self.proposal_digest())
+    }
 }
 
 /// The signed part of `m2`: "a receipt from `R_i` for the proposal and a
@@ -144,6 +168,22 @@ pub struct RespondMsg {
     pub response: Response,
     /// The responder's signature over the response's canonical bytes.
     pub sig: Signature,
+    /// Memo of the response's canonical encoding (see
+    /// [`ProposeMsg::memo`]).
+    pub memo: CachedCanonical,
+}
+
+impl RespondMsg {
+    /// Canonical bytes of the signed response, encoded once per message
+    /// lifetime.
+    pub fn response_bytes(&self) -> Arc<[u8]> {
+        self.memo.get_or_encode(&self.response).0
+    }
+
+    /// SHA-256 digest of the response's canonical bytes.
+    pub fn response_digest(&self) -> Digest32 {
+        self.memo.get_or_encode(&self.response).1
+    }
 }
 
 /// `m3`: "the aggregation of all decisions and of the non-repudiation
@@ -830,6 +870,7 @@ mod tests {
             sig: kp.sign(&p.canonical_bytes()),
             proposal: p,
             body: b"state".to_vec(),
+            memo: Default::default(),
         });
         let bytes = msg.to_bytes();
         assert_eq!(WireMsg::from_bytes(&bytes).unwrap(), msg);
@@ -961,6 +1002,7 @@ mod tests {
             RespondMsg {
                 sig: kp.sign(&response.canonical_bytes()),
                 response,
+                memo: Default::default(),
             }
         };
         let a = mk("a", true);

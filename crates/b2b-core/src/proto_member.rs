@@ -85,6 +85,7 @@ impl Coordinator {
         });
         self.send_wire(&sponsor, &WireMsg::ConnectRequest(msg), ctx);
         self.persist_index();
+        self.flush_evidence();
         Ok(())
     }
 
@@ -186,6 +187,7 @@ impl Coordinator {
             active: None,
             queued: Vec::new(),
             completed_replies: Default::default(),
+            completed_order: Default::default(),
             detached: false,
         };
         self.replicas.insert(oid.clone(), replica);
@@ -449,9 +451,7 @@ impl Coordinator {
             )
         });
         let wire = WireMsg::ConnectPropose(propose);
-        for p in &polled {
-            self.send_wire(p, &wire, ctx);
-        }
+        self.send_wire_all(&polled, &wire, ctx);
         self.persist(&oid);
         true
     }
@@ -904,6 +904,7 @@ impl Coordinator {
     fn finalize_member_run(&mut self, oid: &ObjectId, run: RunId, ctx: &mut NodeCtx) {
         let now = ctx.now();
         let me = self.me.clone();
+        let replies_cap = self.config.completed_replies_cap;
         let Some(rep) = self.replicas.get_mut(oid) else {
             return;
         };
@@ -937,8 +938,7 @@ impl Coordinator {
             responses,
             connecting,
         };
-        rep.completed_replies
-            .insert(run, WireMsg::MemberDecide(decide.clone()));
+        rep.remember_reply(run, WireMsg::MemberDecide(decide.clone()), replies_cap);
 
         let decide_kind = if connecting {
             EvidenceKind::ConnectDecide
@@ -946,9 +946,7 @@ impl Coordinator {
             EvidenceKind::DisconnectDecide
         };
         let wire = WireMsg::MemberDecide(decide.clone());
-        for p in &sr.polled {
-            self.send_wire(p, &wire, ctx);
-        }
+        self.send_wire_all(&sr.polled, &wire, ctx);
         self.trace(now, "membership", "decide", || {
             format!(
                 "object={oid} run={} connecting={connecting} accepted={accepted}",
@@ -1244,6 +1242,7 @@ impl Coordinator {
         });
         self.send_wire(&sponsor, &WireMsg::DisconnectRequest(msg), ctx);
         self.persist(object);
+        self.flush_evidence();
         Ok(())
     }
 
@@ -1329,6 +1328,7 @@ impl Coordinator {
         } else {
             self.send_wire(&sponsor, &WireMsg::DisconnectRequest(msg), ctx);
         }
+        self.flush_evidence();
         Ok(())
     }
 
@@ -1538,9 +1538,7 @@ impl Coordinator {
             )
         });
         let wire = WireMsg::DisconnectPropose(propose);
-        for p in &polled {
-            self.send_wire(p, &wire, ctx);
-        }
+        self.send_wire_all(&polled, &wire, ctx);
         self.persist(&oid);
         true
     }
@@ -1822,11 +1820,13 @@ impl Coordinator {
                 WireMsg::DisconnectPropose(propose.clone())
             }
         };
-        for p in &run.polled {
-            if !run.responses.contains_key(p) {
-                self.send_wire(p, &wire, ctx);
-            }
-        }
+        let pending: Vec<PartyId> = run
+            .polled
+            .iter()
+            .filter(|p| !run.responses.contains_key(*p))
+            .cloned()
+            .collect();
+        self.send_wire_all(&pending, &wire, ctx);
         let _ = object;
     }
 }

@@ -15,7 +15,7 @@ use crate::messages::{
 };
 use crate::replica::{ActiveRun, ProposerRun, RecipientRun, Replica};
 use crate::Coordinator;
-use b2b_crypto::{sha256, CanonicalEncode, PartyId};
+use b2b_crypto::{sha256, CachedCanonical, PartyId};
 use b2b_evidence::EvidenceKind;
 use b2b_net::NodeCtx;
 use b2b_telemetry::names;
@@ -138,12 +138,17 @@ impl Coordinator {
                 auth_commit: sha256(&authenticator),
                 kind,
             };
-            let run = proposal.run_id();
-            let sig = self.signer.sign(&proposal.canonical_bytes());
+            // Encode the signed part exactly once: the memo feeds the run
+            // label, the signature, evidence logging and the wire fan-out.
+            let memo = CachedCanonical::new();
+            let (canonical, digest) = memo.get_or_encode(&proposal);
+            let run = RunId(digest);
+            let sig = self.sign_and_cache(&canonical, digest);
             let m1 = ProposeMsg {
                 proposal,
                 body,
                 sig,
+                memo,
             };
             rep.seen_runs.insert(run);
             rep.seen_tuples.insert((seq, proposed.rand_hash));
@@ -151,7 +156,7 @@ impl Coordinator {
             let recipients = rep.recipients(&me);
             if recipients.is_empty() {
                 // Singleton group: trivially unanimous.
-                install_state(&mut rep, proposed, new_state);
+                install_state(&mut rep, proposed, new_state, self.config.replay_window);
                 return Ok((run, m1, None));
             }
             rep.active = Some(ActiveRun::Proposer(ProposerRun {
@@ -188,7 +193,7 @@ impl Coordinator {
             object,
             &run.to_hex(),
             self.me.clone(),
-            m1.proposal.canonical_bytes(),
+            self.proposal_bytes_of(&m1).to_vec(),
             Some(m1.sig.clone()),
             now,
         );
@@ -221,14 +226,13 @@ impl Coordinator {
             }
             Some(recipients) => {
                 let msg = WireMsg::Propose(m1);
-                for r in &recipients {
-                    self.send_wire(r, &msg, ctx);
-                }
+                self.send_wire_all(&recipients, &msg, ctx);
                 self.arm_deadline(object, run, ctx);
                 self.persist(object);
                 self.emit(object, run, CoordEventKind::Proposed, now);
             }
         }
+        self.flush_evidence();
         Ok(run)
     }
 
@@ -239,16 +243,23 @@ impl Coordinator {
     pub(crate) fn on_propose(&mut self, from: &PartyId, m1: ProposeMsg, ctx: &mut NodeCtx) {
         let now = ctx.now();
         let oid = m1.proposal.object.clone();
-        let run = m1.proposal.run_id();
+        let run = m1.run_id();
         let run_hex = run.to_hex();
         let me = self.me.clone();
 
         // Unverifiable content earns no response — only a misbehaviour
         // record. (A forged message must not be able to extract evidence.)
-        let canonical = m1.proposal.canonical_bytes();
+        // The memo encodes exactly the bytes serde decoded, so any tampered
+        // wire byte is what gets verified — and rejected — here.
+        let canonical = m1.proposal_bytes();
         if from != &m1.proposal.proposer
             || self
-                .verify_for(&m1.proposal.proposer, &canonical, &m1.sig)
+                .verify_cached(
+                    &m1.proposal.proposer,
+                    &canonical,
+                    m1.proposal_digest(),
+                    &m1.sig,
+                )
                 .is_err()
         {
             self.log_misbehaviour(
@@ -446,8 +457,17 @@ impl Coordinator {
             body_ok,
             decision: decision.clone(),
         };
-        let sig = self.signer.sign(&response.canonical_bytes());
-        let m2 = RespondMsg { response, sig };
+        // Seeding the verification cache with our own signature means that
+        // when this response comes back aggregated inside the m3, checking
+        // it is a cache hit rather than a self re-verification.
+        let memo = CachedCanonical::new();
+        let (resp_canonical, resp_digest) = memo.get_or_encode(&response);
+        let sig = self.sign_and_cache(&resp_canonical, resp_digest);
+        let m2 = RespondMsg {
+            response,
+            sig,
+            memo,
+        };
 
         rep.seen_runs.insert(run);
         rep.seen_tuples
@@ -471,7 +491,7 @@ impl Coordinator {
             &oid,
             &run_hex,
             m1.proposal.proposer.clone(),
-            m1.proposal.canonical_bytes(),
+            self.proposal_bytes_of(&m1).to_vec(),
             Some(m1.sig.clone()),
             now,
         );
@@ -480,7 +500,7 @@ impl Coordinator {
             &oid,
             &run_hex,
             me,
-            m2.response.canonical_bytes(),
+            self.response_bytes_of(&m2).to_vec(),
             Some(m2.sig.clone()),
             now,
         );
@@ -519,10 +539,15 @@ impl Coordinator {
         let run = m2.response.run;
         let run_hex = run.to_hex();
 
-        let canonical = m2.response.canonical_bytes();
+        let canonical = m2.response_bytes();
         if from != &m2.response.responder
             || self
-                .verify_for(&m2.response.responder, &canonical, &m2.sig)
+                .verify_cached(
+                    &m2.response.responder,
+                    &canonical,
+                    m2.response_digest(),
+                    &m2.sig,
+                )
                 .is_err()
         {
             self.telemetry.inc(names::VOTES_INVALID);
@@ -610,7 +635,7 @@ impl Coordinator {
                                 &oid,
                                 &run_hex,
                                 from.clone(),
-                                m2.response.canonical_bytes(),
+                                self.response_bytes_of(&m2).to_vec(),
                                 Some(m2.sig.clone()),
                                 now,
                             );
@@ -673,7 +698,12 @@ impl Coordinator {
             responses,
         };
         let outcome = if accepted {
-            install_state(&mut rep, pr.propose.proposal.proposed, pr.new_state.clone());
+            install_state(
+                &mut rep,
+                pr.propose.proposal.proposed,
+                pr.new_state.clone(),
+                self.config.replay_window,
+            );
             Outcome::Installed {
                 state: pr.propose.proposal.proposed,
             }
@@ -686,14 +716,15 @@ impl Coordinator {
             Outcome::Invalidated { vetoers }
         };
         let recipients = rep.recipients(&me);
-        rep.completed_replies
-            .insert(run, WireMsg::Decide(decide.clone()));
+        rep.remember_reply(
+            run,
+            WireMsg::Decide(decide.clone()),
+            self.config.completed_replies_cap,
+        );
         self.replicas.insert(oid.clone(), rep);
 
         let msg = WireMsg::Decide(decide.clone());
-        for r in &recipients {
-            self.send_wire(r, &msg, ctx);
-        }
+        self.send_wire_all(&recipients, &msg, ctx);
         self.trace(now, "state_run", "decide", || {
             format!(
                 "object={oid} run={run_hex} accepted={accepted} responses={}",
@@ -786,8 +817,14 @@ impl Coordinator {
                 });
                 break;
             }
+            let canonical = self.response_bytes_of(r);
             if self
-                .verify_for(&r.response.responder, &r.response.canonical_bytes(), &r.sig)
+                .verify_cached(
+                    &r.response.responder,
+                    &canonical,
+                    r.response_digest(),
+                    &r.sig,
+                )
                 .is_err()
             {
                 fault = Some(Misbehaviour::BadSignature {
@@ -852,7 +889,12 @@ impl Coordinator {
         let outcome = if accepted {
             match rr.pending_state.clone() {
                 Some(next) => {
-                    install_state(&mut rep, rr.propose.proposal.proposed, next);
+                    install_state(
+                        &mut rep,
+                        rr.propose.proposal.proposed,
+                        next,
+                        self.config.replay_window,
+                    );
                     Outcome::Installed {
                         state: rr.propose.proposal.proposed,
                     }
@@ -875,8 +917,11 @@ impl Coordinator {
         // instead of minting a conflicting signed rejection (which would
         // manufacture false evidence of equivocation against us, and
         // false replay evidence against the honest proposer).
-        rep.completed_replies
-            .insert(run, WireMsg::Respond(rr.my_response.clone()));
+        rep.remember_reply(
+            run,
+            WireMsg::Respond(rr.my_response.clone()),
+            self.config.completed_replies_cap,
+        );
         self.replicas.insert(oid.clone(), rep);
 
         self.log_evidence(
@@ -994,11 +1039,14 @@ impl Coordinator {
     }
 }
 
-/// Installs a newly validated state into a replica.
-fn install_state(rep: &mut Replica, id: StateId, state: Vec<u8>) {
+/// Installs a newly validated state into a replica, then prunes
+/// replay-detection tuples that fell out of the configured window (§4.2
+/// invariant 4 stays enforced by the exact-increment sequence check).
+fn install_state(rep: &mut Replica, id: StateId, state: Vec<u8>, replay_window: u64) {
     rep.object.apply_state(&state);
     rep.agreed = id;
     rep.agreed_state = state;
+    rep.prune_seen(replay_window);
 }
 
 /// Computes the group decision over a response set.

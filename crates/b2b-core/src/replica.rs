@@ -15,7 +15,7 @@ use crate::messages::{
 use crate::object::B2BObject;
 use b2b_crypto::{Digest32, PartyId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// A state-coordination run at its proposer.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -179,7 +179,11 @@ pub struct Replica {
     pub queued: Vec<QueuedRequest>,
     /// Responses we produced for already-completed runs, so a duplicate or
     /// post-recovery retransmission of m1/m3 gets a consistent re-reply.
+    /// Bounded: insert through [`Replica::remember_reply`].
     pub completed_replies: HashMap<RunId, WireMsg>,
+    /// Insertion order of `completed_replies`, oldest first — the
+    /// deterministic eviction order when the retention cap is exceeded.
+    pub completed_order: VecDeque<RunId>,
     /// Set when this party has left (or been evicted from) the group; the
     /// replica is kept for inspection but no longer coordinates.
     pub detached: bool,
@@ -223,6 +227,33 @@ impl Replica {
             .cloned()
             .collect()
     }
+
+    /// Records the re-reply for a completed run, evicting the oldest
+    /// retained reply once more than `cap` are held. A peer retransmitting
+    /// a run older than the cap gets silence and recovers through the
+    /// normal state-transfer path; `cap == 0` retains nothing.
+    pub fn remember_reply(&mut self, run: RunId, reply: WireMsg, cap: usize) {
+        if self.completed_replies.insert(run, reply).is_none() {
+            self.completed_order.push_back(run);
+        }
+        while self.completed_replies.len() > cap {
+            let Some(oldest) = self.completed_order.pop_front() else {
+                break;
+            };
+            self.completed_replies.remove(&oldest);
+        }
+    }
+
+    /// Prunes replay-detection tuples that have fallen out of the window:
+    /// after an installation, tuples at sequence numbers more than `window`
+    /// behind the agreed state can no longer pass the exact-increment
+    /// sequence check, so dropping them only degrades the misbehaviour
+    /// label (generic sequence complaint instead of `ReplayedProposal`)
+    /// while bounding the set — and the snapshot — across runs.
+    pub fn prune_seen(&mut self, window: u64) {
+        let floor = self.agreed.seq.saturating_sub(window);
+        self.seen_tuples.retain(|(seq, _)| *seq >= floor);
+    }
 }
 
 /// The durable image of a replica, written to the snapshot store after
@@ -264,10 +295,11 @@ impl ReplicaSnapshot {
             seen_tuples: replica.seen_tuples.iter().copied().collect(),
             active: replica.active.clone(),
             queued: replica.queued.clone(),
+            // Serialized oldest-first so restore preserves eviction order.
             completed_replies: replica
-                .completed_replies
+                .completed_order
                 .iter()
-                .map(|(k, v)| (*k, v.clone()))
+                .filter_map(|k| replica.completed_replies.get(k).map(|v| (*k, v.clone())))
                 .collect(),
             detached: replica.detached,
         }
@@ -277,6 +309,8 @@ impl ReplicaSnapshot {
     /// (the object's state is re-installed from the checkpoint).
     pub fn restore(self, object_id: ObjectId, mut object: Box<dyn B2BObject>) -> Replica {
         object.apply_state(&self.agreed_state);
+        let completed_order: VecDeque<RunId> =
+            self.completed_replies.iter().map(|(k, _)| *k).collect();
         Replica {
             object_id,
             object,
@@ -289,6 +323,7 @@ impl ReplicaSnapshot {
             active: self.active,
             queued: self.queued,
             completed_replies: self.completed_replies.into_iter().collect(),
+            completed_order,
             detached: self.detached,
         }
     }
@@ -317,6 +352,7 @@ mod tests {
             active: None,
             queued: Vec::new(),
             completed_replies: HashMap::new(),
+            completed_order: VecDeque::new(),
             detached: false,
         }
     }
@@ -351,6 +387,42 @@ mod tests {
             r.recipients(&PartyId::new("b")),
             vec![PartyId::new("a"), PartyId::new("c")]
         );
+    }
+
+    #[test]
+    fn remember_reply_evicts_oldest_beyond_cap() {
+        let mut r = replica(&["a", "b"]);
+        let mk = |i: u8| {
+            WireMsg::Decide(DecideMsg {
+                object: ObjectId::new("obj"),
+                run: RunId(sha256(&[i])),
+                authenticator: [0; 32],
+                responses: Vec::new(),
+            })
+        };
+        for i in 0..5u8 {
+            r.remember_reply(RunId(sha256(&[i])), mk(i), 3);
+        }
+        assert_eq!(r.completed_replies.len(), 3);
+        assert_eq!(r.completed_order.len(), 3);
+        assert!(!r.completed_replies.contains_key(&RunId(sha256(&[0u8]))));
+        assert!(!r.completed_replies.contains_key(&RunId(sha256(&[1u8]))));
+        assert!(r.completed_replies.contains_key(&RunId(sha256(&[4u8]))));
+        // Zero cap retains nothing.
+        r.remember_reply(RunId(sha256(b"z")), mk(9), 0);
+        assert!(r.completed_replies.is_empty());
+    }
+
+    #[test]
+    fn prune_seen_drops_tuples_outside_window() {
+        let mut r = replica(&["a"]);
+        for seq in 0..10u64 {
+            r.seen_tuples.insert((seq, sha256(&[seq as u8])));
+        }
+        r.agreed.seq = 9;
+        r.prune_seen(3);
+        assert_eq!(r.seen_tuples.len(), 4); // seqs 6..=9
+        assert!(r.seen_tuples.iter().all(|(s, _)| *s >= 6));
     }
 
     #[test]

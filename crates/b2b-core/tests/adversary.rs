@@ -432,6 +432,7 @@ fn poisoned_sequence_number_cannot_brick_future_proposals() {
         proposal,
         body,
         sig,
+        memo: Default::default(),
     });
     let mut frame = vec![0u8];
     frame.extend_from_slice(&0xdead_u64.to_be_bytes());

@@ -34,6 +34,18 @@ impl Cluster {
     }
 
     pub fn with_config(n: usize, seed: u64, config: CoordinatorConfig, plan: FaultPlan) -> Cluster {
+        Cluster::with_config_and_telemetry(n, seed, config, plan, Vec::new())
+    }
+
+    /// Like [`Cluster::with_config`], but attaches `telemetry[i]` to party
+    /// `i` (parties beyond the slice get a private, sink-less handle).
+    pub fn with_config_and_telemetry(
+        n: usize,
+        seed: u64,
+        config: CoordinatorConfig,
+        plan: FaultPlan,
+        telemetry: Vec<b2b_telemetry::Telemetry>,
+    ) -> Cluster {
         let mut ring = KeyRing::new();
         let mut keys = Vec::new();
         for i in 0..n {
@@ -48,14 +60,16 @@ impl Cluster {
         for (i, kp) in keys.into_iter().enumerate() {
             let store = Arc::new(MemStore::new());
             stores.insert(party(i), store.clone());
-            let coord = Coordinator::builder(party(i), kp)
+            let mut builder = Coordinator::builder(party(i), kp)
                 .ring(ring.clone())
                 .tsa(tsa.clone())
                 .config(config.clone())
                 .store(store)
-                .seed(seed.wrapping_add(i as u64))
-                .build();
-            net.add_node(coord);
+                .seed(seed.wrapping_add(i as u64));
+            if let Some(t) = telemetry.get(i) {
+                builder = builder.telemetry(t.clone());
+            }
+            net.add_node(builder.build());
         }
         Cluster {
             net,

@@ -43,9 +43,27 @@ impl Encoder {
         Encoder::default()
     }
 
+    /// Creates an empty encoder whose buffer can hold `capacity` bytes
+    /// before reallocating. Signing paths that know the rough size of a
+    /// message use this to avoid the doubling-growth copies of an empty
+    /// `Vec`.
+    pub fn with_capacity(capacity: usize) -> Encoder {
+        Encoder {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Consumes the encoder, returning the encoded bytes.
+    ///
+    /// This moves the buffer out without reallocating or trimming; callers
+    /// that need a tight allocation can `shrink_to_fit` themselves.
     pub fn finish(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
     }
 
     /// Appends a single byte.
@@ -70,6 +88,7 @@ impl Encoder {
 
     /// Appends variable-length bytes with a `u64` length prefix.
     pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.reserve(8 + v.len());
         self.put_u64(v.len() as u64);
         self.buf.extend_from_slice(v);
     }
@@ -100,9 +119,16 @@ pub trait CanonicalEncode {
     /// Appends this value's canonical encoding to `enc`.
     fn encode(&self, enc: &mut Encoder);
 
+    /// A rough upper bound on the encoded size, used to pre-size buffers.
+    /// The default suits small fixed-shape protocol parts; types with
+    /// variable payloads can override it.
+    fn encoded_size_hint(&self) -> usize {
+        128
+    }
+
     /// Returns this value's canonical encoding as a fresh byte vector.
     fn canonical_bytes(&self) -> Vec<u8> {
-        let mut enc = Encoder::new();
+        let mut enc = Encoder::with_capacity(self.encoded_size_hint());
         self.encode(&mut enc);
         enc.finish()
     }

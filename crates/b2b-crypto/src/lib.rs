@@ -27,6 +27,7 @@
 //! assert_eq!(digest, sha256(msg));
 //! ```
 
+pub mod cache;
 pub mod canonical;
 pub mod cert;
 pub mod error;
@@ -38,6 +39,7 @@ pub mod sig;
 pub mod time;
 pub mod timestamp;
 
+pub use cache::{CachedCanonical, SigVerifyCache};
 pub use canonical::{CanonicalEncode, Encoder};
 pub use cert::{Certificate, CertificateAuthority, CertificateError};
 pub use error::CryptoError;

@@ -62,6 +62,21 @@ pub trait EvidenceStore: Send + Sync {
             .filter(|r| r.run == run)
             .collect()
     }
+
+    /// Makes every record appended so far durable.
+    ///
+    /// Stores that are durable per-append (the default) need do nothing; a
+    /// store in group-commit mode (see [`crate::FileStore::group_commit`])
+    /// batches appends in memory and writes them out here. The coordinator
+    /// calls this at protocol-step boundaries, so a batch never spans the
+    /// externally visible effects of a step.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] if buffered records cannot be written.
+    fn flush(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
 }
 
 /// Keyed storage for the latest checkpoint of each object's state.
@@ -89,6 +104,9 @@ impl<T: EvidenceStore + ?Sized> EvidenceStore for std::sync::Arc<T> {
     }
     fn records(&self) -> Vec<EvidenceRecord> {
         (**self).records()
+    }
+    fn flush(&self) -> Result<(), StoreError> {
+        (**self).flush()
     }
 }
 

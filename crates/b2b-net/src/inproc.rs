@@ -11,7 +11,7 @@
 //! reaches a state of interest, which is how the synchronous communication
 //! mode is realised.
 
-use crate::node::{NetNode, NodeCtx};
+use crate::node::{NetNode, NodeCtx, Payload};
 use crate::stats::NetStats;
 use b2b_crypto::{PartyId, TimeMs};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -24,7 +24,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 enum Envelope {
-    Msg { from: PartyId, payload: Vec<u8> },
+    Msg { from: PartyId, payload: Payload },
     Wake,
     Stop,
 }
@@ -41,7 +41,7 @@ impl Router {
         TimeMs(self.start.elapsed().as_millis() as u64)
     }
 
-    fn send(&self, from: &PartyId, to: &PartyId, payload: Vec<u8>) {
+    fn send(&self, from: &PartyId, to: &PartyId, payload: Payload) {
         self.sent.fetch_add(1, Ordering::Relaxed);
         if let Some(tx) = self.channels.read().get(to) {
             // A send to a stopped node fails harmlessly: the paper's model

@@ -31,7 +31,7 @@ pub mod stats;
 pub use fault::FaultPlan;
 pub use inproc::{NodeHandle, ThreadedNet};
 pub use intruder::{InterceptAction, Intruder, PassThrough};
-pub use node::{NetNode, NodeCtx};
+pub use node::{NetNode, NodeCtx, Payload};
 pub use reliable::{ReliableMux, RELIABLE_TIMER_BASE};
 pub use sim::SimNet;
 pub use stats::NetStats;

@@ -7,6 +7,14 @@
 //! ([`crate::inproc::ThreadedNet`]).
 
 use b2b_crypto::{PartyId, TimeMs};
+use std::sync::Arc;
+
+/// A wire payload: reference-counted immutable bytes.
+///
+/// Multicast fan-out and retransmission both re-send the same bytes, so the
+/// transports share one allocation instead of cloning `Vec<u8>`s; `Vec<u8>`
+/// converts into a `Payload` wherever one is expected.
+pub type Payload = Arc<[u8]>;
 
 /// A network-attached protocol participant.
 ///
@@ -63,7 +71,7 @@ pub trait NetNode: Send + 'static {
 #[derive(Debug)]
 pub struct NodeCtx {
     now: TimeMs,
-    outgoing: Vec<(PartyId, Vec<u8>)>,
+    outgoing: Vec<(PartyId, Payload)>,
     timers: Vec<(u64, TimeMs)>,
 }
 
@@ -83,8 +91,11 @@ impl NodeCtx {
     }
 
     /// Queues `payload` for delivery to `to`.
-    pub fn send(&mut self, to: PartyId, payload: Vec<u8>) {
-        self.outgoing.push((to, payload));
+    ///
+    /// Accepts anything convertible into a [`Payload`]; pass a `Payload`
+    /// clone to fan the same allocation out to several peers.
+    pub fn send(&mut self, to: PartyId, payload: impl Into<Payload>) {
+        self.outgoing.push((to, payload.into()));
     }
 
     /// Arms timer `id` to fire `after` from now.
@@ -97,7 +108,7 @@ impl NodeCtx {
     }
 
     /// Drains the queued sends (driver use).
-    pub fn take_outgoing(&mut self) -> Vec<(PartyId, Vec<u8>)> {
+    pub fn take_outgoing(&mut self) -> Vec<(PartyId, Payload)> {
         std::mem::take(&mut self.outgoing)
     }
 

@@ -13,7 +13,7 @@
 //! does **not** order messages — the coordination protocols above tolerate
 //! reordering, exactly as the paper states.
 
-use crate::node::NodeCtx;
+use crate::node::{NodeCtx, Payload};
 use b2b_crypto::{PartyId, TimeMs};
 use b2b_telemetry::{names, Telemetry};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -41,8 +41,10 @@ pub enum Inbound {
 #[derive(Debug, Default)]
 struct PeerState {
     next_send_seq: u64,
-    /// Unacknowledged outbound payloads by sequence number.
-    outstanding: BTreeMap<u64, Vec<u8>>,
+    /// Unacknowledged outbound *frames* by sequence number. The stored
+    /// allocation is the same one handed to the transport, so a retransmit
+    /// clones a reference count, not the bytes.
+    outstanding: BTreeMap<u64, Payload>,
     /// Inbound `(epoch, seq)` pairs already delivered upward. The epoch
     /// distinguishes a peer's pre-crash sends from its post-recovery sends,
     /// which restart sequence numbering.
@@ -142,16 +144,19 @@ impl ReliableMux {
 
     /// Sends `payload` to `to` with at-least-once retransmission; the
     /// receiver's mux suppresses duplicates, yielding once-only delivery.
-    pub fn send(&mut self, to: PartyId, payload: Vec<u8>, ctx: &mut NodeCtx) {
+    ///
+    /// Accepts any byte source, so a multicast caller can serialize a
+    /// message once and pass the same shared buffer for every peer; the
+    /// per-peer frame (which carries the peer's sequence number) is built
+    /// once and shared between the wire and the retransmit buffer.
+    pub fn send(&mut self, to: PartyId, payload: impl AsRef<[u8]>, ctx: &mut NodeCtx) {
         let peer = self.peers.entry(to.clone()).or_default();
         let seq = peer.next_send_seq;
         peer.next_send_seq += 1;
-        peer.outstanding.insert(seq, payload.clone());
+        let frame: Payload = encode_frame(KIND_DATA, self.epoch, seq, payload.as_ref()).into();
+        peer.outstanding.insert(seq, frame.clone());
         self.sent_payloads += 1;
-        ctx.send(
-            to.clone(),
-            encode_frame(KIND_DATA, self.epoch, seq, &payload),
-        );
+        ctx.send(to.clone(), frame);
         self.arm_retransmit(to, seq, ctx);
     }
 
@@ -206,7 +211,9 @@ impl ReliableMux {
                 .map(|p| p.outstanding.contains_key(&seq))
                 .unwrap_or(false);
             if still_outstanding {
-                let payload = self.peers[&peer_id].outstanding[&seq].clone();
+                // The frame was built at send time; re-sending is a
+                // reference-count bump on the same allocation.
+                let frame = self.peers[&peer_id].outstanding[&seq].clone();
                 self.retransmits += 1;
                 self.telemetry.inc(names::RETRANSMITS);
                 self.telemetry.trace(
@@ -216,10 +223,7 @@ impl ReliableMux {
                     "retransmit",
                     || format!("to={peer_id} seq={seq} epoch={}", self.epoch),
                 );
-                ctx.send(
-                    peer_id.clone(),
-                    encode_frame(KIND_DATA, self.epoch, seq, &payload),
-                );
+                ctx.send(peer_id.clone(), frame);
                 self.arm_retransmit(peer_id, seq, ctx);
             }
         }
@@ -319,7 +323,7 @@ mod tests {
         a.set_telemetry(tel.clone(), PartyId::new("a"));
         let pb = PartyId::new("b");
         let mut ctx = NodeCtx::new(TimeMs(0));
-        a.send(pb.clone(), b"m".to_vec(), &mut ctx);
+        a.send(pb.clone(), &b"m"[..], &mut ctx);
         let (tid, _) = ctx.take_timers()[0];
         let mut ctx2 = NodeCtx::new(TimeMs(10));
         a.on_timer(tid, &mut ctx2);
@@ -340,7 +344,7 @@ mod tests {
         let mut tx = ReliableMux::new(TimeMs(10), 5);
         let to = PartyId::new("rx");
         let mut ctx = NodeCtx::new(TimeMs(0));
-        tx.send(to.clone(), b"m".to_vec(), &mut ctx);
+        tx.send(to.clone(), &b"m"[..], &mut ctx);
         // An ack for another epoch must not clear our outstanding send.
         let stale = encode_frame(KIND_ACK, 4, 0, &[]);
         tx.on_message(&to, &stale, &mut ctx);
@@ -367,7 +371,7 @@ mod tests {
         let mut b = ReliableMux::new(TimeMs(10), 2);
         let (pa, pb) = (PartyId::new("a"), PartyId::new("b"));
         let mut ctx = NodeCtx::new(TimeMs(0));
-        a.send(pb.clone(), b"m".to_vec(), &mut ctx);
+        a.send(pb.clone(), &b"m"[..], &mut ctx);
         let (_, frame) = ctx.take_outgoing().remove(0);
         assert!(!a.all_acked());
 
@@ -385,7 +389,7 @@ mod tests {
         let mut a = ReliableMux::new(TimeMs(10), 1);
         let pb = PartyId::new("b");
         let mut ctx = NodeCtx::new(TimeMs(0));
-        a.send(pb.clone(), b"m".to_vec(), &mut ctx);
+        a.send(pb.clone(), &b"m"[..], &mut ctx);
         let timers = ctx.take_timers();
         assert_eq!(timers.len(), 1);
         let (tid, after) = timers[0];

@@ -37,7 +37,7 @@
 
 use crate::fault::FaultPlan;
 use crate::intruder::{InterceptAction, Intruder, PassThrough};
-use crate::node::{NetNode, NodeCtx};
+use crate::node::{NetNode, NodeCtx, Payload};
 use crate::stats::NetStats;
 use b2b_crypto::{PartyId, TimeMs};
 use b2b_telemetry::{names, Telemetry};
@@ -53,7 +53,7 @@ enum EventKind<N> {
     Deliver {
         from: PartyId,
         to: PartyId,
-        payload: Vec<u8>,
+        payload: Payload,
     },
     Timer {
         node: PartyId,
@@ -428,7 +428,7 @@ impl<N: NetNode> SimNet<N> {
                     self.stats.dropped += 1;
                 }
                 InterceptAction::Replace(replacement) => {
-                    self.route(from.clone(), to, replacement, TimeMs::ZERO);
+                    self.route(from.clone(), to, replacement.into(), TimeMs::ZERO);
                 }
                 InterceptAction::Delay(extra) => {
                     self.route(from.clone(), to, payload, extra);
@@ -436,7 +436,7 @@ impl<N: NetNode> SimNet<N> {
                 InterceptAction::Inject(injections) => {
                     self.route(from.clone(), to, payload, TimeMs::ZERO);
                     for inj in injections {
-                        self.route(inj.from, inj.to, inj.payload, inj.after);
+                        self.route(inj.from, inj.to, inj.payload.into(), inj.after);
                     }
                 }
             }
@@ -444,7 +444,9 @@ impl<N: NetNode> SimNet<N> {
     }
 
     /// Applies partition/fault-plan semantics and schedules delivery.
-    fn route(&mut self, from: PartyId, to: PartyId, payload: Vec<u8>, extra_delay: TimeMs) {
+    ///
+    /// Duplication clones the shared payload handle, not the bytes.
+    fn route(&mut self, from: PartyId, to: PartyId, payload: Payload, extra_delay: TimeMs) {
         if self
             .partitions
             .iter()

@@ -43,6 +43,18 @@ pub mod names {
     pub const VOTES_INVALID: &str = "votes_invalid";
     /// Signature verifications performed.
     pub const SIG_VERIFY_COUNT: &str = "sig_verify_count";
+    /// Signature checks answered from the per-coordinator verification
+    /// cache instead of re-running the public-key operation.
+    pub const SIG_CACHE_HITS: &str = "sig_cache_hits";
+    /// Canonical encodings answered from a message's memo instead of
+    /// re-encoding the signed part.
+    pub const CANONICAL_CACHE_HITS: &str = "canonical_cache_hits";
+    /// Wire serialisations avoided by multicast fan-out (a payload
+    /// serialised once and shared across n−1 sends counts n−2 here).
+    pub const FANOUT_SERIALIZATIONS_AVOIDED: &str = "fanout_serializations_avoided";
+    /// Explicit flushes issued by the write-ahead log (one per append in
+    /// durable mode; one per protocol step in group-commit mode).
+    pub const WAL_FLUSHES: &str = "wal_flushes";
     /// Evidence records appended to the store.
     pub const EVIDENCE_RECORDS_APPENDED: &str = "evidence_records_appended";
     /// Frames appended to the write-ahead log.
