@@ -21,8 +21,16 @@ pub enum DecisionRule {
 /// Tunables of a [`crate::Coordinator`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CoordinatorConfig {
-    /// Retransmission interval of the reliable-delivery layer.
+    /// Base retransmission interval of the reliable-delivery layer: the
+    /// delay before a frame's *first* retransmission.
     pub retransmit_after: TimeMs,
+    /// Ceiling of the reliable layer's exponential retransmission backoff.
+    /// The delay doubles from `retransmit_after` on every further
+    /// unacknowledged retransmission of the same frame until it reaches
+    /// this cap, so a long partition produces a bounded probe trickle
+    /// rather than a constant-rate storm. `None` keeps the layer's default
+    /// cap of 32 × `retransmit_after`.
+    pub retransmit_max: Option<TimeMs>,
     /// Reject proposals whose new state equals the current agreed state
     /// (§4.4: recipients "can reject a null state transition").
     pub reject_null_transitions: bool,
@@ -70,6 +78,7 @@ impl CoordinatorConfig {
     pub fn new() -> CoordinatorConfig {
         CoordinatorConfig {
             retransmit_after: TimeMs(200),
+            retransmit_max: None,
             reject_null_transitions: true,
             decision_rule: DecisionRule::Unanimous,
             ttp: None,
@@ -80,9 +89,15 @@ impl CoordinatorConfig {
         }
     }
 
-    /// Sets the retransmission interval.
+    /// Sets the base retransmission interval (first-retry delay).
     pub fn retransmit_after(mut self, interval: TimeMs) -> CoordinatorConfig {
         self.retransmit_after = interval;
+        self
+    }
+
+    /// Sets the retransmission-backoff ceiling.
+    pub fn retransmit_max(mut self, max: TimeMs) -> CoordinatorConfig {
+        self.retransmit_max = Some(max);
         self
     }
 
@@ -149,12 +164,14 @@ mod tests {
         assert_eq!(c.sig_cache_capacity, 1024);
         assert_eq!(c.replay_window, 64);
         assert_eq!(c.completed_replies_cap, 64);
+        assert_eq!(c.retransmit_max, None);
     }
 
     #[test]
     fn builder_chains() {
         let c = CoordinatorConfig::new()
             .retransmit_after(TimeMs(50))
+            .retransmit_max(TimeMs(800))
             .reject_null_transitions(false)
             .decision_rule(DecisionRule::Majority)
             .run_deadline(TimeMs(5_000))
@@ -167,6 +184,7 @@ mod tests {
         assert_eq!(c.replay_window, 8);
         assert_eq!(c.completed_replies_cap, 4);
         assert_eq!(c.retransmit_after, TimeMs(50));
+        assert_eq!(c.retransmit_max, Some(TimeMs(800)));
         assert!(!c.reject_null_transitions);
         assert_eq!(c.decision_rule, DecisionRule::Majority);
         assert_eq!(c.run_deadline, Some(TimeMs(5_000)));

@@ -178,6 +178,9 @@ impl CoordinatorBuilder {
         let mut rng = SecureRng::seeded(self.seed);
         let epoch = rng.next_u64();
         let mut mux = ReliableMux::new(self.config.retransmit_after, epoch);
+        if let Some(max) = self.config.retransmit_max {
+            mux = mux.with_retransmit_max(max);
+        }
         mux.set_telemetry(self.telemetry.clone(), self.me.clone());
         let sig_cache = RefCell::new(SigVerifyCache::new(self.config.sig_cache_capacity));
         Coordinator {
@@ -673,6 +676,7 @@ impl Coordinator {
             WireMsg::DisconnectRequest(m) => self.on_disconnect_request(from, m, ctx),
             WireMsg::DisconnectPropose(m) => self.on_disconnect_propose(from, m, ctx),
             WireMsg::DisconnectAck(m) => self.on_disconnect_ack(from, m, ctx),
+            WireMsg::DisconnectReject(m) => self.on_disconnect_reject(from, m, ctx),
             WireMsg::TtpResolve(m) => self.on_ttp_resolve(from, m, ctx),
             WireMsg::TtpEvidenceRequest(m) => self.on_ttp_evidence_request(from, m, ctx),
             WireMsg::TtpEvidence(m) => self.on_ttp_evidence(from, m, ctx),
@@ -691,7 +695,11 @@ impl Coordinator {
         // Fresh reliable-layer incarnation so peers do not confuse our
         // restarted sequence numbers with pre-crash traffic.
         let epoch = self.rng.next_u64();
-        self.mux = ReliableMux::new(self.config.retransmit_after, epoch);
+        let mut mux = ReliableMux::new(self.config.retransmit_after, epoch);
+        if let Some(max) = self.config.retransmit_max {
+            mux = mux.with_retransmit_max(max);
+        }
+        self.mux = mux;
         self.mux
             .set_telemetry(self.telemetry.clone(), self.me.clone());
 

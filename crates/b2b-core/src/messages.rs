@@ -561,6 +561,42 @@ pub struct DisconnectAckMsg {
     pub sig: Signature,
 }
 
+/// The signed part of the sponsor's rejection notice to a voluntary leaver
+/// whose disconnection run was invalidated.
+///
+/// Voluntary disconnection cannot be vetoed (§4.5.4), but the run can still
+/// fail a *consistency* check at a polled member (group-id or agreed-state
+/// mismatch, concurrent run, illegitimate sponsor). Without this notice the
+/// leaver's replica would hang in its `Leaving` state until the application
+/// intervened; with it, the replica returns to ordinary membership and the
+/// leaver may retry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisconnectReject {
+    /// The object.
+    pub object: ObjectId,
+    /// The sponsor rejecting.
+    pub sponsor: PartyId,
+    /// Digest of the leaver's signed request being rejected (linkage).
+    pub request_digest: Digest32,
+}
+
+impl CanonicalEncode for DisconnectReject {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.sponsor.encode(enc);
+        enc.put_digest(&self.request_digest);
+    }
+}
+
+/// Sponsor → voluntary leaver: signed rejection of the disconnection run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DisconnectRejectMsg {
+    /// The signed part.
+    pub reject: DisconnectReject,
+    /// The sponsor's signature.
+    pub sig: Signature,
+}
+
 // ---------------------------------------------------------------------------
 // TTP-certified termination (§7 extension)
 // ---------------------------------------------------------------------------
@@ -764,6 +800,9 @@ pub enum WireMsg {
     DisconnectPropose(DisconnectProposeMsg),
     /// Disconnection: sponsor's ack to a voluntary leaver.
     DisconnectAck(DisconnectAckMsg),
+    /// Disconnection: sponsor's rejection to a voluntary leaver whose run
+    /// failed a consistency check at some polled member.
+    DisconnectReject(DisconnectRejectMsg),
     /// Termination extension: an appeal to the TTP.
     TtpResolve(TtpResolveMsg),
     /// Termination extension: the TTP pulls evidence from the proposer.
@@ -800,6 +839,7 @@ impl WireMsg {
             WireMsg::DisconnectRequest(_) => "disconnect-request",
             WireMsg::DisconnectPropose(_) => "disconnect-propose",
             WireMsg::DisconnectAck(_) => "disconnect-ack",
+            WireMsg::DisconnectReject(_) => "disconnect-reject",
             WireMsg::TtpResolve(_) => "ttp-resolve",
             WireMsg::TtpEvidenceRequest(_) => "ttp-evidence-request",
             WireMsg::TtpEvidence(_) => "ttp-evidence",

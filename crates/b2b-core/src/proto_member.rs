@@ -15,8 +15,8 @@ use crate::ids::{GroupId, ObjectId, RunId};
 use crate::messages::{
     ConnectProposal, ConnectProposeMsg, ConnectReject, ConnectRejectMsg, ConnectRequest,
     ConnectRequestMsg, DisconnectAck, DisconnectAckMsg, DisconnectProposal, DisconnectProposeMsg,
-    DisconnectRequest, DisconnectRequestMsg, MemberDecideMsg, MemberRespondMsg, MemberResponse,
-    Welcome, WelcomeMsg, WireMsg,
+    DisconnectReject, DisconnectRejectMsg, DisconnectRequest, DisconnectRequestMsg,
+    MemberDecideMsg, MemberRespondMsg, MemberResponse, Welcome, WelcomeMsg, WireMsg,
 };
 use crate::replica::{
     ActiveRun, LeavingRun, MemberRun, MembershipChange, QueuedRequest, Replica, SponsorRun,
@@ -994,8 +994,27 @@ impl Coordinator {
                     self.send_disconnect_ack(oid, run, &subjects[0], decide, ctx);
                 }
             }
-            (MembershipChange::Disconnect { .. }, false) => {
+            (
+                MembershipChange::Disconnect {
+                    subjects,
+                    eviction,
+                    request,
+                    ..
+                },
+                false,
+            ) => {
+                let subjects = subjects.clone();
+                let eviction = *eviction;
+                let digest = request.request.canonical_digest();
                 self.outcomes.insert(run, Outcome::Invalidated { vetoers });
+                // A voluntary leave cannot be vetoed, but the run can still
+                // fail a consistency check at a polled member. Tell the
+                // leaver, so its replica returns from `Leaving` to ordinary
+                // membership instead of hanging until the application
+                // intervenes. Evictees are not consulted and get nothing.
+                if !eviction {
+                    self.send_disconnect_reject(oid, &subjects[0], digest, ctx);
+                }
                 self.persist(oid);
             }
         }
@@ -1217,12 +1236,11 @@ impl Coordinator {
         };
         let sig = self.signer.sign(&request.canonical_bytes());
         let msg = DisconnectRequestMsg { request, sig };
-        // Known limitation: if the disconnection run is invalidated at the
-        // sponsor by a consistency failure (voluntary leaves cannot be
-        // vetoed, but e.g. a group-id mismatch can fail the run), nothing
-        // is sent back and this replica stays in `Leaving` until the
-        // application intervenes — the paper's general position that
-        // blocked runs are resolved extra-protocol. In practice a leaver
+        // If the run is invalidated at the sponsor by a consistency
+        // failure (voluntary leaves cannot be vetoed, but e.g. a group-id
+        // mismatch or a concurrent run can fail it), the sponsor sends a
+        // signed rejection and `on_disconnect_reject` returns this replica
+        // to ordinary membership; the application may then retry. A leaver
         // may also simply cease cooperation (§4.5.4).
         rep.active = Some(ActiveRun::Leaving(LeavingRun {
             request: msg.clone(),
@@ -1805,6 +1823,94 @@ impl Coordinator {
             },
             now,
         );
+    }
+
+    fn send_disconnect_reject(
+        &mut self,
+        oid: &ObjectId,
+        subject: &PartyId,
+        request_digest: b2b_crypto::Digest32,
+        ctx: &mut NodeCtx,
+    ) {
+        let reject = DisconnectReject {
+            object: oid.clone(),
+            sponsor: self.me.clone(),
+            request_digest,
+        };
+        let sig = self.signer.sign(&reject.canonical_bytes());
+        self.log_evidence(
+            EvidenceKind::DisconnectReject,
+            oid,
+            &request_digest.to_string(),
+            self.me.clone(),
+            reject.canonical_bytes(),
+            Some(sig.clone()),
+            ctx.now(),
+        );
+        self.trace(ctx.now(), "membership", "disconnect_reject", || {
+            format!("object={oid} subject={subject}")
+        });
+        self.send_wire(
+            &subject.clone(),
+            &WireMsg::DisconnectReject(DisconnectRejectMsg { reject, sig }),
+            ctx,
+        );
+    }
+
+    pub(crate) fn on_disconnect_reject(
+        &mut self,
+        from: &PartyId,
+        msg: DisconnectRejectMsg,
+        ctx: &mut NodeCtx,
+    ) {
+        let now = ctx.now();
+        let oid = msg.reject.object.clone();
+        let Some(rep) = self.replicas.get(&oid) else {
+            return;
+        };
+        let Some(ActiveRun::Leaving(lr)) = rep.active.clone() else {
+            return; // duplicate after un-sticking, or stray
+        };
+        let expected_digest = lr.request.request.canonical_digest();
+        // Only the sponsor we asked may reject our leave, and only for the
+        // exact request we signed — anything else would let an outsider
+        // (or a stale rejection) cancel a departure it observed.
+        if from != &lr.sponsor
+            || from != &msg.reject.sponsor
+            || msg.reject.request_digest != expected_digest
+            || self
+                .verify_for(&msg.reject.sponsor, &msg.reject.canonical_bytes(), &msg.sig)
+                .is_err()
+        {
+            self.log_misbehaviour(
+                &oid,
+                &expected_digest.to_string(),
+                Misbehaviour::BadSignature {
+                    claimed: msg.reject.sponsor.clone(),
+                    message: "disconnect-reject".into(),
+                },
+                now,
+            );
+            return;
+        }
+        if let Some(rep) = self.replicas.get_mut(&oid) {
+            // Back to ordinary membership: the group never agreed to the
+            // departure, so we are still a member and may retry.
+            rep.active = None;
+        }
+        self.log_evidence(
+            EvidenceKind::DisconnectReject,
+            &oid,
+            &expected_digest.to_string(),
+            from.clone(),
+            msg.reject.canonical_bytes(),
+            Some(msg.sig),
+            now,
+        );
+        self.trace(now, "membership", "disconnect_rejected", || {
+            format!("object={oid} sponsor={from} back-to-member")
+        });
+        self.persist(&oid);
     }
 
     /// Re-sends the outstanding proposal of a recovered sponsor run.

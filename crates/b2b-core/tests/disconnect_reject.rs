@@ -1,0 +1,81 @@
+//! Regression test for the stuck-`Leaving` leaver (DESIGN.md §7, closed).
+//!
+//! A voluntary disconnection cannot be vetoed (§4.5.4), but the run can
+//! still fail a *consistency* check at a polled member — here, the member
+//! is busy with its own coordination run when the sponsor's poll arrives,
+//! so it answers "concurrent coordination run active" and the sponsor
+//! invalidates the run. Before the fix the sponsor sent nothing back and
+//! the leaver's replica hung in `Leaving` forever; now the sponsor sends a
+//! signed `DisconnectReject` and the leaver returns to ordinary membership
+//! and may retry.
+
+mod common;
+
+use b2b_core::ObjectId;
+use b2b_crypto::TimeMs;
+use b2b_evidence::{EvidenceKind, EvidenceStore};
+use common::{counter_factory, party, Cluster, QUIET};
+
+#[test]
+fn rejected_voluntary_leave_returns_replica_to_member() {
+    let mut cluster = Cluster::new(3, 7);
+    cluster.setup_object("ledger", counter_factory);
+    let oid = ObjectId::new("ledger");
+
+    // Cut org1 off from org2 (the future sponsor) until t=5000. org0 and
+    // org2 can still talk, so the leave request reaches the sponsor, but
+    // the sponsor's poll of org1 is delayed until after org1 has become
+    // busy with its own state-coordination run.
+    cluster.net.partition([party(1)], [party(2)], TimeMs(5_000));
+
+    // org0 asks to leave; org2 (most recently joined) sponsors and must
+    // poll org1.
+    let o = oid.clone();
+    cluster.net.invoke(&party(0), move |c, ctx| {
+        c.request_disconnect(&o, ctx).unwrap();
+    });
+    // org1 starts an overwrite run of its own. Its m1 to org2 is dropped
+    // by the partition, so org1 is still a busy proposer when the
+    // sponsor's retransmitted poll finally gets through.
+    let o = oid.clone();
+    cluster.net.invoke(&party(1), move |c, ctx| {
+        c.propose_overwrite(&o, common::enc(1), ctx).unwrap();
+    });
+    cluster.run();
+
+    // The run was invalidated at the sponsor — yet the leaver is back to
+    // ordinary membership, not stuck in `Leaving`. (Pre-fix: `is_busy`
+    // stays true forever and the retry below fails with `Busy`.)
+    let n0 = cluster.net.node(&party(0));
+    assert!(n0.is_member(&oid), "leaver must still be a member");
+    assert!(
+        !n0.is_busy(&oid),
+        "leaver must not be stuck in Leaving after the sponsor's rejection"
+    );
+
+    // The leaver holds the sponsor's signed rejection as evidence.
+    let rejects = cluster.stores[&party(0)]
+        .records()
+        .into_iter()
+        .filter(|r| r.kind == EvidenceKind::DisconnectReject)
+        .count();
+    assert_eq!(rejects, 1, "leaver logs exactly one disconnect-reject");
+    // ... and so does the sponsor (its own send).
+    let sponsor_rejects = cluster.stores[&party(2)]
+        .records()
+        .into_iter()
+        .filter(|r| r.kind == EvidenceKind::DisconnectReject)
+        .count();
+    assert_eq!(sponsor_rejects, 1, "sponsor logs the rejection it signed");
+
+    // With the partition healed and everyone idle again, the retry
+    // completes: the group really does shrink to {org1, org2}.
+    let o = oid.clone();
+    cluster.net.invoke(&party(0), move |c, ctx| {
+        c.request_disconnect(&o, ctx).unwrap();
+    });
+    cluster.net.run_until_quiet(QUIET);
+    assert!(!cluster.net.node(&party(0)).is_member(&oid));
+    assert_eq!(cluster.members(1, "ledger"), vec![party(1), party(2)]);
+    assert_eq!(cluster.members(2, "ledger"), vec![party(1), party(2)]);
+}

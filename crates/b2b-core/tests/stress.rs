@@ -68,13 +68,20 @@ fn threaded_contending_proposers_never_diverge() {
                         if handle.read(|c| c.outcome_of(&run).unwrap().is_installed()) {
                             installed += 1;
                         } else {
-                            // Collision with the peer's run: back off
-                            // asymmetrically to break the lockstep.
-                            std::thread::sleep(Duration::from_millis(1 + 3 * idx as u64));
+                            // Collision with the peer's run: wait for the
+                            // object to go idle before retrying, with an
+                            // asymmetric bound to break the lockstep. A
+                            // condition wait (not a guessed sleep) cannot
+                            // flake on a loaded machine.
+                            handle.wait_until(Duration::from_millis(20 + 30 * idx as u64), |c| {
+                                !c.is_busy(&ObjectId::new("c"))
+                            });
                         }
                     }
                     Err(CoordError::Busy { .. }) => {
-                        std::thread::sleep(Duration::from_millis(1 + 2 * idx as u64));
+                        handle.wait_until(Duration::from_millis(20 + 20 * idx as u64), |c| {
+                            !c.is_busy(&ObjectId::new("c"))
+                        });
                     }
                     Err(e) => panic!("unexpected error: {e}"),
                 }

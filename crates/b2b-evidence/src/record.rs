@@ -40,6 +40,9 @@ pub enum EvidenceKind {
     DisconnectDecide,
     /// Final acknowledgement to a voluntarily departing member.
     DisconnectAck,
+    /// Sponsor's signed rejection notice to a voluntary leaver whose run
+    /// failed a consistency check at a polled member.
+    DisconnectReject,
     /// A locally installed checkpoint of newly validated object state.
     Checkpoint,
     /// A locally detected misbehaviour or inconsistency (diagnostics).
@@ -66,6 +69,7 @@ impl EvidenceKind {
             EvidenceKind::DisconnectRespond => "disconnect-respond",
             EvidenceKind::DisconnectDecide => "disconnect-decide",
             EvidenceKind::DisconnectAck => "disconnect-ack",
+            EvidenceKind::DisconnectReject => "disconnect-reject",
             EvidenceKind::Checkpoint => "checkpoint",
             EvidenceKind::Misbehaviour => "misbehaviour",
             EvidenceKind::TtpAbort => "ttp-abort",
@@ -157,6 +161,7 @@ mod tests {
             DisconnectRespond,
             DisconnectDecide,
             DisconnectAck,
+            DisconnectReject,
             Checkpoint,
             Misbehaviour,
             TtpAbort,

@@ -23,10 +23,30 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-enum Envelope {
+pub(crate) enum Envelope {
     Msg { from: PartyId, payload: Payload },
     Wake,
     Stop,
+}
+
+/// What a node's event loop needs from the medium underneath it: a clock
+/// and a way to hand off outgoing payloads.
+///
+/// Implemented by the in-process router and by the TCP connection manager
+/// ([`crate::tcp`]), so [`NodeHandle`] and the per-node event loop are
+/// shared verbatim between both real-clock transports. Delivery of
+/// *incoming* traffic is the transport's business (it pushes into the
+/// node's event channel); the fabric only carries traffic away.
+pub trait Fabric: Send + Sync {
+    /// Milliseconds since the transport started.
+    fn now(&self) -> TimeMs;
+    /// Hands an outgoing payload to the medium. Best-effort: a send to an
+    /// unknown, stopped or disconnected destination is silently dropped —
+    /// the paper's model treats it as a lost message that the reliable
+    /// layer recovers.
+    fn send(&self, from: &PartyId, to: &PartyId, payload: Payload);
+    /// Accounting hook: a payload was handed to a node's `on_message`.
+    fn note_delivered(&self) {}
 }
 
 struct Router {
@@ -36,7 +56,7 @@ struct Router {
     delivered: AtomicU64,
 }
 
-impl Router {
+impl Fabric for Router {
     fn now(&self) -> TimeMs {
         TimeMs(self.start.elapsed().as_millis() as u64)
     }
@@ -52,6 +72,10 @@ impl Router {
             });
         }
     }
+
+    fn note_delivered(&self) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 struct Inner<N> {
@@ -64,12 +88,13 @@ struct Shared<N> {
     cv: Condvar,
 }
 
-/// A handle for interacting with one node of a [`ThreadedNet`].
+/// A handle for interacting with one node of a [`ThreadedNet`] or a
+/// [`crate::tcp::TcpEndpoint`].
 pub struct NodeHandle<N> {
     id: PartyId,
     shared: Arc<Shared<N>>,
     tx: Sender<Envelope>,
-    router: Arc<Router>,
+    fabric: Arc<dyn Fabric>,
 }
 
 impl<N> Clone for NodeHandle<N> {
@@ -78,7 +103,7 @@ impl<N> Clone for NodeHandle<N> {
             id: self.id.clone(),
             shared: Arc::clone(&self.shared),
             tx: self.tx.clone(),
-            router: Arc::clone(&self.router),
+            fabric: Arc::clone(&self.fabric),
         }
     }
 }
@@ -95,11 +120,11 @@ impl<N: NetNode> NodeHandle<N> {
     /// This is how application clients reach the middleware: controller
     /// operations queue protocol messages, which this method dispatches.
     pub fn invoke<R>(&self, f: impl FnOnce(&mut N, &mut NodeCtx) -> R) -> R {
-        let mut ctx = NodeCtx::new(self.router.now());
+        let mut ctx = NodeCtx::new(self.fabric.now());
         let result = {
             let mut inner = self.shared.inner.lock();
             let result = f(&mut inner.node, &mut ctx);
-            flush(&self.id, &mut inner, &mut ctx, &self.router);
+            flush(&self.id, &mut inner, &mut ctx, &*self.fabric);
             self.shared.cv.notify_all();
             result
         };
@@ -135,11 +160,11 @@ impl<N: NetNode> NodeHandle<N> {
     }
 }
 
-fn flush<N: NetNode>(id: &PartyId, inner: &mut Inner<N>, ctx: &mut NodeCtx, router: &Router) {
+fn flush<N: NetNode>(id: &PartyId, inner: &mut Inner<N>, ctx: &mut NodeCtx, fabric: &dyn Fabric) {
     for (to, payload) in ctx.take_outgoing() {
-        router.send(id, &to, payload);
+        fabric.send(id, &to, payload);
     }
-    let now = router.now();
+    let now = fabric.now();
     for (timer_id, after) in ctx.take_timers() {
         inner.timers.push(Reverse((now + after, timer_id)));
     }
@@ -225,7 +250,7 @@ impl<N: NetNode> ThreadedNet<N> {
                     id: id.clone(),
                     shared: Arc::clone(&shared),
                     tx: tx.clone(),
-                    router: Arc::clone(&router),
+                    fabric: Arc::clone(&router) as Arc<dyn Fabric>,
                 },
             );
             starters.push((id, shared, rx, tx));
@@ -233,7 +258,7 @@ impl<N: NetNode> ThreadedNet<N> {
 
         let mut spawned = Vec::new();
         for (id, shared, rx, tx) in starters {
-            let router2 = Arc::clone(&router);
+            let router2 = Arc::clone(&router) as Arc<dyn Fabric>;
             let handle = std::thread::Builder::new()
                 .name(format!("b2b-node-{id}"))
                 .spawn(move || run_node(id, shared, rx, router2))
@@ -294,11 +319,42 @@ impl<N: NetNode> Drop for ThreadedNet<N> {
     }
 }
 
+/// Spawns one node's event loop over an arbitrary [`Fabric`]. The returned
+/// sender is how the transport injects incoming traffic (`Envelope::Msg`)
+/// and stops the loop (`Envelope::Stop`); joining the handle completes a
+/// graceful shutdown. Does **not** run `on_start` — the caller does, once
+/// the transport is ready to carry the node's first sends.
+pub(crate) fn spawn_node_thread<N: NetNode>(
+    node: N,
+    fabric: Arc<dyn Fabric>,
+) -> (NodeHandle<N>, Sender<Envelope>, JoinHandle<()>) {
+    let id = node.id();
+    let (tx, rx) = unbounded();
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            node,
+            timers: BinaryHeap::new(),
+        }),
+        cv: Condvar::new(),
+    });
+    let handle = NodeHandle {
+        id: id.clone(),
+        shared: Arc::clone(&shared),
+        tx: tx.clone(),
+        fabric: Arc::clone(&fabric),
+    };
+    let thread = std::thread::Builder::new()
+        .name(format!("b2b-node-{id}"))
+        .spawn(move || run_node(id, shared, rx, fabric))
+        .expect("spawn node thread");
+    (handle, tx, thread)
+}
+
 fn run_node<N: NetNode>(
     id: PartyId,
     shared: Arc<Shared<N>>,
     rx: Receiver<Envelope>,
-    router: Arc<Router>,
+    fabric: Arc<dyn Fabric>,
 ) {
     loop {
         // Next timer deadline, if any.
@@ -308,18 +364,18 @@ fn run_node<N: NetNode>(
         };
         let timeout = match next_deadline {
             Some(deadline) => {
-                let now = router.now();
+                let now = fabric.now();
                 Duration::from_millis(deadline.saturating_sub(now).as_millis())
             }
             None => Duration::from_millis(500),
         };
         match rx.recv_timeout(timeout) {
             Ok(Envelope::Msg { from, payload }) => {
-                router.delivered.fetch_add(1, Ordering::Relaxed);
-                let mut ctx = NodeCtx::new(router.now());
+                fabric.note_delivered();
+                let mut ctx = NodeCtx::new(fabric.now());
                 let mut inner = shared.inner.lock();
                 inner.node.on_message(&from, &payload, &mut ctx);
-                flush(&id, &mut inner, &mut ctx, &router);
+                flush(&id, &mut inner, &mut ctx, &*fabric);
                 shared.cv.notify_all();
             }
             Ok(Envelope::Wake) => {}
@@ -329,7 +385,7 @@ fn run_node<N: NetNode>(
         }
         // Fire all due timers.
         loop {
-            let now = router.now();
+            let now = fabric.now();
             let due = {
                 let mut inner = shared.inner.lock();
                 match inner.timers.peek() {
@@ -342,10 +398,10 @@ fn run_node<N: NetNode>(
             };
             match due {
                 Some(timer_id) => {
-                    let mut ctx = NodeCtx::new(router.now());
+                    let mut ctx = NodeCtx::new(fabric.now());
                     let mut inner = shared.inner.lock();
                     inner.node.on_timer(timer_id, &mut ctx);
-                    flush(&id, &mut inner, &mut ctx, &router);
+                    flush(&id, &mut inner, &mut ctx, &*fabric);
                     shared.cv.notify_all();
                 }
                 None => break,

@@ -18,20 +18,28 @@
 //! * [`reliable`] — an ack/retransmit/dedup layer that presents the paper's
 //!   assumed *eventual once-only delivery* on top of lossy links;
 //! * [`inproc`] — a threaded in-process transport that drives the same
-//!   engines concurrently (the role Java RMI played in the prototype).
+//!   engines concurrently (the role Java RMI played in the prototype);
+//! * [`tcp`] — a transport over `std::net` OS sockets with length-prefixed
+//!   framing and reconnecting per-peer connections, for crossing process
+//!   and host boundaries;
+//! * [`poll`] — bounded condition-polling helpers for tests against the
+//!   real-clock transports.
 
 pub mod fault;
 pub mod inproc;
 pub mod intruder;
 pub mod node;
+pub mod poll;
 pub mod reliable;
 pub mod sim;
 pub mod stats;
+pub mod tcp;
 
 pub use fault::FaultPlan;
-pub use inproc::{NodeHandle, ThreadedNet};
+pub use inproc::{Fabric, NodeHandle, ThreadedNet};
 pub use intruder::{InterceptAction, Intruder, PassThrough};
 pub use node::{NetNode, NodeCtx, Payload};
 pub use reliable::{ReliableMux, RELIABLE_TIMER_BASE};
 pub use sim::SimNet;
 pub use stats::NetStats;
+pub use tcp::{TcpConfig, TcpEndpoint, TcpNet, MAX_FRAME_LEN};

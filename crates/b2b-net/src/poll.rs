@@ -1,0 +1,85 @@
+//! Bounded condition polling for tests against real-clock transports.
+//!
+//! Sleep-and-assert tests encode a guess about scheduler latency and flake
+//! the moment a loaded machine misses the guess. These helpers replace the
+//! guess with a *bound*: poll the condition frequently, pass as soon as it
+//! holds, and only fail after a generous deadline a healthy run never
+//! approaches.
+
+use std::time::{Duration, Instant};
+
+/// How often conditions are re-evaluated.
+const POLL_INTERVAL: Duration = Duration::from_millis(2);
+
+/// Polls `cond` every couple of milliseconds until it returns `true` or
+/// `timeout` elapses; returns whether the condition held. The condition is
+/// evaluated one final time at the deadline, so a condition that becomes
+/// true exactly at timeout still passes.
+pub fn wait_for(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return cond();
+        }
+        std::thread::sleep(POLL_INTERVAL);
+    }
+}
+
+/// Polls `probe` until it returns `Some`, or fails after `timeout` with
+/// `what` in the panic message. For tests that need the produced value.
+pub fn wait_for_value<T>(timeout: Duration, what: &str, mut probe: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(v) = probe() {
+            return v;
+        }
+        if Instant::now() >= deadline {
+            match probe() {
+                Some(v) => return v,
+                None => panic!("condition '{what}' not reached within {timeout:?}"),
+            }
+        }
+        std::thread::sleep(POLL_INTERVAL);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn passes_as_soon_as_condition_holds() {
+        let calls = AtomicU32::new(0);
+        assert!(wait_for(Duration::from_secs(5), || {
+            calls.fetch_add(1, Ordering::Relaxed) >= 3
+        }));
+        assert!(calls.load(Ordering::Relaxed) >= 4);
+    }
+
+    #[test]
+    fn times_out_on_never_true() {
+        let start = Instant::now();
+        assert!(!wait_for(Duration::from_millis(20), || false));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn value_probe_returns_value() {
+        let calls = AtomicU32::new(0);
+        let v = wait_for_value(Duration::from_secs(5), "five calls", || {
+            let n = calls.fetch_add(1, Ordering::Relaxed);
+            (n >= 5).then_some(n)
+        });
+        assert!(v >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "condition 'never' not reached")]
+    fn value_probe_panics_on_timeout() {
+        let _: u32 = wait_for_value(Duration::from_millis(10), "never", || None);
+    }
+}

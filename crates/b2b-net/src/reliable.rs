@@ -38,13 +38,24 @@ pub enum Inbound {
     Malformed,
 }
 
+/// An unacknowledged outbound frame plus its retransmission history.
+#[derive(Debug)]
+struct OutFrame {
+    /// The exact frame on the wire; retransmits clone the reference count,
+    /// not the bytes.
+    frame: Payload,
+    /// How many times this frame has been retransmitted; drives the
+    /// exponential backoff of the next retransmission delay.
+    attempts: u32,
+}
+
 #[derive(Debug, Default)]
 struct PeerState {
     next_send_seq: u64,
     /// Unacknowledged outbound *frames* by sequence number. The stored
     /// allocation is the same one handed to the transport, so a retransmit
     /// clones a reference count, not the bytes.
-    outstanding: BTreeMap<u64, Payload>,
+    outstanding: BTreeMap<u64, OutFrame>,
     /// Inbound `(epoch, seq)` pairs already delivered upward. The epoch
     /// distinguishes a peer's pre-crash sends from its post-recovery sends,
     /// which restart sequence numbering.
@@ -87,6 +98,11 @@ struct PeerState {
 pub struct ReliableMux {
     peers: HashMap<PartyId, PeerState>,
     retransmit_after: TimeMs,
+    /// Ceiling of the exponential retransmission backoff: the delay doubles
+    /// from `retransmit_after` on every unacknowledged retransmission of a
+    /// frame, capped here, so a long partition costs a bounded trickle of
+    /// probes instead of an unbounded constant-rate storm.
+    retransmit_max: TimeMs,
     /// Identifies this mux incarnation; a node picks a fresh random epoch
     /// after crash-recovery so receivers do not mistake its restarted
     /// sequence numbers for duplicates of pre-crash traffic.
@@ -107,12 +123,19 @@ pub struct ReliableMux {
 }
 
 impl ReliableMux {
-    /// Creates a mux with the given retransmission interval and incarnation
-    /// epoch (pick a fresh random epoch after every crash recovery).
+    /// Creates a mux with the given base retransmission interval and
+    /// incarnation epoch (pick a fresh random epoch after every crash
+    /// recovery).
+    ///
+    /// The first retransmission of a frame fires `retransmit_after` after
+    /// the send; each subsequent one doubles the delay up to a cap of
+    /// 32 × `retransmit_after` (configurable via
+    /// [`ReliableMux::with_retransmit_max`]).
     pub fn new(retransmit_after: TimeMs, epoch: u64) -> ReliableMux {
         ReliableMux {
             peers: HashMap::new(),
             retransmit_after,
+            retransmit_max: TimeMs(retransmit_after.0.saturating_mul(32)),
             epoch,
             next_timer: RELIABLE_TIMER_BASE,
             timer_targets: HashMap::new(),
@@ -122,6 +145,25 @@ impl ReliableMux {
             telemetry: Telemetry::default(),
             owner: None,
         }
+    }
+
+    /// Sets the backoff ceiling: no retransmission delay ever exceeds
+    /// `max` (values below the base interval are clamped up to it, which
+    /// degenerates to the old fixed-interval behaviour).
+    pub fn with_retransmit_max(mut self, max: TimeMs) -> ReliableMux {
+        self.retransmit_max = TimeMs(max.0.max(self.retransmit_after.0));
+        self
+    }
+
+    /// The delay before retransmission attempt `attempts + 1` of a frame:
+    /// `base << attempts`, saturating, capped at the configured maximum.
+    fn backoff_delay(&self, attempts: u32) -> TimeMs {
+        let shifted = if attempts >= 63 {
+            u64::MAX
+        } else {
+            self.retransmit_after.0.saturating_mul(1u64 << attempts)
+        };
+        TimeMs(shifted.min(self.retransmit_max.0))
     }
 
     /// Attaches an observability handle; `owner` labels trace events with
@@ -154,10 +196,16 @@ impl ReliableMux {
         let seq = peer.next_send_seq;
         peer.next_send_seq += 1;
         let frame: Payload = encode_frame(KIND_DATA, self.epoch, seq, payload.as_ref()).into();
-        peer.outstanding.insert(seq, frame.clone());
+        peer.outstanding.insert(
+            seq,
+            OutFrame {
+                frame: frame.clone(),
+                attempts: 0,
+            },
+        );
         self.sent_payloads += 1;
         ctx.send(to.clone(), frame);
-        self.arm_retransmit(to, seq, ctx);
+        self.arm_retransmit(to, seq, 0, ctx);
     }
 
     /// Processes a raw inbound payload; acks data frames and classifies the
@@ -205,15 +253,15 @@ impl ReliableMux {
             return false;
         }
         if let Some((peer_id, seq)) = self.timer_targets.remove(&timer) {
-            let still_outstanding = self
-                .peers
-                .get(&peer_id)
-                .map(|p| p.outstanding.contains_key(&seq))
-                .unwrap_or(false);
-            if still_outstanding {
-                // The frame was built at send time; re-sending is a
-                // reference-count bump on the same allocation.
-                let frame = self.peers[&peer_id].outstanding[&seq].clone();
+            let resend = self.peers.get_mut(&peer_id).and_then(|p| {
+                p.outstanding.get_mut(&seq).map(|out| {
+                    out.attempts += 1;
+                    // The frame was built at send time; re-sending is a
+                    // reference-count bump on the same allocation.
+                    (out.frame.clone(), out.attempts)
+                })
+            });
+            if let Some((frame, attempts)) = resend {
                 self.retransmits += 1;
                 self.telemetry.inc(names::RETRANSMITS);
                 self.telemetry.trace(
@@ -221,10 +269,15 @@ impl ReliableMux {
                     self.owner_label(),
                     "net",
                     "retransmit",
-                    || format!("to={peer_id} seq={seq} epoch={}", self.epoch),
+                    || {
+                        format!(
+                            "to={peer_id} seq={seq} epoch={} attempt={attempts}",
+                            self.epoch
+                        )
+                    },
                 );
                 ctx.send(peer_id.clone(), frame);
-                self.arm_retransmit(peer_id, seq, ctx);
+                self.arm_retransmit(peer_id, seq, attempts, ctx);
             }
         }
         true
@@ -250,11 +303,11 @@ impl ReliableMux {
         self.peers.values().all(|p| p.outstanding.is_empty())
     }
 
-    fn arm_retransmit(&mut self, peer: PartyId, seq: u64, ctx: &mut NodeCtx) {
+    fn arm_retransmit(&mut self, peer: PartyId, seq: u64, attempts: u32, ctx: &mut NodeCtx) {
         let id = self.next_timer;
         self.next_timer += 1;
         self.timer_targets.insert(id, (peer, seq));
-        ctx.set_timer(id, self.retransmit_after);
+        ctx.set_timer(id, self.backoff_delay(attempts));
     }
 }
 
@@ -411,6 +464,81 @@ mod tests {
         assert!(a.on_timer(tid2, &mut ctx4));
         assert!(ctx4.take_outgoing().is_empty());
         assert!(ctx4.take_timers().is_empty());
+    }
+
+    #[test]
+    fn retransmit_backoff_doubles_to_cap() {
+        // First retry after the base interval (behaviour-compatible), then
+        // doubling, then pinned at the configured ceiling.
+        let mut a = ReliableMux::new(TimeMs(10), 1).with_retransmit_max(TimeMs(80));
+        let pb = PartyId::new("b");
+        let mut ctx = NodeCtx::new(TimeMs(0));
+        a.send(pb.clone(), &b"m"[..], &mut ctx);
+        let (mut tid, first) = ctx.take_timers()[0];
+        assert_eq!(first, TimeMs(10));
+
+        let mut delays = Vec::new();
+        let mut now = 0u64;
+        for _ in 0..6 {
+            now += 1_000;
+            let mut tctx = NodeCtx::new(TimeMs(now));
+            assert!(a.on_timer(tid, &mut tctx));
+            assert_eq!(tctx.take_outgoing().len(), 1, "still unacked: resend");
+            let (next_tid, delay) = tctx.take_timers()[0];
+            delays.push(delay.0);
+            tid = next_tid;
+        }
+        assert_eq!(delays, vec![20, 40, 80, 80, 80, 80]);
+        assert_eq!(a.retransmits(), 6);
+    }
+
+    #[test]
+    fn retransmit_max_defaults_to_32x_base_and_clamps_up() {
+        let a = ReliableMux::new(TimeMs(200), 1);
+        assert_eq!(a.retransmit_max, TimeMs(6_400));
+        // A cap below the base degenerates to the fixed interval.
+        let b = ReliableMux::new(TimeMs(50), 1).with_retransmit_max(TimeMs(5));
+        assert_eq!(b.retransmit_max, TimeMs(50));
+        assert_eq!(b.backoff_delay(0), TimeMs(50));
+        assert_eq!(b.backoff_delay(7), TimeMs(50));
+        // Huge attempt counts saturate instead of overflowing the shift.
+        let c = ReliableMux::new(TimeMs(10), 1).with_retransmit_max(TimeMs(640));
+        assert_eq!(c.backoff_delay(200), TimeMs(640));
+    }
+
+    #[test]
+    fn backoff_bounds_retransmits_across_a_partition() {
+        // Deterministic simulator pin: tx's peer is unreachable for 4000 ms
+        // of virtual time. Under the old fixed 10 ms timer that costs ~400
+        // retransmits; capped exponential backoff (10·2^k, cap 160) probes
+        // at t = 10, 30, 70, 150, 310, 470, 630, … — the exact schedule
+        // (and so the exact count) is pinned here, and delivery still
+        // completes once the partition heals.
+        let (tx, rx) = (PartyId::new("tx"), PartyId::new("rx"));
+        let mut net: SimNet<ReliProbe> = SimNet::new(42);
+        net.add_node(ReliProbe {
+            id: rx.clone(),
+            mux: ReliableMux::new(TimeMs(10), 10).with_retransmit_max(TimeMs(160)),
+            peer: tx.clone(),
+            to_send: vec![],
+            delivered: vec![],
+        });
+        net.add_node(ReliProbe {
+            id: tx.clone(),
+            mux: ReliableMux::new(TimeMs(10), 11).with_retransmit_max(TimeMs(160)),
+            peer: rx.clone(),
+            to_send: vec![b"probe".to_vec()],
+            delivered: vec![],
+        });
+        net.partition([tx.clone()], [rx.clone()], TimeMs(4_000));
+        net.run_until(TimeMs(3_999));
+        // Retransmit times: 10, 30, 70, 150, then every 160 ms from 310.
+        // Within (0, 4000): 4 doubling probes + floor((3999-150)/160) = 24
+        // capped probes = 28 — versus ~399 with the fixed interval.
+        assert_eq!(net.node(&tx).mux.retransmits(), 28);
+        net.run_until_quiet(TimeMs(60_000));
+        assert_eq!(net.node(&rx).delivered, vec![b"probe".to_vec()]);
+        assert!(net.node(&tx).mux.all_acked());
     }
 
     #[test]

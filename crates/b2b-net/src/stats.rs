@@ -27,6 +27,11 @@ pub struct NetStats {
     /// Duplicate frames suppressed by the nodes' reliable layers before
     /// delivery to the protocol (harvested likewise).
     pub dedup_drops: u64,
+    /// Connections established to peers (TCP transport; zero elsewhere).
+    pub connects: u64,
+    /// Connections re-established after a loss — a subset of `connects`
+    /// (TCP transport; zero elsewhere).
+    pub reconnects: u64,
 }
 
 impl NetStats {
@@ -59,6 +64,8 @@ mod tests {
             bytes_sent: 100,
             retransmits: 2,
             dedup_drops: 1,
+            connects: 2,
+            reconnects: 1,
         };
         assert_eq!(s.lost(), 4);
     }

@@ -1,0 +1,827 @@
+//! TCP transport over OS sockets.
+//!
+//! The third [`NetNode`] driver, and the first that crosses process and
+//! host boundaries: each [`TcpEndpoint`] runs one engine on its own event
+//! loop (shared with the in-process transport via [`Fabric`]) and carries
+//! its traffic over `std::net` sockets with length-prefixed frames.
+//!
+//! The design leans on the layering the paper assumes (§4.2): the
+//! transport promises nothing beyond best-effort delivery, and the
+//! [`crate::ReliableMux`] above it supplies eventual once-only delivery.
+//! Concretely:
+//!
+//! * **Framing** — every message is `[u32 LE length][payload]`, capped at
+//!   [`MAX_FRAME_LEN`]; the first frame on every connection is a *hello*
+//!   carrying the sender's [`PartyId`], so connections are identified
+//!   without trusting socket addresses (all integrity lives in the signed
+//!   protocol layer anyway).
+//! * **Connections** — one outbound connection per direction, opened
+//!   lazily by the first send and re-opened on demand after a failure
+//!   with deterministic exponential backoff (`base · 2^(n-1)`, capped).
+//!   A frame that arrives while the link is down or still backing off is
+//!   *dropped*: a connection reset is just another temporary failure that
+//!   retransmission masks.
+//! * **Zero copy** — payloads stay `Arc<[u8]>` ([`Payload`]) from the
+//!   engine to the socket write, preserving the multicast fan-out path
+//!   (one serialisation, n sends).
+//! * **Shutdown** — `Stop` envelopes end the event loop, a self-connect
+//!   wakes the accept loop, and reader/writer threads are joined, so a
+//!   dropped endpoint leaves no runaway threads.
+
+use crate::inproc::{spawn_node_thread, Envelope, Fabric, NodeHandle};
+use crate::node::{NetNode, Payload};
+use crate::stats::NetStats;
+use b2b_crypto::{PartyId, TimeMs};
+use b2b_telemetry::{names, Telemetry};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Hard cap on a frame's payload length (16 MiB). A peer announcing a
+/// larger frame is treated as malformed traffic and the connection is
+/// dropped.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|l| *l as usize <= MAX_FRAME_LEN)
+        .ok_or_else(|| io::Error::new(ErrorKind::InvalidInput, "frame exceeds MAX_FRAME_LEN"))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(payload)
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match stream.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_LEN",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Tunables of a [`TcpEndpoint`].
+#[derive(Clone)]
+pub struct TcpConfig {
+    /// Delay before the second connect attempt to a peer; doubles on every
+    /// further consecutive failure (the first attempt is immediate).
+    pub reconnect_base: Duration,
+    /// Ceiling of the reconnect backoff.
+    pub reconnect_max: Duration,
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+    /// Sets `TCP_NODELAY` on every connection (latency over batching —
+    /// protocol rounds are short request/response exchanges).
+    pub nodelay: bool,
+    /// Telemetry handle for transport counters
+    /// ([`names::TCP_CONNECTS`] and friends).
+    pub telemetry: Telemetry,
+}
+
+impl TcpConfig {
+    /// Defaults: 10 ms backoff base, 1 s cap, 1 s connect timeout,
+    /// `TCP_NODELAY` on, no telemetry sink.
+    pub fn new() -> TcpConfig {
+        TcpConfig {
+            reconnect_base: Duration::from_millis(10),
+            reconnect_max: Duration::from_secs(1),
+            connect_timeout: Duration::from_secs(1),
+            nodelay: true,
+            telemetry: Telemetry::default(),
+        }
+    }
+
+    /// Sets the reconnect backoff base.
+    pub fn reconnect_base(mut self, base: Duration) -> TcpConfig {
+        self.reconnect_base = base;
+        self
+    }
+
+    /// Sets the reconnect backoff ceiling.
+    pub fn reconnect_max(mut self, max: Duration) -> TcpConfig {
+        self.reconnect_max = max;
+        self
+    }
+
+    /// Attaches a telemetry handle.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> TcpConfig {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig::new()
+    }
+}
+
+/// Deterministic backoff after `failures` consecutive failed connect
+/// attempts: `0` for the first attempt, then `base · 2^(failures-1)`
+/// capped at `max`.
+fn backoff_delay(base: Duration, max: Duration, failures: u32) -> Duration {
+    if failures == 0 {
+        return Duration::ZERO;
+    }
+    let shift = failures - 1;
+    let delay = if shift >= 32 {
+        max
+    } else {
+        base.saturating_mul(1u32 << shift)
+    };
+    delay.min(max)
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Counters {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    bytes_sent: AtomicU64,
+    connects: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+// ---------------------------------------------------------------------------
+// Outbound links
+// ---------------------------------------------------------------------------
+
+enum LinkCmd {
+    Frame(Payload),
+    /// Drop the current connection (test hook; the next frame reconnects).
+    Kill,
+    Stop,
+}
+
+struct PeerLink {
+    tx: Sender<LinkCmd>,
+}
+
+/// State owned by one outbound writer thread.
+struct Writer {
+    me: PartyId,
+    peer_addr: SocketAddr,
+    cfg: TcpConfig,
+    counters: Arc<Counters>,
+    stream: Option<TcpStream>,
+    /// Consecutive failed connect attempts since the last success.
+    failures: u32,
+    /// Earliest instant the next connect attempt is allowed.
+    next_attempt_at: Option<Instant>,
+    ever_connected: bool,
+}
+
+impl Writer {
+    fn run(mut self, rx: Receiver<LinkCmd>) {
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                LinkCmd::Frame(payload) => self.send_frame(&payload),
+                LinkCmd::Kill => self.drop_stream(),
+                LinkCmd::Stop => break,
+            }
+        }
+        self.drop_stream();
+    }
+
+    fn drop_stream(&mut self) {
+        if let Some(s) = self.stream.take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn send_frame(&mut self, payload: &[u8]) {
+        if self.stream.is_none() && !self.try_connect() {
+            // Down and (still) backing off: the frame is lost, and that is
+            // fine — the reliable layer retransmits, which is also what
+            // drives the next connect attempt.
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+        if let Err(_e) = write_frame(stream, payload) {
+            // A reset mid-write loses this frame; the next one reconnects.
+            self.drop_stream();
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Attempts to connect if the backoff window allows; returns whether a
+    /// connection is now up.
+    fn try_connect(&mut self) -> bool {
+        if let Some(at) = self.next_attempt_at {
+            if Instant::now() < at {
+                return false;
+            }
+        }
+        match TcpStream::connect_timeout(&self.peer_addr, self.cfg.connect_timeout)
+            .and_then(|s| {
+                s.set_nodelay(self.cfg.nodelay)?;
+                Ok(s)
+            })
+            .and_then(|mut s| {
+                // Hello frame: identify ourselves to the acceptor.
+                write_frame(&mut s, self.me.as_str().as_bytes())?;
+                Ok(s)
+            }) {
+            Ok(s) => {
+                self.stream = Some(s);
+                self.failures = 0;
+                self.next_attempt_at = None;
+                self.counters.connects.fetch_add(1, Ordering::Relaxed);
+                self.cfg.telemetry.inc(names::TCP_CONNECTS);
+                if self.ever_connected {
+                    self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                    self.cfg.telemetry.inc(names::TCP_RECONNECTS);
+                }
+                self.ever_connected = true;
+                true
+            }
+            Err(_) => {
+                self.failures = self.failures.saturating_add(1);
+                let delay = backoff_delay(
+                    self.cfg.reconnect_base,
+                    self.cfg.reconnect_max,
+                    self.failures,
+                );
+                self.next_attempt_at = Some(Instant::now() + delay);
+                false
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fabric: engine sends → writer threads
+// ---------------------------------------------------------------------------
+
+struct TcpFabric {
+    start: Instant,
+    links: HashMap<PartyId, PeerLink>,
+    counters: Arc<Counters>,
+    telemetry: Telemetry,
+}
+
+impl Fabric for TcpFabric {
+    fn now(&self) -> TimeMs {
+        TimeMs(self.start.elapsed().as_millis() as u64)
+    }
+
+    fn send(&self, _from: &PartyId, to: &PartyId, payload: Payload) {
+        let Some(link) = self.links.get(to) else {
+            // Unknown destination: undeliverable, silently lost.
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        self.counters.sent.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.telemetry.inc(names::TCP_FRAMES_SENT);
+        self.telemetry
+            .add(names::TCP_BYTES_SENT, payload.len() as u64);
+        // The Arc moves to the writer thread: no payload copy until the
+        // socket write itself.
+        let _ = link.tx.send(LinkCmd::Frame(payload));
+    }
+
+    fn note_delivered(&self) {
+        self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Inbound: accept loop + per-connection readers
+// ---------------------------------------------------------------------------
+
+/// Live inbound connections, so shutdown can unblock their readers.
+#[derive(Default)]
+struct ReaderRegistry {
+    streams: Mutex<Vec<TcpStream>>,
+}
+
+impl ReaderRegistry {
+    fn register(&self, stream: &TcpStream) {
+        if let Ok(clone) = stream.try_clone() {
+            self.streams.lock().push(clone);
+        }
+    }
+
+    fn shutdown_all(&self) {
+        for s in self.streams.lock().iter() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, node_tx: Sender<Envelope>) {
+    // First frame is the hello naming the peer; a connection that fails to
+    // say hello carries nothing we would trust anyway.
+    let from = match read_frame(&mut stream) {
+        Ok(Some(hello)) => match String::from_utf8(hello) {
+            Ok(name) => PartyId::new(name),
+            Err(_) => return,
+        },
+        _ => return,
+    };
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
+        let payload: Payload = frame.into();
+        if node_tx
+            .send(Envelope::Msg {
+                from: from.clone(),
+                payload,
+            })
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    running: Arc<AtomicBool>,
+    node_tx: Sender<Envelope>,
+    readers: Arc<ReaderRegistry>,
+    reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for conn in listener.incoming() {
+        if !running.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        readers.register(&stream);
+        let tx = node_tx.clone();
+        let t = std::thread::Builder::new()
+            .name("b2b-tcp-reader".into())
+            .spawn(move || reader_loop(stream, tx))
+            .expect("spawn reader thread");
+        reader_threads.lock().push(t);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint
+// ---------------------------------------------------------------------------
+
+/// One party's TCP presence: its engine, event loop, listener and
+/// connection manager.
+///
+/// Single-process loopback clusters are easier to build with
+/// [`TcpNet::spawn_loopback`]; use `TcpEndpoint` directly to place each
+/// party in its own OS process (see `examples/tcp_tictactoe.rs`).
+pub struct TcpEndpoint<N: NetNode> {
+    handle: NodeHandle<N>,
+    node_tx: Sender<Envelope>,
+    node_thread: Option<JoinHandle<()>>,
+    accept_thread: Option<JoinHandle<()>>,
+    reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    writer_threads: Vec<JoinHandle<()>>,
+    links: HashMap<PartyId, PeerLink>,
+    readers: Arc<ReaderRegistry>,
+    running: Arc<AtomicBool>,
+    local_addr: SocketAddr,
+    counters: Arc<Counters>,
+    started: bool,
+}
+
+impl<N: NetNode> TcpEndpoint<N> {
+    /// Binds `listen` and wires `node` to `peers`. Does **not** run the
+    /// engine's `on_start` — call [`TcpEndpoint::start`] once every peer
+    /// process is up (or immediately, if the engine's first sends may be
+    /// lost and retried).
+    pub fn spawn(
+        node: N,
+        listen: impl ToSocketAddrs,
+        peers: Vec<(PartyId, SocketAddr)>,
+        config: TcpConfig,
+    ) -> io::Result<TcpEndpoint<N>> {
+        let listener = TcpListener::bind(listen)?;
+        TcpEndpoint::spawn_with_listener(node, listener, peers, config)
+    }
+
+    /// Like [`TcpEndpoint::spawn`] with a pre-bound listener (how loopback
+    /// clusters learn every port before building any endpoint).
+    pub fn spawn_with_listener(
+        node: N,
+        listener: TcpListener,
+        peers: Vec<(PartyId, SocketAddr)>,
+        config: TcpConfig,
+    ) -> io::Result<TcpEndpoint<N>> {
+        let local_addr = listener.local_addr()?;
+        let me = node.id();
+        let counters = Arc::new(Counters::default());
+        let start = Instant::now();
+
+        // Outbound: one writer thread per peer.
+        let mut links = HashMap::new();
+        let mut fabric_links = HashMap::new();
+        let mut writer_threads = Vec::new();
+        for (peer, addr) in peers {
+            if peer == me {
+                continue;
+            }
+            let (tx, rx) = unbounded();
+            let writer = Writer {
+                me: me.clone(),
+                peer_addr: addr,
+                cfg: config.clone(),
+                counters: Arc::clone(&counters),
+                stream: None,
+                failures: 0,
+                next_attempt_at: None,
+                ever_connected: false,
+            };
+            let t = std::thread::Builder::new()
+                .name(format!("b2b-tcp-writer-{me}-{peer}"))
+                .spawn(move || writer.run(rx))
+                .expect("spawn writer thread");
+            writer_threads.push(t);
+            links.insert(peer.clone(), PeerLink { tx: tx.clone() });
+            fabric_links.insert(peer, PeerLink { tx });
+        }
+
+        let fabric = Arc::new(TcpFabric {
+            start,
+            links: fabric_links,
+            counters: Arc::clone(&counters),
+            telemetry: config.telemetry.clone(),
+        });
+        let (handle, node_tx, node_thread) = spawn_node_thread(node, fabric as Arc<dyn Fabric>);
+
+        // Inbound: accept loop + readers.
+        let running = Arc::new(AtomicBool::new(true));
+        let readers = Arc::new(ReaderRegistry::default());
+        let reader_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let running = Arc::clone(&running);
+            let node_tx = node_tx.clone();
+            let readers = Arc::clone(&readers);
+            let reader_threads = Arc::clone(&reader_threads);
+            std::thread::Builder::new()
+                .name(format!("b2b-tcp-accept-{me}"))
+                .spawn(move || accept_loop(listener, running, node_tx, readers, reader_threads))
+                .expect("spawn accept thread")
+        };
+
+        Ok(TcpEndpoint {
+            handle,
+            node_tx,
+            node_thread: Some(node_thread),
+            accept_thread: Some(accept_thread),
+            reader_threads,
+            writer_threads,
+            links,
+            readers,
+            running,
+            local_addr,
+            counters,
+            started: false,
+        })
+    }
+
+    /// Runs the engine's `on_start`. Idempotent.
+    pub fn start(&mut self) {
+        if !self.started {
+            self.started = true;
+            self.handle.invoke(|n, ctx| n.on_start(ctx));
+        }
+    }
+
+    /// The handle for local calls, reads and waits against the engine.
+    pub fn handle(&self) -> &NodeHandle<N> {
+        &self.handle
+    }
+
+    /// The address the endpoint accepts connections on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Drops the outbound connection to `peer` (if up). The next frame to
+    /// it triggers a reconnect; retransmission recovers whatever the reset
+    /// swallowed. Test hook for connection-failure scenarios.
+    pub fn kill_connection(&self, peer: &PartyId) {
+        if let Some(link) = self.links.get(peer) {
+            let _ = link.tx.send(LinkCmd::Kill);
+        }
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            sent: self.counters.sent.load(Ordering::Relaxed),
+            delivered: self.counters.delivered.load(Ordering::Relaxed),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            bytes_sent: self.counters.bytes_sent.load(Ordering::Relaxed),
+            connects: self.counters.connects.load(Ordering::Relaxed),
+            reconnects: self.counters.reconnects.load(Ordering::Relaxed),
+            ..NetStats::default()
+        }
+    }
+
+    /// Stops the event loop, closes every connection and joins all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        // Engine first: no new sends after this.
+        let _ = self.node_tx.send(Envelope::Stop);
+        if let Some(t) = self.node_thread.take() {
+            let _ = t.join();
+        }
+        // Writers flush their queues and close.
+        for link in self.links.values() {
+            let _ = link.tx.send(LinkCmd::Stop);
+        }
+        for t in self.writer_threads.drain(..) {
+            let _ = t.join();
+        }
+        // Wake the accept loop with a throwaway connection, then unblock
+        // and join the readers.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.readers.shutdown_all();
+        for t in self.reader_threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl<N: NetNode> Drop for TcpEndpoint<N> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loopback cluster
+// ---------------------------------------------------------------------------
+
+/// A single-process cluster of [`TcpEndpoint`]s on `127.0.0.1`, for tests
+/// and experiments: same engines, same protocol traffic, real sockets.
+pub struct TcpNet<N: NetNode> {
+    endpoints: HashMap<PartyId, TcpEndpoint<N>>,
+}
+
+impl<N: NetNode> TcpNet<N> {
+    /// Binds one ephemeral loopback listener per node, wires every node to
+    /// every other, and runs each engine's `on_start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two nodes share an id.
+    pub fn spawn_loopback(nodes: Vec<N>) -> io::Result<TcpNet<N>> {
+        TcpNet::spawn_loopback_with(nodes, TcpConfig::default())
+    }
+
+    /// [`TcpNet::spawn_loopback`] with explicit configuration.
+    pub fn spawn_loopback_with(nodes: Vec<N>, config: TcpConfig) -> io::Result<TcpNet<N>> {
+        // Bind all listeners first so every endpoint knows every address.
+        let mut bound = Vec::new();
+        let mut peers = Vec::new();
+        for node in nodes {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            let id = node.id();
+            let addr = listener.local_addr()?;
+            assert!(
+                !peers.iter().any(|(p, _)| *p == id),
+                "duplicate node id {id} in TcpNet"
+            );
+            peers.push((id, addr));
+            bound.push((node, listener));
+        }
+        let mut endpoints = HashMap::new();
+        for (node, listener) in bound {
+            let id = node.id();
+            let ep =
+                TcpEndpoint::spawn_with_listener(node, listener, peers.clone(), config.clone())?;
+            endpoints.insert(id, ep);
+        }
+        for ep in endpoints.values_mut() {
+            ep.start();
+        }
+        Ok(TcpNet { endpoints })
+    }
+
+    /// Returns the handle for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn handle(&self, id: &PartyId) -> &NodeHandle<N> {
+        self.endpoint(id).handle()
+    }
+
+    /// Returns the endpoint for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn endpoint(&self, id: &PartyId) -> &TcpEndpoint<N> {
+        self.endpoints
+            .get(id)
+            .unwrap_or_else(|| panic!("unknown node {id}"))
+    }
+
+    /// Drops both directions of the `a`↔`b` connection pair (test hook).
+    pub fn kill_connection(&self, a: &PartyId, b: &PartyId) {
+        self.endpoint(a).kill_connection(b);
+        self.endpoint(b).kill_connection(a);
+    }
+
+    /// Traffic statistics summed over every endpoint.
+    pub fn stats(&self) -> NetStats {
+        let mut total = NetStats::default();
+        for ep in self.endpoints.values() {
+            let s = ep.stats();
+            total.sent += s.sent;
+            total.delivered += s.delivered;
+            total.dropped += s.dropped;
+            total.bytes_sent += s.bytes_sent;
+            total.connects += s.connects;
+            total.reconnects += s.reconnects;
+        }
+        total
+    }
+
+    /// Stops every endpoint.
+    pub fn shutdown(mut self) {
+        for (_, ep) in self.endpoints.drain() {
+            ep.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeCtx;
+    use crate::poll::wait_for;
+    use b2b_crypto::TimeMs;
+
+    struct PingPong {
+        id: PartyId,
+        pings_received: u32,
+        pongs_received: u32,
+        timer_fired: bool,
+    }
+
+    impl PingPong {
+        fn new(id: &str) -> PingPong {
+            PingPong {
+                id: PartyId::new(id),
+                pings_received: 0,
+                pongs_received: 0,
+                timer_fired: false,
+            }
+        }
+    }
+
+    impl NetNode for PingPong {
+        fn id(&self) -> PartyId {
+            self.id.clone()
+        }
+        fn on_message(&mut self, from: &PartyId, payload: &[u8], ctx: &mut NodeCtx) {
+            match payload {
+                b"ping" => {
+                    self.pings_received += 1;
+                    ctx.send(from.clone(), b"pong".to_vec());
+                }
+                b"pong" => self.pongs_received += 1,
+                _ => {}
+            }
+        }
+        fn on_timer(&mut self, _timer: u64, _ctx: &mut NodeCtx) {
+            self.timer_fired = true;
+        }
+    }
+
+    #[test]
+    fn roundtrip_over_loopback_sockets() {
+        let net = TcpNet::spawn_loopback(vec![PingPong::new("a"), PingPong::new("b")]).unwrap();
+        let a = net.handle(&PartyId::new("a"));
+        a.invoke(|_n, ctx| ctx.send(PartyId::new("b"), b"ping".to_vec()));
+        assert!(a.wait_until(Duration::from_secs(5), |n| n.pongs_received == 1));
+        assert!(net
+            .handle(&PartyId::new("b"))
+            .wait_until(Duration::from_secs(1), |n| n.pings_received == 1));
+        let stats = net.stats();
+        assert!(stats.sent >= 2);
+        assert!(stats.delivered >= 2);
+        assert!(stats.connects >= 2); // one per direction
+        assert!(stats.bytes_sent >= 8);
+        net.shutdown();
+    }
+
+    #[test]
+    fn timers_fire_over_tcp() {
+        let net = TcpNet::spawn_loopback(vec![PingPong::new("a"), PingPong::new("b")]).unwrap();
+        let a = net.handle(&PartyId::new("a"));
+        a.invoke(|_n, ctx| ctx.set_timer(1, TimeMs(20)));
+        assert!(a.wait_until(Duration::from_secs(5), |n| n.timer_fired));
+        net.shutdown();
+    }
+
+    #[test]
+    fn killed_connection_reconnects_on_next_send() {
+        let net = TcpNet::spawn_loopback(vec![PingPong::new("a"), PingPong::new("b")]).unwrap();
+        let a_id = PartyId::new("a");
+        let b_id = PartyId::new("b");
+        let a = net.handle(&a_id);
+        a.invoke(|_n, ctx| ctx.send(b_id.clone(), b"ping".to_vec()));
+        assert!(a.wait_until(Duration::from_secs(5), |n| n.pongs_received == 1));
+        net.kill_connection(&a_id, &b_id);
+        // Keep sending until a ping lands post-kill: the first send(s) may
+        // be swallowed by the dead link, the reconnect picks up after the
+        // backoff window.
+        let b = net.handle(&b_id).clone();
+        assert!(wait_for(Duration::from_secs(10), || {
+            let b_id = b_id.clone();
+            a.invoke(move |_n, ctx| ctx.send(b_id, b"ping".to_vec()));
+            b.read(|n| n.pings_received >= 2)
+        }));
+        assert!(net.endpoint(&a_id).stats().reconnects >= 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_frame(&mut s).map(|o| o.map(|v| v.len()))
+        });
+        let mut s = TcpStream::connect(addr).unwrap();
+        let huge = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+        s.write_all(&huge).unwrap();
+        s.write_all(&[0u8; 16]).unwrap();
+        let got = reader.join().unwrap();
+        assert!(got.is_err(), "oversized frame must be an error");
+        let err = write_frame(&mut s, &vec![0u8; MAX_FRAME_LEN + 1]);
+        assert!(err.is_err(), "oversized send must be refused locally");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(160);
+        assert_eq!(backoff_delay(base, max, 0), Duration::ZERO);
+        assert_eq!(backoff_delay(base, max, 1), Duration::from_millis(10));
+        assert_eq!(backoff_delay(base, max, 2), Duration::from_millis(20));
+        assert_eq!(backoff_delay(base, max, 5), Duration::from_millis(160));
+        assert_eq!(backoff_delay(base, max, 40), Duration::from_millis(160));
+    }
+
+    #[test]
+    fn send_to_unknown_peer_is_dropped_not_fatal() {
+        let net = TcpNet::spawn_loopback(vec![PingPong::new("a"), PingPong::new("b")]).unwrap();
+        let a = net.handle(&PartyId::new("a"));
+        a.invoke(|_n, ctx| ctx.send(PartyId::new("nobody"), b"ping".to_vec()));
+        assert!(wait_for(Duration::from_secs(2), || {
+            net.endpoint(&PartyId::new("a")).stats().dropped >= 1
+        }));
+        net.shutdown();
+    }
+}

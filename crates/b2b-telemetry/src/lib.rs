@@ -67,6 +67,16 @@ pub mod names {
     pub const MEMBERSHIP_CHANGES: &str = "membership_changes";
     /// Histogram: virtual-time latency of completed rounds.
     pub const ROUND_LATENCY_MS: &str = "round_latency_ms";
+    /// TCP transport: connections established to peers.
+    pub const TCP_CONNECTS: &str = "tcp_connects";
+    /// TCP transport: connections re-established after a loss (a subset of
+    /// [`TCP_CONNECTS`]).
+    pub const TCP_RECONNECTS: &str = "tcp_reconnects";
+    /// TCP transport: frames handed to the wire.
+    pub const TCP_FRAMES_SENT: &str = "tcp_frames_sent";
+    /// TCP transport: payload bytes handed to the wire (framing overhead
+    /// excluded).
+    pub const TCP_BYTES_SENT: &str = "tcp_bytes_sent";
 }
 
 /// A cheap, shareable handle bundling a metrics registry and an optional

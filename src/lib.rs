@@ -12,8 +12,9 @@
 //!   coordination protocol, connection/disconnection protocols, the
 //!   [`core::B2BObject`] trait and [`core::controller`] API.
 //! * [`crypto`] — signatures, hashing, time-stamping, certificates.
-//! * [`net`] — transports: in-process threaded and deterministic simulated
-//!   networks with fault injection and a Dolev-Yao intruder.
+//! * [`net`] — transports: in-process threaded, deterministic simulated
+//!   (with fault injection and a Dolev-Yao intruder) and TCP over OS
+//!   sockets ([`net::tcp`]) for crossing process and host boundaries.
 //! * [`evidence`] — non-repudiation logs, evidence verification and the
 //!   offline arbiter for dispute resolution.
 //! * [`apps`] — proof-of-concept applications: Tic-Tac-Toe, order

@@ -5,12 +5,17 @@
 
 use b2bobjects::core::{B2BObject, Coordinator, ObjectId, Outcome, RunId};
 use b2bobjects::crypto::{KeyPair, KeyRing, PartyId, Signer, TimeMs, TimeStampAuthority};
-use b2bobjects::evidence::MemStore;
-use b2bobjects::net::SimNet;
+use b2bobjects::evidence::{EvidenceStore, MemStore};
+use b2bobjects::net::{NodeHandle, SimNet, TcpConfig, TcpNet};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 pub const QUIET: TimeMs = TimeMs(600_000);
+
+/// Real-clock deadline for TCP scenario steps: generous enough that a
+/// healthy run never approaches it (conditions are polled, not slept on).
+pub const TCP_STEP: Duration = Duration::from_secs(30);
 
 pub struct World {
     pub net: SimNet<Coordinator>,
@@ -131,6 +136,162 @@ impl World {
         self.net
             .node(&PartyId::new(who))
             .agreed_state(&ObjectId::new(alias))
+            .expect("state present")
+    }
+}
+
+/// The evidence a log holds, minus the two time-dependent fields (TSA
+/// token, local append time). Two runs of the same scenario script produce
+/// identical projections regardless of the transport underneath.
+pub type EvidenceProjection = Vec<(
+    String,
+    String,
+    String,
+    PartyId,
+    Vec<u8>,
+    Option<b2bobjects::crypto::Signature>,
+)>;
+
+pub fn evidence_projection(store: &MemStore) -> EvidenceProjection {
+    store
+        .records()
+        .into_iter()
+        .map(|r| {
+            (
+                r.kind.name().to_string(),
+                r.object,
+                r.run,
+                r.origin,
+                r.payload,
+                r.signature,
+            )
+        })
+        .collect()
+}
+
+/// The [`World`] harness over real loopback sockets: identical key
+/// material, seeds and script driving, with real-clock condition waits in
+/// place of virtual-time quiescence.
+pub struct TcpWorld {
+    pub net: TcpNet<Coordinator>,
+    pub parties: Vec<PartyId>,
+    pub stores: HashMap<PartyId, Arc<MemStore>>,
+    pub ring: KeyRing,
+}
+
+impl TcpWorld {
+    /// Builds coordinators named after `names`, each listening on an
+    /// ephemeral loopback port. Key material and coordinator seeds match
+    /// [`World::new`] exactly, so the two transports produce the same
+    /// evidence for the same script.
+    pub fn new(names: &[&str], seed: u64) -> TcpWorld {
+        let mut ring = KeyRing::new();
+        let mut keys = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let kp = KeyPair::generate_from_seed(500 + i as u64);
+            ring.register(PartyId::new(*name), kp.public_key());
+            keys.push((PartyId::new(*name), kp));
+        }
+        let tsa = TimeStampAuthority::new(KeyPair::generate_from_seed(777));
+        let mut stores = HashMap::new();
+        let mut nodes = Vec::new();
+        for (i, (id, kp)) in keys.into_iter().enumerate() {
+            let store = Arc::new(MemStore::new());
+            stores.insert(id.clone(), store.clone());
+            nodes.push(
+                Coordinator::builder(id, kp)
+                    .ring(ring.clone())
+                    .tsa(tsa.clone())
+                    .store(store)
+                    .seed(seed + i as u64)
+                    .build(),
+            );
+        }
+        let net = TcpNet::spawn_loopback_with(nodes, TcpConfig::default())
+            .expect("bind loopback listeners");
+        TcpWorld {
+            net,
+            parties: names.iter().map(|n| PartyId::new(*n)).collect(),
+            stores,
+            ring,
+        }
+    }
+
+    pub fn handle(&self, who: &str) -> &NodeHandle<Coordinator> {
+        self.net.handle(&PartyId::new(who))
+    }
+
+    /// Registers an object at `owner` and joins the remaining `joiners` in
+    /// order, each sponsored by the previously joined member.
+    pub fn share<F>(&mut self, alias: &str, owner: &str, joiners: &[&str], factory: F)
+    where
+        F: Fn() -> Box<dyn B2BObject> + Clone + Send + 'static,
+    {
+        let f = factory.clone();
+        self.handle(owner).invoke(move |c, _| {
+            c.register_object(ObjectId::new(alias.to_string()), Box::new(f))
+                .unwrap();
+        });
+        let mut sponsor = PartyId::new(owner);
+        let alias = alias.to_string();
+        for joiner in joiners {
+            let f = factory.clone();
+            let s = sponsor.clone();
+            let a = alias.clone();
+            self.handle(joiner).invoke(move |c, ctx| {
+                c.request_connect(ObjectId::new(a), Box::new(f), s, ctx)
+                    .unwrap();
+            });
+            let a = ObjectId::new(alias.clone());
+            assert!(
+                self.handle(joiner)
+                    .wait_until(TCP_STEP, |c| c.is_member(&a)),
+                "{joiner} failed to join {alias} over TCP"
+            );
+            // The sponsor has installed before it sends the welcome; wait
+            // for its queue to drain all the same so the next step starts
+            // from an idle group.
+            let a = ObjectId::new(alias.clone());
+            let sp = sponsor.clone();
+            assert!(
+                self.net
+                    .handle(&sp)
+                    .wait_until(TCP_STEP, |c| !c.is_busy(&a)),
+                "sponsor {sp} still busy after admitting {joiner}"
+            );
+            sponsor = PartyId::new(*joiner);
+        }
+    }
+
+    /// Proposes `state` on `alias` from `who`; waits until every member
+    /// has recorded the run's outcome and returns it as seen by the
+    /// proposer.
+    pub fn propose(&mut self, who: &str, alias: &str, state: Vec<u8>) -> (RunId, Outcome) {
+        let a = ObjectId::new(alias);
+        let run = self
+            .handle(who)
+            .invoke(move |c, ctx| c.propose_overwrite(&a, state, ctx).unwrap());
+        let oid = ObjectId::new(alias);
+        for p in &self.parties {
+            let h = self.net.handle(p);
+            if !h.read(|c| c.is_member(&oid)) {
+                continue;
+            }
+            assert!(
+                h.wait_until(TCP_STEP, |c| c.outcome_of(&run).is_some()),
+                "{p} never recorded the outcome of {who}'s run"
+            );
+        }
+        let outcome = self
+            .handle(who)
+            .read(|c| c.outcome_of(&run).cloned())
+            .expect("run completed");
+        (run, outcome)
+    }
+
+    pub fn state(&self, who: &str, alias: &str) -> Vec<u8> {
+        self.handle(who)
+            .read(|c| c.agreed_state(&ObjectId::new(alias)))
             .expect("state present")
     }
 }
