@@ -3,6 +3,12 @@
 //! Usage: `cargo run -p b2b-bench --release --bin exp -- <e1|...|e10|etcp|all>`
 //! (`exp-tcp` is accepted as an alias for `etcp`)
 //!
+//! The E-CHK table (schedule exploration / mutation kills) is regenerated
+//! separately — it is a model-checking run, not a benchmark sweep:
+//! `cargo run -p b2b-bench --release --bin exp -- check --budget 500`
+//! with optional `--seed S`, `--scenario ID` and `--emit DIR` (write the
+//! shrunk counterexample artifacts as JSON).
+//!
 //! Besides its markdown table, every experiment merges the fleet-wide
 //! metrics registries of all the fleets it ran and writes the result as
 //! a JSON sidecar to `target/metrics/<exp>.metrics.json` (see
@@ -19,6 +25,11 @@ fn main() {
     let mut which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if which == "exp-tcp" {
         which = "etcp".into();
+    }
+    if which == "check" {
+        let metrics = echk_model_check(std::env::args().skip(2).collect());
+        write_sidecar("echk", &metrics);
+        return;
     }
     let known = [
         "all", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "etcp",
@@ -874,6 +885,131 @@ fn etcp_tcp_loopback() -> MetricsSnapshot {
         );
         metrics.merge(&telemetry.metrics().snapshot());
         net.shutdown();
+    }
+    metrics
+}
+
+/// E-CHK — the schedule explorer as an experiment: mutation kills (one
+/// ablated §4.2 check per row — found, shrunk, replayed) and the clean
+/// sweep (the unmutated build over the same seeds, expected silent).
+fn echk_model_check(args: Vec<String>) -> MetricsSnapshot {
+    use b2b_check::{explore, kill_matrix, scenarios, CheckConfig};
+    use b2b_core::MutationFlags;
+
+    let mut budget = 500u64;
+    let mut base_seed = 1u64;
+    let mut only: Option<String> = None;
+    let mut emit: Option<std::path::PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--budget" => budget = value().parse().expect("--budget takes a number"),
+            "--seed" => base_seed = value().parse().expect("--seed takes a number"),
+            "--scenario" => only = Some(value()),
+            "--emit" => emit = Some(value().into()),
+            other => {
+                eprintln!(
+                    "unknown check flag '{other}' (expected --budget/--seed/--scenario/--emit)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let wanted = |id: &str| only.as_deref().map(|o| o == id).unwrap_or(true);
+    let mut metrics = MetricsSnapshot::default();
+    let mut failures = 0u32;
+
+    println!("\n## E-CHK — schedule exploration and mutation kills (budget {budget}, base seed {base_seed})\n");
+    println!("| scenario | ablated check | schedules to kill | shrink steps | shrunk events | violation | schedules/s |");
+    println!("|---|---|---|---|---|---|---|");
+    for (scenario, flags, label) in kill_matrix() {
+        if !wanted(scenario.id()) {
+            continue;
+        }
+        let telemetry = Telemetry::default();
+        let cfg = CheckConfig {
+            base_seed,
+            budget,
+            mutation: flags,
+            telemetry: telemetry.clone(),
+        };
+        let t = Instant::now();
+        let out = explore(scenario, &cfg);
+        let wall = t.elapsed();
+        let total_runs = out.schedules_run + out.shrink_steps + 1; // +1: final replay
+        let rate = total_runs as f64 / wall.as_secs_f64();
+        match out.counterexample {
+            Some(cx) => {
+                let replays = cx.replay().is_ok();
+                println!(
+                    "| {} | {label} | {} | {} | {} | {} | {rate:.0} |",
+                    scenario.id(),
+                    out.schedules_run,
+                    out.shrink_steps,
+                    cx.plan.events.len(),
+                    if replays {
+                        cx.violations.first().cloned().unwrap_or_default()
+                    } else {
+                        "REPLAY DIVERGED".into()
+                    },
+                );
+                if !replays {
+                    failures += 1;
+                }
+                if let Some(dir) = &emit {
+                    std::fs::create_dir_all(dir).expect("create --emit dir");
+                    let path = dir.join(format!("{}.json", scenario.id()));
+                    std::fs::write(&path, cx.to_json()).expect("write counterexample");
+                    println!("  -> wrote {}", path.display());
+                }
+            }
+            None => {
+                println!(
+                    "| {} | {label} | NOT FOUND in {budget} | - | - | - | {rate:.0} |",
+                    scenario.id()
+                );
+                failures += 1;
+            }
+        }
+        metrics.merge(&telemetry.metrics().snapshot());
+    }
+
+    println!("\n| scenario (unmutated) | schedules | violations | schedules/s |");
+    println!("|---|---|---|---|");
+    for scenario in scenarios() {
+        if !wanted(scenario.id()) {
+            continue;
+        }
+        let telemetry = Telemetry::default();
+        let cfg = CheckConfig {
+            base_seed,
+            budget,
+            mutation: MutationFlags::default(),
+            telemetry: telemetry.clone(),
+        };
+        let t = Instant::now();
+        let out = explore(scenario, &cfg);
+        let rate = out.schedules_run as f64 / t.elapsed().as_secs_f64();
+        let found = out.counterexample.is_some() as u32;
+        println!(
+            "| {} | {} | {found} | {rate:.0} |",
+            scenario.id(),
+            out.schedules_run
+        );
+        if found != 0 {
+            failures += 1; // a clean-build violation is a middleware bug
+        }
+        metrics.merge(&telemetry.metrics().snapshot());
+    }
+    if failures > 0 {
+        eprintln!("\nE-CHK FAILED: {failures} row(s) off expectation");
+        std::process::exit(1);
     }
     metrics
 }

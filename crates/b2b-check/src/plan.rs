@@ -1,0 +1,272 @@
+//! Seeded generation of serializable whole-schedule fault plans.
+//!
+//! A [`SchedulePlan`] is everything the explorer injects into one protocol
+//! run beyond the scenario's own scripted behaviour: the per-link
+//! [`FaultPlan`] (loss, duplication, delay jitter) plus a list of timed
+//! [`FaultEvent`]s — crash/recover windows, temporary isolation of a
+//! party, and scripted Dolev-Yao intruder actions. Plans serialize to
+//! JSON so a counterexample can be committed as a regression fixture and
+//! replayed byte-identically.
+
+use b2b_crypto::{PartyId, TimeMs};
+use b2b_net::intruder::{ScriptAction, ScriptRule};
+use b2b_net::FaultPlan;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One timed fault injected into a schedule. Times are virtual-time
+/// offsets from the instant the plan is applied (after group setup).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Crash party `party` (a scenario index) at offset `at`, recover it
+    /// at offset `until`. Volatile protocol state is lost; the party
+    /// restarts from its checkpoint/evidence log.
+    Crash {
+        /// Scenario index of the crashed party.
+        party: usize,
+        /// Crash time, as an offset from plan application.
+        at: TimeMs,
+        /// Recovery time, as an offset from plan application.
+        until: TimeMs,
+    },
+    /// Cut party `party` off from everyone else until offset `until`
+    /// (both directions; the partition heals on its own).
+    Isolate {
+        /// Scenario index of the isolated party.
+        party: usize,
+        /// Heal time, as an offset from plan application.
+        until: TimeMs,
+    },
+    /// A scripted man-in-the-middle action on a matching data frame
+    /// (drop, delay, or later replay), applied by a
+    /// [`b2b_net::intruder::ScriptedIntruder`] spliced into every link.
+    Script(ScriptRule),
+}
+
+/// A complete, replayable fault environment for one schedule.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SchedulePlan {
+    /// Seed this plan was generated from (also reused to seed the
+    /// simulator RNG, so drop/dup/jitter rolls replay identically).
+    pub seed: u64,
+    /// Fault plan applied to every link once setup has completed.
+    pub link: FaultPlan,
+    /// Timed fault events, in generation order.
+    pub events: Vec<FaultEvent>,
+}
+
+/// Ceilings of the generator's fault budget. Kept deliberately inside the
+/// protocols' bounded-failure envelope: every crash recovers, every
+/// partition heals, loss stays probabilistic (< 1.0), so the liveness
+/// oracle is entitled to expect eventual termination.
+const MAX_DROP_RATE: f64 = 0.4;
+const MAX_DUP_RATE: f64 = 0.2;
+const MAX_JITTER_MS: u64 = 30;
+const MAX_EVENTS: usize = 4;
+const MAX_WINDOW_MS: u64 = 2_000;
+
+impl SchedulePlan {
+    /// The empty plan: perfect links, no fault events.
+    pub fn quiescent(seed: u64) -> SchedulePlan {
+        SchedulePlan {
+            seed,
+            link: FaultPlan::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Generates a random plan within the fault budget.
+    ///
+    /// `parties` are the scenario's member ids in index order; crash and
+    /// isolation events are only aimed at indices *not* listed in
+    /// `protected` (scenarios protect their driver and insider, whose
+    /// scripted invocations would panic on a crashed node).
+    pub fn generate(seed: u64, parties: &[PartyId], protected: &[usize]) -> SchedulePlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let link = FaultPlan::new()
+            .drop_rate(f64::from(rng.gen_range(0..=(MAX_DROP_RATE * 100.0) as u32)) / 100.0)
+            .dup_rate(f64::from(rng.gen_range(0..=(MAX_DUP_RATE * 100.0) as u32)) / 100.0)
+            .delay(TimeMs(1), TimeMs(rng.gen_range(1..=MAX_JITTER_MS)));
+
+        let faultable: Vec<usize> = (0..parties.len())
+            .filter(|i| !protected.contains(i))
+            .collect();
+
+        let mut events = Vec::new();
+        for _ in 0..rng.gen_range(0..=MAX_EVENTS) {
+            // Weight scripted intruder actions evenly against the two
+            // node-level faults; fall back to scripts when every party is
+            // protected (the two-party insider scenarios).
+            let kind = rng.gen_range(0u32..3);
+            match kind {
+                0 | 1 if !faultable.is_empty() => {
+                    let party = faultable[rng.gen_range(0..faultable.len())];
+                    if kind == 0 {
+                        let at = TimeMs(rng.gen_range(0..=MAX_WINDOW_MS));
+                        let len = rng.gen_range(100..=1_500u64);
+                        events.push(FaultEvent::Crash {
+                            party,
+                            at,
+                            until: TimeMs(at.0 + len),
+                        });
+                    } else {
+                        events.push(FaultEvent::Isolate {
+                            party,
+                            until: TimeMs(rng.gen_range(100..=MAX_WINDOW_MS)),
+                        });
+                    }
+                }
+                _ => {
+                    let from = if rng.gen_bool(0.5) {
+                        Some(parties[rng.gen_range(0..parties.len())].clone())
+                    } else {
+                        None
+                    };
+                    let to = if rng.gen_bool(0.5) {
+                        Some(parties[rng.gen_range(0..parties.len())].clone())
+                    } else {
+                        None
+                    };
+                    let action = match rng.gen_range(0u32..3) {
+                        0 => ScriptAction::Drop,
+                        1 => ScriptAction::Delay {
+                            by: TimeMs(rng.gen_range(10..=400u64)),
+                        },
+                        _ => ScriptAction::Replay {
+                            after: TimeMs(rng.gen_range(5..=200u64)),
+                        },
+                    };
+                    events.push(FaultEvent::Script(ScriptRule {
+                        from,
+                        to,
+                        nth: rng.gen_range(0..=6u64),
+                        action,
+                    }));
+                }
+            }
+        }
+        SchedulePlan { seed, link, events }
+    }
+
+    /// The intruder script embedded in this plan, in event order.
+    pub fn script(&self) -> Vec<ScriptRule> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Script(rule) => Some(rule.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Serializes the plan to JSON (deterministic emitter: the same plan
+    /// always yields the same bytes).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("SchedulePlan serializes")
+    }
+
+    /// Parses a plan from JSON.
+    pub fn from_json(json: &str) -> Result<SchedulePlan, String> {
+        serde_json::from_str(json).map_err(|e| format!("bad SchedulePlan JSON: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parties(n: usize) -> Vec<PartyId> {
+        (0..n).map(|i| PartyId::new(format!("org{i}"))).collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let ps = parties(3);
+        let a = SchedulePlan::generate(42, &ps, &[0]);
+        let b = SchedulePlan::generate(42, &ps, &[0]);
+        let c = SchedulePlan::generate(43, &ps, &[0]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_ne!(a.to_json(), c.to_json(), "different seeds diverge");
+    }
+
+    #[test]
+    fn respects_the_fault_budget_and_protected_parties() {
+        let ps = parties(4);
+        for seed in 0..200 {
+            let plan = SchedulePlan::generate(seed, &ps, &[0, 2]);
+            assert!(plan.link.drop_rate <= MAX_DROP_RATE);
+            assert!(plan.link.dup_rate <= MAX_DUP_RATE);
+            assert!(plan.link.max_delay.0 <= MAX_JITTER_MS);
+            assert!(plan.events.len() <= MAX_EVENTS);
+            for ev in &plan.events {
+                match ev {
+                    FaultEvent::Crash { party, at, until } => {
+                        assert!(matches!(party, 1 | 3), "crashed a protected party");
+                        assert!(at < until, "crash window must recover");
+                        assert!(until.0 <= MAX_WINDOW_MS + 1_500);
+                    }
+                    FaultEvent::Isolate { party, until } => {
+                        assert!(matches!(party, 1 | 3), "isolated a protected party");
+                        assert!(until.0 <= MAX_WINDOW_MS, "partition must heal");
+                    }
+                    FaultEvent::Script(_) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_protected_parties_yields_scripts_only() {
+        let ps = parties(2);
+        for seed in 0..100 {
+            let plan = SchedulePlan::generate(seed, &ps, &[0, 1]);
+            for ev in &plan.events {
+                assert!(
+                    matches!(ev, FaultEvent::Script(_)),
+                    "only intruder scripts may target a fully protected group"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless_and_stable() {
+        let ps = parties(3);
+        // Find a seed exercising every event variant across a few plans.
+        for seed in [7u64, 11, 23, 99] {
+            let plan = SchedulePlan::generate(seed, &ps, &[]);
+            let json = plan.to_json();
+            let back = SchedulePlan::from_json(&json).unwrap();
+            assert_eq!(plan, back);
+            assert_eq!(json, back.to_json(), "emitter is deterministic");
+        }
+        assert!(SchedulePlan::from_json("{nope").is_err());
+    }
+
+    #[test]
+    fn script_extracts_intruder_rules_in_order() {
+        let mut plan = SchedulePlan::quiescent(1);
+        plan.events.push(FaultEvent::Isolate {
+            party: 1,
+            until: TimeMs(500),
+        });
+        plan.events.push(FaultEvent::Script(ScriptRule {
+            from: None,
+            to: None,
+            nth: 2,
+            action: ScriptAction::Drop,
+        }));
+        plan.events.push(FaultEvent::Script(ScriptRule {
+            from: Some(PartyId::new("org0")),
+            to: None,
+            nth: 0,
+            action: ScriptAction::Delay { by: TimeMs(50) },
+        }));
+        let script = plan.script();
+        assert_eq!(script.len(), 2);
+        assert_eq!(script[0].nth, 2);
+        assert_eq!(script[1].from, Some(PartyId::new("org0")));
+    }
+}

@@ -1,0 +1,184 @@
+//! Greedy counterexample shrinking.
+//!
+//! Given a violating [`SchedulePlan`], the shrinker searches for a
+//! smaller plan that still makes *some* oracle fire, in three passes:
+//! greedy event removal to a fixpoint, link-fault simplification (no
+//! loss, no duplication, fixed minimal delay), and bounded halving of
+//! the surviving windows and delays. Every candidate costs one full
+//! deterministic protocol run, counted in `shrink_steps` telemetry.
+
+use crate::explore::run_schedule;
+use crate::plan::{FaultEvent, SchedulePlan};
+use crate::scenario::Scenario;
+use b2b_core::MutationFlags;
+use b2b_crypto::TimeMs;
+use b2b_net::intruder::ScriptAction;
+use b2b_net::FaultPlan;
+use b2b_telemetry::{names, Telemetry};
+
+/// How many rounds of window/delay halving to attempt per field.
+const HALVING_ROUNDS: u32 = 4;
+
+/// Shrinks `plan` while `scenario` under `mutation` keeps violating.
+/// Returns the smallest plan found and the number of candidate runs.
+pub fn shrink(
+    scenario: &dyn Scenario,
+    plan: &SchedulePlan,
+    mutation: MutationFlags,
+    telemetry: &Telemetry,
+) -> (SchedulePlan, u64) {
+    let mut steps = 0u64;
+    let mut still_fails = |candidate: &SchedulePlan| {
+        steps += 1;
+        telemetry.inc(names::SHRINK_STEPS);
+        run_schedule(scenario, candidate, mutation).violated()
+    };
+    let mut best = plan.clone();
+
+    // Pass 1 — greedy event removal, restarting until a fixpoint: a
+    // removal that fails alone may succeed once another event is gone.
+    loop {
+        let mut removed_any = false;
+        let mut idx = 0;
+        while idx < best.events.len() {
+            let mut candidate = best.clone();
+            candidate.events.remove(idx);
+            if still_fails(&candidate) {
+                best = candidate;
+                removed_any = true;
+            } else {
+                idx += 1;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+
+    // Pass 2 — link simplification, one axis at a time.
+    for simplify in [
+        (|l: FaultPlan| l.drop_rate(0.0)) as fn(FaultPlan) -> FaultPlan,
+        |l| l.dup_rate(0.0),
+        |l| l.delay(TimeMs(1), TimeMs(1)),
+    ] {
+        let mut candidate = best.clone();
+        candidate.link = simplify(candidate.link);
+        if candidate.link != best.link && still_fails(&candidate) {
+            best = candidate;
+        }
+    }
+
+    // Pass 3 — bounded halving of windows and delays.
+    for _ in 0..HALVING_ROUNDS {
+        let mut narrowed_any = false;
+        for idx in 0..best.events.len() {
+            let mut candidate = best.clone();
+            if !halve_event(&mut candidate.events[idx]) {
+                continue;
+            }
+            if still_fails(&candidate) {
+                best = candidate;
+                narrowed_any = true;
+            }
+        }
+        if !narrowed_any {
+            break;
+        }
+    }
+
+    (best, steps)
+}
+
+/// Halves an event's window/delay in place; `false` if already minimal.
+fn halve_event(ev: &mut FaultEvent) -> bool {
+    fn halve(t: TimeMs, floor: u64) -> Option<TimeMs> {
+        let next = (t.0 / 2).max(floor);
+        (next < t.0).then_some(TimeMs(next))
+    }
+    match ev {
+        FaultEvent::Crash { at, until, .. } => {
+            // Keep the window non-empty: halve its length, then its start.
+            let len = until.0.saturating_sub(at.0);
+            if let Some(shorter) = halve(TimeMs(len), 100) {
+                *until = TimeMs(at.0 + shorter.0);
+                return true;
+            }
+            if let Some(earlier) = halve(*at, 0) {
+                let keep = until.0 - at.0;
+                *at = earlier;
+                *until = TimeMs(earlier.0 + keep);
+                return true;
+            }
+            false
+        }
+        FaultEvent::Isolate { until, .. } => match halve(*until, 100) {
+            Some(t) => {
+                *until = t;
+                true
+            }
+            None => false,
+        },
+        FaultEvent::Script(rule) => match &mut rule.action {
+            ScriptAction::Delay { by } => match halve(*by, 10) {
+                Some(t) => {
+                    *by = t;
+                    true
+                }
+                None => false,
+            },
+            ScriptAction::Replay { after } => match halve(*after, 5) {
+                Some(t) => {
+                    *after = t;
+                    true
+                }
+                None => false,
+            },
+            ScriptAction::Drop => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b2b_net::intruder::ScriptRule;
+
+    #[test]
+    fn halving_respects_floors_and_terminates() {
+        let mut ev = FaultEvent::Isolate {
+            party: 1,
+            until: TimeMs(1_600),
+        };
+        let mut rounds = 0;
+        while halve_event(&mut ev) {
+            rounds += 1;
+            assert!(rounds < 20, "halving must terminate");
+        }
+        match ev {
+            FaultEvent::Isolate { until, .. } => assert_eq!(until, TimeMs(100)),
+            _ => unreachable!(),
+        }
+
+        let mut drop_rule = FaultEvent::Script(ScriptRule {
+            from: None,
+            to: None,
+            nth: 0,
+            action: ScriptAction::Drop,
+        });
+        assert!(!halve_event(&mut drop_rule), "a drop has no magnitude");
+
+        let mut crash = FaultEvent::Crash {
+            party: 2,
+            at: TimeMs(800),
+            until: TimeMs(2_000),
+        };
+        while halve_event(&mut crash) {}
+        match crash {
+            FaultEvent::Crash { at, until, .. } => {
+                assert_eq!(at, TimeMs(0));
+                assert_eq!(until.0 - at.0, 100, "window shrinks to the floor");
+            }
+            _ => unreachable!(),
+        }
+    }
+}

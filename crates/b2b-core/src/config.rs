@@ -1,6 +1,7 @@
 //! Coordinator configuration.
 
 use b2b_crypto::TimeMs;
+use serde::{Deserialize, Serialize};
 
 /// How the group decision over responses is computed.
 ///
@@ -16,6 +17,40 @@ pub enum DecisionRule {
     /// included, who by definition accepts) validates the change even if a
     /// minority rejects or stays silent past the deadline.
     Majority,
+}
+
+/// Mutation-testing switches that disable individual §4.2 acceptance
+/// checks in `on_propose`.
+///
+/// These exist **only** so the `b2b-check` schedule explorer can prove its
+/// oracles have teeth: with one invariant check ablated, the explorer must
+/// find and shrink a schedule on which the protocol installs divergent or
+/// ill-founded state; with all flags `false` (the default, and the only
+/// supported production setting) the same schedules must pass clean.
+/// Nothing in the middleware ever sets these outside checker builds.
+/// Serializable so a `b2b-check` counterexample artifact records exactly
+/// which ablation it was found under.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutationFlags {
+    /// Skip the replay checks: a proposal reusing an already-seen run
+    /// label or `(seq, rand_hash)` tuple is accepted instead of being
+    /// flagged as `ReplayedProposal`/`ReusedTuple` misbehaviour.
+    pub skip_replay: bool,
+    /// Skip invariant 1 (§4.2): a proposal whose `prev` does not equal the
+    /// recipient's agreed state is no longer rejected with
+    /// `PredecessorMismatch`.
+    pub skip_predecessor: bool,
+    /// Skip invariant 3 (§4.2): a proposal whose new sequence number is
+    /// not exactly `agreed.seq + 1` is no longer rejected with
+    /// `SequenceNotGreater`.
+    pub skip_sequence: bool,
+}
+
+impl MutationFlags {
+    /// `true` when any check is ablated.
+    pub fn any(&self) -> bool {
+        self.skip_replay || self.skip_predecessor || self.skip_sequence
+    }
 }
 
 /// Tunables of a [`crate::Coordinator`].
@@ -71,6 +106,9 @@ pub struct CoordinatorConfig {
     /// peer that retransmits a run older than this simply gets silence and
     /// recovers through the normal state-transfer path.
     pub completed_replies_cap: usize,
+    /// Mutation-testing ablations of the §4.2 acceptance checks. All
+    /// `false` in any real deployment; see [`MutationFlags`].
+    pub mutation: MutationFlags,
 }
 
 impl CoordinatorConfig {
@@ -86,6 +124,7 @@ impl CoordinatorConfig {
             sig_cache_capacity: 1024,
             replay_window: 64,
             completed_replies_cap: 64,
+            mutation: MutationFlags::default(),
         }
     }
 
@@ -142,6 +181,13 @@ impl CoordinatorConfig {
         self.completed_replies_cap = cap;
         self
     }
+
+    /// Ablates §4.2 acceptance checks for mutation testing. Never set in
+    /// production; see [`MutationFlags`].
+    pub fn mutation(mut self, flags: MutationFlags) -> CoordinatorConfig {
+        self.mutation = flags;
+        self
+    }
 }
 
 impl Default for CoordinatorConfig {
@@ -165,6 +211,18 @@ mod tests {
         assert_eq!(c.replay_window, 64);
         assert_eq!(c.completed_replies_cap, 64);
         assert_eq!(c.retransmit_max, None);
+        assert!(!c.mutation.any(), "no check is ablated by default");
+    }
+
+    #[test]
+    fn mutation_flags_default_off_and_report_any() {
+        let flags = MutationFlags::default();
+        assert!(!flags.any());
+        assert!(MutationFlags {
+            skip_predecessor: true,
+            ..MutationFlags::default()
+        }
+        .any());
     }
 
     #[test]

@@ -61,7 +61,7 @@ mod proto_state;
 pub mod replica;
 mod termination;
 
-pub use config::{CoordinatorConfig, DecisionRule};
+pub use config::{CoordinatorConfig, DecisionRule, MutationFlags};
 pub use controller::{Controller, CoordAccess, CoordTicket, Scope, SimAccess};
 pub use coordinator::{ConnectStatus, Coordinator, CoordinatorBuilder, ObjectFactory};
 pub use decision::{CoordEvent, CoordEventKind, Decision, Outcome, Verdict};

@@ -324,15 +324,20 @@ impl Coordinator {
             }
         };
 
-        if rep.seen_runs.contains(&run) {
+        // `mutation` ablates individual checks below so the b2b-check
+        // explorer can demonstrate each one is load-bearing; all flags are
+        // false outside mutation-testing builds.
+        let mutation = self.config.mutation;
+        if !mutation.skip_replay && rep.seen_runs.contains(&run) {
             // Not the active run and not completed here ⇒ replay.
             misbehaviours.push(Misbehaviour::ReplayedProposal { run });
             reject(&mut decision, "replayed proposal".into());
             track_run = false;
         }
-        if rep
-            .seen_tuples
-            .contains(&(m1.proposal.proposed.seq, m1.proposal.proposed.rand_hash))
+        if !mutation.skip_replay
+            && rep
+                .seen_tuples
+                .contains(&(m1.proposal.proposed.seq, m1.proposal.proposed.rand_hash))
             && !rep.seen_runs.contains(&run)
         {
             misbehaviours.push(Misbehaviour::ReplayedProposal { run });
@@ -347,7 +352,7 @@ impl Coordinator {
             reject(&mut decision, "inconsistent group identifier".into());
             track_run = false;
         }
-        if m1.proposal.prev != rep.agreed {
+        if !mutation.skip_predecessor && m1.proposal.prev != rep.agreed {
             misbehaviours.push(Misbehaviour::PredecessorMismatch {
                 theirs: m1.proposal.prev,
                 ours: rep.agreed,
@@ -355,7 +360,7 @@ impl Coordinator {
             reject(&mut decision, "predecessor is not the agreed state".into());
             track_run = false;
         }
-        if m1.proposal.proposed.seq != rep.agreed.seq + 1 {
+        if !mutation.skip_sequence && m1.proposal.proposed.seq != rep.agreed.seq + 1 {
             // Exact increment: strictly stronger than the paper's
             // "greater than", and what honest proposers produce; anything
             // else is a replayed/poisoned sequence number.

@@ -6,11 +6,16 @@
 //! and delay jitter (which also produces reordering).
 
 use b2b_crypto::TimeMs;
+use serde::{Deserialize, Serialize};
 
 /// The failure behaviour of a directed link (or of the whole network).
 ///
 /// Construct with the builder-style setters; the default plan is a perfect
 /// link with a fixed 1 ms delay.
+///
+/// Plans serialize to JSON so that a schedule explorer (`b2b-check`) can
+/// emit the exact fault environment of a counterexample as a replayable
+/// artifact and commit it as a regression fixture.
 ///
 /// # Example
 ///
@@ -24,7 +29,7 @@ use b2b_crypto::TimeMs;
 ///     .delay(TimeMs(5), TimeMs(50));
 /// assert_eq!(lossy.drop_rate, 0.2);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Probability in `[0, 1]` that a datagram is silently dropped.
     pub drop_rate: f64,
@@ -124,5 +129,19 @@ mod tests {
     #[should_panic(expected = "min delay")]
     fn rejects_inverted_delay_window() {
         let _ = FaultPlan::new().delay(TimeMs(5), TimeMs(1));
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let p = FaultPlan::new()
+            .drop_rate(0.125)
+            .dup_rate(0.25)
+            .delay(TimeMs(3), TimeMs(40));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        // The emitter is deterministic, so the serialized form is stable —
+        // a committed counterexample fixture replays byte-identically.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
     }
 }

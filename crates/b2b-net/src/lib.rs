@@ -37,7 +37,9 @@ pub mod tcp;
 
 pub use fault::FaultPlan;
 pub use inproc::{Fabric, NodeHandle, ThreadedNet};
-pub use intruder::{InterceptAction, Intruder, PassThrough};
+pub use intruder::{
+    InterceptAction, Intruder, PassThrough, ScriptAction, ScriptRule, ScriptedIntruder,
+};
 pub use node::{NetNode, NodeCtx, Payload};
 pub use reliable::{ReliableMux, RELIABLE_TIMER_BASE};
 pub use sim::SimNet;

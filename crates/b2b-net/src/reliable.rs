@@ -311,6 +311,25 @@ impl ReliableMux {
     }
 }
 
+/// Returns `true` if `raw` parses as a reliable-layer DATA frame (as
+/// opposed to an ack or foreign traffic). Intruder scripts use this to
+/// target protocol-bearing datagrams only.
+pub fn is_data_frame(raw: &[u8]) -> bool {
+    matches!(decode_frame(raw), Some((KIND_DATA, _, _, body)) if !body.is_empty())
+}
+
+/// Re-wraps a captured DATA frame's body under a fresh `(epoch, seq)`
+/// identity, so a replayed copy is not suppressed by the receiver's
+/// duplicate filter (which keys on the pair). Returns `None` for acks and
+/// malformed frames. This is the Dolev-Yao "replay at will" primitive: the
+/// intruder controls the network and can re-frame recorded traffic.
+pub fn reframe(raw: &[u8], epoch: u64, seq: u64) -> Option<Vec<u8>> {
+    match decode_frame(raw) {
+        Some((KIND_DATA, _, _, body)) => Some(encode_frame(KIND_DATA, epoch, seq, body)),
+        _ => None,
+    }
+}
+
 fn encode_frame(kind: u8, epoch: u64, seq: u64, body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(17 + body.len());
     out.push(kind);
@@ -336,6 +355,31 @@ mod tests {
     use crate::fault::FaultPlan;
     use crate::node::NetNode;
     use crate::sim::SimNet;
+
+    #[test]
+    fn reframe_changes_identity_but_not_body() {
+        let f = encode_frame(KIND_DATA, 7, 42, b"payload");
+        assert!(is_data_frame(&f));
+        let r = reframe(&f, 99, 3).unwrap();
+        let (k, e, s, b) = decode_frame(&r).unwrap();
+        assert_eq!((k, e, s, b), (KIND_DATA, 99, 3, &b"payload"[..]));
+        // A receiver treats the reframed copy as fresh traffic.
+        let mut rx = ReliableMux::new(TimeMs(10), 0);
+        let mut ctx = NodeCtx::new(TimeMs(0));
+        let from = PartyId::new("tx");
+        assert_eq!(
+            rx.on_message(&from, &f, &mut ctx),
+            Inbound::Deliver(b"payload".to_vec())
+        );
+        assert_eq!(
+            rx.on_message(&from, &r, &mut ctx),
+            Inbound::Deliver(b"payload".to_vec())
+        );
+        // Acks cannot be reframed into data.
+        let ack = encode_frame(KIND_ACK, 7, 42, &[]);
+        assert!(!is_data_frame(&ack));
+        assert!(reframe(&ack, 1, 1).is_none());
+    }
 
     #[test]
     fn frame_roundtrip() {

@@ -8,6 +8,15 @@
 //! eventually; nodes crash and eventually recover. A Dolev-Yao
 //! [`Intruder`] may additionally be installed in the network path.
 //!
+//! # Determinism and the simultaneous-event tie-break
+//!
+//! Events are ordered by `(virtual time, insertion sequence)`: when two
+//! events fall on the same millisecond, the one *scheduled first* fires
+//! first. Together with the seeded RNG this makes every schedule a pure
+//! function of `(seed, scripted inputs)` — the property `b2b-check` relies
+//! on to replay a shrunk counterexample byte-identically. The tie-break is
+//! pinned by a unit test and must not change.
+//!
 //! # Example
 //!
 //! ```
@@ -90,6 +99,14 @@ impl<N> PartialOrd for Event<N> {
 }
 impl<N> Ord for Event<N> {
     // Reversed so the max-heap pops the earliest event first.
+    //
+    // The tie-break for simultaneous events is the PINNED, load-bearing
+    // part: `seq` is the global insertion order, so events scheduled for
+    // the same virtual time fire strictly in the order they were pushed
+    // (schedule-time FIFO). Counterexample replay in `b2b-check` depends
+    // on this being stable — see `simultaneous_events_fire_in_insertion_
+    // order` — so any change here is a breaking change to every committed
+    // fault-plan fixture.
     fn cmp(&self, other: &Self) -> Ordering {
         (other.time, other.seq).cmp(&(self.time, self.seq))
     }
@@ -420,6 +437,12 @@ impl<N: NetNode> SimNet<N> {
                     format!("to={to} bytes={}", payload.len())
                 });
             let action = self.intruder.intercept(&from, &to, &payload, self.now);
+            if action != InterceptAction::Deliver {
+                self.stats.intruder_actions += 1;
+                self.telemetry.inc(names::INTRUDER_ACTIONS);
+                self.telemetry
+                    .inc(&format!("intruder_actions:{from}->{to}"));
+            }
             match action {
                 InterceptAction::Deliver => {
                     self.route(from.clone(), to, payload, TimeMs::ZERO);
@@ -453,6 +476,9 @@ impl<N: NetNode> SimNet<N> {
             .any(|p| p.separates(&from, &to, self.now))
         {
             self.stats.undeliverable += 1;
+            self.stats.partition_drops += 1;
+            self.telemetry.inc(names::PARTITION_DROPS);
+            self.telemetry.inc(&format!("partition_drops:{from}->{to}"));
             self.telemetry
                 .trace(self.now.as_millis(), from.as_str(), "net", "drop", || {
                     format!("to={to} reason=partition")
@@ -681,6 +707,82 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        // PIN: events scheduled for the same virtual millisecond fire in
+        // the order they were scheduled (global insertion sequence), for
+        // every event kind. Counterexample fixtures committed by b2b-check
+        // replay against exactly this order; do not weaken this test.
+        let mut net = two_probe_net(1);
+        let (a, b) = (PartyId::new("a"), PartyId::new("b"));
+        for i in 0..5u8 {
+            net.at(TimeMs(10), a.clone(), move |_n, ctx| {
+                ctx.send(PartyId::new("b"), vec![i]);
+            });
+        }
+        net.run_until_quiet(TimeMs(1_000));
+        let order: Vec<u8> = net.node(&b).received.iter().map(|(_, p)| p[0]).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+
+        // Timers armed for the same instant also fire in arming order.
+        let mut net2 = two_probe_net(1);
+        net2.invoke(&a, |_n, ctx| {
+            ctx.set_timer(3, TimeMs(20));
+            ctx.set_timer(1, TimeMs(20));
+            ctx.set_timer(2, TimeMs(20));
+        });
+        net2.run_until_quiet(TimeMs(100));
+        assert_eq!(net2.node(&a).timers_fired, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn partition_drops_are_counted_per_link() {
+        let mut net = two_probe_net(8);
+        let tel = Telemetry::new();
+        net.set_telemetry(tel.clone());
+        net.partition([PartyId::new("a")], [PartyId::new("b")], TimeMs(100));
+        net.at(TimeMs(10), PartyId::new("a"), |_n, ctx| {
+            ctx.send(PartyId::new("b"), vec![1]);
+            ctx.send(PartyId::new("b"), vec![2]);
+        });
+        net.run_until_quiet(TimeMs(500));
+        let stats = net.stats();
+        assert_eq!(stats.partition_drops, 2);
+        assert_eq!(stats.undeliverable, 2, "partition drops stay a subset");
+        let snap = tel.metrics().snapshot();
+        assert_eq!(snap.counter(names::PARTITION_DROPS), 2);
+        assert_eq!(snap.counter("partition_drops:a->b"), 2);
+        assert_eq!(snap.counter("partition_drops:b->a"), 0);
+    }
+
+    #[test]
+    fn intruder_actions_are_counted() {
+        let mut net = two_probe_net(9);
+        let tel = Telemetry::new();
+        net.set_telemetry(tel.clone());
+        net.set_intruder(FnIntruder::new(
+            |_f: &PartyId, _t: &PartyId, p: &[u8], _n| {
+                if p == b"seen" {
+                    InterceptAction::Deliver
+                } else {
+                    InterceptAction::Drop
+                }
+            },
+        ));
+        net.invoke(&PartyId::new("a"), |_n, ctx| {
+            ctx.send(PartyId::new("b"), b"seen".to_vec());
+            ctx.send(PartyId::new("b"), b"gone".to_vec());
+            ctx.send(PartyId::new("b"), b"gone".to_vec());
+        });
+        net.run_until_quiet(TimeMs(100));
+        let stats = net.stats();
+        assert_eq!(stats.intruder_actions, 2, "Deliver decisions not counted");
+        assert_eq!(stats.dropped, 2);
+        let snap = tel.metrics().snapshot();
+        assert_eq!(snap.counter(names::INTRUDER_ACTIONS), 2);
+        assert_eq!(snap.counter("intruder_actions:a->b"), 2);
     }
 
     #[test]

@@ -19,6 +19,16 @@ pub struct NetStats {
     /// Datagrams discarded because the destination was crashed or
     /// partitioned away at delivery time.
     pub undeliverable: u64,
+    /// Datagrams discarded specifically by an active partition — a subset
+    /// of `undeliverable`, counted separately so a checker run's fault
+    /// budget is auditable (per-link breakdowns live in the telemetry
+    /// registry under `partition_drops:<from>-><to>`).
+    pub partition_drops: u64,
+    /// Datagrams the installed intruder acted upon (dropped, replaced,
+    /// delayed or used as an injection trigger); `Deliver` decisions are
+    /// not counted. Per-link breakdowns live in the telemetry registry
+    /// under `intruder_actions:<from>-><to>`.
+    pub intruder_actions: u64,
     /// Total payload bytes handed to the network by nodes.
     pub bytes_sent: u64,
     /// Frames retransmitted by the nodes' reliable layers (harvested from
@@ -61,6 +71,8 @@ mod tests {
             dropped: 3,
             duplicated: 0,
             undeliverable: 1,
+            partition_drops: 1,
+            intruder_actions: 0,
             bytes_sent: 100,
             retransmits: 2,
             dedup_drops: 1,
@@ -68,6 +80,19 @@ mod tests {
             reconnects: 1,
         };
         assert_eq!(s.lost(), 4);
+    }
+
+    #[test]
+    fn partition_and_intruder_counters_do_not_inflate_loss() {
+        // `partition_drops` is a breakdown of `undeliverable`, and
+        // `intruder_actions` counts decisions, not datagrams: neither adds
+        // to `lost()` on its own.
+        let s = NetStats {
+            partition_drops: 4,
+            intruder_actions: 9,
+            ..NetStats::default()
+        };
+        assert_eq!(s.lost(), 0);
     }
 
     #[test]

@@ -77,6 +77,20 @@ pub mod names {
     /// TCP transport: payload bytes handed to the wire (framing overhead
     /// excluded).
     pub const TCP_BYTES_SENT: &str = "tcp_bytes_sent";
+    /// Simulator: datagrams discarded by an active partition (per-link
+    /// breakdowns are registered ad hoc as `partition_drops:<from>-><to>`).
+    pub const PARTITION_DROPS: &str = "partition_drops";
+    /// Simulator: datagrams the installed intruder acted upon (per-link
+    /// breakdowns as `intruder_actions:<from>-><to>`).
+    pub const INTRUDER_ACTIONS: &str = "intruder_actions";
+    /// Checker: fault schedules explored by `b2b-check`.
+    pub const SCHEDULES_EXPLORED: &str = "schedules_explored";
+    /// Checker: schedules on which at least one oracle reported a
+    /// violation.
+    pub const VIOLATIONS_FOUND: &str = "violations_found";
+    /// Checker: shrinking steps attempted while minimising a failing
+    /// schedule (accepted and rejected candidates both count).
+    pub const SHRINK_STEPS: &str = "shrink_steps";
 }
 
 /// A cheap, shareable handle bundling a metrics registry and an optional
