@@ -3,16 +3,25 @@
 //! Usage: `cargo run -p b2b-bench --release --bin exp -- <e1|...|e10|etcp|all>`
 //! (`exp-tcp` is accepted as an alias for `etcp`)
 //!
-//! The E-CHK table (schedule exploration / mutation kills) is regenerated
-//! separately — it is a model-checking run, not a benchmark sweep:
-//! `cargo run -p b2b-bench --release --bin exp -- check --budget 500`
-//! with optional `--seed S`, `--scenario ID` and `--emit DIR` (write the
-//! shrunk counterexample artifacts as JSON).
+//! Two more subcommands sit beside the benchmark sweeps:
+//!
+//! * `exp -- check --budget 500` — the E-CHK table (schedule exploration /
+//!   mutation kills); a model-checking run, not a benchmark sweep. Optional
+//!   `--seed S`, `--scenario ID` and `--emit DIR` (write the shrunk
+//!   counterexample artifacts as JSON, each with a Chrome trace-event view
+//!   of its distributed trace alongside).
+//! * `exp -- trace [--seed S]` — runs the Figure-5 sharing scenario on the
+//!   deterministic simulator with a fleet-wide flight recorder, prints an
+//!   ASCII timeline per distributed trace and writes Chrome trace-event
+//!   JSON (load in `chrome://tracing` or Perfetto) to `target/metrics/`.
 //!
 //! Besides its markdown table, every experiment merges the fleet-wide
 //! metrics registries of all the fleets it ran and writes the result as
 //! a JSON sidecar to `target/metrics/<exp>.metrics.json` (see
-//! `EXPERIMENTS.md` for the format).
+//! `EXPERIMENTS.md` for the format). Each sidecar carries a provenance
+//! header — git commit, base seed, scenario, fabric — and a p50/p95/p99
+//! digest of every histogram, so a stray file on disk is always
+//! attributable to the build and run that produced it.
 
 use b2b_bench::{append_blob_factory, counter_factory, enc, party, Crypto, Fleet};
 use b2b_core::{ConnectStatus, Coordinator, CoordinatorConfig, DecisionRule, ObjectId, Outcome};
@@ -27,8 +36,12 @@ fn main() {
         which = "etcp".into();
     }
     if which == "check" {
-        let metrics = echk_model_check(std::env::args().skip(2).collect());
-        write_sidecar("echk", &metrics);
+        let (base_seed, metrics) = echk_model_check(std::env::args().skip(2).collect());
+        write_sidecar("echk", "sim", base_seed, &metrics);
+        return;
+    }
+    if which == "trace" {
+        trace_figure5(std::env::args().skip(2).collect());
         return;
     }
     let known = [
@@ -36,48 +49,182 @@ fn main() {
     ];
     if !known.contains(&which.as_str()) {
         eprintln!(
-            "unknown experiment '{which}'; expected one of: {}",
+            "unknown experiment '{which}'; expected one of: {} (or the check/trace subcommands)",
             known.join(", ")
         );
         std::process::exit(2);
     }
     let all = which == "all";
     type Experiment = fn() -> MetricsSnapshot;
-    let experiments: [(&str, Experiment); 11] = [
-        ("e1", e1_message_complexity),
-        ("e2", e2_protocol_latency),
-        ("e3", e3_overwrite_vs_update),
-        ("e4", e4_crypto_ablation),
-        ("e5", e5_modes),
-        ("e6", e6_liveness_under_faults),
-        ("e7", e7_recovery),
-        ("e8", e8_membership),
-        ("e9", e9_termination),
-        ("e10", e10_throughput),
-        ("etcp", etcp_tcp_loopback),
+    // (name, fabric, base seed, runner) — fabric and seed feed the sidecar
+    // provenance header.
+    let experiments: [(&str, &str, u64, Experiment); 11] = [
+        ("e1", "sim", 1, e1_message_complexity),
+        ("e2", "sim", 2, e2_protocol_latency),
+        ("e3", "sim", 3, e3_overwrite_vs_update),
+        ("e4", "sim", 4, e4_crypto_ablation),
+        ("e5", "sim", 5, e5_modes),
+        ("e6", "sim", 100, e6_liveness_under_faults),
+        ("e7", "sim", 42, e7_recovery),
+        ("e8", "sim", 7, e8_membership),
+        ("e9", "sim", 9, e9_termination),
+        ("e10", "sim+threaded", 10, e10_throughput),
+        ("etcp", "tcp", 20, etcp_tcp_loopback),
     ];
-    for (name, run) in experiments {
+    for (name, fabric, seed, run) in experiments {
         if all || which == name {
             let metrics = run();
-            write_sidecar(name, &metrics);
+            write_sidecar(name, fabric, seed, &metrics);
         }
     }
 }
 
+/// Best-effort commit id of the working tree; `"unknown"` outside git.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Minimal JSON string encoder for the hand-formatted sidecar envelope.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `{"<hist>":{"p50":..,"p95":..,"p99":..},...}` for every histogram in
+/// the snapshot.
+fn percentiles_json(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::from("{");
+    for (i, (name, h)) in metrics.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{}:{{\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            json_str(name),
+            h.p50(),
+            h.p95(),
+            h.p99()
+        ));
+    }
+    out.push('}');
+    out
+}
+
 /// Writes the merged metrics of one experiment as a JSON sidecar under
 /// `target/metrics/` and prints the human-readable table.
-fn write_sidecar(name: &str, metrics: &MetricsSnapshot) {
+///
+/// The sidecar wraps the raw registry snapshot in a provenance header
+/// (git commit, base seed, scenario, fabric) and a p50/p95/p99 digest of
+/// every histogram.
+fn write_sidecar(name: &str, fabric: &str, seed: u64, metrics: &MetricsSnapshot) {
     let dir = std::path::Path::new("target").join("metrics");
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.metrics.json"));
-    match std::fs::write(&path, metrics.to_json()) {
+    let body = format!(
+        "{{\"provenance\":{{\"git_sha\":{},\"seed\":{seed},\"scenario\":{},\"fabric\":{}}},\"percentiles\":{},\"metrics\":{}}}",
+        json_str(&git_sha()),
+        json_str(name),
+        json_str(fabric),
+        percentiles_json(metrics),
+        metrics.to_json(),
+    );
+    match std::fs::write(&path, body) {
         Ok(()) => {
             println!("\nmetrics sidecar: {}", path.display());
             println!("{}", metrics.render_table());
         }
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
+/// `exp -- trace [--seed S]` — the Figure-5 sharing scenario with a
+/// fleet-wide flight recorder: three organisations bring up a shared
+/// counter (two sponsored connection rounds), coordinate three state
+/// runs, and org2 leaves voluntarily. Every delivered message extends the
+/// causal DAG of its round, so the assembler reconstructs one distributed
+/// trace per root — printed as ASCII timelines and written as Chrome
+/// trace-event JSON for `chrome://tracing` / Perfetto.
+fn trace_figure5(args: Vec<String>) {
+    use b2b_telemetry::{assemble, chrome_trace_json, RingRecorder};
+    use std::sync::Arc;
+
+    let mut seed = 5u64;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed takes a number");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown trace flag '{other}' (expected --seed)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let recorder = Arc::new(RingRecorder::new(16_384));
+    let telemetry = Telemetry::with_sink(recorder.clone());
+    let mut fleet = Fleet::with_telemetry(
+        3,
+        seed,
+        CoordinatorConfig::default(),
+        FaultPlan::new(),
+        Crypto::Ed25519,
+        true,
+        telemetry,
+    );
+    fleet.setup_object("ledger", counter_factory);
+    for (who, v) in [(0usize, 41u64), (1, 42), (2, 43)] {
+        fleet.propose(who, "ledger", enc(v));
+    }
+    let oid = ObjectId::new("ledger");
+    fleet.net.invoke(&party(2), move |c, ctx| {
+        c.request_disconnect(&oid, ctx).unwrap();
+    });
+    fleet.run();
+
+    let traces = assemble(&recorder.events());
+    println!("\n## Distributed traces — Figure-5 sharing scenario (sim, seed {seed})\n");
+    for t in &traces {
+        println!("{}", t.ascii_timeline());
+    }
+
+    let dir = std::path::Path::new("target").join("metrics");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("trace-sim-{seed}.trace.json"));
+    match std::fs::write(&path, chrome_trace_json(&traces)) {
+        Ok(()) => println!(
+            "chrome trace: {} ({} traces) — open in chrome://tracing or ui.perfetto.dev",
+            path.display(),
+            traces.len()
+        ),
         Err(e) => eprintln!("cannot write {}: {e}", path.display()),
     }
 }
@@ -792,14 +939,26 @@ fn write_bench_protocol(sim: &E10Sample, threaded: &E10Sample) {
 /// sockets: the same n=2/n=4 counter workload the other transports run,
 /// but with every protocol message crossing a real OS socket (framing,
 /// syscalls, kernel loopback scheduling). The frames/bytes columns come
-/// from the transport's own counters, so the wire cost per run is exact.
+/// from the transport's own counters, so the wire cost per run is exact;
+/// the `tcp_*` columns are the same counters as seen by the telemetry
+/// registry, which a live Prometheus scrape endpoint serves for the
+/// duration of each sweep.
 fn etcp_tcp_loopback() -> MetricsSnapshot {
+    use b2b_net::ScrapeServer;
     let mut metrics = MetricsSnapshot::default();
     println!("\n## E-TCP — sync-run latency and throughput over TCP loopback sockets\n");
-    println!("| n parties | runs | median latency | mean latency | runs/sec | frames on wire | bytes on wire | connects |");
-    println!("|---|---|---|---|---|---|---|---|");
+    println!("| n parties | runs | median latency | mean latency | runs/sec | frames on wire | bytes on wire | connects | reconnects | tcp_frames_sent | tcp_bytes_sent |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
     for n in [2usize, 4] {
         let telemetry = Telemetry::new();
+        let scrape = ScrapeServer::bind(telemetry.metrics().clone()).ok();
+        if let Some(s) = &scrape {
+            println!();
+            println!(
+                "live metrics while n={n} runs: curl http://{}/metrics",
+                s.addr()
+            );
+        }
         let mut ring = KeyRing::new();
         let mut keys = Vec::new();
         for i in 0..n {
@@ -876,15 +1035,22 @@ fn etcp_tcp_loopback() -> MetricsSnapshot {
         latencies.sort_unstable();
         let median = latencies[latencies.len() / 2];
         let mean = wall / runs as u32;
+        let snap = telemetry.metrics().snapshot();
         println!(
-            "| {n} | {runs} | {median:?} | {mean:?} | {:.1} | {} | {} | {} |",
+            "| {n} | {runs} | {median:?} | {mean:?} | {:.1} | {} | {} | {} | {} | {} | {} |",
             runs as f64 / wall.as_secs_f64(),
             stats.sent - frames_before,
             stats.bytes_sent - bytes_before,
             stats.connects,
+            stats.reconnects,
+            snap.counter(names::TCP_FRAMES_SENT),
+            snap.counter(names::TCP_BYTES_SENT),
         );
-        metrics.merge(&telemetry.metrics().snapshot());
+        metrics.merge(&snap);
         net.shutdown();
+        if let Some(s) = scrape {
+            s.shutdown();
+        }
     }
     metrics
 }
@@ -892,7 +1058,9 @@ fn etcp_tcp_loopback() -> MetricsSnapshot {
 /// E-CHK — the schedule explorer as an experiment: mutation kills (one
 /// ablated §4.2 check per row — found, shrunk, replayed) and the clean
 /// sweep (the unmutated build over the same seeds, expected silent).
-fn echk_model_check(args: Vec<String>) -> MetricsSnapshot {
+/// Returns `(base_seed, metrics)` so the sidecar provenance can name the
+/// seed actually used.
+fn echk_model_check(args: Vec<String>) -> (u64, MetricsSnapshot) {
     use b2b_check::{explore, kill_matrix, scenarios, CheckConfig};
     use b2b_core::MutationFlags;
 
@@ -966,7 +1134,14 @@ fn echk_model_check(args: Vec<String>) -> MetricsSnapshot {
                     std::fs::create_dir_all(dir).expect("create --emit dir");
                     let path = dir.join(format!("{}.json", scenario.id()));
                     std::fs::write(&path, cx.to_json()).expect("write counterexample");
-                    println!("  -> wrote {}", path.display());
+                    // A Chrome trace-event view of the shrunk schedule's
+                    // distributed trace rides along — load it in
+                    // chrome://tracing to watch the counterexample unfold.
+                    let tpath = dir.join(format!("{}.trace.json", scenario.id()));
+                    let traces = b2b_telemetry::assemble(&cx.trace);
+                    std::fs::write(&tpath, b2b_telemetry::chrome_trace_json(&traces))
+                        .expect("write counterexample trace");
+                    println!("  -> wrote {} and {}", path.display(), tpath.display());
                 }
             }
             None => {
@@ -1011,5 +1186,5 @@ fn echk_model_check(args: Vec<String>) -> MetricsSnapshot {
         eprintln!("\nE-CHK FAILED: {failures} row(s) off expectation");
         std::process::exit(1);
     }
-    metrics
+    (base_seed, metrics)
 }

@@ -148,7 +148,7 @@ impl Fleet {
         )
     }
 
-    /// Full-control constructor.
+    /// Full-control constructor (fresh sink-less telemetry).
     pub fn with_options(
         n: usize,
         seed: u64,
@@ -156,6 +156,22 @@ impl Fleet {
         plan: FaultPlan,
         crypto: Crypto,
         with_tsa: bool,
+    ) -> Fleet {
+        Fleet::with_telemetry(n, seed, config, plan, crypto, with_tsa, Telemetry::new())
+    }
+
+    /// [`Fleet::with_options`] with a caller-supplied telemetry handle —
+    /// attach a trace sink before construction to flight-record the whole
+    /// fleet (`exp -- trace` does exactly this).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_telemetry(
+        n: usize,
+        seed: u64,
+        config: CoordinatorConfig,
+        plan: FaultPlan,
+        crypto: Crypto,
+        with_tsa: bool,
+        telemetry: Telemetry,
     ) -> Fleet {
         let mut ring = KeyRing::new();
         if config.ttp == Some(PartyId::new("notary")) {
@@ -185,7 +201,6 @@ impl Fleet {
             Crypto::Ed25519 => TimeStampAuthority::new(KeyPair::generate_from_seed(9999)),
             Crypto::Insecure => TimeStampAuthority::new(InsecureSigner::from_seed(9999)),
         });
-        let telemetry = Telemetry::new();
         let mut net = SimNet::new(seed);
         net.set_default_plan(plan);
         net.set_telemetry(telemetry.clone());

@@ -13,6 +13,7 @@ use crate::explore::run_schedule;
 use crate::plan::SchedulePlan;
 use crate::scenario;
 use b2b_core::MutationFlags;
+use b2b_telemetry::TraceEvent;
 use serde::{Deserialize, Serialize};
 
 /// A shrunk, self-contained, replayable protocol violation.
@@ -28,6 +29,10 @@ pub struct Counterexample {
     pub violations: Vec<String>,
     /// Per-party evidence-log digests the replay must reproduce.
     pub evidence_digests: Vec<String>,
+    /// The distributed trace of the shrunk schedule: the merged per-node
+    /// flight-recorder events, replayable byte-identically and exportable
+    /// as a Chrome trace (`exp -- check --emit`).
+    pub trace: Vec<TraceEvent>,
 }
 
 impl Counterexample {
@@ -60,6 +65,13 @@ impl Counterexample {
                 self.evidence_digests, verdict.evidence_digests
             ));
         }
+        if verdict.trace != self.trace {
+            return Err(format!(
+                "distributed trace diverged on replay: recorded {} events, got {}",
+                self.trace.len(),
+                verdict.trace.len()
+            ));
+        }
         Ok(())
     }
 }
@@ -79,6 +91,16 @@ mod tests {
             plan: SchedulePlan::quiescent(77),
             violations: vec!["lineage: org0 …".into()],
             evidence_digests: vec!["aa".into(), "bb".into()],
+            trace: vec![TraceEvent {
+                time_ms: 1,
+                party: "org0".into(),
+                span: "state_run".into(),
+                phase: "propose".into(),
+                detail: "run=ab".into(),
+                trace_id: 7,
+                span_id: 8,
+                parent_span: 0,
+            }],
         };
         let json = cx.to_json();
         let back = Counterexample::from_json(&json).unwrap();
@@ -95,6 +117,7 @@ mod tests {
             plan: SchedulePlan::quiescent(1),
             violations: vec![],
             evidence_digests: vec![],
+            trace: vec![],
         };
         assert!(cx.replay().unwrap_err().contains("unknown scenario"));
     }

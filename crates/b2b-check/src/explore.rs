@@ -7,7 +7,7 @@ use crate::plan::SchedulePlan;
 use crate::scenario::Scenario;
 use crate::shrink;
 use b2b_core::MutationFlags;
-use b2b_telemetry::{names, Telemetry};
+use b2b_telemetry::{names, Telemetry, TraceEvent};
 
 /// Exploration budget and instrumentation for one [`explore`] call.
 #[derive(Clone)]
@@ -50,6 +50,10 @@ pub struct RunVerdict {
     /// Per-party hex digests over the full serialized evidence logs —
     /// the determinism fingerprint a replayed counterexample must match.
     pub evidence_digests: Vec<String>,
+    /// The merged flight-recorder events of the schedule (everything after
+    /// the plan was applied) — the distributed trace a counterexample
+    /// ships for replay and visualisation.
+    pub trace: Vec<TraceEvent>,
 }
 
 impl RunVerdict {
@@ -88,9 +92,11 @@ pub fn run_schedule(
         .map(|v| v.to_string())
         .collect();
     let evidence_digests = (0..fleet.len()).map(|i| fleet.evidence_digest(i)).collect();
+    let trace = fleet.trace_events();
     RunVerdict {
         violations,
         evidence_digests,
+        trace,
     }
 }
 
@@ -118,6 +124,7 @@ pub fn explore(scenario: &dyn Scenario, cfg: &CheckConfig) -> CheckOutcome {
                     plan: shrunk,
                     violations: final_verdict.violations,
                     evidence_digests: final_verdict.evidence_digests,
+                    trace: final_verdict.trace,
                 }),
             };
         }

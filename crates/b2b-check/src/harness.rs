@@ -17,14 +17,21 @@ use b2b_crypto::{KeyPair, KeyRing, PartyId, Signer, TimeMs, TimeStampAuthority};
 use b2b_evidence::{EvidenceStore, MemStore};
 use b2b_net::intruder::{Chain, ScriptedIntruder, SharedTap};
 use b2b_net::SimNet;
+use b2b_telemetry::{RingRecorder, Telemetry, TraceEvent};
 use std::sync::Arc;
 
 /// Virtual-time ceiling for settling the network (absolute, generous: the
 /// fault budget keeps every crash and partition window far below it).
 const QUIET: TimeMs = TimeMs(600_000);
 
-/// Reliable-layer frame header: kind(1) + epoch(8) + seq(8).
-const FRAME_HEADER_LEN: usize = 17;
+/// Reliable-layer frame header: kind(1) + epoch(8) + seq(8) + trace(17).
+const FRAME_HEADER_LEN: usize = 34;
+
+/// Flight-recorder capacity shared by a whole fleet. Shrunk schedules are
+/// short; the bound only matters for runaway exploration runs, where
+/// dropping the oldest events is deterministic per seed and so preserves
+/// replay-comparability.
+const RECORDER_CAPACITY: usize = 16_384;
 
 /// Epoch namespace for frames forged by insider scenarios, far away from
 /// the reliable layer's organic epochs and the intruder's replay epochs.
@@ -49,6 +56,10 @@ pub struct Fleet {
     baseline: Vec<StateId>,
     crashed_ever: Vec<bool>,
     forged_epochs: u64,
+    /// The fleet-wide flight recorder every coordinator traces into;
+    /// events carry party labels, so one merged ring serves the trace
+    /// assembler directly.
+    recorder: Arc<RingRecorder>,
 }
 
 impl Fleet {
@@ -67,6 +78,7 @@ impl Fleet {
         let mut net = SimNet::new(seed);
         let mut stores = Vec::new();
         let config = CoordinatorConfig::default().mutation(mutation);
+        let recorder = Arc::new(RingRecorder::new(RECORDER_CAPACITY));
         for (i, kp) in keys.into_iter().enumerate() {
             let store = Arc::new(MemStore::new());
             stores.push(store.clone());
@@ -77,6 +89,7 @@ impl Fleet {
                     .config(config.clone())
                     .store(store)
                     .seed(seed.wrapping_add(i as u64))
+                    .telemetry(Telemetry::with_sink(recorder.clone()))
                     .build(),
             );
         }
@@ -91,6 +104,7 @@ impl Fleet {
             baseline: Vec::new(),
             crashed_ever: vec![false; n],
             forged_epochs: 0,
+            recorder,
         };
         fleet.setup();
         fleet
@@ -133,6 +147,9 @@ impl Fleet {
                 self.agreed_id(i)
             })
             .collect();
+        // The artifact trace should cover the schedule under test, not
+        // the fleet bring-up.
+        self.recorder.clear();
         let t0 = self.net.now();
         self.net.set_default_plan(plan.link);
         self.net.set_intruder(Chain::new(
@@ -163,6 +180,12 @@ impl Fleet {
     /// Runs the network until quiescent.
     pub fn run(&mut self) {
         self.net.run_until_quiet(QUIET);
+    }
+
+    /// The flight-recorder events captured since the plan was applied —
+    /// the raw material of a counterexample's distributed trace.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.recorder.events()
     }
 
     /// Number of organisations.
@@ -263,6 +286,7 @@ impl Fleet {
             frame.push(0u8);
             frame.extend_from_slice(&(FORGED_EPOCH_BASE + self.forged_epochs).to_be_bytes());
             frame.extend_from_slice(&0u64.to_be_bytes());
+            frame.extend_from_slice(&[0u8; 17]); // trace context (untraced)
             frame.extend_from_slice(&body);
             let to = party(j);
             self.net

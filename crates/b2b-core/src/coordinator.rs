@@ -24,7 +24,7 @@ use b2b_crypto::{
 use b2b_evidence::{EvidenceKind, EvidenceRecord, EvidenceStore, SnapshotStore};
 use b2b_net::reliable::Inbound;
 use b2b_net::{NetNode, NodeCtx, ReliableMux};
-use b2b_telemetry::{names, Telemetry};
+use b2b_telemetry::{names, SpanIds, Telemetry, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -46,6 +46,23 @@ pub enum ConnectStatus {
     /// Rejected — immediately by the sponsor or by a member's veto; the
     /// two are indistinguishable to the subject (§4.5.3).
     Rejected,
+}
+
+/// The causal episode a coordinator is currently inside: one delivered
+/// message, fired timer or client operation. Every trace event recorded
+/// during the episode is stamped with its span, and every message sent
+/// names that span as its causal parent — which is what lets the
+/// assembler reconstruct a cross-node DAG from per-node flight recorders.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Episode {
+    /// The distributed trace this episode belongs to (0 = untraced).
+    trace_id: u64,
+    /// The span allocated for this episode on this party.
+    span_id: u64,
+    /// The (possibly remote) span that caused this episode (0 for roots).
+    parent_span: u64,
+    /// Causal distance from the root, as carried on the incoming frame.
+    hop: u8,
 }
 
 /// A connection attempt in progress at the subject.
@@ -94,6 +111,16 @@ pub struct Coordinator {
     /// Virtual start time of runs this party is participating in, used to
     /// observe `round_latency_ms` when the run completes. Volatile.
     pub(crate) run_started: HashMap<RunId, TimeMs>,
+    /// The causal episode currently being executed, if any. Set by
+    /// [`Coordinator::begin_episode`]/[`Coordinator::begin_root`] around
+    /// message dispatch, timer firings and client operations.
+    pub(crate) episode: Option<Episode>,
+    /// Monotone per-party span allocator; combined with [`Self::party_tag`]
+    /// it yields fleet-unique span ids without coordination or randomness.
+    pub(crate) span_counter: u64,
+    /// A 32-bit tag of this party's id, the high half of every span id it
+    /// allocates.
+    pub(crate) party_tag: u32,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -183,6 +210,7 @@ impl CoordinatorBuilder {
         }
         mux.set_telemetry(self.telemetry.clone(), self.me.clone());
         let sig_cache = RefCell::new(SigVerifyCache::new(self.config.sig_cache_capacity));
+        let party_tag = Coordinator::party_tag_of(&self.me);
         Coordinator {
             me: self.me,
             signer: self.signer,
@@ -208,6 +236,9 @@ impl CoordinatorBuilder {
             sig_cache,
             telemetry: self.telemetry,
             run_started: HashMap::new(),
+            episode: None,
+            span_counter: 0,
+            party_tag,
         }
     }
 }
@@ -404,9 +435,102 @@ impl Coordinator {
     // Internal plumbing shared by the protocol modules
     // -----------------------------------------------------------------
 
+    // -----------------------------------------------------------------
+    // Causal episodes (distributed tracing)
+    // -----------------------------------------------------------------
+
+    /// A stable 32-bit tag of a party id, the high half of its span ids.
+    pub(crate) fn party_tag_of(me: &PartyId) -> u32 {
+        let digest = sha256(me.as_str().as_bytes());
+        u32::from_be_bytes(digest.as_bytes()[..4].try_into().expect("4 bytes"))
+    }
+
+    /// Derives a content-addressed root trace id from `parts`. Content —
+    /// never randomness — so the same logical operation gets the same
+    /// trace id on every fabric and every rerun, which is what makes
+    /// sim-vs-TCP trace comparison possible.
+    pub(crate) fn derive_root(parts: &[&[u8]]) -> u64 {
+        let mut buf = Vec::new();
+        for p in parts {
+            buf.extend_from_slice(&(p.len() as u64).to_be_bytes());
+            buf.extend_from_slice(p);
+        }
+        let digest = sha256(&buf);
+        u64::from_be_bytes(digest.as_bytes()[..8].try_into().expect("8 bytes"))
+    }
+
+    /// The root trace id of a protocol run: the first eight bytes of its
+    /// run id, which is itself a digest of the signed proposal.
+    pub(crate) fn run_root(run: &RunId) -> u64 {
+        u64::from_be_bytes(run.0.as_bytes()[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Allocates the next span id. Allocation is unconditional on every
+    /// episode — independent of whether a trace sink is attached — so
+    /// attaching one never changes the bytes a coordinator puts on the
+    /// wire.
+    fn alloc_span(&mut self) -> u64 {
+        self.span_counter += 1;
+        ((self.party_tag as u64) << 32) | (self.span_counter & 0xffff_ffff)
+    }
+
+    /// Opens the episode for a delivered message carrying `incoming`.
+    pub(crate) fn begin_episode(&mut self, incoming: TraceContext) {
+        let span_id = self.alloc_span();
+        self.episode = Some(Episode {
+            trace_id: incoming.trace_id,
+            span_id,
+            parent_span: incoming.parent_span,
+            hop: incoming.hop,
+        });
+    }
+
+    /// Opens a root episode — a client operation, timer firing or recovery
+    /// that *starts* a causal chain rather than continuing one.
+    pub(crate) fn begin_root(&mut self, trace_id: u64) {
+        let span_id = self.alloc_span();
+        self.episode = Some(Episode {
+            trace_id,
+            span_id,
+            parent_span: 0,
+            hop: 0,
+        });
+    }
+
+    /// Closes the current episode.
+    pub(crate) fn end_episode(&mut self) {
+        self.episode = None;
+    }
+
+    /// The trace context to stamp on outgoing frames: the current episode's
+    /// span becomes the causal parent, one hop further from the root.
+    pub(crate) fn outgoing_ctx(&self) -> TraceContext {
+        match &self.episode {
+            Some(e) if e.trace_id != 0 => TraceContext {
+                trace_id: e.trace_id,
+                parent_span: e.span_id,
+                hop: e.hop.saturating_add(1),
+            },
+            _ => TraceContext::NONE,
+        }
+    }
+
+    /// The id triple stamped on trace events recorded in this episode.
+    pub(crate) fn span_ids(&self) -> SpanIds {
+        match &self.episode {
+            Some(e) if e.trace_id != 0 => SpanIds {
+                trace_id: e.trace_id,
+                span_id: e.span_id,
+                parent_span: e.parent_span,
+            },
+            _ => SpanIds::default(),
+        }
+    }
+
     pub(crate) fn send_wire(&mut self, to: &PartyId, msg: &WireMsg, ctx: &mut NodeCtx) {
         *self.msg_counts.entry(msg.kind_name()).or_default() += 1;
-        self.mux.send(to.clone(), msg.to_bytes(), ctx);
+        let trace = self.outgoing_ctx();
+        self.mux.send_traced(to.clone(), msg.to_bytes(), trace, ctx);
     }
 
     /// Sends one wire message to every recipient, serializing it once: the
@@ -427,8 +551,9 @@ impl Coordinator {
             names::FANOUT_SERIALIZATIONS_AVOIDED,
             (recipients.len() - 1) as u64,
         );
+        let trace = self.outgoing_ctx();
         for r in recipients {
-            self.mux.send(r.clone(), &bytes, ctx);
+            self.mux.send_traced(r.clone(), &bytes, trace, ctx);
         }
     }
 
@@ -505,7 +630,8 @@ impl Coordinator {
         m2.response_bytes()
     }
 
-    /// Records a trace event under this party's label.
+    /// Records a trace event under this party's label, stamped with the
+    /// current episode's causal ids (untraced outside an episode).
     pub(crate) fn trace(
         &self,
         now: TimeMs,
@@ -513,8 +639,14 @@ impl Coordinator {
         phase: &str,
         detail: impl FnOnce() -> String,
     ) {
-        self.telemetry
-            .trace(now.as_millis(), self.me.as_str(), span, phase, detail);
+        self.telemetry.trace_span(
+            now.as_millis(),
+            self.me.as_str(),
+            span,
+            phase,
+            self.span_ids(),
+            detail,
+        );
     }
 
     /// Notes that `run` started at `now` (for round-latency observation).
@@ -689,6 +821,12 @@ impl Coordinator {
     // -----------------------------------------------------------------
 
     fn recover_from_storage(&mut self, ctx: &mut NodeCtx) {
+        // Recovery is a root cause of its own: the resumed-run resends it
+        // triggers all hang off one recovery trace for this party.
+        self.begin_root(Coordinator::derive_root(&[
+            b"recovery",
+            self.me.as_str().as_bytes(),
+        ]));
         self.trace(ctx.now(), "recovery", "begin", || {
             "restoring replicas from checkpoints".to_string()
         });
@@ -748,6 +886,7 @@ impl Coordinator {
         self.trace(ctx.now(), "recovery", "done", || {
             format!("replicas={}", self.replicas.len())
         });
+        self.end_episode();
     }
 
     /// Re-sends the in-flight message(s) of a persisted active run.
@@ -860,20 +999,26 @@ impl NetNode for Coordinator {
 
     fn on_message(&mut self, from: &PartyId, payload: &[u8], ctx: &mut NodeCtx) {
         match self.mux.on_message(from, payload, ctx) {
-            Inbound::Deliver(bytes) => match WireMsg::from_bytes(&bytes) {
-                Some(msg) => self.dispatch(from, msg, ctx),
-                None => {
-                    let object = ObjectId::new("?");
-                    self.log_misbehaviour(
-                        &object,
-                        "",
-                        Misbehaviour::UnexpectedMessage {
-                            detail: format!("undecodable payload from {from}"),
-                        },
-                        ctx.now(),
-                    );
+            Inbound::Deliver(bytes, trace) => {
+                // One delivered message = one causal episode: every trace
+                // event and outgoing frame below cites it as parent.
+                self.begin_episode(trace);
+                match WireMsg::from_bytes(&bytes) {
+                    Some(msg) => self.dispatch(from, msg, ctx),
+                    None => {
+                        let object = ObjectId::new("?");
+                        self.log_misbehaviour(
+                            &object,
+                            "",
+                            Misbehaviour::UnexpectedMessage {
+                                detail: format!("undecodable payload from {from}"),
+                            },
+                            ctx.now(),
+                        );
+                    }
                 }
-            },
+                self.end_episode();
+            }
             Inbound::Duplicate | Inbound::Ack => {}
             Inbound::Malformed => {
                 // Foreign or corrupted traffic below the protocol layer.
@@ -887,10 +1032,16 @@ impl NetNode for Coordinator {
             return;
         }
         if let Some((object, run)) = self.deadline_timers.remove(&timer) {
+            // The deadline continues the run's trace as a second root —
+            // the appeal/abort it triggers stays in the round's DAG.
+            self.begin_root(Coordinator::run_root(&run));
             self.on_run_deadline(&object, run, ctx);
+            self.end_episode();
         }
         if let Some(run) = self.ttp_timers.remove(&timer) {
+            self.begin_root(Coordinator::run_root(&run));
             self.on_ttp_timer(run, ctx);
+            self.end_episode();
         }
         self.flush_evidence();
     }
@@ -909,6 +1060,9 @@ impl NetNode for Coordinator {
         self.ttp_timers.clear();
         self.run_started.clear();
         self.sig_cache.borrow_mut().clear();
+        // The episode dies with the crash; the span allocator survives so
+        // post-recovery spans never collide with pre-crash ones.
+        self.episode = None;
     }
 
     fn on_recover(&mut self, ctx: &mut NodeCtx) {

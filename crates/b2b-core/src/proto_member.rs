@@ -61,6 +61,13 @@ impl Coordinator {
         };
         let sig = self.signer.sign(&request.canonical_bytes());
         let msg = ConnectRequestMsg { request, sig };
+        // Content-addressed root: the request digest is the same on every
+        // fabric, so sim and TCP reconstruct the same membership trace.
+        self.begin_root(u64::from_be_bytes(
+            msg.request.canonical_digest().as_bytes()[..8]
+                .try_into()
+                .expect("8 bytes"),
+        ));
         self.factories.insert(object.clone(), factory);
         self.pending_connects.insert(
             object.clone(),
@@ -85,6 +92,7 @@ impl Coordinator {
         });
         self.send_wire(&sponsor, &WireMsg::ConnectRequest(msg), ctx);
         self.persist_index();
+        self.end_episode();
         self.flush_evidence();
         Ok(())
     }
@@ -1246,6 +1254,11 @@ impl Coordinator {
             request: msg.clone(),
             sponsor: sponsor.clone(),
         }));
+        self.begin_root(u64::from_be_bytes(
+            msg.request.canonical_digest().as_bytes()[..8]
+                .try_into()
+                .expect("8 bytes"),
+        ));
         self.log_evidence(
             EvidenceKind::DisconnectRequest,
             object,
@@ -1260,6 +1273,7 @@ impl Coordinator {
         });
         self.send_wire(&sponsor, &WireMsg::DisconnectRequest(msg), ctx);
         self.persist(object);
+        self.end_episode();
         self.flush_evidence();
         Ok(())
     }
@@ -1319,6 +1333,11 @@ impl Coordinator {
         };
         let sig = self.signer.sign(&request.canonical_bytes());
         let msg = DisconnectRequestMsg { request, sig };
+        self.begin_root(u64::from_be_bytes(
+            msg.request.canonical_digest().as_bytes()[..8]
+                .try_into()
+                .expect("8 bytes"),
+        ));
         self.log_evidence(
             EvidenceKind::DisconnectRequest,
             object,
@@ -1346,6 +1365,7 @@ impl Coordinator {
         } else {
             self.send_wire(&sponsor, &WireMsg::DisconnectRequest(msg), ctx);
         }
+        self.end_episode();
         self.flush_evidence();
         Ok(())
     }

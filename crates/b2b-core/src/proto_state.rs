@@ -178,6 +178,10 @@ impl Coordinator {
             }
         };
         self.replicas.insert(object.clone(), rep);
+        // The run id is a digest of the signed proposal, so the first
+        // eight bytes make a content-addressed root trace id: identical on
+        // every fabric, never drawn from the rng.
+        self.begin_root(Coordinator::run_root(&run));
         self.telemetry.inc(names::ROUNDS_STARTED);
         self.note_run_started(run, now);
         self.trace(now, "state_run", "propose", || {
@@ -232,6 +236,7 @@ impl Coordinator {
                 self.emit(object, run, CoordEventKind::Proposed, now);
             }
         }
+        self.end_episode();
         self.flush_evidence();
         Ok(run)
     }

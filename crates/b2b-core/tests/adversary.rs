@@ -12,8 +12,8 @@ use b2b_crypto::{PartyId, TimeMs};
 use b2b_net::intruder::{FnIntruder, Injection, InterceptAction};
 use common::*;
 
-/// Reliable-layer frame header: kind(1) + epoch(8) + seq(8).
-const FRAME_HEADER: usize = 17;
+/// Reliable-layer frame header: kind(1) + epoch(8) + seq(8) + trace(17).
+const FRAME_HEADER: usize = 34;
 
 /// Decodes the protocol message inside a reliable-layer data frame.
 fn peek(raw: &[u8]) -> Option<WireMsg> {
@@ -118,7 +118,8 @@ fn replayed_proposal_from_prior_run_is_rejected() {
     replay.push(0u8);
     replay.extend_from_slice(&0xdead_beef_u64.to_be_bytes());
     replay.extend_from_slice(&0u64.to_be_bytes());
-    replay.extend_from_slice(&frame[FRAME_HEADER..]);
+    // A wholesale replay keeps the recorded trace context and body.
+    replay.extend_from_slice(&frame[17..]);
     cluster.net.set_intruder(FnIntruder::new(
         move |_f: &PartyId, to: &PartyId, _raw: &[u8], _n| {
             if to.as_str() == "org1" {
@@ -343,6 +344,7 @@ fn fabricated_propose_without_key_is_ignored() {
     frame.push(0u8);
     frame.extend_from_slice(&0xfeed_u64.to_be_bytes());
     frame.extend_from_slice(&0u64.to_be_bytes());
+    frame.extend_from_slice(&[0u8; 17]); // trace context (untraced)
     frame.extend_from_slice(&forged.to_bytes());
     cluster.net.set_intruder(FnIntruder::new(
         move |_f: &PartyId, to: &PartyId, _raw: &[u8], _n| {
@@ -437,6 +439,7 @@ fn poisoned_sequence_number_cannot_brick_future_proposals() {
     let mut frame = vec![0u8];
     frame.extend_from_slice(&0xdead_u64.to_be_bytes());
     frame.extend_from_slice(&0u64.to_be_bytes());
+    frame.extend_from_slice(&[0u8; 17]); // trace context (untraced)
     frame.extend_from_slice(&m1.to_bytes());
     cluster.net.invoke(&party(1), move |_c, ctx| {
         ctx.send(party(0), frame);

@@ -11,7 +11,7 @@ use b2b_crypto::{PartyId, TimeMs};
 use b2b_net::intruder::{FnIntruder, Injection, InterceptAction};
 use common::*;
 
-const FRAME_HEADER: usize = 17;
+const FRAME_HEADER: usize = 34;
 
 fn peek(raw: &[u8]) -> Option<WireMsg> {
     if raw.len() <= FRAME_HEADER || raw[0] != 0 {
@@ -188,7 +188,8 @@ fn replayed_connect_proposal_is_detected() {
     let mut replay = vec![0u8];
     replay.extend_from_slice(&0xfeed_beef_u64.to_be_bytes());
     replay.extend_from_slice(&0u64.to_be_bytes());
-    replay.extend_from_slice(&frame[FRAME_HEADER..]);
+    // A wholesale replay keeps the recorded trace context and body.
+    replay.extend_from_slice(&frame[17..]);
     cluster.net.set_intruder(FnIntruder::new(
         move |_f: &PartyId, to: &PartyId, _raw: &[u8], _n| {
             if to.as_str() == "org0" {
@@ -234,6 +235,7 @@ fn forged_disconnect_request_cannot_evict_anyone() {
     let mut frame = vec![0u8];
     frame.extend_from_slice(&0xabcd_u64.to_be_bytes());
     frame.extend_from_slice(&0u64.to_be_bytes());
+    frame.extend_from_slice(&[0u8; 17]); // trace context (untraced)
     frame.extend_from_slice(&msg.to_bytes());
     // Deliver to the disconnect sponsor (org2).
     cluster.net.invoke(&party(0), move |_c, ctx| {

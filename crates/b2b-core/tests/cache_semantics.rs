@@ -25,8 +25,8 @@ use b2b_telemetry::{names, MetricsSnapshot, RingRecorder, Telemetry};
 use common::*;
 use std::sync::{Arc, Mutex};
 
-/// Reliable-layer frame header: kind(1) + epoch(8) + seq(8).
-const FRAME_HEADER: usize = 17;
+/// Reliable-layer frame header: kind(1) + epoch(8) + seq(8) + trace(17).
+const FRAME_HEADER: usize = 34;
 
 fn peek(raw: &[u8]) -> Option<WireMsg> {
     if raw.len() <= FRAME_HEADER || raw[0] != 0 {
@@ -42,7 +42,8 @@ fn reframe(frame: &[u8], epoch: u64) -> Vec<u8> {
     out.push(0u8);
     out.extend_from_slice(&epoch.to_be_bytes());
     out.extend_from_slice(&0u64.to_be_bytes());
-    out.extend_from_slice(&frame[FRAME_HEADER..]);
+    // Keep the recorded trace context and body.
+    out.extend_from_slice(&frame[17..]);
     out
 }
 

@@ -220,6 +220,7 @@ fn resolution_from_anyone_but_the_appointed_ttp_is_rejected() {
     let mut frame = vec![0u8];
     frame.extend_from_slice(&0xbeef_u64.to_be_bytes());
     frame.extend_from_slice(&0u64.to_be_bytes());
+    frame.extend_from_slice(&[0u8; 17]); // trace context (untraced)
     frame.extend_from_slice(&WireMsg::TtpResolution(msg).to_bytes());
     world.net.invoke(&org(2), move |_c, ctx| {
         ctx.send(PartyId::new("org0"), frame);

@@ -397,6 +397,7 @@ mod tests {
         let mut f = vec![0u8]; // KIND_DATA
         f.extend_from_slice(&1u64.to_be_bytes()); // epoch
         f.extend_from_slice(&0u64.to_be_bytes()); // seq
+        f.extend_from_slice(&[0u8; 17]); // trace context (untraced)
         f.extend_from_slice(body);
         f
     }
@@ -420,7 +421,7 @@ mod tests {
         // Acks are invisible to scripts: not counted, not matched.
         let ack = {
             let mut f = vec![1u8];
-            f.extend_from_slice(&[0u8; 16]);
+            f.extend_from_slice(&[0u8; 33]);
             f
         };
         assert_eq!(
@@ -444,7 +445,7 @@ mod tests {
                 assert_eq!(injs.len(), 1);
                 assert_eq!(injs[0].after, TimeMs(50));
                 assert_ne!(injs[0].payload, f, "replay must carry a fresh identity");
-                assert_eq!(&injs[0].payload[17..], b"payload");
+                assert_eq!(&injs[0].payload[34..], b"payload");
             }
             other => panic!("expected injection, got {other:?}"),
         }

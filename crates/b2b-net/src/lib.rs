@@ -23,7 +23,9 @@
 //!   framing and reconnecting per-peer connections, for crossing process
 //!   and host boundaries;
 //! * [`poll`] — bounded condition-polling helpers for tests against the
-//!   real-clock transports.
+//!   real-clock transports;
+//! * [`scrape`] — a tiny HTTP responder serving the metrics registry in
+//!   Prometheus text exposition format, for watching a live TCP fleet.
 
 pub mod fault;
 pub mod inproc;
@@ -31,6 +33,7 @@ pub mod intruder;
 pub mod node;
 pub mod poll;
 pub mod reliable;
+pub mod scrape;
 pub mod sim;
 pub mod stats;
 pub mod tcp;
@@ -42,6 +45,7 @@ pub use intruder::{
 };
 pub use node::{NetNode, NodeCtx, Payload};
 pub use reliable::{ReliableMux, RELIABLE_TIMER_BASE};
+pub use scrape::ScrapeServer;
 pub use sim::SimNet;
 pub use stats::NetStats;
 pub use tcp::{TcpConfig, TcpEndpoint, TcpNet, MAX_FRAME_LEN};

@@ -15,7 +15,7 @@
 
 use crate::node::{NodeCtx, Payload};
 use b2b_crypto::{PartyId, TimeMs};
-use b2b_telemetry::{names, Telemetry};
+use b2b_telemetry::{names, Telemetry, TraceContext};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Timer ids at or above this value belong to the reliable layer; protocol
@@ -25,11 +25,18 @@ pub const RELIABLE_TIMER_BASE: u64 = 1 << 62;
 const KIND_DATA: u8 = 0;
 const KIND_ACK: u8 = 1;
 
+/// Frame layout: `kind (1) | epoch (8) | seq (8) | trace context (17)`,
+/// then the body. The trace context rides in every frame (zeroed on acks
+/// and untraced sends) so all three fabrics — which transmit mux frames
+/// opaquely — propagate causality without knowing about it.
+const FRAME_HEADER_LEN: usize = 17 + b2b_telemetry::ctx::WIRE_LEN;
+
 /// What [`ReliableMux::on_message`] concluded about an incoming frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Inbound {
-    /// A payload delivered for the first time: hand it to the protocol.
-    Deliver(Vec<u8>),
+    /// A payload delivered for the first time, with the causal trace
+    /// context the sender stamped on it: hand it to the protocol.
+    Deliver(Vec<u8>, TraceContext),
     /// A duplicate of an already-delivered payload: suppressed.
     Duplicate,
     /// An ack for one of our outstanding sends: bookkeeping only.
@@ -90,8 +97,12 @@ struct PeerState {
 /// let (_to, frame) = ctx.take_outgoing().pop().unwrap();
 ///
 /// // Bob receives the frame once: delivered. Twice: suppressed.
+/// use b2b_telemetry::TraceContext;
 /// let mut bob_ctx = NodeCtx::new(TimeMs(1));
-/// assert_eq!(bob.on_message(&a, &frame, &mut bob_ctx), Inbound::Deliver(b"hi".to_vec()));
+/// assert_eq!(
+///     bob.on_message(&a, &frame, &mut bob_ctx),
+///     Inbound::Deliver(b"hi".to_vec(), TraceContext::NONE)
+/// );
 /// assert_eq!(bob.on_message(&a, &frame, &mut bob_ctx), Inbound::Duplicate);
 /// ```
 #[derive(Debug)]
@@ -192,10 +203,25 @@ impl ReliableMux {
     /// per-peer frame (which carries the peer's sequence number) is built
     /// once and shared between the wire and the retransmit buffer.
     pub fn send(&mut self, to: PartyId, payload: impl AsRef<[u8]>, ctx: &mut NodeCtx) {
+        self.send_traced(to, payload, TraceContext::NONE, ctx);
+    }
+
+    /// Like [`ReliableMux::send`], stamping `trace` into the frame header
+    /// so the receiver can continue the causal trace. Retransmissions
+    /// reuse the original frame, trace bytes included — a retransmitted
+    /// frame is the *same* causal step, not a new one.
+    pub fn send_traced(
+        &mut self,
+        to: PartyId,
+        payload: impl AsRef<[u8]>,
+        trace: TraceContext,
+        ctx: &mut NodeCtx,
+    ) {
         let peer = self.peers.entry(to.clone()).or_default();
         let seq = peer.next_send_seq;
         peer.next_send_seq += 1;
-        let frame: Payload = encode_frame(KIND_DATA, self.epoch, seq, payload.as_ref()).into();
+        let frame: Payload =
+            encode_frame(KIND_DATA, self.epoch, seq, &trace, payload.as_ref()).into();
         peer.outstanding.insert(
             seq,
             OutFrame {
@@ -211,16 +237,20 @@ impl ReliableMux {
     /// Processes a raw inbound payload; acks data frames and classifies the
     /// result for the caller.
     pub fn on_message(&mut self, from: &PartyId, raw: &[u8], ctx: &mut NodeCtx) -> Inbound {
-        let Some((kind, epoch, seq, body)) = decode_frame(raw) else {
+        let Some((kind, epoch, seq, trace, body)) = decode_frame(raw) else {
             return Inbound::Malformed;
         };
         match kind {
             KIND_DATA => {
-                // Always re-ack: the previous ack may have been lost.
-                ctx.send(from.clone(), encode_frame(KIND_ACK, epoch, seq, &[]));
+                // Always re-ack: the previous ack may have been lost. Acks
+                // carry no causal context of their own.
+                ctx.send(
+                    from.clone(),
+                    encode_frame(KIND_ACK, epoch, seq, &TraceContext::NONE, &[]),
+                );
                 let peer = self.peers.entry(from.clone()).or_default();
                 if peer.delivered.insert((epoch, seq)) {
-                    Inbound::Deliver(body.to_vec())
+                    Inbound::Deliver(body.to_vec(), trace)
                 } else {
                     self.dedup_drops += 1;
                     self.telemetry.inc(names::DEDUP_DROPS);
@@ -315,38 +345,44 @@ impl ReliableMux {
 /// opposed to an ack or foreign traffic). Intruder scripts use this to
 /// target protocol-bearing datagrams only.
 pub fn is_data_frame(raw: &[u8]) -> bool {
-    matches!(decode_frame(raw), Some((KIND_DATA, _, _, body)) if !body.is_empty())
+    matches!(decode_frame(raw), Some((KIND_DATA, _, _, _, body)) if !body.is_empty())
 }
 
 /// Re-wraps a captured DATA frame's body under a fresh `(epoch, seq)`
 /// identity, so a replayed copy is not suppressed by the receiver's
-/// duplicate filter (which keys on the pair). Returns `None` for acks and
-/// malformed frames. This is the Dolev-Yao "replay at will" primitive: the
-/// intruder controls the network and can re-frame recorded traffic.
+/// duplicate filter (which keys on the pair). The captured trace context
+/// is preserved — the intruder replays the frame bytes it recorded.
+/// Returns `None` for acks and malformed frames. This is the Dolev-Yao
+/// "replay at will" primitive: the intruder controls the network and can
+/// re-frame recorded traffic.
 pub fn reframe(raw: &[u8], epoch: u64, seq: u64) -> Option<Vec<u8>> {
     match decode_frame(raw) {
-        Some((KIND_DATA, _, _, body)) => Some(encode_frame(KIND_DATA, epoch, seq, body)),
+        Some((KIND_DATA, _, _, trace, body)) => {
+            Some(encode_frame(KIND_DATA, epoch, seq, &trace, body))
+        }
         _ => None,
     }
 }
 
-fn encode_frame(kind: u8, epoch: u64, seq: u64, body: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(17 + body.len());
+fn encode_frame(kind: u8, epoch: u64, seq: u64, trace: &TraceContext, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
     out.push(kind);
     out.extend_from_slice(&epoch.to_be_bytes());
     out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(&trace.encode());
     out.extend_from_slice(body);
     out
 }
 
-fn decode_frame(raw: &[u8]) -> Option<(u8, u64, u64, &[u8])> {
-    if raw.len() < 17 {
+fn decode_frame(raw: &[u8]) -> Option<(u8, u64, u64, TraceContext, &[u8])> {
+    if raw.len() < FRAME_HEADER_LEN {
         return None;
     }
     let kind = raw[0];
     let epoch = u64::from_be_bytes(raw[1..9].try_into().ok()?);
     let seq = u64::from_be_bytes(raw[9..17].try_into().ok()?);
-    Some((kind, epoch, seq, &raw[17..]))
+    let trace = TraceContext::decode(&raw[17..FRAME_HEADER_LEN])?;
+    Some((kind, epoch, seq, trace, &raw[FRAME_HEADER_LEN..]))
 }
 
 #[cfg(test)]
@@ -356,39 +392,73 @@ mod tests {
     use crate::node::NetNode;
     use crate::sim::SimNet;
 
+    /// The trace context used by frame-level tests.
+    fn tctx() -> TraceContext {
+        TraceContext {
+            trace_id: 0xaaaa_bbbb_cccc_dddd,
+            parent_span: 0x1111_2222_3333_4444,
+            hop: 3,
+        }
+    }
+
     #[test]
     fn reframe_changes_identity_but_not_body() {
-        let f = encode_frame(KIND_DATA, 7, 42, b"payload");
+        let f = encode_frame(KIND_DATA, 7, 42, &tctx(), b"payload");
         assert!(is_data_frame(&f));
         let r = reframe(&f, 99, 3).unwrap();
-        let (k, e, s, b) = decode_frame(&r).unwrap();
+        let (k, e, s, t, b) = decode_frame(&r).unwrap();
         assert_eq!((k, e, s, b), (KIND_DATA, 99, 3, &b"payload"[..]));
+        // The replayed frame carries the recorded trace bytes verbatim.
+        assert_eq!(t, tctx());
         // A receiver treats the reframed copy as fresh traffic.
         let mut rx = ReliableMux::new(TimeMs(10), 0);
         let mut ctx = NodeCtx::new(TimeMs(0));
         let from = PartyId::new("tx");
         assert_eq!(
             rx.on_message(&from, &f, &mut ctx),
-            Inbound::Deliver(b"payload".to_vec())
+            Inbound::Deliver(b"payload".to_vec(), tctx())
         );
         assert_eq!(
             rx.on_message(&from, &r, &mut ctx),
-            Inbound::Deliver(b"payload".to_vec())
+            Inbound::Deliver(b"payload".to_vec(), tctx())
         );
         // Acks cannot be reframed into data.
-        let ack = encode_frame(KIND_ACK, 7, 42, &[]);
+        let ack = encode_frame(KIND_ACK, 7, 42, &TraceContext::NONE, &[]);
         assert!(!is_data_frame(&ack));
         assert!(reframe(&ack, 1, 1).is_none());
     }
 
     #[test]
     fn frame_roundtrip() {
-        let f = encode_frame(KIND_DATA, 7, 42, b"payload");
-        let (k, e, s, b) = decode_frame(&f).unwrap();
+        let f = encode_frame(KIND_DATA, 7, 42, &tctx(), b"payload");
+        assert_eq!(f.len(), FRAME_HEADER_LEN + b"payload".len());
+        let (k, e, s, t, b) = decode_frame(&f).unwrap();
         assert_eq!(k, KIND_DATA);
         assert_eq!(e, 7);
         assert_eq!(s, 42);
+        assert_eq!(t, tctx());
         assert_eq!(b, b"payload");
+    }
+
+    #[test]
+    fn traced_send_reaches_the_receiver_with_its_context() {
+        let mut tx = ReliableMux::new(TimeMs(10), 1);
+        let mut rx = ReliableMux::new(TimeMs(10), 2);
+        let (pa, pb) = (PartyId::new("a"), PartyId::new("b"));
+        let mut ctx = NodeCtx::new(TimeMs(0));
+        tx.send_traced(pb, b"m".to_vec(), tctx(), &mut ctx);
+        let (_, frame) = ctx.take_outgoing().remove(0);
+        let mut rctx = NodeCtx::new(TimeMs(1));
+        assert_eq!(
+            rx.on_message(&pa, &frame, &mut rctx),
+            Inbound::Deliver(b"m".to_vec(), tctx())
+        );
+        // Untraced sends carry the all-zero sentinel.
+        let mut ctx2 = NodeCtx::new(TimeMs(2));
+        tx.send(PartyId::new("b"), b"n".to_vec(), &mut ctx2);
+        let (_, frame2) = ctx2.take_outgoing().remove(0);
+        let (_, _, _, t, _) = decode_frame(&frame2).unwrap();
+        assert_eq!(t, TraceContext::NONE);
     }
 
     #[test]
@@ -398,15 +468,15 @@ mod tests {
         let mut rx = ReliableMux::new(TimeMs(10), 0);
         let from = PartyId::new("tx");
         let mut ctx = NodeCtx::new(TimeMs(0));
-        let before = encode_frame(KIND_DATA, 1, 0, b"pre-crash");
-        let after = encode_frame(KIND_DATA, 2, 0, b"post-crash");
+        let before = encode_frame(KIND_DATA, 1, 0, &TraceContext::NONE, b"pre-crash");
+        let after = encode_frame(KIND_DATA, 2, 0, &TraceContext::NONE, b"post-crash");
         assert_eq!(
             rx.on_message(&from, &before, &mut ctx),
-            Inbound::Deliver(b"pre-crash".to_vec())
+            Inbound::Deliver(b"pre-crash".to_vec(), TraceContext::NONE)
         );
         assert_eq!(
             rx.on_message(&from, &after, &mut ctx),
-            Inbound::Deliver(b"post-crash".to_vec())
+            Inbound::Deliver(b"post-crash".to_vec(), TraceContext::NONE)
         );
         assert_eq!(rx.on_message(&from, &after, &mut ctx), Inbound::Duplicate);
         assert_eq!(rx.dedup_drops(), 1);
@@ -428,7 +498,7 @@ mod tests {
 
         let mut rx = ReliableMux::new(TimeMs(10), 0);
         rx.set_telemetry(tel.clone(), PartyId::new("rx"));
-        let frame = encode_frame(KIND_DATA, 1, 0, b"x");
+        let frame = encode_frame(KIND_DATA, 1, 0, &TraceContext::NONE, b"x");
         let mut rctx = NodeCtx::new(TimeMs(1));
         rx.on_message(&PartyId::new("tx"), &frame, &mut rctx);
         rx.on_message(&PartyId::new("tx"), &frame, &mut rctx);
@@ -443,10 +513,10 @@ mod tests {
         let mut ctx = NodeCtx::new(TimeMs(0));
         tx.send(to.clone(), &b"m"[..], &mut ctx);
         // An ack for another epoch must not clear our outstanding send.
-        let stale = encode_frame(KIND_ACK, 4, 0, &[]);
+        let stale = encode_frame(KIND_ACK, 4, 0, &TraceContext::NONE, &[]);
         tx.on_message(&to, &stale, &mut ctx);
         assert!(!tx.all_acked());
-        let good = encode_frame(KIND_ACK, 5, 0, &[]);
+        let good = encode_frame(KIND_ACK, 5, 0, &TraceContext::NONE, &[]);
         tx.on_message(&to, &good, &mut ctx);
         assert!(tx.all_acked());
     }
@@ -501,7 +571,7 @@ mod tests {
         let (tid2, _) = ctx2.take_timers()[0];
 
         // Ack arrives; the pending timer becomes a no-op.
-        let frame_ack = encode_frame(KIND_ACK, 1, 0, &[]);
+        let frame_ack = encode_frame(KIND_ACK, 1, 0, &TraceContext::NONE, &[]);
         let mut ctx3 = NodeCtx::new(TimeMs(15));
         a.on_message(&pb, &frame_ack, &mut ctx3);
         let mut ctx4 = NodeCtx::new(TimeMs(20));
@@ -614,7 +684,7 @@ mod tests {
             }
         }
         fn on_message(&mut self, from: &PartyId, payload: &[u8], ctx: &mut NodeCtx) {
-            if let Inbound::Deliver(m) = self.mux.on_message(from, payload, ctx) {
+            if let Inbound::Deliver(m, _) = self.mux.on_message(from, payload, ctx) {
                 self.delivered.push(m);
             }
         }

@@ -1,0 +1,186 @@
+//! A live Prometheus scrape endpoint for the metrics registry.
+//!
+//! [`ScrapeServer`] is a deliberately tiny HTTP/1.1 responder: it binds an
+//! ephemeral loopback listener, answers `GET /metrics` with the registry
+//! snapshot rendered in the Prometheus text exposition format (version
+//! 0.0.4), and anything else with `404`. One background thread, blocking
+//! accepts, no HTTP library — the request line is all it reads.
+//!
+//! The registry handle is shared, so a scrape taken while a `TcpNet`
+//! experiment is running observes the counters live. Determinism is not at
+//! stake here: scraping reads a snapshot, it never mutates protocol state.
+
+use b2b_telemetry::MetricsRegistry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A background HTTP responder serving one metrics registry.
+///
+/// # Example
+///
+/// ```
+/// use b2b_net::ScrapeServer;
+/// use b2b_telemetry::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::default();
+/// registry.add("rounds_committed", 3);
+/// let server = ScrapeServer::bind(registry).expect("bind loopback");
+/// let body = ScrapeServer::fetch(server.addr()).expect("scrape");
+/// assert!(body.contains("b2b_rounds_committed 3"));
+/// server.shutdown();
+/// ```
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds an ephemeral loopback listener and starts serving `registry`.
+    pub fn bind(registry: MetricsRegistry) -> io::Result<ScrapeServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("b2b-scrape".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_thread.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // A failed scrape is the scraper's problem, never ours.
+                        let _ = serve_one(stream, &registry);
+                    }
+                }
+            })?;
+        Ok(ScrapeServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address scrapers should `GET /metrics` against.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the responder thread and closes the listener.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Issues one `GET /metrics` against `addr` and returns the body.
+    ///
+    /// A convenience for tests and the `exp` binary; any real Prometheus
+    /// (or `curl`) speaks the same bytes.
+    pub fn fetch(addr: SocketAddr) -> io::Result<String> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: b2b\r\nConnection: close\r\n\r\n")?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        match response.split_once("\r\n\r\n") {
+            Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "scrape did not answer 200",
+            )),
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Answers a single connection: `GET /metrics` → 200 with the exposition
+/// text, everything else → 404.
+fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let line = request.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method == "GET" && (path == "/metrics" || path == "/") {
+        let body = registry.snapshot().to_prometheus();
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else {
+        write!(
+            stream,
+            "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+        )?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use b2b_telemetry::names;
+
+    #[test]
+    fn scrape_returns_the_registry_in_prometheus_text() {
+        let registry = MetricsRegistry::default();
+        registry.add(names::ROUNDS_COMMITTED, 7);
+        registry.observe(names::ROUND_LATENCY_MS, 42);
+        let server = ScrapeServer::bind(registry.clone()).expect("bind");
+
+        // Speak raw HTTP ourselves — the contract is bytes, not our helper.
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.contains("text/plain; version=0.0.4"));
+        let body = response.split_once("\r\n\r\n").expect("has body").1;
+        assert_eq!(body, registry.snapshot().to_prometheus());
+        assert!(body.contains("b2b_rounds_committed 7"));
+        assert!(body.contains("b2b_round_latency_ms_count 1"));
+
+        // A scrape taken later sees counters that moved in between.
+        registry.add(names::ROUNDS_COMMITTED, 1);
+        let again = ScrapeServer::fetch(server.addr()).expect("fetch");
+        assert!(again.contains("b2b_rounds_committed 8"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_get_a_404() {
+        let server = ScrapeServer::bind(MetricsRegistry::default()).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .write_all(b"GET /health HTTP/1.0\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 404"));
+        server.shutdown();
+    }
+}

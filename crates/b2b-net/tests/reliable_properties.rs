@@ -44,7 +44,7 @@ impl NetNode for Endpoint {
         }
     }
     fn on_message(&mut self, from: &PartyId, payload: &[u8], ctx: &mut NodeCtx) {
-        if let Inbound::Deliver(m) = self.mux.on_message(from, payload, ctx) {
+        if let Inbound::Deliver(m, _) = self.mux.on_message(from, payload, ctx) {
             self.delivered.push(m);
         }
     }
@@ -128,7 +128,7 @@ fn fresh_epochs_deliver_exactly_once_after_dedup_loss() {
             tx1.send(PartyId::new("rx"), p.clone(), &mut ctx);
             for (_, frame) in ctx.take_outgoing() {
                 let mut rctx = NodeCtx::new(TimeMs(1));
-                if let Inbound::Deliver(m) = rx.on_message(&from, &frame, &mut rctx) {
+                if let Inbound::Deliver(m, _) = rx.on_message(&from, &frame, &mut rctx) {
                     delivered.push(m);
                 }
             }
@@ -143,7 +143,7 @@ fn fresh_epochs_deliver_exactly_once_after_dedup_loss() {
             tx2.send(PartyId::new("rx"), p.clone(), &mut ctx);
             for (_, frame) in ctx.take_outgoing() {
                 let mut rctx = NodeCtx::new(TimeMs(3));
-                if let Inbound::Deliver(m) = rx.on_message(&from, &frame, &mut rctx) {
+                if let Inbound::Deliver(m, _) = rx.on_message(&from, &frame, &mut rctx) {
                     post.push(m);
                 }
                 // A duplicate of the same frame is suppressed.

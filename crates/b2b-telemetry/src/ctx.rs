@@ -1,0 +1,138 @@
+//! The causal trace context carried inside every wire frame.
+//!
+//! A [`TraceContext`] is the cross-node half of distributed tracing: the
+//! sender stamps its current trace id, the span that caused the send, and
+//! a hop counter into the frame header; the receiver opens a child span
+//! under that parent. Trace ids are derived from protocol *content* (run
+//! digests, request digests) rather than from any per-node RNG, so the
+//! same scenario produces the same trace ids on the deterministic
+//! simulator and over real TCP sockets alike.
+//!
+//! `trace_id == 0` is the reserved "untraced" sentinel ([`TraceContext::NONE`]);
+//! frames carrying it cost nothing downstream and assemble into no trace.
+
+/// Number of bytes a [`TraceContext`] occupies on the wire:
+/// `trace_id (8) | parent_span (8) | hop (1)`.
+pub const WIRE_LEN: usize = 17;
+
+/// Causal context propagated from a sender's span to the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Identifies the causal DAG this frame belongs to (0 = untraced).
+    pub trace_id: u64,
+    /// The sender-side span that caused this frame (0 for roots).
+    pub parent_span: u64,
+    /// Causal distance from the root span, saturating at 255.
+    pub hop: u8,
+}
+
+impl TraceContext {
+    /// The untraced sentinel: all zeroes on the wire.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        parent_span: 0,
+        hop: 0,
+    };
+
+    /// A root context opening trace `trace_id` (no parent, hop 0).
+    pub fn root(trace_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id,
+            parent_span: 0,
+            hop: 0,
+        }
+    }
+
+    /// The context stamped on frames sent *from* span `parent_span` of the
+    /// same trace: one causal hop further from the root.
+    pub fn child(&self, parent_span: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span,
+            hop: self.hop.saturating_add(1),
+        }
+    }
+
+    /// `true` for the untraced sentinel.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+
+    /// Serializes to the fixed wire form.
+    pub fn encode(&self) -> [u8; WIRE_LEN] {
+        let mut out = [0u8; WIRE_LEN];
+        out[0..8].copy_from_slice(&self.trace_id.to_be_bytes());
+        out[8..16].copy_from_slice(&self.parent_span.to_be_bytes());
+        out[16] = self.hop;
+        out
+    }
+
+    /// Parses the fixed wire form; `None` if `raw` is too short.
+    pub fn decode(raw: &[u8]) -> Option<TraceContext> {
+        if raw.len() < WIRE_LEN {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id: u64::from_be_bytes(raw[0..8].try_into().ok()?),
+            parent_span: u64::from_be_bytes(raw[8..16].try_into().ok()?),
+            hop: raw[16],
+        })
+    }
+}
+
+/// The identity stamped onto trace events recorded during one episode:
+/// which trace, which span, and which remote span caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanIds {
+    /// The causal DAG the event belongs to (0 = untraced).
+    pub trace_id: u64,
+    /// The span the event was recorded under.
+    pub span_id: u64,
+    /// The (possibly remote) parent span (0 for roots).
+    pub parent_span: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let ctx = TraceContext {
+            trace_id: 0x0123_4567_89ab_cdef,
+            parent_span: 0xfeed_face_dead_beef,
+            hop: 7,
+        };
+        let bytes = ctx.encode();
+        assert_eq!(bytes.len(), WIRE_LEN);
+        assert_eq!(TraceContext::decode(&bytes), Some(ctx));
+        assert_eq!(TraceContext::decode(&bytes[..WIRE_LEN - 1]), None);
+    }
+
+    #[test]
+    fn none_is_all_zeroes() {
+        assert!(TraceContext::NONE.is_none());
+        assert_eq!(TraceContext::NONE.encode(), [0u8; WIRE_LEN]);
+        assert_eq!(
+            TraceContext::decode(&[0u8; WIRE_LEN]),
+            Some(TraceContext::NONE)
+        );
+    }
+
+    #[test]
+    fn child_advances_the_hop_and_keeps_the_trace() {
+        let root = TraceContext::root(42);
+        assert!(!root.is_none());
+        let child = root.child(9);
+        assert_eq!(child.trace_id, 42);
+        assert_eq!(child.parent_span, 9);
+        assert_eq!(child.hop, 1);
+        // The hop counter saturates instead of wrapping.
+        let deep = TraceContext {
+            trace_id: 1,
+            parent_span: 2,
+            hop: u8::MAX,
+        };
+        assert_eq!(deep.child(3).hop, u8::MAX);
+    }
+}

@@ -17,9 +17,13 @@
 //! trace sink; every instrumentation point is written so that the no-sink
 //! path does not even format its detail string.
 
+pub mod assemble;
+pub mod ctx;
 pub mod metrics;
 pub mod trace;
 
+pub use assemble::{assemble, chrome_trace_json, DistributedTrace};
+pub use ctx::{SpanIds, TraceContext};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use trace::{LineWriter, NoopSink, RingRecorder, TraceEvent, TraceSink};
 
@@ -162,6 +166,24 @@ impl Telemetry {
         phase: &str,
         detail: impl FnOnce() -> String,
     ) {
+        self.trace_span(time_ms, party, span, phase, SpanIds::default(), detail);
+    }
+
+    /// Records a trace event stamped with causal ids if a sink is attached.
+    ///
+    /// Like [`Telemetry::trace`], the no-sink path never formats `detail`.
+    /// `ids` carries the episode identity a coordinator allocated for the
+    /// message (or timer) it is currently handling; `SpanIds::default()`
+    /// marks the event untraced.
+    pub fn trace_span(
+        &self,
+        time_ms: u64,
+        party: &str,
+        span: &str,
+        phase: &str,
+        ids: SpanIds,
+        detail: impl FnOnce() -> String,
+    ) {
         if let Some(sink) = &self.sink {
             sink.record(TraceEvent {
                 time_ms,
@@ -169,6 +191,9 @@ impl Telemetry {
                 span: span.to_string(),
                 phase: phase.to_string(),
                 detail: detail(),
+                trace_id: ids.trace_id,
+                span_id: ids.span_id,
+                parent_span: ids.parent_span,
             });
         }
     }

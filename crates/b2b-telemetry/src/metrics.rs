@@ -91,6 +91,48 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) at bucket resolution: the upper
+    /// bound of the first bucket whose cumulative count reaches the
+    /// target rank, clamped to the observed maximum (exact when the
+    /// quantile falls in the overflow bucket). Returns 0 when empty.
+    ///
+    /// Because buckets are mergeable, quantiles computed on a merged
+    /// histogram equal quantiles computed over the pooled observations —
+    /// the property the fleet-wide sidecar aggregation relies on.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return match BUCKET_BOUNDS.get(i) {
+                    Some(&bound) => bound.min(self.max),
+                    None => self.max, // overflow bucket
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket resolution).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket resolution).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -212,6 +254,53 @@ impl MetricsSnapshot {
         serde_json::from_str(json)
     }
 
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): every counter as a `counter`, every histogram as a
+    /// cumulative-bucket `histogram` with `_sum` and `_count` series.
+    ///
+    /// Metric names are prefixed `b2b_` and sanitized to the Prometheus
+    /// charset (`[a-zA-Z0-9_]`); iteration order is the registry's sorted
+    /// order, so the output is deterministic.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 4);
+            out.push_str("b2b_");
+            for c in name.chars() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                match BUCKET_BOUNDS.get(i) {
+                    Some(bound) => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
     /// Renders a human-readable metrics table.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
@@ -242,23 +331,26 @@ impl MetricsSnapshot {
                 .max("histogram".len());
             let _ = writeln!(
                 out,
-                "{:<width$}  count      sum      min      max     mean",
+                "{:<width$}  count      sum      min      max     mean      p50      p95      p99",
                 "histogram"
             );
             let _ = writeln!(
                 out,
-                "{:-<width$}  -----      ---      ---      ---     ----",
+                "{:-<width$}  -----      ---      ---      ---     ----      ---      ---      ---",
                 ""
             );
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "{name:<width$}  {:>5}  {:>7}  {:>7}  {:>7}  {:>7.1}",
+                    "{name:<width$}  {:>5}  {:>7}  {:>7}  {:>7}  {:>7.1}  {:>7}  {:>7}  {:>7}",
                     h.count,
                     h.sum,
                     h.min,
                     h.max,
-                    h.mean()
+                    h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99()
                 );
             }
         }
@@ -340,6 +432,77 @@ mod tests {
         let h = fleet.histogram("round_latency_ms").expect("merged");
         assert_eq!(h.count, 2);
         assert_eq!(h.sum, 40);
+    }
+
+    #[test]
+    fn quantiles_at_bucket_resolution() {
+        let mut h = Histogram::default();
+        assert_eq!(h.p50(), 0, "empty histogram quantiles are 0");
+        for v in [1u64, 2, 3, 4, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.p50(), 5, "rank 3 of 5 lands in the (2,5] bucket");
+        assert_eq!(h.p95(), 100);
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.quantile(0.0), 1, "q=0 is the first occupied bucket");
+        // A quantile in the overflow bucket reports the exact max.
+        let mut o = Histogram::default();
+        o.observe(50_000);
+        assert_eq!(o.p50(), 50_000);
+        // The bound is clamped to the observed max for sparse data.
+        let mut s = Histogram::default();
+        s.observe(3);
+        assert_eq!(s.p99(), 3, "clamped below the 5 ms bucket bound");
+    }
+
+    #[test]
+    fn quantiles_survive_merge() {
+        // Percentiles of a merged histogram must equal percentiles of the
+        // pooled observations — the mergeability contract.
+        let observations_a = [1u64, 5, 9, 14, 200];
+        let observations_b = [2u64, 800, 950, 1000, 7000];
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut pooled = Histogram::default();
+        for v in observations_a {
+            a.observe(v);
+            pooled.observe(v);
+        }
+        for v in observations_b {
+            b.observe(v);
+            pooled.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, pooled);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), pooled.quantile(q), "q={q}");
+        }
+        assert_eq!(a.p50(), 20, "rank 5 of 10 lands in the (14,20] bucket");
+        assert_eq!(a.p99(), 7000);
+    }
+
+    #[test]
+    fn prometheus_text_exposition() {
+        let reg = MetricsRegistry::new();
+        reg.add("rounds_started", 3);
+        reg.inc("partition_drops:org1->org2");
+        reg.observe("round_latency_ms", 1);
+        reg.observe("round_latency_ms", 6);
+        reg.observe("round_latency_ms", 90_000);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE b2b_rounds_started counter\nb2b_rounds_started 3\n"));
+        // Illegal characters are sanitized to underscores.
+        assert!(text.contains("b2b_partition_drops_org1__org2 1"));
+        // Cumulative buckets: the le="1" bucket holds 1, le="10" holds 2,
+        // +Inf holds all 3, and sum/count close the family.
+        assert!(text.contains("# TYPE b2b_round_latency_ms histogram"));
+        assert!(text.contains("b2b_round_latency_ms_bucket{le=\"1\"} 1"));
+        assert!(text.contains("b2b_round_latency_ms_bucket{le=\"10\"} 2"));
+        assert!(text.contains("b2b_round_latency_ms_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("b2b_round_latency_ms_sum 90007"));
+        assert!(text.contains("b2b_round_latency_ms_count 3"));
+        // Deterministic bytes.
+        assert_eq!(text, reg.snapshot().to_prometheus());
     }
 
     #[test]

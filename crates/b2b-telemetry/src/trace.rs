@@ -13,7 +13,7 @@ use std::io::Write;
 use std::sync::Mutex;
 
 /// One recorded protocol step.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct TraceEvent {
     /// Virtual time of the event in milliseconds.
     pub time_ms: u64,
@@ -25,12 +25,22 @@ pub struct TraceEvent {
     pub phase: String,
     /// Deterministic free-form detail (run labels, peers, sequence numbers).
     pub detail: String,
+    /// The causal DAG this event belongs to; 0 = untraced (the pre-tracing
+    /// rendering and assembly behaviour).
+    pub trace_id: u64,
+    /// The local span the event was recorded under (0 when untraced).
+    pub span_id: u64,
+    /// The (possibly remote) span that caused this one (0 for roots).
+    pub parent_span: u64,
 }
 
 impl TraceEvent {
     /// Renders the canonical single-line form used by [`LineWriter`].
+    ///
+    /// Untraced events (`trace_id == 0`) render exactly as they did before
+    /// causal ids existed; traced events append the id triple.
     pub fn render_line(&self) -> String {
-        if self.detail.is_empty() {
+        let mut line = if self.detail.is_empty() {
             format!(
                 "t={:>6} {:<8} {}/{}",
                 self.time_ms, self.party, self.span, self.phase
@@ -40,7 +50,14 @@ impl TraceEvent {
                 "t={:>6} {:<8} {}/{} {}",
                 self.time_ms, self.party, self.span, self.phase, self.detail
             )
+        };
+        if self.trace_id != 0 {
+            line.push_str(&format!(
+                " [trace={:016x} span={:016x} parent={:016x}]",
+                self.trace_id, self.span_id, self.parent_span
+            ));
         }
+        line
     }
 }
 
@@ -151,6 +168,7 @@ impl TraceSink for RingRecorder {
 ///     span: "net".into(),
 ///     phase: "send".into(),
 ///     detail: "to=org2".into(),
+///     ..TraceEvent::default()
 /// });
 /// let bytes = sink.into_inner();
 /// assert!(String::from_utf8(bytes).unwrap().contains("net/send"));
@@ -192,7 +210,21 @@ mod tests {
             span: "s".to_string(),
             phase: "ph".to_string(),
             detail: detail.to_string(),
+            ..TraceEvent::default()
         }
+    }
+
+    #[test]
+    fn traced_events_render_their_id_triple() {
+        let mut e = ev(3, "x");
+        assert!(!e.render_line().contains("trace="));
+        e.trace_id = 0xab;
+        e.span_id = 0xcd;
+        e.parent_span = 0xef;
+        let line = e.render_line();
+        assert!(line.contains("trace=00000000000000ab"));
+        assert!(line.contains("span=00000000000000cd"));
+        assert!(line.contains("parent=00000000000000ef"));
     }
 
     #[test]

@@ -30,7 +30,7 @@ impl NetNode for Endpoint {
         }
     }
     fn on_message(&mut self, from: &PartyId, payload: &[u8], ctx: &mut NodeCtx) {
-        if let Inbound::Deliver(m) = self.mux.on_message(from, payload, ctx) {
+        if let Inbound::Deliver(m, _) = self.mux.on_message(from, payload, ctx) {
             self.delivered.push(m);
         }
     }

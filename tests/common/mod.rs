@@ -7,6 +7,7 @@ use b2bobjects::core::{B2BObject, Coordinator, ObjectId, Outcome, RunId};
 use b2bobjects::crypto::{KeyPair, KeyRing, PartyId, Signer, TimeMs, TimeStampAuthority};
 use b2bobjects::evidence::{EvidenceStore, MemStore};
 use b2bobjects::net::{NodeHandle, SimNet, TcpConfig, TcpNet};
+use b2bobjects::telemetry::Telemetry;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,6 +28,15 @@ pub struct World {
 impl World {
     /// Builds coordinators named after `names` on a perfect network.
     pub fn new(names: &[&str], seed: u64) -> World {
+        let telemetry = names.iter().map(|_| Telemetry::new()).collect();
+        World::with_telemetry(names, seed, telemetry)
+    }
+
+    /// [`World::new`] with one caller-supplied telemetry handle per party
+    /// — attach trace sinks before construction to flight-record the
+    /// whole scenario, bring-up included.
+    pub fn with_telemetry(names: &[&str], seed: u64, telemetry: Vec<Telemetry>) -> World {
+        assert_eq!(names.len(), telemetry.len());
         let mut ring = KeyRing::new();
         let mut keys = Vec::new();
         for (i, name) in names.iter().enumerate() {
@@ -37,7 +47,7 @@ impl World {
         let tsa = TimeStampAuthority::new(KeyPair::generate_from_seed(777));
         let mut net = SimNet::new(seed);
         let mut stores = HashMap::new();
-        for (i, (id, kp)) in keys.into_iter().enumerate() {
+        for (i, ((id, kp), tel)) in keys.into_iter().zip(telemetry).enumerate() {
             let store = Arc::new(MemStore::new());
             stores.insert(id.clone(), store.clone());
             net.add_node(
@@ -46,6 +56,7 @@ impl World {
                     .tsa(tsa.clone())
                     .store(store)
                     .seed(seed + i as u64)
+                    .telemetry(tel)
                     .build(),
             );
         }
@@ -185,6 +196,14 @@ impl TcpWorld {
     /// [`World::new`] exactly, so the two transports produce the same
     /// evidence for the same script.
     pub fn new(names: &[&str], seed: u64) -> TcpWorld {
+        let telemetry = names.iter().map(|_| Telemetry::new()).collect();
+        TcpWorld::with_telemetry(names, seed, telemetry)
+    }
+
+    /// [`TcpWorld::new`] with one caller-supplied telemetry handle per
+    /// party, mirroring [`World::with_telemetry`].
+    pub fn with_telemetry(names: &[&str], seed: u64, telemetry: Vec<Telemetry>) -> TcpWorld {
+        assert_eq!(names.len(), telemetry.len());
         let mut ring = KeyRing::new();
         let mut keys = Vec::new();
         for (i, name) in names.iter().enumerate() {
@@ -195,7 +214,7 @@ impl TcpWorld {
         let tsa = TimeStampAuthority::new(KeyPair::generate_from_seed(777));
         let mut stores = HashMap::new();
         let mut nodes = Vec::new();
-        for (i, (id, kp)) in keys.into_iter().enumerate() {
+        for (i, ((id, kp), tel)) in keys.into_iter().zip(telemetry).enumerate() {
             let store = Arc::new(MemStore::new());
             stores.insert(id.clone(), store.clone());
             nodes.push(
@@ -204,6 +223,7 @@ impl TcpWorld {
                     .tsa(tsa.clone())
                     .store(store)
                     .seed(seed + i as u64)
+                    .telemetry(tel)
                     .build(),
             );
         }
