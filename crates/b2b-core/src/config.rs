@@ -44,12 +44,17 @@ pub struct MutationFlags {
     /// not exactly `agreed.seq + 1` is no longer rejected with
     /// `SequenceNotGreater`.
     pub skip_sequence: bool,
+    /// Skip the per-update hash-chain checks inside a batched proposal: a
+    /// batch whose link digests do not match the replayed updates (or whose
+    /// final link disagrees with the proposed tuple) is no longer rejected
+    /// with `BatchedUpdateMismatch`.
+    pub skip_batch_chain: bool,
 }
 
 impl MutationFlags {
     /// `true` when any check is ablated.
     pub fn any(&self) -> bool {
-        self.skip_replay || self.skip_predecessor || self.skip_sequence
+        self.skip_replay || self.skip_predecessor || self.skip_sequence || self.skip_batch_chain
     }
 }
 
@@ -106,6 +111,24 @@ pub struct CoordinatorConfig {
     /// peer that retransmits a run older than this simply gets silence and
     /// recovers through the normal state-transfer path.
     pub completed_replies_cap: usize,
+    /// Maximum number of pending application updates coalesced into one
+    /// signed state-coordination round (`k`). While a round is in flight,
+    /// further `submit_update` calls queue; when the round completes, up to
+    /// `batch_max` queued updates are coordinated as one batch — one
+    /// canonical digest, one signature, one multicast, one evidence record.
+    /// `1` disables batching (every update pays its own round).
+    pub batch_max: usize,
+    /// How long (virtual ms) an idle coordinator lingers after the first
+    /// queued update before dispatching a partial batch, hoping more
+    /// updates arrive to fill it. `TimeMs(0)` dispatches immediately —
+    /// batches then form only from genuine concurrency (updates queued
+    /// while a round is in flight), which adds no latency at low load.
+    pub batch_linger: TimeMs,
+    /// Bound on the pending-update queue (backpressure for
+    /// `DeferredSynchronous`/`Asynchronous` callers): `submit_update`
+    /// beyond this many queued-but-not-yet-proposed updates fails with
+    /// `CoordError::Busy` instead of growing memory without bound.
+    pub pending_updates_max: usize,
     /// Mutation-testing ablations of the §4.2 acceptance checks. All
     /// `false` in any real deployment; see [`MutationFlags`].
     pub mutation: MutationFlags,
@@ -124,6 +147,9 @@ impl CoordinatorConfig {
             sig_cache_capacity: 1024,
             replay_window: 64,
             completed_replies_cap: 64,
+            batch_max: 16,
+            batch_linger: TimeMs(0),
+            pending_updates_max: 1024,
             mutation: MutationFlags::default(),
         }
     }
@@ -182,6 +208,24 @@ impl CoordinatorConfig {
         self
     }
 
+    /// Sets the maximum batch size `k` (clamped to at least 1).
+    pub fn batch_max(mut self, k: usize) -> CoordinatorConfig {
+        self.batch_max = k.max(1);
+        self
+    }
+
+    /// Sets the idle linger budget before dispatching a partial batch.
+    pub fn batch_linger(mut self, linger: TimeMs) -> CoordinatorConfig {
+        self.batch_linger = linger;
+        self
+    }
+
+    /// Sets the pending-update queue bound (backpressure threshold).
+    pub fn pending_updates_max(mut self, max: usize) -> CoordinatorConfig {
+        self.pending_updates_max = max;
+        self
+    }
+
     /// Ablates §4.2 acceptance checks for mutation testing. Never set in
     /// production; see [`MutationFlags`].
     pub fn mutation(mut self, flags: MutationFlags) -> CoordinatorConfig {
@@ -211,6 +255,9 @@ mod tests {
         assert_eq!(c.replay_window, 64);
         assert_eq!(c.completed_replies_cap, 64);
         assert_eq!(c.retransmit_max, None);
+        assert_eq!(c.batch_max, 16);
+        assert_eq!(c.batch_linger, TimeMs(0));
+        assert_eq!(c.pending_updates_max, 1024);
         assert!(!c.mutation.any(), "no check is ablated by default");
     }
 
@@ -236,11 +283,17 @@ mod tests {
             .ttp(b2b_crypto::PartyId::new("notary"))
             .sig_cache_capacity(0)
             .replay_window(8)
-            .completed_replies_cap(4);
+            .completed_replies_cap(4)
+            .batch_max(0)
+            .batch_linger(TimeMs(25))
+            .pending_updates_max(2);
         assert_eq!(c.ttp, Some(b2b_crypto::PartyId::new("notary")));
         assert_eq!(c.sig_cache_capacity, 0);
         assert_eq!(c.replay_window, 8);
         assert_eq!(c.completed_replies_cap, 4);
+        assert_eq!(c.batch_max, 1, "batch_max clamps to at least 1");
+        assert_eq!(c.batch_linger, TimeMs(25));
+        assert_eq!(c.pending_updates_max, 2);
         assert_eq!(c.retransmit_after, TimeMs(50));
         assert_eq!(c.retransmit_max, Some(TimeMs(800)));
         assert!(!c.reject_null_transitions);

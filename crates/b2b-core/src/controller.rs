@@ -23,7 +23,7 @@
 //! [`CoordAccess`] abstraction: [`b2b_net::NodeHandle`] for the threaded
 //! transport and [`SimAccess`] for the deterministic simulator.
 
-use crate::coordinator::{ConnectStatus, Coordinator, ObjectFactory};
+use crate::coordinator::{ConnectStatus, Coordinator, ObjectFactory, TicketId};
 use crate::decision::Outcome;
 use crate::error::CoordError;
 use crate::ids::{ObjectId, RunId};
@@ -124,10 +124,16 @@ pub enum Mode {
 
 /// A handle on an in-flight coordination, returned in deferred-synchronous
 /// and asynchronous modes.
+///
+/// Since batched rounds, the handle names a coordinator *ticket* rather
+/// than a protocol run: a deferred or asynchronous update may wait in the
+/// pending queue and later coalesce with others into one signed round, so
+/// the run it rides in is not known at submission time. Use
+/// [`Controller::run_of`] to learn the run once dispatched.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CoordTicket {
-    /// The protocol run the ticket waits on.
-    pub run: RunId,
+    /// The coordinator ticket the handle waits on.
+    pub ticket: TicketId,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -390,18 +396,31 @@ impl<A: CoordAccess> Controller<A> {
             Some(AccessKind::Overwrite) => {
                 let state = working.ok_or(CoordError::ScopeMisuse("no working state"))?;
                 let object = self.object.clone();
-                let run = self
-                    .access
-                    .with(move |c, ctx| c.propose_overwrite(&object, state, ctx))?;
-                self.finish_run(run)
+                let ticket = self.access.with(move |c, ctx| {
+                    let run = c.propose_overwrite(&object, state, ctx)?;
+                    Ok::<_, CoordError>(c.ticket_for_run(run))
+                })?;
+                self.finish_ticket(ticket)
             }
             Some(AccessKind::Update) => {
                 let delta = delta.ok_or(CoordError::ScopeMisuse("no update delta"))?;
                 let object = self.object.clone();
-                let run = self
-                    .access
-                    .with(move |c, ctx| c.propose_update(&object, delta, ctx))?;
-                self.finish_run(run)
+                let ticket = match self.mode {
+                    // Synchronous callers block for this very round, so
+                    // propose directly (unbatched — byte-identical to the
+                    // pre-batching wire behaviour).
+                    Mode::Synchronous => self.access.with(move |c, ctx| {
+                        let run = c.propose_update(&object, delta, ctx)?;
+                        Ok::<_, CoordError>(c.ticket_for_run(run))
+                    })?,
+                    // Deferred and asynchronous callers pipeline: the
+                    // update queues and may coalesce with concurrent
+                    // submissions into one signed batched round.
+                    Mode::DeferredSynchronous | Mode::Asynchronous => self
+                        .access
+                        .with(move |c, ctx| c.submit_update(&object, delta, ctx))?,
+                };
+                self.finish_ticket(ticket)
             }
         }
     }
@@ -419,8 +438,8 @@ impl<A: CoordAccess> Controller<A> {
         self.leave()
     }
 
-    fn finish_run(&self, run: RunId) -> Result<Option<CoordTicket>, CoordError> {
-        let ticket = CoordTicket { run };
+    fn finish_ticket(&self, ticket: TicketId) -> Result<Option<CoordTicket>, CoordError> {
+        let ticket = CoordTicket { ticket };
         match self.mode {
             Mode::Synchronous => {
                 self.coord_commit(ticket)?;
@@ -430,24 +449,30 @@ impl<A: CoordAccess> Controller<A> {
         }
     }
 
-    /// Blocks until the ticketed run completes (deferred-synchronous
-    /// commit; also used internally by synchronous mode).
+    /// Blocks until the ticketed coordination completes
+    /// (deferred-synchronous commit; also used internally by synchronous
+    /// mode).
     ///
     /// # Errors
     ///
-    /// [`CoordError::Invalidated`] if the run was vetoed,
-    /// [`CoordError::Timeout`] if no outcome arrived in time.
+    /// [`CoordError::Invalidated`] if the run was vetoed (or the update
+    /// failed before dispatch), [`CoordError::Timeout`] if no outcome
+    /// arrived in time.
     pub fn coord_commit(&self, ticket: CoordTicket) -> Result<(), CoordError> {
-        let run = ticket.run;
+        let id = ticket.ticket;
         let done = self
             .access
-            .wait(self.timeout, move |c| c.outcome_of(&run).is_some());
+            .wait(self.timeout, move |c| c.outcome_of_ticket(&id).is_some());
         if !done {
+            let run = self
+                .access
+                .with(move |c, _| c.run_of_ticket(&id))
+                .unwrap_or(RunId(b2b_crypto::sha256(b"undispatched")));
             return Err(CoordError::Timeout(run));
         }
         let outcome = self
             .access
-            .with(move |c, _| c.outcome_of(&run).cloned())
+            .with(move |c, _| c.outcome_of_ticket(&id))
             .expect("outcome present after wait");
         match outcome {
             Outcome::Installed { .. } => Ok(()),
@@ -460,8 +485,15 @@ impl<A: CoordAccess> Controller<A> {
 
     /// Non-blocking outcome poll for a ticket.
     pub fn poll(&self, ticket: CoordTicket) -> Option<Outcome> {
-        let run = ticket.run;
-        self.access.with(move |c, _| c.outcome_of(&run).cloned())
+        let id = ticket.ticket;
+        self.access.with(move |c, _| c.outcome_of_ticket(&id))
+    }
+
+    /// The protocol run carrying the ticketed update, once dispatched
+    /// (`None` while the update still waits in the pending queue).
+    pub fn run_of(&self, ticket: CoordTicket) -> Option<RunId> {
+        let id = ticket.ticket;
+        self.access.with(move |c, _| c.run_of_ticket(&id))
     }
 
     /// Blocks until no coordination run is active on the object (or the

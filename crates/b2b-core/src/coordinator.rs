@@ -71,6 +71,44 @@ pub(crate) struct PendingConnect {
     pub(crate) sponsor: PartyId,
 }
 
+/// Handle for one application update submitted through
+/// [`Coordinator::submit_update`].
+///
+/// A ticket survives batching: whether the update ends up coordinating
+/// alone or coalesced with others into one signed round, the ticket resolves
+/// to the round that carried it (or to a failure). Tickets are volatile —
+/// they do not survive a crash, exactly like undecided run outcomes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TicketId(pub u64);
+
+impl std::fmt::Display for TicketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ticket-{}", self.0)
+    }
+}
+
+/// Where a submitted update currently stands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TicketState {
+    /// Waiting in the pending queue for the next coordination round.
+    Queued,
+    /// Dispatched: the update rides (possibly batched) in this run.
+    Run(RunId),
+    /// Never dispatched — e.g. the update stopped being applicable to the
+    /// state the group agreed in the meantime.
+    Failed(String),
+}
+
+/// The pending-update queue of one object: updates accepted by
+/// [`Coordinator::submit_update`] but not yet carried by a round.
+#[derive(Default)]
+pub(crate) struct PendingUpdates {
+    pub(crate) queue: Vec<(TicketId, Vec<u8>)>,
+    /// The armed batch-linger timer, if any (stale timer ids are ignored
+    /// when they fire).
+    pub(crate) linger_timer: Option<u64>,
+}
+
 #[derive(Serialize, Deserialize)]
 struct PendingConnectSnapshot {
     request: ConnectRequestMsg,
@@ -101,6 +139,18 @@ pub struct Coordinator {
     pub(crate) ttp_cases: HashMap<RunId, crate::termination::TtpCase>,
     pub(crate) ttp_timers: HashMap<u64, RunId>,
     pub(crate) next_timer: u64,
+    /// Per-object queues of updates accepted by [`Coordinator::submit_update`]
+    /// and awaiting a coordination round. Volatile (cleared on crash).
+    pub(crate) pending_updates: HashMap<ObjectId, PendingUpdates>,
+    /// Resolution state of every ticket handed out. Volatile.
+    pub(crate) tickets: HashMap<TicketId, TicketState>,
+    pub(crate) next_ticket: u64,
+    /// Armed batch-linger timers, timer id → object.
+    pub(crate) linger_timers: HashMap<u64, ObjectId>,
+    /// Optional worker pool for cross-group parallel signature
+    /// verification. When absent, batch verification runs inline on the
+    /// coordinator's thread (deterministic — the simulator never sets it).
+    pub(crate) verify_pool: Option<Arc<b2b_crypto::VerifyPool>>,
     /// Bounded memo of signature checks that already succeeded, so a
     /// signature verified at m2 receipt is not cryptographically
     /// re-verified at m3 aggregation. `RefCell` because verification sites
@@ -143,6 +193,7 @@ pub struct CoordinatorBuilder {
     snapshots: Option<Arc<dyn SnapshotStore>>,
     seed: u64,
     telemetry: Telemetry,
+    verify_pool: Option<Arc<b2b_crypto::VerifyPool>>,
 }
 
 impl CoordinatorBuilder {
@@ -186,6 +237,16 @@ impl CoordinatorBuilder {
     /// read out.
     pub fn telemetry(mut self, telemetry: Telemetry) -> CoordinatorBuilder {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a shared signature-verification worker pool. Batched
+    /// verifications with enough cache misses are fanned out across the
+    /// pool's threads; a pool shared by several coordinators (one per
+    /// group) parallelises verification *across groups* too. Without this
+    /// call, batch verification runs inline — same results, one thread.
+    pub fn verify_pool(mut self, pool: Arc<b2b_crypto::VerifyPool>) -> CoordinatorBuilder {
+        self.verify_pool = Some(pool);
         self
     }
 
@@ -233,6 +294,11 @@ impl CoordinatorBuilder {
             ttp_cases: HashMap::new(),
             ttp_timers: HashMap::new(),
             next_timer: 1,
+            pending_updates: HashMap::new(),
+            tickets: HashMap::new(),
+            next_ticket: 1,
+            linger_timers: HashMap::new(),
+            verify_pool: self.verify_pool,
             sig_cache,
             telemetry: self.telemetry,
             run_started: HashMap::new(),
@@ -267,6 +333,7 @@ impl Coordinator {
             snapshots: None,
             seed: 0,
             telemetry: Telemetry::default(),
+            verify_pool: None,
         }
     }
 
@@ -309,6 +376,8 @@ impl Coordinator {
             queued: Vec::new(),
             completed_replies: HashMap::new(),
             completed_order: Default::default(),
+            dirty_replies: Vec::new(),
+            reply_slots: 0,
             detached: false,
         };
         self.factories.insert(object_id.clone(), factory);
@@ -595,6 +664,102 @@ impl Coordinator {
         Ok(())
     }
 
+    /// How many cache misses it takes before a batched verification is
+    /// worth shipping to the worker pool (channel + wake-up overhead).
+    const POOL_MIN_BATCH: usize = 4;
+
+    /// Verifies a batch of `(party, message, digest, signature)` items,
+    /// composing batch verification with the LRU cache:
+    ///
+    /// * items answered by the cache are excluded from the batch and count
+    ///   under `sig_cache_hits`;
+    /// * the remaining misses count under `sig_verify_count` (they are the
+    ///   real cryptographic work) and — when there are at least two — are
+    ///   checked by **one** [`b2b_crypto::verify_batch`] call, counted
+    ///   under `sig_batch_verifies`, fanned out across the worker pool
+    ///   when one is attached and the batch is large enough;
+    /// * batch verification is all-or-nothing, so on failure each miss is
+    ///   re-checked individually to *attribute* the fault — the returned
+    ///   `PartyId` is the first offender (§4.4 detection is batch-size
+    ///   independent);
+    /// * verified signatures populate the cache exactly as the unbatched
+    ///   path does, so later re-encounters are hits.
+    pub(crate) fn verify_batch_cached(
+        &self,
+        items: &[(PartyId, Arc<[u8]>, Digest32, Signature)],
+    ) -> Result<(), PartyId> {
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let mut cache = self.sig_cache.borrow_mut();
+            for (i, (party, _, digest, sig)) in items.iter().enumerate() {
+                if cache.check(party, digest, sig) {
+                    self.telemetry.inc(names::SIG_CACHE_HITS);
+                } else {
+                    misses.push(i);
+                }
+            }
+        }
+        if misses.is_empty() {
+            return Ok(());
+        }
+        self.telemetry
+            .add(names::SIG_VERIFY_COUNT, misses.len() as u64);
+        let ok = if misses.len() >= 2 {
+            self.telemetry.inc(names::SIG_BATCH_VERIFIES);
+            match &self.verify_pool {
+                Some(pool) if misses.len() >= Coordinator::POOL_MIN_BATCH => {
+                    let mut owned = Vec::with_capacity(misses.len());
+                    for &i in &misses {
+                        let (party, msg, _, sig) = &items[i];
+                        let Some(key) = self.ring.key_for(party) else {
+                            return Err(party.clone());
+                        };
+                        owned.push((key.clone(), msg.clone(), sig.clone()));
+                    }
+                    pool.verify(owned)
+                }
+                _ => {
+                    let mut borrowed = Vec::with_capacity(misses.len());
+                    for &i in &misses {
+                        let (party, msg, _, sig) = &items[i];
+                        let Some(key) = self.ring.key_for(party) else {
+                            return Err(party.clone());
+                        };
+                        borrowed.push((key, msg.as_ref(), sig));
+                    }
+                    b2b_crypto::verify_batch(&borrowed).is_ok()
+                }
+            }
+        } else {
+            let (party, msg, _, sig) = &items[misses[0]];
+            self.ring.verify_for(party, msg, sig).is_ok()
+        };
+        if ok {
+            let mut cache = self.sig_cache.borrow_mut();
+            for &i in &misses {
+                let (party, _, digest, sig) = &items[i];
+                cache.insert(party.clone(), *digest, sig.clone());
+            }
+            return Ok(());
+        }
+        // All-or-nothing failed: fall back to per-item verification so the
+        // fault is pinned on a signer, caching the innocents along the way.
+        for &i in &misses {
+            let (party, msg, digest, sig) = &items[i];
+            match self.ring.verify_for(party, msg, sig) {
+                Ok(()) => {
+                    self.sig_cache
+                        .borrow_mut()
+                        .insert(party.clone(), *digest, sig.clone());
+                }
+                Err(_) => return Err(party.clone()),
+            }
+        }
+        // The batch claimed failure but every item verifies individually —
+        // per-item checks are ground truth, so accept.
+        Ok(())
+    }
+
     /// Signs `msg` and seeds the verification cache with our own signature,
     /// so re-encountering it (e.g. our response aggregated into an m3) is a
     /// cache hit rather than a self re-verification.
@@ -750,11 +915,41 @@ impl Coordinator {
     }
 
     /// Persists the replica snapshot for `object`.
+    ///
+    /// Re-replies remembered since the last checkpoint go to their own
+    /// per-slot store entries (`obj-X-reply-N`, blob = run id || wire
+    /// bytes) **before** the core document is written, so a crash between
+    /// the two writes leaves the core referencing only slots that exist.
+    /// Each reply is thus written once, when its run completes, instead of
+    /// the whole retention window being re-serialised on every install.
     pub(crate) fn persist(&mut self, object: &ObjectId) {
-        let Some(rep) = self.replicas.get(object) else {
-            return;
+        let (reply_blobs, snap) = {
+            let Some(rep) = self.replicas.get_mut(object) else {
+                return;
+            };
+            let reply_blobs: Vec<(u64, Vec<u8>)> = std::mem::take(&mut rep.dirty_replies)
+                .into_iter()
+                .filter_map(|run| {
+                    // Evicted before this checkpoint: nothing to write.
+                    let stored = rep.completed_replies.get(&run)?;
+                    let mut blob = Vec::with_capacity(32 + stored.wire.len());
+                    blob.extend_from_slice(&run.0 .0);
+                    blob.extend_from_slice(&stored.wire);
+                    Some((stored.slot, blob))
+                })
+                .collect();
+            (reply_blobs, ReplicaSnapshot::capture(rep))
         };
-        let snap = ReplicaSnapshot::capture(rep);
+        for (slot, blob) in reply_blobs {
+            if let Err(e) = self
+                .snapshots
+                .put_snapshot(&format!("obj-{object}-reply-{slot}"), blob)
+            {
+                self.detected.push(Misbehaviour::UnexpectedMessage {
+                    detail: format!("reply checkpoint write failed: {e}"),
+                });
+            }
+        }
         let bytes = serde_json::to_vec(&snap).expect("snapshot serialises");
         if let Err(e) = self.snapshots.put_snapshot(&format!("obj-{object}"), bytes) {
             self.detected.push(Misbehaviour::UnexpectedMessage {
@@ -857,7 +1052,10 @@ impl Coordinator {
             let Some(factory) = self.factories.get(&object_id) else {
                 continue;
             };
-            let replica = snap.restore(object_id.clone(), factory());
+            let replica = snap.restore(object_id.clone(), factory(), |slot| {
+                self.snapshots
+                    .get_snapshot(&format!("obj-{object_id}-reply-{slot}"))
+            });
             self.replicas.insert(object_id.clone(), replica);
             self.resume_run(&object_id, ctx);
         }
@@ -950,8 +1148,7 @@ impl Coordinator {
         let reply = self
             .replicas
             .get(object)
-            .and_then(|r| r.completed_replies.get(run))
-            .cloned();
+            .and_then(|r| r.completed_reply(run));
         match reply {
             Some(msg) => {
                 self.send_wire(to, &msg, ctx);
@@ -961,15 +1158,21 @@ impl Coordinator {
         }
     }
 
-    /// Runs the next queued membership request, if the object is idle.
+    /// Runs the next queued membership request, if the object is idle;
+    /// failing that, flushes any pending application updates. Membership
+    /// changes take priority so a join/leave queued behind a stream of
+    /// updates is not starved by batching.
     pub(crate) fn pump_queue(&mut self, object: &ObjectId, ctx: &mut NodeCtx) {
         loop {
             let next = {
                 let Some(rep) = self.replicas.get_mut(object) else {
                     return;
                 };
-                if rep.active.is_some() || rep.queued.is_empty() {
+                if rep.active.is_some() {
                     return;
+                }
+                if rep.queued.is_empty() {
+                    break;
                 }
                 rep.queued.remove(0)
             };
@@ -989,6 +1192,206 @@ impl Coordinator {
                 return;
             }
         }
+        self.flush_pending_updates(object, ctx);
+    }
+
+    // -----------------------------------------------------------------
+    // Pipelined update submission (batched rounds)
+    // -----------------------------------------------------------------
+
+    /// Submits an application update for coordination without waiting for
+    /// the object to go idle. The update is queued; when the object is (or
+    /// becomes) idle, pending updates are coalesced — up to
+    /// [`CoordinatorConfig::batch_max`] of them, after at most
+    /// [`CoordinatorConfig::batch_linger`] of gathering time — into **one**
+    /// signed coordination round. The returned ticket resolves to the run
+    /// that carried the update (see [`Coordinator::outcome_of_ticket`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoordError::UnknownObject`] / [`CoordError::NotMember`] as for
+    ///   a direct proposal.
+    /// * [`CoordError::Busy`] when the pending queue has reached
+    ///   [`CoordinatorConfig::pending_updates_max`] — backpressure, the
+    ///   caller should retry after outstanding rounds complete.
+    pub fn submit_update(
+        &mut self,
+        object: &ObjectId,
+        update: Vec<u8>,
+        ctx: &mut NodeCtx,
+    ) -> Result<TicketId, CoordError> {
+        {
+            let rep = self
+                .replicas
+                .get(object)
+                .ok_or_else(|| CoordError::UnknownObject(object.clone()))?;
+            if rep.detached || !rep.is_member(&self.me) {
+                return Err(CoordError::NotMember {
+                    party: self.me.clone(),
+                    object: object.clone(),
+                });
+            }
+        }
+        let pending = self.pending_updates.entry(object.clone()).or_default();
+        if pending.queue.len() >= self.config.pending_updates_max {
+            return Err(CoordError::Busy {
+                object: object.clone(),
+            });
+        }
+        let ticket = TicketId(self.next_ticket);
+        self.next_ticket += 1;
+        pending.queue.push((ticket, update));
+        self.tickets.insert(ticket, TicketState::Queued);
+        self.maybe_dispatch(object, ctx);
+        Ok(ticket)
+    }
+
+    /// Dispatches or schedules pending updates for `object`: flush now when
+    /// the queue is full enough (or lingering is disabled), otherwise arm
+    /// the linger timer and let a little more load coalesce.
+    fn maybe_dispatch(&mut self, object: &ObjectId, ctx: &mut NodeCtx) {
+        let busy = self
+            .replicas
+            .get(object)
+            .map(|r| r.active.is_some())
+            .unwrap_or(true);
+        if busy {
+            return; // completion pumps the queue
+        }
+        let (len, armed) = match self.pending_updates.get(object) {
+            Some(p) => (p.queue.len(), p.linger_timer.is_some()),
+            None => return,
+        };
+        if len == 0 {
+            return;
+        }
+        if len >= self.config.batch_max || self.config.batch_linger.as_millis() == 0 {
+            self.flush_pending_updates(object, ctx);
+        } else if !armed {
+            let id = self.next_timer;
+            self.next_timer += 1;
+            self.linger_timers.insert(id, object.clone());
+            if let Some(p) = self.pending_updates.get_mut(object) {
+                p.linger_timer = Some(id);
+            }
+            ctx.set_timer(id, self.config.batch_linger);
+        }
+    }
+
+    /// Coalesces the pending updates of `object` into the next coordination
+    /// round, if the object is idle: up to `batch_max` updates become one
+    /// signed proposal (a singleton flush is byte-identical to a direct
+    /// [`propose_update`](crate::Coordinator) call). Updates that no longer
+    /// apply to the evolved state fail their tickets without sinking the
+    /// rest of the chunk.
+    pub(crate) fn flush_pending_updates(&mut self, object: &ObjectId, ctx: &mut NodeCtx) {
+        loop {
+            let busy = self
+                .replicas
+                .get(object)
+                .map(|r| r.active.is_some())
+                .unwrap_or(true);
+            if busy {
+                return;
+            }
+            let chunk: Vec<(TicketId, Vec<u8>)> = {
+                let Some(p) = self.pending_updates.get_mut(object) else {
+                    return;
+                };
+                p.linger_timer = None;
+                if p.queue.is_empty() {
+                    return;
+                }
+                let n = p.queue.len().min(self.config.batch_max);
+                p.queue.drain(..n).collect()
+            };
+            // Pre-screen each update against the evolving state so one
+            // inapplicable update fails its own ticket instead of aborting
+            // the whole chunk's round.
+            let mut updates = Vec::with_capacity(chunk.len());
+            let mut ids = Vec::with_capacity(chunk.len());
+            {
+                let rep = self.replicas.get(object).expect("screened above");
+                let mut state = rep.agreed_state.clone();
+                for (tid, u) in chunk {
+                    match rep.object.apply_update(&state, &u) {
+                        Ok(next) => {
+                            state = next;
+                            ids.push(tid);
+                            updates.push(u);
+                        }
+                        Err(reason) => {
+                            self.tickets.insert(
+                                tid,
+                                TicketState::Failed(format!("update not applicable: {reason}")),
+                            );
+                        }
+                    }
+                }
+            }
+            if updates.is_empty() {
+                continue; // whole chunk screened out; try the next one
+            }
+            match self.propose_update_batch(object, updates, ctx) {
+                Ok(run) => {
+                    for tid in ids {
+                        self.tickets.insert(tid, TicketState::Run(run));
+                    }
+                    return;
+                }
+                Err(e) => {
+                    let reason = e.to_string();
+                    for tid in ids {
+                        self.tickets.insert(tid, TicketState::Failed(reason.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wraps an already-started run in a ticket, so callers that proposed
+    /// directly (overwrite, synchronous update) and callers that went
+    /// through the pending queue poll one uniform handle.
+    pub fn ticket_for_run(&mut self, run: RunId) -> TicketId {
+        let ticket = TicketId(self.next_ticket);
+        self.next_ticket += 1;
+        self.tickets.insert(ticket, TicketState::Run(run));
+        ticket
+    }
+
+    /// Where `ticket` currently stands, if known.
+    pub fn ticket_state(&self, ticket: &TicketId) -> Option<&TicketState> {
+        self.tickets.get(ticket)
+    }
+
+    /// The run that carried `ticket`'s update, once dispatched.
+    pub fn run_of_ticket(&self, ticket: &TicketId) -> Option<RunId> {
+        match self.tickets.get(ticket) {
+            Some(TicketState::Run(run)) => Some(*run),
+            _ => None,
+        }
+    }
+
+    /// The outcome of `ticket`'s update, once this party has learnt it.
+    /// A ticket that failed before dispatch (inapplicable update, proposal
+    /// error) reports as [`Outcome::Aborted`] with the failure reason.
+    pub fn outcome_of_ticket(&self, ticket: &TicketId) -> Option<Outcome> {
+        match self.tickets.get(ticket)? {
+            TicketState::Queued => None,
+            TicketState::Run(run) => self.outcomes.get(run).cloned(),
+            TicketState::Failed(reason) => Some(Outcome::Aborted {
+                reason: reason.clone(),
+            }),
+        }
+    }
+
+    /// How many submitted updates are still waiting (not yet dispatched)
+    /// on `object`.
+    pub fn pending_update_count(&self, object: &ObjectId) -> usize {
+        self.pending_updates
+            .get(object)
+            .map(|p| p.queue.len())
+            .unwrap_or(0)
     }
 }
 
@@ -1043,6 +1446,25 @@ impl NetNode for Coordinator {
             self.on_ttp_timer(run, ctx);
             self.end_episode();
         }
+        if let Some(object) = self.linger_timers.remove(&timer) {
+            // Only the currently armed timer flushes; a timer superseded by
+            // an earlier full-batch flush is stale and ignored.
+            let armed = self
+                .pending_updates
+                .get(&object)
+                .map(|p| p.linger_timer == Some(timer))
+                .unwrap_or(false);
+            if armed {
+                self.begin_root(Coordinator::derive_root(&[
+                    b"batch-linger",
+                    self.me.as_str().as_bytes(),
+                    object.as_str().as_bytes(),
+                    &timer.to_be_bytes(),
+                ]));
+                self.flush_pending_updates(&object, ctx);
+                self.end_episode();
+            }
+        }
         self.flush_evidence();
     }
 
@@ -1058,6 +1480,9 @@ impl NetNode for Coordinator {
         self.deadline_timers.clear();
         self.ttp_cases.clear();
         self.ttp_timers.clear();
+        self.pending_updates.clear();
+        self.tickets.clear();
+        self.linger_timers.clear();
         self.run_started.clear();
         self.sig_cache.borrow_mut().clear();
         // The episode dies with the crash; the span allocator survives so

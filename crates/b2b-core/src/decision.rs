@@ -46,6 +46,17 @@ impl Decision {
         }
     }
 
+    /// A rejecting decision attributing the fault to one update inside a
+    /// batched proposal. The index travels in the signed response's
+    /// diagnostic, so the proposer (and any later auditor of the evidence
+    /// log) learns *which* update sank the batch, not merely that one did.
+    pub fn reject_update(index: usize, reason: impl Into<String>) -> Decision {
+        Decision {
+            verdict: Verdict::Reject,
+            reason: Some(format!("batch[{index}]: {}", reason.into())),
+        }
+    }
+
     /// Returns `true` for an accepting decision.
     pub fn is_accept(&self) -> bool {
         self.verdict == Verdict::Accept
@@ -151,6 +162,13 @@ mod tests {
         assert!(!d.is_accept());
         assert_eq!(d.to_string(), "reject: not your turn");
         assert_eq!(Decision::accept().to_string(), "accept");
+    }
+
+    #[test]
+    fn reject_update_carries_batch_index() {
+        let d = Decision::reject_update(3, "hash chain mismatch");
+        assert!(!d.is_accept());
+        assert_eq!(d.to_string(), "reject: batch[3]: hash chain mismatch");
     }
 
     #[test]

@@ -67,6 +67,19 @@ pub enum Misbehaviour {
         /// The run concerned.
         run: RunId,
     },
+    /// One update inside a batched proposal fails its hash-chain check:
+    /// the update's bytes do not hash to the signed link's `update_hash`,
+    /// the replayed state after applying it does not hash to the link's
+    /// `state_hash`, or the final link disagrees with the proposed tuple.
+    /// Because the links sit in the signed part, the forged or stale update
+    /// is attributed to the proposal's signer at its exact batch position
+    /// (§4.2/§4.4 held per update inside the batch).
+    BatchedUpdateMismatch {
+        /// The run concerned.
+        run: RunId,
+        /// Zero-based index of the offending update inside the batch.
+        index: usize,
+    },
     /// The revealed authenticator in the decide message does not match the
     /// commitment `H(r_P)` from the proposal.
     AuthenticatorMismatch {
@@ -114,6 +127,7 @@ impl Misbehaviour {
             Misbehaviour::SequenceNotGreater { .. } => "sequence-not-greater",
             Misbehaviour::ReplayedProposal { .. } => "replayed-proposal",
             Misbehaviour::NullTransition { .. } => "null-transition",
+            Misbehaviour::BatchedUpdateMismatch { .. } => "batched-update-mismatch",
             Misbehaviour::AuthenticatorMismatch { .. } => "authenticator-mismatch",
             Misbehaviour::ResponseMisrepresented { .. } => "response-misrepresented",
             Misbehaviour::InconsistentDecide { .. } => "inconsistent-decide",
@@ -167,6 +181,7 @@ mod tests {
             },
             Misbehaviour::ReplayedProposal { run },
             Misbehaviour::NullTransition { run },
+            Misbehaviour::BatchedUpdateMismatch { run, index: 0 },
             Misbehaviour::AuthenticatorMismatch { run },
             Misbehaviour::ResponseMisrepresented { run },
             Misbehaviour::InconsistentDecide {

@@ -63,7 +63,9 @@ mod termination;
 
 pub use config::{CoordinatorConfig, DecisionRule, MutationFlags};
 pub use controller::{Controller, CoordAccess, CoordTicket, Scope, SimAccess};
-pub use coordinator::{ConnectStatus, Coordinator, CoordinatorBuilder, ObjectFactory};
+pub use coordinator::{
+    ConnectStatus, Coordinator, CoordinatorBuilder, ObjectFactory, TicketId, TicketState,
+};
 pub use decision::{CoordEvent, CoordEventKind, Decision, Outcome, Verdict};
 pub use detect::Misbehaviour;
 pub use dispute::{Arbiter, Claim, Ruling};

@@ -21,9 +21,36 @@ use std::sync::Arc;
 // State coordination (§4.3)
 // ---------------------------------------------------------------------------
 
-/// Whether a proposal overwrites the state or applies an update delta
-/// (§4.3.1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// One update's link in the hash chain of a batched proposal.
+///
+/// A batch of `k` updates is one state transition (`seq` advances by one),
+/// but the §4.2 chaining obligation holds *per update*: link `i` binds the
+/// bytes of update `i` (`update_hash`) and the hash of the state reached by
+/// applying updates `0..=i` in order to the agreed state (`state_hash`).
+/// Both digests sit in the signed part, so a recipient replaying the batch
+/// detects a forged or stale update at its exact index and can attribute it
+/// to the proposal's signer (§4.4).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchLink {
+    /// `H(u_i)`: hash of the i-th update's bytes.
+    pub update_hash: Digest32,
+    /// Hash of the state after applying updates `0..=i` to the agreed
+    /// state. The last link's `state_hash` must equal the proposed tuple's
+    /// state hash.
+    pub state_hash: Digest32,
+}
+
+impl CanonicalEncode for BatchLink {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_digest(&self.update_hash);
+        enc.put_digest(&self.state_hash);
+    }
+}
+
+/// Whether a proposal overwrites the state, applies an update delta
+/// (§4.3.1), or applies an ordered batch of update deltas in one signed
+/// round.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ProposalKind {
     /// The unsigned body is the complete new state.
     Overwrite,
@@ -35,6 +62,15 @@ pub enum ProposalKind {
         /// `H(u_P)`.
         update_hash: Digest32,
     },
+    /// The unsigned body is an ordered sequence of updates
+    /// (see [`encode_batch_body`]); the signed part carries one
+    /// [`BatchLink`] per update so every §4.2 check still runs per update.
+    /// The whole batch is one state transition: it installs atomically or
+    /// not at all.
+    Batch {
+        /// Per-update hash chain, in application order.
+        links: Vec<BatchLink>,
+    },
 }
 
 impl CanonicalEncode for ProposalKind {
@@ -45,8 +81,48 @@ impl CanonicalEncode for ProposalKind {
                 enc.put_u8(1);
                 enc.put_digest(update_hash);
             }
+            ProposalKind::Batch { links } => {
+                enc.put_u8(2);
+                enc.put_u64(links.len() as u64);
+                for link in links {
+                    link.encode(enc);
+                }
+            }
         }
     }
+}
+
+/// Serialises an ordered batch of update byte-strings into one unsigned
+/// `m1` body. Length-prefixed (u32 big-endian per update), so update
+/// boundaries survive the wire without relying on the updates' own framing.
+pub fn encode_batch_body(updates: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = updates.iter().map(|u| 4 + u.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for u in updates {
+        out.extend_from_slice(&(u.len() as u32).to_be_bytes());
+        out.extend_from_slice(u);
+    }
+    out
+}
+
+/// Parses a batched `m1` body back into its ordered updates; `None` for
+/// malformed framing (truncated length or trailing garbage).
+pub fn decode_batch_body(body: &[u8]) -> Option<Vec<Vec<u8>>> {
+    let mut updates = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        if rest.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes(rest[..4].try_into().ok()?) as usize;
+        rest = &rest[4..];
+        if rest.len() < len {
+            return None;
+        }
+        updates.push(rest[..len].to_vec());
+        rest = &rest[len..];
+    }
+    Some(updates)
 }
 
 /// The signed part of `m1`: identifies proposer and group, and "specifies
@@ -900,6 +976,43 @@ mod tests {
         }
         .canonical_bytes();
         assert_ne!(over, upd);
+        // A singleton batch is canonically distinct from an update with the
+        // same hash (tag byte differs), and batches differ by link content
+        // and order.
+        let batch1 = ProposalKind::Batch {
+            links: vec![BatchLink {
+                update_hash: sha256(b"u"),
+                state_hash: sha256(b"s1"),
+            }],
+        };
+        assert_ne!(upd, batch1.canonical_bytes());
+        let link = |u: &[u8], s: &[u8]| BatchLink {
+            update_hash: sha256(u),
+            state_hash: sha256(s),
+        };
+        let ab = ProposalKind::Batch {
+            links: vec![link(b"a", b"s1"), link(b"b", b"s2")],
+        };
+        let ba = ProposalKind::Batch {
+            links: vec![link(b"b", b"s2"), link(b"a", b"s1")],
+        };
+        assert_ne!(ab.canonical_bytes(), ba.canonical_bytes());
+        let mut tampered_state = ab.clone();
+        if let ProposalKind::Batch { links } = &mut tampered_state {
+            links[1].state_hash = sha256(b"forged");
+        }
+        assert_ne!(ab.canonical_bytes(), tampered_state.canonical_bytes());
+    }
+
+    #[test]
+    fn batch_body_roundtrips_and_rejects_malformed() {
+        let updates = vec![b"".to_vec(), b"one".to_vec(), vec![0u8; 300]];
+        let body = encode_batch_body(&updates);
+        assert_eq!(decode_batch_body(&body).unwrap(), updates);
+        assert_eq!(decode_batch_body(&[]).unwrap(), Vec::<Vec<u8>>::new());
+        // Truncated length prefix and truncated payload are both malformed.
+        assert!(decode_batch_body(&body[..body.len() - 1]).is_none());
+        assert!(decode_batch_body(&[0, 0]).is_none());
     }
 
     #[test]

@@ -190,12 +190,14 @@ impl Coordinator {
             group: msg.welcome.group,
             agreed: msg.welcome.agreed,
             agreed_state: msg.state.clone(),
-            seen_runs: std::iter::once(run).collect(),
+            seen_runs: std::iter::once((run, msg.welcome.agreed.seq)).collect(),
             seen_tuples: Default::default(),
             active: None,
             queued: Vec::new(),
             completed_replies: Default::default(),
             completed_order: Default::default(),
+            dirty_replies: Vec::new(),
+            reply_slots: 0,
             detached: false,
         };
         self.replicas.insert(oid.clone(), replica);
@@ -411,7 +413,7 @@ impl Coordinator {
             sig,
         };
         let polled: Vec<PartyId> = rep.members.iter().filter(|m| **m != me).cloned().collect();
-        rep.seen_runs.insert(run);
+        rep.seen_runs.insert(run, rep.agreed.seq);
 
         if polled.is_empty() {
             // Singleton group: the sponsor's acceptance is the group's.
@@ -640,7 +642,7 @@ impl Coordinator {
             });
             decision = Decision::reject("illegitimate sponsor");
         }
-        if rep.seen_runs.contains(&run) {
+        if rep.seen_runs.contains_key(&run) {
             misbehaviours.push(Misbehaviour::ReplayedProposal { run });
             decision = Decision::reject("replayed membership proposal");
             track = false;
@@ -759,7 +761,7 @@ impl Coordinator {
         };
         let sig = self.signer.sign(&response.canonical_bytes());
         let m = MemberRespondMsg { response, sig };
-        rep.seen_runs.insert(run);
+        rep.seen_runs.insert(run, rep.agreed.seq);
         if track {
             rep.active = Some(ActiveRun::Member(MemberRun {
                 run,
@@ -1527,7 +1529,7 @@ impl Coordinator {
             .filter(|m| **m != me && !subjects.contains(m))
             .cloned()
             .collect();
-        rep.seen_runs.insert(run);
+        rep.seen_runs.insert(run, rep.agreed.seq);
 
         if polled.is_empty() {
             let decide = MemberDecideMsg {
@@ -1641,7 +1643,7 @@ impl Coordinator {
             });
             decision = Decision::reject("illegitimate sponsor");
         }
-        if rep.seen_runs.contains(&run) {
+        if rep.seen_runs.contains_key(&run) {
             misbehaviours.push(Misbehaviour::ReplayedProposal { run });
             decision = Decision::reject("replayed membership proposal");
             track = false;

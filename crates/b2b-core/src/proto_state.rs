@@ -83,7 +83,62 @@ impl Coordinator {
         let kind = ProposalKind::Update {
             update_hash: sha256(&update),
         };
-        self.start_state_run(object, kind, update, new_state, ctx)
+        let run = self.start_state_run(object, kind, update, new_state, ctx)?;
+        self.telemetry.observe_ms(names::BATCH_OCCUPANCY, 1);
+        Ok(run)
+    }
+
+    /// Proposes applying an ordered batch of updates to `object` in **one**
+    /// signed state-coordination round: one canonical digest, one
+    /// signature, one multicast, one evidence record covering the batch.
+    ///
+    /// The batch is a single state transition (`seq` advances by one), but
+    /// the signed proposal carries a [`crate::messages::BatchLink`] per
+    /// update — `H(u_i)` plus the hash of the state after applying updates
+    /// `0..=i` — so recipients re-run every §4.2 check per update and a
+    /// forged or stale update anywhere in the batch is detected and
+    /// attributed to this proposer at its exact index. A batch of one
+    /// degenerates to [`Coordinator::propose_update`] byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// As [`Coordinator::propose_update`]; an empty batch is
+    /// [`CoordError::UpdateFailed`].
+    pub fn propose_update_batch(
+        &mut self,
+        object: &ObjectId,
+        updates: Vec<Vec<u8>>,
+        ctx: &mut NodeCtx,
+    ) -> Result<RunId, CoordError> {
+        if updates.is_empty() {
+            return Err(CoordError::UpdateFailed("empty update batch".into()));
+        }
+        if updates.len() == 1 {
+            return self.propose_update(object, updates.into_iter().next().expect("len 1"), ctx);
+        }
+        let rep = self
+            .replicas
+            .get(object)
+            .ok_or_else(|| CoordError::UnknownObject(object.clone()))?;
+        let mut links = Vec::with_capacity(updates.len());
+        let mut state = rep.agreed_state.clone();
+        for u in &updates {
+            let next = rep
+                .object
+                .apply_update(&state, u)
+                .map_err(CoordError::UpdateFailed)?;
+            links.push(crate::messages::BatchLink {
+                update_hash: sha256(u),
+                state_hash: sha256(&next),
+            });
+            state = next;
+        }
+        let k = updates.len();
+        let body = crate::messages::encode_batch_body(&updates);
+        let run = self.start_state_run(object, ProposalKind::Batch { links }, body, state, ctx)?;
+        self.telemetry.observe_ms(names::BATCH_OCCUPANCY, k as u64);
+        self.telemetry.add(names::ROUNDS_COALESCED, (k - 1) as u64);
+        Ok(run)
     }
 
     fn start_state_run(
@@ -150,7 +205,7 @@ impl Coordinator {
                 sig,
                 memo,
             };
-            rep.seen_runs.insert(run);
+            rep.seen_runs.insert(run, rep.agreed.seq);
             rep.seen_tuples.insert((seq, proposed.rand_hash));
 
             let recipients = rep.recipients(&me);
@@ -333,7 +388,7 @@ impl Coordinator {
         // explorer can demonstrate each one is load-bearing; all flags are
         // false outside mutation-testing builds.
         let mutation = self.config.mutation;
-        if !mutation.skip_replay && rep.seen_runs.contains(&run) {
+        if !mutation.skip_replay && rep.seen_runs.contains_key(&run) {
             // Not the active run and not completed here ⇒ replay.
             misbehaviours.push(Misbehaviour::ReplayedProposal { run });
             reject(&mut decision, "replayed proposal".into());
@@ -343,7 +398,7 @@ impl Coordinator {
             && rep
                 .seen_tuples
                 .contains(&(m1.proposal.proposed.seq, m1.proposal.proposed.rand_hash))
-            && !rep.seen_runs.contains(&run)
+            && !rep.seen_runs.contains_key(&run)
         {
             misbehaviours.push(Misbehaviour::ReplayedProposal { run });
             reject(&mut decision, "proposal tuple reused".into());
@@ -387,7 +442,8 @@ impl Coordinator {
         // ---- unsigned-body integrity (Dolev-Yao tampering, §4.4) ----
         let mut body_ok = true;
         let mut pending_state: Option<Vec<u8>> = None;
-        match m1.proposal.kind {
+        let mut batch_updates: Option<Vec<Vec<u8>>> = None;
+        match &m1.proposal.kind {
             ProposalKind::Overwrite => {
                 if sha256(&m1.body) == m1.proposal.proposed.state_hash {
                     pending_state = Some(m1.body.clone());
@@ -396,7 +452,7 @@ impl Coordinator {
                 }
             }
             ProposalKind::Update { update_hash } => {
-                if sha256(&m1.body) != update_hash {
+                if sha256(&m1.body) != *update_hash {
                     body_ok = false;
                 } else {
                     match rep.object.apply_update(&rep.agreed_state, &m1.body) {
@@ -408,6 +464,96 @@ impl Coordinator {
                             reject(&mut decision, format!("update not applicable: {reason}"));
                         }
                     }
+                }
+            }
+            ProposalKind::Batch { links } => {
+                // §4.2 held per update inside the batch: replay the chain,
+                // checking each update's bytes against its signed
+                // `update_hash` and each intermediate state against its
+                // signed `state_hash`. The links sit in the verified signed
+                // part, so any mismatch is attributable to the proposer at
+                // the exact batch index (`BatchedUpdateMismatch`).
+                // `skip_batch_chain` ablates the chain checks only — the
+                // batch still replays, so the mutation lets a forged batch
+                // through to installation where the b2b-check state-hash
+                // oracle catches it.
+                let decoded = crate::messages::decode_batch_body(&m1.body);
+                match decoded {
+                    Some(updates) if !updates.is_empty() && updates.len() == links.len() => {
+                        let mut state = rep.agreed_state.clone();
+                        let mut failed = false;
+                        for (i, (u, link)) in updates.iter().zip(links.iter()).enumerate() {
+                            if !mutation.skip_batch_chain && sha256(u) != link.update_hash {
+                                misbehaviours
+                                    .push(Misbehaviour::BatchedUpdateMismatch { run, index: i });
+                                reject(
+                                    &mut decision,
+                                    format!("batch[{i}]: update does not match signed hash"),
+                                );
+                                body_ok = false;
+                                failed = true;
+                                break;
+                            }
+                            match rep.object.apply_update(&state, u) {
+                                Ok(next) => {
+                                    if !mutation.skip_batch_chain
+                                        && sha256(&next) != link.state_hash
+                                    {
+                                        misbehaviours.push(Misbehaviour::BatchedUpdateMismatch {
+                                            run,
+                                            index: i,
+                                        });
+                                        reject(
+                                            &mut decision,
+                                            format!("batch[{i}]: state hash chain mismatch"),
+                                        );
+                                        body_ok = false;
+                                        failed = true;
+                                        break;
+                                    }
+                                    state = next;
+                                }
+                                Err(reason) => {
+                                    // Application-level inapplicability: a
+                                    // veto, not tampering — mirrors the
+                                    // single-update arm.
+                                    if decision.is_accept() {
+                                        decision = Decision::reject_update(
+                                            i,
+                                            format!("update not applicable: {reason}"),
+                                        );
+                                    }
+                                    failed = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if !failed {
+                            if !mutation.skip_batch_chain
+                                && sha256(&state) != m1.proposal.proposed.state_hash
+                            {
+                                // Signed links consistent with the body but
+                                // the chain's end disagrees with the signed
+                                // proposed tuple: the proposer signed an
+                                // incoherent batch.
+                                misbehaviours.push(Misbehaviour::BatchedUpdateMismatch {
+                                    run,
+                                    index: links.len() - 1,
+                                });
+                                reject(
+                                    &mut decision,
+                                    "batch chain does not end at the proposed state".into(),
+                                );
+                                body_ok = false;
+                            } else {
+                                pending_state = Some(state);
+                                batch_updates = Some(updates);
+                            }
+                        }
+                    }
+                    // Malformed framing or a link-count mismatch is
+                    // tampering with the unsigned body.
+                    _ => body_ok = false,
                 }
             }
         }
@@ -440,6 +586,34 @@ impl Coordinator {
                 (ProposalKind::Update { .. }, _) => {
                     rep.object
                         .validate_update(&m1.proposal.proposer, &rep.agreed_state, &m1.body)
+                }
+                (ProposalKind::Batch { .. }, _) => {
+                    // Validate each update against the state it would
+                    // actually apply to, so the upcall sees exactly the
+                    // sequence a commit would install. The first veto names
+                    // its batch index (§4.4 attribution inside the batch).
+                    let mut app = Decision::accept();
+                    if let Some(updates) = &batch_updates {
+                        let mut state = rep.agreed_state.clone();
+                        for (i, u) in updates.iter().enumerate() {
+                            let v = rep.object.validate_update(&m1.proposal.proposer, &state, u);
+                            if !v.is_accept() {
+                                app = Decision::reject_update(
+                                    i,
+                                    v.reason.unwrap_or_else(|| "rejected".into()),
+                                );
+                                break;
+                            }
+                            match rep.object.apply_update(&state, u) {
+                                Ok(next) => state = next,
+                                Err(reason) => {
+                                    app = Decision::reject_update(i, reason);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    app
                 }
             };
             if !app.is_accept() {
@@ -479,7 +653,7 @@ impl Coordinator {
             memo,
         };
 
-        rep.seen_runs.insert(run);
+        rep.seen_runs.insert(run, rep.agreed.seq);
         rep.seen_tuples
             .insert((m1.proposal.proposed.seq, m1.proposal.proposed.rand_hash));
         let armed_recipient_deadline = track_run && self.config.ttp.is_some();
@@ -827,28 +1001,37 @@ impl Coordinator {
                 });
                 break;
             }
-            let canonical = self.response_bytes_of(r);
-            if self
-                .verify_cached(
-                    &r.response.responder,
-                    &canonical,
-                    r.response_digest(),
-                    &r.sig,
-                )
-                .is_err()
-            {
-                fault = Some(Misbehaviour::BadSignature {
-                    claimed: r.response.responder.clone(),
-                    message: "aggregated response".into(),
-                });
-                break;
-            }
             if !expected.contains(&r.response.responder) || !seen.insert(&r.response.responder) {
                 fault = Some(Misbehaviour::InconsistentDecide {
                     run,
                     detail: format!("unexpected or duplicate responder {}", r.response.responder),
                 });
                 break;
+            }
+        }
+        // The structurally sound aggregation's signatures are checked as
+        // one batch: cache hits are excluded up front, the misses verify in
+        // a single batched call (spread across the verify pool when one is
+        // attached), and only a failed batch falls back to per-item
+        // verification so the offender is still attributed (§4.4).
+        if fault.is_none() {
+            let items: Vec<_> = m3
+                .responses
+                .iter()
+                .map(|r| {
+                    (
+                        r.response.responder.clone(),
+                        self.response_bytes_of(r),
+                        r.response_digest(),
+                        r.sig.clone(),
+                    )
+                })
+                .collect();
+            if let Err(claimed) = self.verify_batch_cached(&items) {
+                fault = Some(Misbehaviour::BadSignature {
+                    claimed,
+                    message: "aggregated response".into(),
+                });
             }
         }
         // Under the base (unanimous) rule the response set must be

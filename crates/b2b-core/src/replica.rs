@@ -169,8 +169,12 @@ pub struct Replica {
     pub agreed: StateId,
     /// Bytes of the agreed state (checkpointed for recovery/rollback).
     pub agreed_state: Vec<u8>,
-    /// Run labels ever seen (replay detection across runs).
-    pub seen_runs: HashSet<RunId>,
+    /// Run labels seen, keyed by the agreed sequence number current when
+    /// each was first seen (replay detection across runs). Pruned by the
+    /// replay window alongside `seen_tuples`, so the set — and the
+    /// snapshot written after every installation — stays bounded no
+    /// matter how many rounds a replica lives through.
+    pub seen_runs: HashMap<RunId, u64>,
     /// Proposal tuples ever seen: invariant 4 of §4.2.
     pub seen_tuples: HashSet<(u64, Digest32)>,
     /// At most one active run.
@@ -179,11 +183,18 @@ pub struct Replica {
     pub queued: Vec<QueuedRequest>,
     /// Responses we produced for already-completed runs, so a duplicate or
     /// post-recovery retransmission of m1/m3 gets a consistent re-reply.
-    /// Bounded: insert through [`Replica::remember_reply`].
-    pub completed_replies: HashMap<RunId, WireMsg>,
+    /// Stored pre-encoded (see [`StoredReply`]) so the per-install snapshot
+    /// never re-serialises the window. Bounded: insert through
+    /// [`Replica::remember_reply`].
+    pub completed_replies: HashMap<RunId, StoredReply>,
     /// Insertion order of `completed_replies`, oldest first — the
     /// deterministic eviction order when the retention cap is exceeded.
     pub completed_order: VecDeque<RunId>,
+    /// Runs remembered since the last checkpoint, i.e. re-replies whose
+    /// slot the persistence layer has not written yet.
+    pub dirty_replies: Vec<RunId>,
+    /// Monotonic counter of remembered replies; assigns storage slots.
+    pub reply_slots: u64,
     /// Set when this party has left (or been evicted from) the group; the
     /// replica is kept for inspection but no longer coordinates.
     pub detached: bool,
@@ -232,16 +243,44 @@ impl Replica {
     /// retained reply once more than `cap` are held. A peer retransmitting
     /// a run older than the cap gets silence and recovers through the
     /// normal state-transfer path; `cap == 0` retains nothing.
+    ///
+    /// The message is encoded to wire bytes **here, once**. The window used
+    /// to hold `WireMsg` values and be re-serialised wholesale into every
+    /// per-install snapshot, which made checkpointing O(window) — at the
+    /// default cap of 64 that was the single largest cost of a coordination
+    /// round, and it fell hardest on whoever proposes most (a pipelining
+    /// proposer retains full decides; recipients only their response).
+    /// Pre-encoded bytes keep every later touch — checkpoint, re-reply
+    /// send — a plain byte copy.
     pub fn remember_reply(&mut self, run: RunId, reply: WireMsg, cap: usize) {
-        if self.completed_replies.insert(run, reply).is_none() {
+        if cap == 0 {
+            return;
+        }
+        let slot = self.reply_slots % cap as u64;
+        self.reply_slots += 1;
+        let stored = StoredReply {
+            slot,
+            wire: reply.to_bytes(),
+        };
+        if self.completed_replies.insert(run, stored).is_none() {
             self.completed_order.push_back(run);
         }
+        self.dirty_replies.push(run);
         while self.completed_replies.len() > cap {
             let Some(oldest) = self.completed_order.pop_front() else {
                 break;
             };
             self.completed_replies.remove(&oldest);
         }
+    }
+
+    /// Decodes the retained re-reply for `run`, if the window still holds
+    /// it. Only duplicate/post-recovery retransmissions and TTP evidence
+    /// requests take this path, so decode-on-demand is the right trade.
+    pub fn completed_reply(&self, run: &RunId) -> Option<WireMsg> {
+        self.completed_replies
+            .get(run)
+            .and_then(|r| WireMsg::from_bytes(&r.wire))
     }
 
     /// Prunes replay-detection tuples that have fallen out of the window:
@@ -253,7 +292,24 @@ impl Replica {
     pub fn prune_seen(&mut self, window: u64) {
         let floor = self.agreed.seq.saturating_sub(window);
         self.seen_tuples.retain(|(seq, _)| *seq >= floor);
+        self.seen_runs.retain(|_, seen_at| *seen_at >= floor);
     }
+}
+
+/// A completed run's re-reply: the wire message pre-encoded at
+/// [`Replica::remember_reply`] time, plus the snapshot-store slot it is
+/// checkpointed under.
+///
+/// Slots are assigned round-robin over the retention cap, so the store
+/// holds at most `cap` reply blobs per object no matter how many rounds
+/// the replica lives through, and the main snapshot document only lists
+/// `(run, slot)` pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredReply {
+    /// Storage slot (`reply_slots % cap` at insert time).
+    pub slot: u64,
+    /// The encoded wire message ([`WireMsg::to_bytes`]).
+    pub wire: Vec<u8>,
 }
 
 /// The durable image of a replica, written to the snapshot store after
@@ -266,10 +322,13 @@ pub struct ReplicaSnapshot {
     pub group: GroupId,
     /// Agreed state tuple.
     pub agreed: StateId,
-    /// Agreed state bytes.
-    pub agreed_state: Vec<u8>,
-    /// Replay-detection: runs seen.
-    pub seen_runs: Vec<RunId>,
+    /// Agreed state bytes, hex-encoded. A byte vector would serialise as
+    /// a JSON integer array — one boxed value per byte — which makes the
+    /// per-install snapshot write O(state) with a constant large enough
+    /// to dominate whole coordination rounds; hex keeps it one string.
+    pub agreed_state: String,
+    /// Replay-detection: runs seen, with the agreed seq each was seen at.
+    pub seen_runs: Vec<(RunId, u64)>,
     /// Replay-detection: proposal tuples seen.
     pub seen_tuples: Vec<(u64, Digest32)>,
     /// The active run, if one was in progress.
@@ -277,8 +336,14 @@ pub struct ReplicaSnapshot {
     /// Deferred membership requests.
     pub queued: Vec<QueuedRequest>,
     /// Re-replies for completed runs (so retransmitted traffic after a
-    /// crash still receives the decide it is waiting for).
-    pub completed_replies: Vec<(RunId, WireMsg)>,
+    /// crash still receives the decide it is waiting for), as `(run,
+    /// slot)` pairs, oldest first. The reply bytes themselves live in
+    /// per-slot store entries written once when each run completes — the
+    /// per-install snapshot used to re-serialise the whole window (~64
+    /// full wire messages) on every write, which dominated round cost.
+    pub completed_replies: Vec<(RunId, u64)>,
+    /// Continuation point for slot assignment after recovery.
+    pub reply_slots: u64,
     /// Whether the party had left the group.
     pub detached: bool,
 }
@@ -290,8 +355,8 @@ impl ReplicaSnapshot {
             members: replica.members.clone(),
             group: replica.group,
             agreed: replica.agreed,
-            agreed_state: replica.agreed_state.clone(),
-            seen_runs: replica.seen_runs.iter().copied().collect(),
+            agreed_state: hex::encode(&replica.agreed_state),
+            seen_runs: replica.seen_runs.iter().map(|(r, s)| (*r, *s)).collect(),
             seen_tuples: replica.seen_tuples.iter().copied().collect(),
             active: replica.active.clone(),
             queued: replica.queued.clone(),
@@ -299,31 +364,64 @@ impl ReplicaSnapshot {
             completed_replies: replica
                 .completed_order
                 .iter()
-                .filter_map(|k| replica.completed_replies.get(k).map(|v| (*k, v.clone())))
+                .filter_map(|k| replica.completed_replies.get(k).map(|v| (*k, v.slot)))
                 .collect(),
+            reply_slots: replica.reply_slots,
             detached: replica.detached,
         }
     }
 
     /// Rebuilds a replica around a freshly constructed application object
     /// (the object's state is re-installed from the checkpoint).
-    pub fn restore(self, object_id: ObjectId, mut object: Box<dyn B2BObject>) -> Replica {
-        object.apply_state(&self.agreed_state);
-        let completed_order: VecDeque<RunId> =
-            self.completed_replies.iter().map(|(k, _)| *k).collect();
+    ///
+    /// `fetch_reply` resolves a re-reply storage slot back to the bytes
+    /// written for it (see [`Replica::remember_reply`]). Each blob carries
+    /// the 32-byte run id it was written for as a prefix; an entry whose
+    /// blob is missing or names a different run — a crash landed between a
+    /// slot overwrite and the core snapshot that would have retired the
+    /// old entry — is dropped, which merely re-runs the eviction the
+    /// interrupted write was performing.
+    pub fn restore(
+        self,
+        object_id: ObjectId,
+        mut object: Box<dyn B2BObject>,
+        mut fetch_reply: impl FnMut(u64) -> Option<Vec<u8>>,
+    ) -> Replica {
+        let agreed_state = hex::decode(&self.agreed_state).expect("snapshot state is hex");
+        object.apply_state(&agreed_state);
+        let mut completed_replies = HashMap::new();
+        let mut completed_order = VecDeque::new();
+        for (run, slot) in &self.completed_replies {
+            let Some(blob) = fetch_reply(*slot) else {
+                continue;
+            };
+            if blob.len() < 32 || blob[..32] != run.0 .0 {
+                continue;
+            }
+            completed_replies.insert(
+                *run,
+                StoredReply {
+                    slot: *slot,
+                    wire: blob[32..].to_vec(),
+                },
+            );
+            completed_order.push_back(*run);
+        }
         Replica {
             object_id,
             object,
             members: self.members,
             group: self.group,
             agreed: self.agreed,
-            agreed_state: self.agreed_state,
+            agreed_state,
             seen_runs: self.seen_runs.into_iter().collect(),
             seen_tuples: self.seen_tuples.into_iter().collect(),
             active: self.active,
             queued: self.queued,
-            completed_replies: self.completed_replies.into_iter().collect(),
+            completed_replies,
             completed_order,
+            dirty_replies: Vec::new(),
+            reply_slots: self.reply_slots,
             detached: self.detached,
         }
     }
@@ -347,12 +445,14 @@ mod tests {
             agreed: StateId::genesis(sha256(b"r"), &state),
             agreed_state: state,
             members,
-            seen_runs: HashSet::new(),
+            seen_runs: HashMap::new(),
             seen_tuples: HashSet::new(),
             active: None,
             queued: Vec::new(),
             completed_replies: HashMap::new(),
             completed_order: VecDeque::new(),
+            dirty_replies: Vec::new(),
+            reply_slots: 0,
             detached: false,
         }
     }
@@ -408,9 +508,14 @@ mod tests {
         assert!(!r.completed_replies.contains_key(&RunId(sha256(&[0u8]))));
         assert!(!r.completed_replies.contains_key(&RunId(sha256(&[1u8]))));
         assert!(r.completed_replies.contains_key(&RunId(sha256(&[4u8]))));
+        // The retained replies decode back to the remembered messages,
+        // and their slots stay within the cap.
+        assert_eq!(r.completed_reply(&RunId(sha256(&[4u8]))), Some(mk(4)));
+        assert!(r.completed_replies.values().all(|sr| sr.slot < 3));
         // Zero cap retains nothing.
-        r.remember_reply(RunId(sha256(b"z")), mk(9), 0);
-        assert!(r.completed_replies.is_empty());
+        let mut empty = replica(&["a", "b"]);
+        empty.remember_reply(RunId(sha256(b"z")), mk(9), 0);
+        assert!(empty.completed_replies.is_empty());
     }
 
     #[test]
@@ -429,11 +534,31 @@ mod tests {
     fn snapshot_roundtrip_preserves_protocol_state() {
         let mut r = replica(&["a", "b"]);
         r.seen_tuples.insert((3, sha256(b"t")));
-        r.seen_runs.insert(RunId(sha256(b"run")));
+        r.seen_runs.insert(RunId(sha256(b"run")), 0);
+        let run = RunId(sha256(b"done"));
+        let reply = WireMsg::Decide(DecideMsg {
+            object: ObjectId::new("obj"),
+            run,
+            authenticator: [0; 32],
+            responses: Vec::new(),
+        });
+        r.remember_reply(run, reply.clone(), 4);
+        // Model the per-slot store: blob = run id || wire bytes.
+        let slots: HashMap<u64, Vec<u8>> = r
+            .completed_replies
+            .iter()
+            .map(|(k, sr)| {
+                let mut blob = k.0 .0.to_vec();
+                blob.extend_from_slice(&sr.wire);
+                (sr.slot, blob)
+            })
+            .collect();
         let snap = ReplicaSnapshot::capture(&r);
         let json = serde_json::to_string(&snap).unwrap();
         let back: ReplicaSnapshot = serde_json::from_str(&json).unwrap();
-        let restored = back.restore(ObjectId::new("obj"), Box::new(SharedCell::new(99u64)));
+        let restored = back.restore(ObjectId::new("obj"), Box::new(SharedCell::new(99u64)), |s| {
+            slots.get(&s).cloned()
+        });
         assert_eq!(restored.members, r.members);
         assert_eq!(restored.group, r.group);
         assert_eq!(restored.agreed, r.agreed);
@@ -441,6 +566,37 @@ mod tests {
         assert!(restored.seen_tuples.contains(&(3, sha256(b"t"))));
         // The fresh object had state 99 but restore installs the checkpoint.
         assert_eq!(restored.object.get_state(), r.agreed_state);
+        // The re-reply window survives through the per-slot store.
+        assert_eq!(restored.completed_reply(&run), Some(reply));
+        assert_eq!(restored.reply_slots, r.reply_slots);
+    }
+
+    #[test]
+    fn restore_drops_replies_whose_slot_was_reused() {
+        let mut r = replica(&["a", "b"]);
+        let run = RunId(sha256(b"stale"));
+        r.remember_reply(
+            run,
+            WireMsg::Decide(DecideMsg {
+                object: ObjectId::new("obj"),
+                run,
+                authenticator: [0; 32],
+                responses: Vec::new(),
+            }),
+            4,
+        );
+        let snap = ReplicaSnapshot::capture(&r);
+        // The slot now holds a blob written for a *different* run: the
+        // crash landed between the slot overwrite and the core snapshot.
+        let mut blob = sha256(b"other-run").0.to_vec();
+        blob.extend_from_slice(b"{}");
+        let restored = snap.restore(
+            ObjectId::new("obj"),
+            Box::new(SharedCell::new(0u64)),
+            |_slot| Some(blob.clone()),
+        );
+        assert!(restored.completed_replies.is_empty());
+        assert!(restored.completed_order.is_empty());
     }
 
     #[test]
@@ -450,6 +606,7 @@ mod tests {
         let restored = snap.restore(
             ObjectId::new("obj"),
             Box::new(SharedCell::new(5u64).with_validator(|_w, _o, _n| Decision::accept())),
+            |_slot| None,
         );
         assert_eq!(
             restored.object.get_state(),

@@ -244,11 +244,11 @@ impl Coordinator {
         // Answer with whatever we hold: an active run's responses, or the
         // response set inside a completed run's decide.
         let responses: Vec<RespondMsg> = match self.replicas.get(&oid) {
-            Some(rep) => match (&rep.active, rep.completed_replies.get(&run)) {
+            Some(rep) => match (&rep.active, rep.completed_reply(&run)) {
                 (Some(ActiveRun::Proposer(pr)), _) if pr.run == run => {
                     pr.responses.values().cloned().collect()
                 }
-                (_, Some(WireMsg::Decide(d))) => d.responses.clone(),
+                (_, Some(WireMsg::Decide(d))) => d.responses,
                 _ => Vec::new(),
             },
             None => Vec::new(),

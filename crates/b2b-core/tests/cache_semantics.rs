@@ -11,8 +11,10 @@
 //!   rejected, under the new one;
 //! * caching must be behaviourally invisible — the same seeded scenario
 //!   with the cache on and off produces byte-identical flight-recorder
-//!   traces and identical metrics except for `sig_verify_count` /
-//!   `sig_cache_hits`.
+//!   traces and identical metrics except for the verification-work
+//!   counters (`sig_verify_count` / `sig_cache_hits` /
+//!   `sig_batch_verifies`: whether the misses at m3 aggregation are
+//!   numerous enough to form a batch is itself a function of the cache).
 
 mod common;
 
@@ -189,11 +191,18 @@ fn cache_on_and_off_runs_are_identical_except_verification_counters() {
             off.counter(names::SIG_VERIFY_COUNT),
         );
 
+        // With the cache off, every m3 aggregation re-checks all its
+        // responses, so the misses form batches; cached runs verify at
+        // most as often in batch form.
+        assert!(off.counter(names::SIG_BATCH_VERIFIES) > 0);
+        assert!(on.counter(names::SIG_BATCH_VERIFIES) <= off.counter(names::SIG_BATCH_VERIFIES));
+
         // Every other counter and histogram is identical.
         let strip = |snap: &MetricsSnapshot| {
             let mut s = snap.clone();
             s.counters.remove(names::SIG_VERIFY_COUNT);
             s.counters.remove(names::SIG_CACHE_HITS);
+            s.counters.remove(names::SIG_BATCH_VERIFIES);
             s
         };
         assert_eq!(strip(on), strip(off));

@@ -166,7 +166,7 @@ fn async_mode_completion_arrives_via_events() {
     let ticket = ctrl.sync_coord(enc(9)).unwrap().unwrap();
     // Drive the network by polling until the outcome lands.
     let done = a.wait(Duration::from_secs(5), move |c| {
-        c.outcome_of(&ticket.run).is_some()
+        c.outcome_of_ticket(&ticket.ticket).is_some()
     });
     assert!(done);
     let events = ctrl.take_events();

@@ -21,8 +21,29 @@ use std::fmt;
 /// assert_ne!(d, Digest32::ZERO);
 /// assert_eq!(d.to_string().len(), 64); // hex
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Digest32(pub [u8; 32]);
+
+// Serialized as a 64-character hex string rather than the derived form (a
+// JSON array of 32 integers). Digests are the most common leaf in every
+// message, snapshot and evidence record; one string node keeps wire frames
+// dense and makes structural serialization O(1) tree nodes per digest
+// instead of 32.
+impl Serialize for Digest32 {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(hex::encode(self.0))
+    }
+}
+
+impl Deserialize for Digest32 {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => Digest32::from_hex(s)
+                .ok_or_else(|| serde::Error::msg("Digest32: expected 64 hex characters")),
+            _ => Err(serde::Error::msg("Digest32: expected hex string")),
+        }
+    }
+}
 
 impl Digest32 {
     /// The all-zero digest, usable as a sentinel for "no state yet".

@@ -34,6 +34,7 @@ pub mod error;
 pub mod hash;
 pub mod identity;
 pub mod keys;
+pub mod pool;
 pub mod rng;
 pub mod sig;
 pub mod time;
@@ -46,7 +47,8 @@ pub use error::CryptoError;
 pub use hash::{sha256, sha256_concat, Digest32};
 pub use identity::PartyId;
 pub use keys::{KeyPair, KeyRing, PublicKey};
+pub use pool::{VerifyItem, VerifyPool};
 pub use rng::{random_nonce, SecureRng};
-pub use sig::{InsecureSigner, SigVerifier, Signature, SignatureScheme, Signer};
+pub use sig::{verify_batch, InsecureSigner, SigVerifier, Signature, SignatureScheme, Signer};
 pub use time::TimeMs;
 pub use timestamp::{TimeStamp, TimeStampAuthority};

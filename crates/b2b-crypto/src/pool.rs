@@ -1,0 +1,205 @@
+//! A fixed-size worker pool for signature verification.
+//!
+//! Signature verification is pure CPU work with no shared mutable state, so
+//! independent groups' batches can verify on all cores. [`VerifyPool`] owns
+//! `n` OS threads pulling [`VerifyJob`]s off a shared channel; callers hand
+//! in an owned batch of `(key, message, signature)` triples and block on a
+//! per-call reply channel. The pool deliberately stays below the protocol
+//! layer: it knows nothing about caches, rings or parties — the coordinator
+//! composes it with its LRU verify-cache (cache hits never reach the pool).
+//!
+//! Verification inside a job is all-or-nothing ([`crate::sig::verify_batch`]
+//! semantics); a caller that needs to attribute a failure re-verifies the
+//! failing batch item by item on its own thread.
+
+use crate::keys::PublicKey;
+use crate::sig::{verify_batch, Signature};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One owned verification triple: `(key, message, signature)`.
+///
+/// Messages travel as `Arc<[u8]>` so multicast payloads already held by the
+/// wire layer cross into the pool without copying.
+pub type VerifyItem = (PublicKey, Arc<[u8]>, Signature);
+
+struct VerifyJob {
+    items: Vec<VerifyItem>,
+    reply: Sender<bool>,
+}
+
+/// A pool of verification worker threads sharing one job queue.
+///
+/// # Example
+///
+/// ```
+/// use b2b_crypto::{KeyPair, Signer, VerifyPool};
+/// use std::sync::Arc;
+///
+/// let pool = VerifyPool::new(2);
+/// let kp = KeyPair::generate_from_seed(1);
+/// let msg: Arc<[u8]> = Arc::from(b"payload".as_slice());
+/// let sig = kp.sign(&msg);
+/// assert!(pool.verify(vec![(kp.public_key(), msg, sig)]));
+/// ```
+pub struct VerifyPool {
+    tx: Option<Sender<VerifyJob>>,
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl VerifyPool {
+    /// Spawns a pool with `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> VerifyPool {
+        let workers = workers.max(1);
+        let (tx, rx) = unbounded::<VerifyJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("b2b-verify-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn verify worker")
+            })
+            .collect();
+        VerifyPool {
+            tx: Some(tx),
+            workers,
+            handles,
+        }
+    }
+
+    /// Spawns a pool sized to the machine's available parallelism.
+    pub fn with_default_parallelism() -> VerifyPool {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        VerifyPool::new(n)
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Verifies `items`, splitting them into chunks across the workers.
+    ///
+    /// Blocks the calling thread until every chunk reports. Returns `true`
+    /// only if **all** items verify (all-or-nothing, like
+    /// [`crate::sig::verify_batch`]); callers needing to identify the
+    /// offending item fall back to per-item verification.
+    pub fn verify(&self, items: Vec<VerifyItem>) -> bool {
+        if items.is_empty() {
+            return true;
+        }
+        let tx = self.tx.as_ref().expect("pool alive");
+        let chunk = items.len().div_ceil(self.workers);
+        let (reply_tx, reply_rx) = unbounded::<bool>();
+        let mut jobs = 0usize;
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk));
+            let job = VerifyJob {
+                items: std::mem::replace(&mut items, rest),
+                reply: reply_tx.clone(),
+            };
+            if tx.send(job).is_err() {
+                return false;
+            }
+            jobs += 1;
+        }
+        drop(reply_tx);
+        let mut ok = true;
+        for _ in 0..jobs {
+            match reply_rx.recv() {
+                Ok(chunk_ok) => ok &= chunk_ok,
+                Err(_) => return false,
+            }
+        }
+        ok
+    }
+}
+
+impl Drop for VerifyPool {
+    fn drop(&mut self) {
+        // Closing the channel lets every worker's recv() return Err and the
+        // thread exit; join so no worker outlives the pool.
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<VerifyJob>>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        let Ok(job) = job else { return };
+        let borrowed: Vec<(&PublicKey, &[u8], &Signature)> = job
+            .items
+            .iter()
+            .map(|(k, m, s)| (k, m.as_ref(), s))
+            .collect();
+        let ok = verify_batch(&borrowed).is_ok();
+        // The caller may have given up (send error is fine to ignore).
+        let _ = job.reply.send(ok);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+    use crate::sig::Signer;
+
+    fn item(seed: u64, msg: &[u8]) -> VerifyItem {
+        let kp = KeyPair::generate_from_seed(seed);
+        let sig = kp.sign(msg);
+        (kp.public_key(), Arc::from(msg), sig)
+    }
+
+    #[test]
+    fn all_good_batch_passes() {
+        let pool = VerifyPool::new(3);
+        let items: Vec<VerifyItem> = (0..10).map(|i| item(i, format!("m{i}").as_bytes())).collect();
+        assert!(pool.verify(items));
+    }
+
+    #[test]
+    fn one_bad_item_fails_the_whole_batch() {
+        let pool = VerifyPool::new(3);
+        let mut items: Vec<VerifyItem> = (0..10).map(|i| item(i, b"msg")).collect();
+        // Swap one signature for a signature over different bytes.
+        let forged = KeyPair::generate_from_seed(4).sign(b"other");
+        items[4].2 = forged;
+        assert!(!pool.verify(items));
+    }
+
+    #[test]
+    fn empty_batch_is_trivially_valid() {
+        let pool = VerifyPool::new(1);
+        assert!(pool.verify(Vec::new()));
+    }
+
+    #[test]
+    fn more_items_than_workers_still_all_verified() {
+        let pool = VerifyPool::new(2);
+        let mut items: Vec<VerifyItem> = (0..33).map(|i| item(i, b"x")).collect();
+        assert!(pool.verify(items.clone()));
+        // Corrupt the last item: chunking must not drop the tail.
+        items[32].2 = KeyPair::generate_from_seed(32).sign(b"tampered");
+        assert!(!pool.verify(items));
+    }
+
+    #[test]
+    fn pool_shuts_down_cleanly_on_drop() {
+        let pool = VerifyPool::new(4);
+        assert!(pool.verify(vec![item(1, b"m")]));
+        drop(pool); // must not hang
+    }
+}

@@ -36,10 +36,45 @@ impl SignatureScheme {
 ///
 /// Rendered in the paper's notation as `sig_P(x)`. Signatures appear inside
 /// protocol messages and evidence records.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Signature {
     scheme: SignatureScheme,
     bytes: Vec<u8>,
+}
+
+// Serialized with the signature bytes as one hex string rather than the
+// derived JSON array of integers: like [`crate::Digest32`], signatures
+// appear in every message and evidence record, and the dense form keeps
+// both the wire frames and the structural serialization cost flat.
+impl Serialize for Signature {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("scheme".to_string(), self.scheme.to_value()),
+            ("bytes".to_string(), serde::Value::Str(hex::encode(&self.bytes))),
+        ])
+    }
+}
+
+impl Deserialize for Signature {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::Error::msg("Signature: expected object"))?;
+        let field = |name: &str| {
+            entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, val)| val)
+                .ok_or_else(|| serde::Error::msg(format!("Signature: missing field {name}")))
+        };
+        let scheme = SignatureScheme::from_value(field("scheme")?)?;
+        let bytes = match field("bytes")? {
+            serde::Value::Str(s) => hex::decode(s)
+                .map_err(|_| serde::Error::msg("Signature: bytes is not hex"))?,
+            _ => return Err(serde::Error::msg("Signature: expected hex string bytes")),
+        };
+        Ok(Signature { scheme, bytes })
+    }
 }
 
 impl Signature {
@@ -144,6 +179,79 @@ impl Signer for InsecureSigner {
     fn public_key(&self) -> PublicKey {
         PublicKey::new(SignatureScheme::Insecure, self.key_id.to_vec())
     }
+}
+
+/// Verifies a batch of `(key, message, signature)` triples in one pass.
+///
+/// Ed25519 items are handed to the vendored shim's `verify_batch` (one
+/// aggregate check standing in for the real scheme's single multi-scalar
+/// multiplication); [`SignatureScheme::Insecure`] items are verified
+/// individually, since the ablation scheme has no batch form.
+///
+/// The result is **all-or-nothing**: `Ok(())` exactly when every triple
+/// would pass per-item [`SigVerifier::verify`], and the first classifiable
+/// error otherwise. Callers needing to attribute a failure to a specific
+/// item (§4.4 blame assignment) must fall back to per-item verification.
+///
+/// # Errors
+///
+/// Returns the same error classes as per-item verification: a scheme
+/// mismatch or failed check is [`CryptoError::BadSignature`]; malformed
+/// key/signature lengths are [`CryptoError::MalformedBytes`].
+pub fn verify_batch(items: &[(&PublicKey, &[u8], &Signature)]) -> Result<(), CryptoError> {
+    use ed25519_dalek::VerifyingKey;
+
+    let mut ed_msgs: Vec<&[u8]> = Vec::new();
+    let mut ed_sigs: Vec<ed25519_dalek::Signature> = Vec::new();
+    let mut ed_keys: Vec<VerifyingKey> = Vec::new();
+
+    for (key, msg, sig) in items {
+        if sig.scheme() != key.scheme() {
+            return Err(CryptoError::BadSignature {
+                scheme: sig.scheme().name(),
+            });
+        }
+        match key.scheme() {
+            SignatureScheme::Ed25519 => {
+                let key_bytes: [u8; 32] =
+                    key.as_bytes()
+                        .try_into()
+                        .map_err(|_| CryptoError::MalformedBytes {
+                            what: "public key",
+                            expected: 32,
+                            got: key.as_bytes().len(),
+                        })?;
+                let vk = VerifyingKey::from_bytes(&key_bytes).map_err(|_| {
+                    CryptoError::MalformedBytes {
+                        what: "public key",
+                        expected: 32,
+                        got: key.as_bytes().len(),
+                    }
+                })?;
+                let sig_bytes: [u8; 64] =
+                    sig.as_bytes()
+                        .try_into()
+                        .map_err(|_| CryptoError::MalformedBytes {
+                            what: "signature",
+                            expected: 64,
+                            got: sig.as_bytes().len(),
+                        })?;
+                ed_msgs.push(msg);
+                ed_sigs.push(ed25519_dalek::Signature::from_bytes(&sig_bytes));
+                ed_keys.push(vk);
+            }
+            SignatureScheme::Insecure => verify_insecure(key.as_bytes(), msg, sig)?,
+        }
+    }
+
+    if ed_msgs.is_empty() {
+        return Ok(());
+    }
+    ed25519_dalek::verify_batch(&ed_msgs, &ed_sigs, &ed_keys).map_err(|_| {
+        CryptoError::BadSignature {
+            scheme: SignatureScheme::Ed25519.name(),
+        }
+    })
 }
 
 pub(crate) fn verify_insecure(

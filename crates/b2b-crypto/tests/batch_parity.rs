@@ -1,0 +1,110 @@
+//! Satellite: vendored-shim parity. `vendor/ed25519-dalek::verify_batch`
+//! (reached through `b2b_crypto::verify_batch`) must agree with per-signature
+//! `verify` on every (good, forged, wrong-key) mix — a batch passes exactly
+//! when each of its items would pass individually.
+//!
+//! There is no property-testing crate in the build environment, so this is a
+//! seeded exhaustive-ish sweep: every mix vector of length ≤ 4 over the three
+//! item kinds (3^1 + … + 3^4 = 120 batches), plus a randomized long-batch
+//! sweep driven by a seeded RNG.
+
+use b2b_crypto::{verify_batch, KeyPair, PublicKey, SigVerifier, Signature, Signer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ItemKind {
+    Good,
+    Forged,
+    WrongKey,
+}
+
+const KINDS: [ItemKind; 3] = [ItemKind::Good, ItemKind::Forged, ItemKind::WrongKey];
+
+/// Builds one `(key, msg, sig)` triple of the given kind.
+fn build_item(kind: ItemKind, index: u64, msg: &[u8]) -> (PublicKey, Vec<u8>, Signature) {
+    let signer = KeyPair::generate_from_seed(1000 + index);
+    let other = KeyPair::generate_from_seed(5000 + index);
+    match kind {
+        ItemKind::Good => (signer.public_key(), msg.to_vec(), signer.sign(msg)),
+        ItemKind::Forged => {
+            // A valid signature by the right key — over different bytes.
+            let mut tampered = msg.to_vec();
+            tampered.push(0xFF);
+            (signer.public_key(), msg.to_vec(), signer.sign(&tampered))
+        }
+        // A valid signature over the right bytes — by the wrong key.
+        ItemKind::WrongKey => (signer.public_key(), msg.to_vec(), other.sign(msg)),
+    }
+}
+
+fn check_mix(mix: &[ItemKind], salt: u64) {
+    let items: Vec<(PublicKey, Vec<u8>, Signature)> = mix
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            build_item(
+                *kind,
+                salt * 100 + i as u64,
+                format!("payload-{salt}-{i}").as_bytes(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&PublicKey, &[u8], &Signature)> = items
+        .iter()
+        .map(|(k, m, s)| (k, m.as_slice(), s))
+        .collect();
+
+    let per_item_ok = borrowed.iter().all(|(k, m, s)| k.verify(m, s).is_ok());
+    let batch_ok = verify_batch(&borrowed).is_ok();
+    assert_eq!(
+        batch_ok, per_item_ok,
+        "batch/per-item disagreement on mix {mix:?}"
+    );
+    // Ground truth without running any verifier: a batch is valid iff every
+    // item is Good.
+    assert_eq!(per_item_ok, mix.iter().all(|k| *k == ItemKind::Good));
+}
+
+#[test]
+fn every_short_mix_agrees_with_per_item_verify() {
+    let mut salt = 0u64;
+    for len in 1..=4usize {
+        let combos = 3usize.pow(len as u32);
+        for c in 0..combos {
+            let mut mix = Vec::with_capacity(len);
+            let mut rem = c;
+            for _ in 0..len {
+                mix.push(KINDS[rem % 3]);
+                rem /= 3;
+            }
+            check_mix(&mix, salt);
+            salt += 1;
+        }
+    }
+}
+
+#[test]
+fn random_long_mixes_agree_with_per_item_verify() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for round in 0..50u64 {
+        let len = rng.gen_range(5usize..24);
+        // Bias towards all-good so both branches of the agreement property
+        // (accept and reject) are exercised.
+        let mix: Vec<ItemKind> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.8) {
+                    ItemKind::Good
+                } else {
+                    KINDS[rng.gen_range(1usize..3)]
+                }
+            })
+            .collect();
+        check_mix(&mix, 10_000 + round);
+    }
+}
+
+#[test]
+fn empty_batch_is_valid() {
+    assert!(verify_batch(&[]).is_ok());
+}

@@ -446,7 +446,7 @@ mod tests {
         let mut rx = ReliableMux::new(TimeMs(10), 2);
         let (pa, pb) = (PartyId::new("a"), PartyId::new("b"));
         let mut ctx = NodeCtx::new(TimeMs(0));
-        tx.send_traced(pb, b"m".to_vec(), tctx(), &mut ctx);
+        tx.send_traced(pb, b"m", tctx(), &mut ctx);
         let (_, frame) = ctx.take_outgoing().remove(0);
         let mut rctx = NodeCtx::new(TimeMs(1));
         assert_eq!(
@@ -455,7 +455,7 @@ mod tests {
         );
         // Untraced sends carry the all-zero sentinel.
         let mut ctx2 = NodeCtx::new(TimeMs(2));
-        tx.send(PartyId::new("b"), b"n".to_vec(), &mut ctx2);
+        tx.send(PartyId::new("b"), b"n", &mut ctx2);
         let (_, frame2) = ctx2.take_outgoing().remove(0);
         let (_, _, _, t, _) = decode_frame(&frame2).unwrap();
         assert_eq!(t, TraceContext::NONE);

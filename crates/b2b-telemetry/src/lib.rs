@@ -95,6 +95,17 @@ pub mod names {
     /// Checker: shrinking steps attempted while minimising a failing
     /// schedule (accepted and rejected candidates both count).
     pub const SHRINK_STEPS: &str = "shrink_steps";
+    /// Application updates that rode along in another update's signed
+    /// coordination round instead of paying for their own (a batch of `k`
+    /// updates coalesces `k − 1` rounds).
+    pub const ROUNDS_COALESCED: &str = "rounds_coalesced";
+    /// Histogram of batch occupancy: how many application updates each
+    /// dispatched state-coordination round carried (1 = unbatched).
+    pub const BATCH_OCCUPANCY: &str = "batch_occupancy";
+    /// Signature checks settled through a single batched verification
+    /// call (`b2b_crypto::sig::verify_batch`) rather than one public-key
+    /// operation per signature.
+    pub const SIG_BATCH_VERIFIES: &str = "sig_batch_verifies";
 }
 
 /// A cheap, shareable handle bundling a metrics registry and an optional

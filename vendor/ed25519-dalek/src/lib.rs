@@ -184,6 +184,41 @@ impl Verifier for VerifyingKey {
     }
 }
 
+/// Batch verification (dalek v2 `verify_batch` API shape): checks that
+/// `signatures[i]` is valid over `messages[i]` under `verifying_keys[i]`
+/// for every `i`.
+///
+/// Like the real implementation, the result is **all-or-nothing**: any
+/// invalid signature (or a length mismatch between the three slices, or
+/// empty input on mismatched lengths) fails the whole batch without
+/// identifying the offender — callers that need attribution fall back to
+/// per-signature [`Verifier::verify`]. A single shared comparison fold
+/// stands in for the real scheme's single multi-scalar multiplication.
+pub fn verify_batch(
+    messages: &[&[u8]],
+    signatures: &[Signature],
+    verifying_keys: &[VerifyingKey],
+) -> Result<(), SignatureError> {
+    if messages.len() != signatures.len() || messages.len() != verifying_keys.len() {
+        return Err(SignatureError);
+    }
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut diff = 0u8;
+    for ((msg, sig), vk) in messages.iter().zip(signatures).zip(verifying_keys) {
+        let secret = reg.get(&vk.bytes).copied().ok_or(SignatureError)?;
+        let expected = mac(&secret, msg);
+        diff |= expected
+            .iter()
+            .zip(sig.bytes.iter())
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b));
+    }
+    if diff == 0 {
+        Ok(())
+    } else {
+        Err(SignatureError)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +252,26 @@ mod tests {
         let sig = sk.sign(b"x");
         let restored = Signature::from_bytes(&sig.to_bytes());
         assert!(sk.verifying_key().verify(b"x", &restored).is_ok());
+    }
+
+    #[test]
+    fn batch_accepts_all_good_and_rejects_any_bad() {
+        let keys: Vec<SigningKey> = (0..4u8).map(|i| SigningKey::from_bytes(&[i; 32])).collect();
+        let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i, i, i]).collect();
+        let mut sigs: Vec<Signature> = keys
+            .iter()
+            .zip(&msgs)
+            .map(|(k, m)| k.sign(m))
+            .collect();
+        let vks: Vec<VerifyingKey> = keys.iter().map(|k| k.verifying_key()).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        assert!(verify_batch(&refs, &sigs, &vks).is_ok());
+        // One forged signature anywhere sinks the whole batch.
+        sigs[2] = keys[2].sign(b"forged");
+        assert!(verify_batch(&refs, &sigs, &vks).is_err());
+        // Length mismatch is an error, never a silent truncation.
+        assert!(verify_batch(&refs[..3], &sigs[..3], &vks).is_err());
+        assert!(verify_batch(&[], &[], &[]).is_ok());
     }
 
     #[test]
