@@ -14,6 +14,10 @@
 //!   deterministic simulator with a fleet-wide flight recorder, prints an
 //!   ASCII timeline per distributed trace and writes Chrome trace-event
 //!   JSON (load in `chrome://tracing` or Perfetto) to `target/metrics/`.
+//! * `exp -- eshard [--max-groups N] [--shards S]` — the E-SHARD sweep:
+//!   16…10k coordination groups multiplexed over a fixed worker pool
+//!   (`b2b-net::shard`), aggregate pipelined-update throughput per group
+//!   count × batch k, recorded in the repo-root `BENCH_shard.json`.
 //!
 //! Besides its markdown table, every experiment merges the fleet-wide
 //! metrics registries of all the fleets it ran and writes the result as
@@ -42,6 +46,11 @@ fn main() {
     }
     if which == "trace" {
         trace_figure5(std::env::args().skip(2).collect());
+        return;
+    }
+    if which == "eshard" {
+        let metrics = eshard_sharded_fleet(std::env::args().skip(2).collect());
+        write_sidecar("eshard", "sharded", ESHARD_SEED, &metrics);
         return;
     }
     let known = [
@@ -908,16 +917,16 @@ fn e10_batched_sim(updates: u64, k: usize) -> (BatchSample, MetricsSnapshot) {
         let node = fleet.net.node(&party(0));
         tickets
             .iter()
-            .filter(|t| {
-                node.outcome_of_ticket(t)
-                    .is_some_and(|o| o.is_installed())
-            })
+            .filter(|t| node.outcome_of_ticket(t).is_some_and(|o| o.is_installed()))
             .count() as u64
     };
     assert_eq!(installed, updates, "every pipelined update must install");
     let tel = &fleet.telemetry;
     let (rounds, occupancy_sum) = e10_hist_delta(tel, &before, names::BATCH_OCCUPANCY);
-    assert_eq!(occupancy_sum, updates, "every update rode exactly one round");
+    assert_eq!(
+        occupancy_sum, updates,
+        "every update rode exactly one round"
+    );
     let sample = BatchSample {
         transport: "sim",
         k,
@@ -1016,16 +1025,16 @@ fn e10_batched_threaded(updates: u64, k: usize) -> (BatchSample, MetricsSnapshot
         move |c| {
             tickets
                 .iter()
-                .filter(|t| {
-                    c.outcome_of_ticket(t)
-                        .is_some_and(|o| o.is_installed())
-                })
+                .filter(|t| c.outcome_of_ticket(t).is_some_and(|o| o.is_installed()))
                 .count() as u64
         }
     });
     assert_eq!(installed, updates, "every pipelined update must install");
     let (rounds, occupancy_sum) = e10_hist_delta(&telemetry, &before, names::BATCH_OCCUPANCY);
-    assert_eq!(occupancy_sum, updates, "every update rode exactly one round");
+    assert_eq!(
+        occupancy_sum, updates,
+        "every update rode exactly one round"
+    );
     let sample = BatchSample {
         transport: "threaded",
         k,
@@ -1141,7 +1150,9 @@ fn e10_throughput() -> MetricsSnapshot {
     }
     write_bench_protocol(&sim, &threaded, &batch, gate_ok, gate_attempts);
     if !gate_ok {
-        eprintln!("E10 FAIL: k=1 pipelined throughput regressed >10% against the pre-batching baseline");
+        eprintln!(
+            "E10 FAIL: k=1 pipelined throughput regressed >10% against the pre-batching baseline"
+        );
         if std::env::var_os("E10_NO_GATE").is_none() {
             std::process::exit(1);
         }
@@ -1539,4 +1550,341 @@ fn echk_model_check(args: Vec<String>) -> (u64, MetricsSnapshot) {
         std::process::exit(1);
     }
     (base_seed, metrics)
+}
+
+// ---------------------------------------------------------------------
+// E-SHARD — multi-group aggregate throughput on the sharded runtime
+// ---------------------------------------------------------------------
+
+/// Base seed recorded in the E-SHARD sidecar provenance header.
+const ESHARD_SEED: u64 = 11;
+/// Delta payload size for E-SHARD updates (matches E10).
+const ESHARD_CHUNK: usize = 16;
+/// Members per coordination group.
+const ESHARD_PER_GROUP: usize = 2;
+
+/// One measured cell of the E-SHARD sweep.
+struct ShardSample {
+    groups: usize,
+    k: usize,
+    updates: u64,
+    setup: Duration,
+    wall: Duration,
+    stalls: u64,
+}
+
+impl ShardSample {
+    fn updates_per_sec(&self) -> f64 {
+        self.updates as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Runs one cell: `groups` two-party groups on a fixed pool, `batch_max
+/// = k`, a burst of pipelined updates per group, aggregate wall-clock
+/// from first submit to last outcome. Every group shares one key ring,
+/// one verify pool and one metrics registry.
+fn eshard_cell(
+    groups: usize,
+    k: usize,
+    shards: Option<usize>,
+    metrics: &MetricsSnapshot,
+) -> (ShardSample, MetricsSnapshot) {
+    use b2b_bench::sharded::{ShardedWorld, ShardedWorldOptions};
+    // Enough updates per group to exercise coalescing at k=16 without
+    // making the 10k cell take minutes at k=1.
+    let per_group_updates: u64 = if k > 1 { k as u64 } else { 4 };
+    let setup_start = Instant::now();
+    let world = ShardedWorld::new(
+        ShardedWorldOptions {
+            groups,
+            per_group: ESHARD_PER_GROUP,
+            config: CoordinatorConfig::default().batch_max(k),
+            verify_pool: Some(std::sync::Arc::new(
+                b2b_crypto::VerifyPool::with_default_parallelism(),
+            )),
+            shards,
+            ..ShardedWorldOptions::default()
+        },
+        "blob",
+        append_blob_factory,
+    );
+    let setup = setup_start.elapsed();
+    let before = world.metrics();
+    let t = Instant::now();
+    let tickets: Vec<Vec<_>> = (0..groups)
+        .map(|g| world.submit_updates(g, per_group_updates, vec![0xEE; ESHARD_CHUNK]))
+        .collect();
+    let mut installed = 0;
+    for (g, tickets) in tickets.iter().enumerate() {
+        installed += world.await_tickets(g, tickets, Duration::from_secs(600));
+    }
+    let wall = t.elapsed();
+    let updates = groups as u64 * per_group_updates;
+    if installed != updates {
+        // Surface a few failure diagnostics before dying.
+        let mut shown = 0;
+        for (g, tickets) in tickets.iter().enumerate() {
+            if shown >= 5 {
+                break;
+            }
+            let watched = tickets.clone();
+            let reasons: Vec<String> = world.handle(g, 0).read(move |c| {
+                watched
+                    .iter()
+                    .filter_map(|t| c.outcome_of_ticket(t))
+                    .filter(|o| !o.is_installed())
+                    .map(|o| format!("{o:?}"))
+                    .collect()
+            });
+            for r in reasons {
+                eprintln!("E-SHARD group {g}: {r}");
+                shown += 1;
+            }
+        }
+        panic!("E-SHARD: {installed}/{updates} updates installed");
+    }
+    let after = world.metrics();
+    let stalls = after.counter(names::INBOX_FULL_STALLS) - before.counter(names::INBOX_FULL_STALLS);
+    world.shutdown();
+    let mut merged = metrics.clone();
+    merged.merge(&after);
+    (
+        ShardSample {
+            groups,
+            k,
+            updates,
+            setup,
+            wall,
+            stalls,
+        },
+        merged,
+    )
+}
+
+/// Measures the single-group throughput anchor: one group on the same
+/// runtime driving the classic one-update-per-signed-round path (k = 1,
+/// submit → await each update), over enough sequential rounds for a
+/// stable wall-clock.
+fn eshard_sync_anchor(
+    shards: Option<usize>,
+    metrics: &MetricsSnapshot,
+) -> (ShardSample, MetricsSnapshot) {
+    use b2b_bench::sharded::{ShardedWorld, ShardedWorldOptions};
+    const ROUNDS: u64 = 64;
+    let setup_start = Instant::now();
+    let world = ShardedWorld::new(
+        ShardedWorldOptions {
+            groups: 1,
+            per_group: ESHARD_PER_GROUP,
+            config: CoordinatorConfig::default().batch_max(1),
+            verify_pool: Some(std::sync::Arc::new(
+                b2b_crypto::VerifyPool::with_default_parallelism(),
+            )),
+            shards,
+            ..ShardedWorldOptions::default()
+        },
+        "blob",
+        append_blob_factory,
+    );
+    let setup = setup_start.elapsed();
+    let t = Instant::now();
+    for _ in 0..ROUNDS {
+        let tickets = world.submit_updates(0, 1, vec![0xEE; ESHARD_CHUNK]);
+        assert_eq!(world.await_tickets(0, &tickets, Duration::from_secs(60)), 1);
+    }
+    let wall = t.elapsed();
+    let after = world.metrics();
+    world.shutdown();
+    let mut merged = metrics.clone();
+    merged.merge(&after);
+    (
+        ShardSample {
+            groups: 1,
+            k: 1,
+            updates: ROUNDS,
+            setup,
+            wall,
+            stalls: after.counter(names::INBOX_FULL_STALLS),
+        },
+        merged,
+    )
+}
+
+/// E-SHARD — aggregate pipelined-update throughput across {16…10k}
+/// concurrent coordination groups multiplexed over a fixed worker pool.
+/// The anchor is the single-group sync operating point (one update per
+/// signed round — what one shared object achieves on its own); the gate
+/// requires the 1k-group batched (k = 16) aggregate to clear 5× that
+/// anchor, i.e. the runtime must actually compound cross-group
+/// pipelining with in-round batching instead of serialising groups.
+/// `ESHARD_NO_GATE` records a miss without failing.
+fn eshard_sharded_fleet(args: Vec<String>) -> MetricsSnapshot {
+    let mut max_groups = 10_000usize;
+    let mut shards: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-groups" => {
+                max_groups = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--max-groups needs a positive integer"));
+            }
+            "--shards" => {
+                shards = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--shards needs a positive integer")),
+                );
+            }
+            other => die(&format!("unknown eshard flag '{other}'")),
+        }
+    }
+    let pool = shards.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
+    println!("## E-SHARD — multi-group sharded runtime ({pool}-shard pool, {ESHARD_PER_GROUP}-party groups, ed25519)\n");
+    println!("| groups | k | updates | setup ms | wall ms | agg updates/s | inbox stalls |");
+    println!("|-------:|--:|--------:|---------:|--------:|--------------:|-------------:|");
+    let mut metrics = MetricsSnapshot::default();
+    let (anchor, m) = eshard_sync_anchor(shards, &metrics);
+    metrics = m;
+    println!(
+        "| 1 (sync anchor) | 1 | {} | {:.0} | {:.0} | {:.1} | {} |",
+        anchor.updates,
+        anchor.setup.as_secs_f64() * 1e3,
+        anchor.wall.as_secs_f64() * 1e3,
+        anchor.updates_per_sec(),
+        anchor.stalls,
+    );
+    let mut rows: Vec<ShardSample> = Vec::new();
+    for &k in &[1usize, 16] {
+        for &groups in &[16usize, 256, 1000, 4000, 10_000] {
+            if groups > max_groups {
+                continue;
+            }
+            let (row, m) = eshard_cell(groups, k, shards, &metrics);
+            metrics = m;
+            println!(
+                "| {} | {} | {} | {:.0} | {:.0} | {:.1} | {} |",
+                row.groups,
+                row.k,
+                row.updates,
+                row.setup.as_secs_f64() * 1e3,
+                row.wall.as_secs_f64() * 1e3,
+                row.updates_per_sec(),
+                row.stalls,
+            );
+            rows.push(row);
+        }
+    }
+    // Scaling gate: the 1k-group batched cell vs the sync anchor.
+    let mut gate_ok = true;
+    let mut gates = Vec::new();
+    if let Some(row) = rows.iter().find(|r| r.groups == 1000 && r.k == 16) {
+        let anchor_ups = anchor.updates_per_sec();
+        let factor = row.updates_per_sec() / anchor_ups;
+        let ok = factor >= 5.0;
+        gate_ok &= ok;
+        println!(
+            "\nE-SHARD gate: 1k-group k=16 aggregate {:.1} u/s vs sync anchor {:.1} u/s — {:.1}x ({})",
+            row.updates_per_sec(),
+            anchor_ups,
+            factor,
+            if ok { "pass" } else { "FAIL" },
+        );
+        gates.push((16usize, anchor_ups, row.updates_per_sec(), factor, ok));
+    }
+    rows.insert(0, anchor);
+    write_bench_shard(pool, &rows, &gates, gate_ok);
+    if !gate_ok {
+        eprintln!("E-SHARD FAIL: 1k-group aggregate throughput below 5x the single-group anchor");
+        if std::env::var_os("ESHARD_NO_GATE").is_none() {
+            std::process::exit(1);
+        }
+        eprintln!("(ESHARD_NO_GATE set: recording the miss without failing)");
+    }
+    metrics
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Writes the repo-root `BENCH_shard.json` trajectory file for the
+/// E-SHARD sweep (hand-formatted: the vendored serde_json has no
+/// `Value`).
+fn write_bench_shard(
+    pool: usize,
+    rows: &[ShardSample],
+    gates: &[(usize, f64, f64, f64, bool)],
+    gate_ok: bool,
+) {
+    let row_entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{ \"groups\": {}, \"k\": {}, \"updates\": {}, ",
+                    "\"setup_ms\": {:.3}, \"wall_ms\": {:.3}, ",
+                    "\"updates_per_sec\": {:.2}, \"inbox_full_stalls\": {} }}"
+                ),
+                r.groups,
+                r.k,
+                r.updates,
+                r.setup.as_secs_f64() * 1e3,
+                r.wall.as_secs_f64() * 1e3,
+                r.updates_per_sec(),
+                r.stalls,
+            )
+        })
+        .collect();
+    let gate_entries: Vec<String> = gates
+        .iter()
+        .map(|(k, anchor, agg, factor, ok)| {
+            format!(
+                concat!(
+                    "    {{ \"k\": {}, \"anchor_updates_per_sec\": {:.2}, ",
+                    "\"aggregate_updates_per_sec_at_1k\": {:.2}, ",
+                    "\"scaling_factor\": {:.3}, \"pass\": {} }}"
+                ),
+                k, anchor, agg, factor, ok,
+            )
+        })
+        .collect();
+    let body = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"eshard\",\n",
+            "  \"commit\": {},\n",
+            "  \"workload\": {{\n",
+            "    \"per_group\": {},\n",
+            "    \"chunk_bytes\": {},\n",
+            "    \"shards\": {},\n",
+            "    \"crypto\": \"ed25519, shared ring, shared verify pool\"\n",
+            "  }},\n",
+            "  \"sweep\": [\n",
+            "{}\n",
+            "  ],\n",
+            "  \"scaling_gate_at_1k_groups\": [\n",
+            "{}\n",
+            "  ],\n",
+            "  \"gate_ok\": {}\n",
+            "}}\n"
+        ),
+        json_str(&git_sha()),
+        ESHARD_PER_GROUP,
+        ESHARD_CHUNK,
+        pool,
+        row_entries.join(",\n"),
+        gate_entries.join(",\n"),
+        gate_ok,
+    );
+    match std::fs::write("BENCH_shard.json", body) {
+        Ok(()) => println!("\ntrajectory file: BENCH_shard.json"),
+        Err(e) => eprintln!("cannot write BENCH_shard.json: {e}"),
+    }
 }

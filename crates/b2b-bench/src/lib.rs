@@ -10,6 +10,8 @@
 //! regenerated either by a Criterion bench in `benches/` or by the
 //! `exp` binary (`cargo run -p b2b-bench --bin exp -- <e1..e9|all>`).
 
+pub mod sharded;
+
 use b2b_core::{
     B2BObject, Coordinator, CoordinatorConfig, Decision, ObjectId, Outcome, RunId, SharedCell,
 };

@@ -1,0 +1,248 @@
+//! Multi-group world over the sharded runtime.
+//!
+//! [`ShardedWorld`] stands up `groups` independent coordination groups in
+//! one process on a fixed worker pool ([`b2b_net::ShardedNet`]), every
+//! group running the full signed protocol stack. It is the harness behind
+//! `exp -- eshard`: the fleet shares ONE key ring (`Arc`), ONE optional
+//! [`b2b_crypto::VerifyPool`] (signature verification parallelises
+//! *across* groups) and ONE metrics registry, so the per-group cost is
+//! the engine state itself.
+//!
+//! Group members reuse the canonical party names `org0..org{n-1}` in
+//! every group — groups are fully isolated by the runtime's group
+//! envelope, so the same identity (and the same key) can serve in
+//! thousands of groups, exactly like one organisation participating in
+//! thousands of shared objects.
+
+use crate::party;
+use b2b_core::{B2BObject, Coordinator, CoordinatorConfig, ObjectId, TicketId};
+use b2b_crypto::{KeyPair, KeyRing, Signer, VerifyPool};
+use b2b_net::{GroupHandle, GroupId, NetStats, ShardedNet};
+use b2b_telemetry::{MetricsSnapshot, Telemetry};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Construction knobs for a [`ShardedWorld`].
+pub struct ShardedWorldOptions {
+    /// Number of coordination groups.
+    pub groups: usize,
+    /// Members per group.
+    pub per_group: usize,
+    /// Per-coordinator configuration (batching etc.).
+    pub config: CoordinatorConfig,
+    /// Fleet-wide telemetry handle.
+    pub telemetry: Telemetry,
+    /// Shared signature-verification pool, if any.
+    pub verify_pool: Option<Arc<VerifyPool>>,
+    /// Worker-pool size; `None` = one shard per available CPU.
+    pub shards: Option<usize>,
+}
+
+impl Default for ShardedWorldOptions {
+    fn default() -> ShardedWorldOptions {
+        ShardedWorldOptions {
+            groups: 1,
+            per_group: 2,
+            config: CoordinatorConfig::default(),
+            telemetry: Telemetry::new(),
+            verify_pool: None,
+            shards: None,
+        }
+    }
+}
+
+/// A running multi-group fleet: `groups` × `per_group` coordinators on a
+/// fixed worker pool, all sharing one object alias.
+pub struct ShardedWorld {
+    /// The sharded runtime.
+    pub net: ShardedNet<Coordinator>,
+    /// Fleet-wide observability handle.
+    pub telemetry: Telemetry,
+    groups: usize,
+    per_group: usize,
+    object: ObjectId,
+}
+
+impl ShardedWorld {
+    /// Builds the fleet, registers `alias` at every group's `org0` and
+    /// joins the remaining members (sponsored chain), pipelining the
+    /// membership rounds across all groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member fails to join within the setup budget.
+    pub fn new<F>(opts: ShardedWorldOptions, alias: &str, factory: F) -> ShardedWorld
+    where
+        F: Fn() -> Box<dyn B2BObject> + Clone + Send + 'static,
+    {
+        assert!(opts.groups > 0 && opts.per_group >= 2);
+        // One ring for the whole fleet: member i's key is the same in
+        // every group (seeds match the Fleet harness).
+        let mut ring = KeyRing::new();
+        let mut keys = Vec::new();
+        for i in 0..opts.per_group {
+            let kp = KeyPair::generate_from_seed(1000 + i as u64);
+            ring.register(party(i), kp.public_key());
+            keys.push(kp);
+        }
+        let ring = Arc::new(ring);
+        let mut builder = ShardedNet::builder().telemetry(opts.telemetry.clone());
+        if let Some(shards) = opts.shards {
+            builder = builder.shards(shards);
+        }
+        for g in 0..opts.groups {
+            let nodes = (0..opts.per_group)
+                .map(|i| {
+                    let mut b = Coordinator::builder(party(i), keys[i].clone())
+                        .shared_ring(Arc::clone(&ring))
+                        .config(opts.config.clone())
+                        .seed(10 + (g * opts.per_group + i) as u64)
+                        .telemetry(opts.telemetry.clone());
+                    if let Some(pool) = &opts.verify_pool {
+                        b = b.verify_pool(Arc::clone(pool));
+                    }
+                    b.build()
+                })
+                .collect();
+            builder = builder.add_group(GroupId(g as u64), nodes);
+        }
+        let net = builder.spawn();
+        let world = ShardedWorld {
+            net,
+            telemetry: opts.telemetry,
+            groups: opts.groups,
+            per_group: opts.per_group,
+            object: ObjectId::new(alias.to_string()),
+        };
+        world.setup(factory);
+        world
+    }
+
+    fn setup<F>(&self, factory: F)
+    where
+        F: Fn() -> Box<dyn B2BObject> + Clone + Send + 'static,
+    {
+        // Register the object at every group's org0 (local, no rounds).
+        for g in 0..self.groups {
+            let f = factory.clone();
+            let oid = self.object.clone();
+            self.handle(g, 0).invoke(move |c, _| {
+                c.register_object(oid, Box::new(f)).unwrap();
+            });
+        }
+        // Join member j in ALL groups, then wait for all — the membership
+        // rounds of different groups run concurrently across the shards,
+        // so a 10k-group setup costs per_group round-trips, not
+        // 10k × per_group.
+        for j in 1..self.per_group {
+            for g in 0..self.groups {
+                let f = factory.clone();
+                let oid = self.object.clone();
+                let sponsor = party(j - 1);
+                self.handle(g, j).invoke(move |c, ctx| {
+                    c.request_connect(oid, Box::new(f), sponsor, ctx).unwrap();
+                });
+            }
+            for g in 0..self.groups {
+                let oid = self.object.clone();
+                assert!(
+                    self.handle(g, j)
+                        .wait_until(Duration::from_secs(120), move |c| c.is_member(&oid)),
+                    "org{j} of group {g} failed to join"
+                );
+            }
+        }
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Handle for member `i` of group `g`.
+    pub fn handle(&self, g: usize, i: usize) -> GroupHandle<Coordinator> {
+        self.net.handle(GroupId(g as u64), &party(i))
+    }
+
+    /// Submits `n` update deltas at group `g`'s org0, returning their
+    /// tickets (the pipelined `submit_update` path — updates coalesce
+    /// into batched rounds up to the config's `batch_max`).
+    pub fn submit_updates(&self, g: usize, n: u64, chunk: Vec<u8>) -> Vec<TicketId> {
+        let oid = self.object.clone();
+        self.handle(g, 0).invoke(move |c, ctx| {
+            (0..n)
+                .map(|_| c.submit_update(&oid, chunk.clone(), ctx).unwrap())
+                .collect()
+        })
+    }
+
+    /// Blocks until every ticket of group `g` has an outcome; returns the
+    /// number that installed.
+    pub fn await_tickets(&self, g: usize, tickets: &[TicketId], timeout: Duration) -> u64 {
+        let h = self.handle(g, 0);
+        let watched = tickets.to_vec();
+        assert!(
+            h.wait_until(timeout, move |c| watched
+                .iter()
+                .all(|t| c.outcome_of_ticket(t).is_some())),
+            "group {g}: pipelined updates did not all complete"
+        );
+        let tickets = tickets.to_vec();
+        h.read(move |c| {
+            tickets
+                .iter()
+                .filter(|t| c.outcome_of_ticket(t).is_some_and(|o| o.is_installed()))
+                .count() as u64
+        })
+    }
+
+    /// A point-in-time snapshot of the fleet-wide metrics registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.telemetry.metrics().snapshot()
+    }
+
+    /// Runtime traffic statistics.
+    pub fn stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Stops the worker pool.
+    pub fn shutdown(self) {
+        self.net.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::append_blob_factory;
+
+    #[test]
+    fn many_groups_share_one_pool_and_all_install() {
+        let world = ShardedWorld::new(
+            ShardedWorldOptions {
+                groups: 8,
+                shards: Some(2),
+                config: CoordinatorConfig::default().batch_max(4),
+                verify_pool: Some(Arc::new(VerifyPool::with_default_parallelism())),
+                ..ShardedWorldOptions::default()
+            },
+            "blob",
+            append_blob_factory,
+        );
+        let tickets: Vec<_> = (0..8)
+            .map(|g| world.submit_updates(g, 4, vec![0xAB; 64]))
+            .collect();
+        for (g, tickets) in tickets.iter().enumerate() {
+            assert_eq!(
+                world.await_tickets(g, tickets, Duration::from_secs(60)),
+                4,
+                "group {g}"
+            );
+        }
+        // One signed round per batch, counted fleet-wide.
+        let snap = world.metrics();
+        assert!(snap.counter(b2b_telemetry::names::ROUNDS_COMMITTED) >= 8);
+        world.shutdown();
+    }
+}

@@ -83,7 +83,12 @@ pub fn run_schedule(
     plan: &SchedulePlan,
     mutation: MutationFlags,
 ) -> RunVerdict {
-    let mut fleet = Fleet::new(scenario.parties(), plan.seed, mutation);
+    let mut fleet = Fleet::new_grouped(
+        scenario.parties() / scenario.groups(),
+        scenario.groups(),
+        plan.seed,
+        mutation,
+    );
     fleet.apply(plan);
     let ops = scenario.drive(&mut fleet);
     fleet.run();

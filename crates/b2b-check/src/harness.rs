@@ -52,6 +52,7 @@ pub struct Fleet {
     ring: KeyRing,
     tsa: TimeStampAuthority,
     object: ObjectId,
+    per_group: usize,
     tap: SharedTap,
     baseline: Vec<StateId>,
     crashed_ever: Vec<bool>,
@@ -66,7 +67,29 @@ impl Fleet {
     /// Builds `n` coordinators with the given mutation flags on perfect
     /// links and connects them all to one grow-only counter object.
     pub fn new(n: usize, seed: u64, mutation: MutationFlags) -> Fleet {
-        assert!(n >= 2, "a fleet needs at least two organisations");
+        Fleet::new_grouped(n, 1, seed, mutation)
+    }
+
+    /// Builds `groups` *independent* coordination groups of `per_group`
+    /// organisations each, all in one simulated process — the explorer's
+    /// model of the sharded multi-group runtime. Party indexes are laid
+    /// out group-major (`group_of(i) = i / per_group`); every group
+    /// coordinates its own instance of the grow-only counter, and the
+    /// groups share nothing but the process: key ring, TSA and the wire
+    /// live side by side, exactly like co-scheduled groups on the worker
+    /// pool.
+    pub fn new_grouped(
+        per_group: usize,
+        groups: usize,
+        seed: u64,
+        mutation: MutationFlags,
+    ) -> Fleet {
+        let n = per_group * groups;
+        assert!(
+            per_group >= 2,
+            "a coordination group needs at least two organisations"
+        );
+        assert!(groups >= 1, "a fleet needs at least one group");
         let mut ring = KeyRing::new();
         let mut keys = Vec::new();
         for i in 0..n {
@@ -100,6 +123,7 @@ impl Fleet {
             ring,
             tsa,
             object: ObjectId::new("counter"),
+            per_group,
             tap: SharedTap::new(),
             baseline: Vec::new(),
             crashed_ever: vec![false; n],
@@ -110,27 +134,55 @@ impl Fleet {
         fleet
     }
 
-    /// Registers the shared counter at org0 and connects the rest
-    /// sequentially (sponsored by the previously joined member, §4.5.1).
+    /// Per group: registers the shared counter at the group's first
+    /// member and connects the rest sequentially (sponsored by the
+    /// previously joined member, §4.5.1). The groups share the object
+    /// *alias* but never a membership — group identity lives in the
+    /// signed group id, and messages are point-to-point between members,
+    /// so the instances are fully isolated.
     fn setup(&mut self) {
-        let oid = self.object.clone();
-        self.net.invoke(&party(0), {
-            let oid = oid.clone();
-            move |c, _| c.register_object(oid, counter_factory()).unwrap()
-        });
-        for i in 1..self.parties.len() {
-            let oid = oid.clone();
-            let sponsor = party(i - 1);
-            self.net.invoke(&party(i), move |c, ctx| {
-                c.request_connect(oid, counter_factory(), sponsor, ctx)
-                    .unwrap();
+        for g in 0..self.groups() {
+            let members = self.group_members(g);
+            let oid = self.object.clone();
+            self.net.invoke(&party(members[0]), {
+                let oid = oid.clone();
+                move |c, _| c.register_object(oid, counter_factory()).unwrap()
             });
-            self.run();
-            assert!(
-                self.net.node(&party(i)).is_member(&self.object),
-                "org{i} failed to join the fleet object"
-            );
+            for w in members.windows(2) {
+                let (sponsor, joiner) = (w[0], w[1]);
+                let oid = oid.clone();
+                let sponsor = party(sponsor);
+                self.net.invoke(&party(joiner), move |c, ctx| {
+                    c.request_connect(oid, counter_factory(), sponsor, ctx)
+                        .unwrap();
+                });
+                self.run();
+                assert!(
+                    self.net.node(&party(joiner)).is_member(&self.object),
+                    "org{joiner} failed to join group {g}'s object"
+                );
+            }
         }
+    }
+
+    /// Number of independent coordination groups.
+    pub fn groups(&self) -> usize {
+        self.parties.len() / self.per_group
+    }
+
+    /// The group party `i` belongs to.
+    pub fn group_of(&self, i: usize) -> usize {
+        i / self.per_group
+    }
+
+    /// The party indexes of group `g`, in join order.
+    pub fn group_members(&self, g: usize) -> Vec<usize> {
+        (g * self.per_group..(g + 1) * self.per_group).collect()
+    }
+
+    /// The fleet index of `p`, if it names a fleet member.
+    pub fn index_of(&self, p: &PartyId) -> Option<usize> {
+        self.parties.iter().position(|q| q == p)
     }
 
     /// Applies a schedule plan: settles and drains all setup traffic and
@@ -370,6 +422,34 @@ mod tests {
         assert!(wire
             .iter()
             .any(|(_, _, m, _)| matches!(m, WireMsg::Decide(_))));
+    }
+
+    #[test]
+    fn grouped_fleet_keeps_groups_isolated() {
+        // Two 2-party groups in one process: each advances its own chain
+        // and never learns the neighbour's state.
+        let mut fleet = Fleet::new_grouped(2, 2, 13, MutationFlags::default());
+        assert_eq!(fleet.groups(), 2);
+        assert_eq!(fleet.group_members(1), vec![2, 3]);
+        fleet.apply(&SchedulePlan::quiescent(13));
+        let run_a = fleet.propose(0, 5).expect("group 0 proposal accepted");
+        let run_b = fleet.propose(2, 9).expect("group 1 proposal accepted");
+        assert!(fleet.outcome(0, &run_a).unwrap().is_installed());
+        assert!(fleet.outcome(2, &run_b).unwrap().is_installed());
+        for i in [0, 1] {
+            assert_eq!(fleet.agreed_state(i), b"5".to_vec(), "group 0 member {i}");
+            assert!(
+                fleet.outcome(i, &run_b).is_none(),
+                "group 0 saw group 1's run"
+            );
+        }
+        for i in [2, 3] {
+            assert_eq!(fleet.agreed_state(i), b"9".to_vec(), "group 1 member {i}");
+            assert!(
+                fleet.outcome(i, &run_a).is_none(),
+                "group 1 saw group 0's run"
+            );
+        }
     }
 
     #[test]

@@ -209,13 +209,16 @@ pub fn check_all(fleet: &mut Fleet, scenario: &dyn Scenario, ops: &[DrivenOp]) -
 
     let mut violations = Vec::new();
 
-    // Oracle 1 — install divergence across correct parties.
-    let mut by_seq: BTreeMap<u64, (usize, StateId)> = BTreeMap::new();
+    // Oracle 1 — install divergence across correct parties. Keyed by
+    // (group, seq): independent groups advance their own chains, so the
+    // same sequence number legitimately carries different states in
+    // different groups.
+    let mut by_seq: BTreeMap<(usize, u64), (usize, StateId)> = BTreeMap::new();
     for &i in &correct {
         for ins in &installs[i] {
-            match by_seq.get(&ins.id.seq) {
+            match by_seq.get(&(fleet.group_of(i), ins.id.seq)) {
                 None => {
-                    by_seq.insert(ins.id.seq, (i, ins.id));
+                    by_seq.insert((fleet.group_of(i), ins.id.seq), (i, ins.id));
                 }
                 Some((j, other)) if *other != ins.id => {
                     violations.push(Violation::Divergence {
@@ -355,18 +358,29 @@ pub fn check_all(fleet: &mut Fleet, scenario: &dyn Scenario, ops: &[DrivenOp]) -
                 }
             }
         }
-        let ids: BTreeSet<String> = correct
-            .iter()
-            .map(|&i| format!("{:?}", fleet.agreed_id(i)))
-            .collect();
-        let states: BTreeSet<Vec<u8>> = correct.iter().map(|&i| fleet.agreed_state(i)).collect();
-        if ids.len() > 1 || states.len() > 1 {
-            violations.push(Violation::Stalled {
-                reason: format!(
-                    "group failed to converge: {} distinct final states",
-                    ids.len().max(states.len())
-                ),
-            });
+        // Convergence is a per-group promise: each group settles on one
+        // final state, independent of what its co-scheduled neighbours
+        // agreed.
+        for g in 0..fleet.groups() {
+            let members: Vec<usize> = fleet
+                .group_members(g)
+                .into_iter()
+                .filter(|i| correct.contains(i))
+                .collect();
+            let ids: BTreeSet<String> = members
+                .iter()
+                .map(|&i| format!("{:?}", fleet.agreed_id(i)))
+                .collect();
+            let states: BTreeSet<Vec<u8>> =
+                members.iter().map(|&i| fleet.agreed_state(i)).collect();
+            if ids.len() > 1 || states.len() > 1 {
+                violations.push(Violation::Stalled {
+                    reason: format!(
+                        "group {g} failed to converge: {} distinct final states",
+                        ids.len().max(states.len())
+                    ),
+                });
+            }
         }
     }
 
@@ -435,7 +449,13 @@ fn verify_responses(
         }
     }
     if let Some(proposer) = proposer {
-        let mut expected: BTreeSet<_> = (0..fleet.len()).map(party).collect();
+        // The recipient set is the proposer's *group*, not the whole
+        // process — co-scheduled groups never vote in each other's rounds.
+        let group = fleet
+            .index_of(proposer)
+            .map(|i| fleet.group_of(i))
+            .expect("proposer is a fleet member");
+        let mut expected: BTreeSet<_> = fleet.group_members(group).into_iter().map(party).collect();
         expected.remove(proposer);
         if seen != expected {
             return Some(format!(

@@ -35,8 +35,15 @@ pub trait Scenario: Sync {
     fn id(&self) -> &'static str;
     /// One-line description for CLI listings.
     fn describe(&self) -> &'static str;
-    /// Number of organisations in the group.
+    /// Total number of organisations across all groups.
     fn parties(&self) -> usize;
+    /// Number of independent coordination groups the organisations are
+    /// split into (group-major: `parties() / groups()` members each).
+    /// Scenarios with more than one group model the sharded multi-group
+    /// runtime inside the deterministic explorer.
+    fn groups(&self) -> usize {
+        1
+    }
     /// Index of the misbehaving insider, if the scenario has one.
     /// Oracles never judge the insider's own replica.
     fn insider(&self) -> Option<usize> {
@@ -59,6 +66,7 @@ pub trait Scenario: Sync {
 pub fn scenarios() -> Vec<&'static dyn Scenario> {
     vec![
         &TemporalFaults,
+        &ShardedPairSmoke,
         &InsiderStalePrev,
         &InsiderSeqJump,
         &InsiderTupleReuse,
@@ -150,6 +158,52 @@ impl Scenario for TemporalFaults {
             .map(|v| DrivenOp {
                 proposer: 0,
                 run: fleet.propose(0, v),
+            })
+            .collect()
+    }
+}
+
+/// The multi-group smoke drive: two *independent* 2-party groups in one
+/// simulated process — the explorer's model of the sharded runtime
+/// multiplexing co-scheduled groups on a worker pool. Each group's first
+/// member proposes an interleaved run of counter values while the fault
+/// generator crashes, partitions and delays the non-proposers. Safety
+/// oracles are judged per group (divergence, recipient sets and
+/// convergence are group-scoped), and liveness demands both groups'
+/// rounds terminate — a stall in one group must never be masked by
+/// progress in the other.
+pub struct ShardedPairSmoke;
+
+impl Scenario for ShardedPairSmoke {
+    fn id(&self) -> &'static str {
+        "sharded-pair-smoke"
+    }
+    fn describe(&self) -> &'static str {
+        "two independent 2-party groups co-scheduled in one process under temporal faults"
+    }
+    fn parties(&self) -> usize {
+        4
+    }
+    fn groups(&self) -> usize {
+        2
+    }
+    fn protected(&self) -> Vec<usize> {
+        // The two proposers (first member of each group) script the
+        // invocations and must stay up.
+        vec![0, 2]
+    }
+    fn check_liveness(&self) -> bool {
+        true
+    }
+    fn drive(&self, fleet: &mut Fleet) -> Vec<DrivenOp> {
+        // Alternate the groups' rounds so the plan's crash and partition
+        // windows cut across both groups' traffic, not just one's.
+        (1..=2u64)
+            .flat_map(|v| {
+                [0usize, 2].map(|proposer| DrivenOp {
+                    proposer,
+                    run: fleet.propose(proposer, v),
+                })
             })
             .collect()
     }
@@ -307,7 +361,15 @@ impl Scenario for InsiderBatchForge {
         let auth = [0x63u8; 32];
         let honest = [5u64, 7];
         let forged = [5u64, 9];
-        let (mut m1, _) = forge_batch_m1(fleet, 1, agreed, agreed.seq + 1, b"batch-forge", &honest, auth);
+        let (mut m1, _) = forge_batch_m1(
+            fleet,
+            1,
+            agreed,
+            agreed.seq + 1,
+            b"batch-forge",
+            &honest,
+            auth,
+        );
         // Links and signature stay honest; only the unsigned body lies.
         m1.body = encode_batch_body(
             &forged
@@ -514,10 +576,20 @@ mod tests {
     #[test]
     fn registry_is_consistent() {
         let all = scenarios();
-        assert_eq!(all.len(), 6);
+        assert_eq!(all.len(), 7);
         for s in &all {
             assert_eq!(scenario(s.id()).unwrap().id(), s.id());
             assert!(s.parties() >= 2);
+            assert!(s.groups() >= 1);
+            assert_eq!(
+                s.parties() % s.groups(),
+                0,
+                "group-major layout needs equal-size groups"
+            );
+            assert!(
+                s.parties() / s.groups() >= 2,
+                "every group needs at least two organisations"
+            );
             if let Some(i) = s.insider() {
                 assert!(i < s.parties());
                 assert!(

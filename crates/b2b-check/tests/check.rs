@@ -99,6 +99,32 @@ fn run_schedule_is_deterministic() {
     );
 }
 
+/// The multi-group smoke scenario models the sharded runtime inside the
+/// deterministic explorer: the same seed must replay to the identical
+/// verdict (including evidence digests), and the production protocol
+/// must hold both groups safe and live under its schedules.
+#[test]
+fn sharded_pair_smoke_is_deterministic_and_clean() {
+    let scenario = b2b_check::scenario("sharded-pair-smoke").expect("registered");
+    let parties: Vec<_> = (0..scenario.parties())
+        .map(|i| b2b_crypto::PartyId::new(format!("org{i}")))
+        .collect();
+    for seed in [23, 24, 25] {
+        let plan = SchedulePlan::generate(seed, &parties, &scenario.protected());
+        let a = run_schedule(scenario, &plan, MutationFlags::default());
+        let b = run_schedule(scenario, &plan, MutationFlags::default());
+        assert_eq!(
+            a, b,
+            "seed {seed}: grouped schedule must replay identically"
+        );
+        assert!(
+            !a.violated(),
+            "seed {seed}: production protocol fired an oracle: {:?}",
+            a.violations
+        );
+    }
+}
+
 /// Every committed counterexample under `tests/fixtures/faultplans/` —
 /// including at least one shrunk plan per kill-matrix row — must keep
 /// replaying byte-identically: same violations, same evidence digests.

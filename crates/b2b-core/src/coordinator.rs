@@ -120,7 +120,10 @@ struct PendingConnectSnapshot {
 pub struct Coordinator {
     pub(crate) me: PartyId,
     pub(crate) signer: Arc<dyn Signer>,
-    pub(crate) ring: KeyRing,
+    /// Shared: in a multi-group process every coordinator of every group
+    /// holds the same `Arc`, so 10k groups pay for one ring, not 20k
+    /// copies of every party's key.
+    pub(crate) ring: Arc<KeyRing>,
     pub(crate) tsa: Option<TimeStampAuthority>,
     pub(crate) config: CoordinatorConfig,
     pub(crate) mux: ReliableMux,
@@ -186,7 +189,7 @@ impl std::fmt::Debug for Coordinator {
 pub struct CoordinatorBuilder {
     me: PartyId,
     signer: Arc<dyn Signer>,
-    ring: KeyRing,
+    ring: Arc<KeyRing>,
     tsa: Option<TimeStampAuthority>,
     config: CoordinatorConfig,
     evidence: Option<Arc<dyn EvidenceStore>>,
@@ -199,6 +202,13 @@ pub struct CoordinatorBuilder {
 impl CoordinatorBuilder {
     /// Registers the shared key ring (every party's verification key).
     pub fn ring(mut self, ring: KeyRing) -> CoordinatorBuilder {
+        self.ring = Arc::new(ring);
+        self
+    }
+
+    /// Registers an already-shared key ring. A multi-group fleet builds
+    /// the ring once and hands every coordinator the same `Arc`.
+    pub fn shared_ring(mut self, ring: Arc<KeyRing>) -> CoordinatorBuilder {
         self.ring = ring;
         self
     }
@@ -326,7 +336,7 @@ impl Coordinator {
         CoordinatorBuilder {
             me,
             signer: Arc::new(signer),
-            ring: KeyRing::new(),
+            ring: Arc::new(KeyRing::new()),
             tsa: None,
             config: CoordinatorConfig::default(),
             evidence: None,
@@ -775,7 +785,7 @@ impl Coordinator {
     /// a cached accept must not outlive the key material it was checked
     /// against (§4.4 — detection re-checks everything under new keys).
     pub fn update_ring(&mut self, ring: KeyRing) {
-        self.ring = ring;
+        self.ring = Arc::new(ring);
         self.sig_cache.borrow_mut().clear();
     }
 
@@ -1342,7 +1352,8 @@ impl Coordinator {
                 Err(e) => {
                     let reason = e.to_string();
                     for tid in ids {
-                        self.tickets.insert(tid, TicketState::Failed(reason.clone()));
+                        self.tickets
+                            .insert(tid, TicketState::Failed(reason.clone()));
                     }
                 }
             }

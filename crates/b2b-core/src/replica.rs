@@ -556,9 +556,11 @@ mod tests {
         let snap = ReplicaSnapshot::capture(&r);
         let json = serde_json::to_string(&snap).unwrap();
         let back: ReplicaSnapshot = serde_json::from_str(&json).unwrap();
-        let restored = back.restore(ObjectId::new("obj"), Box::new(SharedCell::new(99u64)), |s| {
-            slots.get(&s).cloned()
-        });
+        let restored = back.restore(
+            ObjectId::new("obj"),
+            Box::new(SharedCell::new(99u64)),
+            |s| slots.get(&s).cloned(),
+        );
         assert_eq!(restored.members, r.members);
         assert_eq!(restored.group, r.group);
         assert_eq!(restored.agreed, r.agreed);

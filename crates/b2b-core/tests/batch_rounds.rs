@@ -10,7 +10,7 @@ mod common;
 
 use b2b_core::messages::{decode_batch_body, encode_batch_body, ProposalKind, WireMsg};
 use b2b_core::{
-    Coordinator, CoordinatorConfig, CoordError, Misbehaviour, ObjectId, Outcome, TicketState,
+    CoordError, Coordinator, CoordinatorConfig, Misbehaviour, ObjectId, Outcome, TicketState,
 };
 use b2b_crypto::{PartyId, TimeMs};
 use b2b_net::intruder::{FnIntruder, InterceptAction};
@@ -70,7 +70,11 @@ fn concurrent_deferred_updates_coalesce_into_one_signed_round() {
     let after = telemetry.metrics().snapshot();
     let rounds = after.counter(names::ROUNDS_STARTED) - before.counter(names::ROUNDS_STARTED);
     assert_eq!(rounds, 2, "1 singleton + 1 batch of 4");
-    assert_eq!(after.counter(names::ROUNDS_COALESCED), 3, "4 updates in one round save 3");
+    assert_eq!(
+        after.counter(names::ROUNDS_COALESCED),
+        3,
+        "4 updates in one round save 3"
+    );
     let occupancy = after.histogram(names::BATCH_OCCUPANCY).expect("observed");
     assert_eq!(occupancy.count, 2);
     assert_eq!(occupancy.sum, 5, "5 updates across 2 rounds");
@@ -154,7 +158,8 @@ fn full_queue_reaches_batch_max_and_flushes_without_waiting_for_linger() {
     cluster.net.invoke(&party(0), move |c, ctx| {
         c.submit_update(&oid, entry("a"), ctx).unwrap();
         assert_eq!(c.pending_update_count(&ObjectId::new("log")), 1);
-        c.submit_update(&ObjectId::new("log"), entry("b"), ctx).unwrap();
+        c.submit_update(&ObjectId::new("log"), entry("b"), ctx)
+            .unwrap();
         assert_eq!(
             c.pending_update_count(&ObjectId::new("log")),
             0,
@@ -179,7 +184,8 @@ fn pending_queue_backpressure_returns_busy() {
     let oid = ObjectId::new("log");
     let third = cluster.net.invoke(&party(0), move |c, ctx| {
         c.submit_update(&oid, entry("x"), ctx).unwrap();
-        c.submit_update(&ObjectId::new("log"), entry("y"), ctx).unwrap();
+        c.submit_update(&ObjectId::new("log"), entry("y"), ctx)
+            .unwrap();
         c.submit_update(&ObjectId::new("log"), entry("z"), ctx)
     });
     match third {
@@ -201,7 +207,9 @@ fn forged_update_inside_batch_is_detected_attributed_and_rejected() {
     cluster.setup_object("log", append_log_factory);
     cluster.net.set_intruder(FnIntruder::new(
         |_f: &PartyId, _t: &PartyId, raw: &[u8], _n| match peek(raw) {
-            Some(WireMsg::Propose(mut m)) if matches!(m.proposal.kind, ProposalKind::Batch { .. }) => {
+            Some(WireMsg::Propose(mut m))
+                if matches!(m.proposal.kind, ProposalKind::Batch { .. }) =>
+            {
                 let mut updates = decode_batch_body(&m.body).expect("batch body decodes");
                 updates[1] = entry("forged-entry");
                 m.body = encode_batch_body(&updates);
@@ -220,9 +228,12 @@ fn forged_update_inside_batch_is_detected_attributed_and_rejected() {
     cluster.run();
 
     // The recipient attributed the mismatch to batch index 1 …
-    let hit = cluster.net.node(&party(1)).detected().iter().any(
-        |m| matches!(m, Misbehaviour::BatchedUpdateMismatch { index, .. } if *index == 1),
-    );
+    let hit = cluster
+        .net
+        .node(&party(1))
+        .detected()
+        .iter()
+        .any(|m| matches!(m, Misbehaviour::BatchedUpdateMismatch { index, .. } if *index == 1));
     assert!(hit, "expected batched-update-mismatch at index 1");
     // … vetoed with the index in the diagnostic …
     let outcome = cluster
@@ -260,7 +271,9 @@ fn inapplicable_update_fails_its_ticket_without_sinking_the_batch() {
         let b = c
             .submit_update(&ObjectId::new("log"), b"\xff\xfe not json".to_vec(), ctx)
             .unwrap();
-        let g2 = c.submit_update(&ObjectId::new("log"), entry("ok-2"), ctx).unwrap();
+        let g2 = c
+            .submit_update(&ObjectId::new("log"), entry("ok-2"), ctx)
+            .unwrap();
         (g1, b, g2)
     });
     cluster.run();
@@ -452,8 +465,13 @@ fn batched_round_parity_sim_vs_tcp() {
     for i in 1..n {
         let sponsor = party(i - 1);
         net.handle(&party(i)).invoke(move |c, ctx| {
-            c.request_connect(ObjectId::new("log"), Box::new(append_log_factory), sponsor, ctx)
-                .unwrap();
+            c.request_connect(
+                ObjectId::new("log"),
+                Box::new(append_log_factory),
+                sponsor,
+                ctx,
+            )
+            .unwrap();
         });
         let joined = net
             .handle(&party(i))
@@ -471,13 +489,13 @@ fn batched_round_parity_sim_vs_tcp() {
     let expected: Vec<String> = (0..6).map(|i| format!("p{i}")).collect();
     for i in 0..n {
         let expect = expected.clone();
-        let converged = net
-            .handle(&party(i))
-            .wait_until(std::time::Duration::from_secs(10), move |c| {
-                c.agreed_state(&ObjectId::new("log"))
-                    .map(|s| entries(&s) == expect)
-                    .unwrap_or(false)
-            });
+        let converged =
+            net.handle(&party(i))
+                .wait_until(std::time::Duration::from_secs(10), move |c| {
+                    c.agreed_state(&ObjectId::new("log"))
+                        .map(|s| entries(&s) == expect)
+                        .unwrap_or(false)
+                });
         assert!(converged, "org{i} did not converge over tcp");
     }
     let tcp_state = net
@@ -536,7 +554,11 @@ fn a_batched_round_appends_one_evidence_record_per_protocol_step() {
 
     let proposer_records = cluster.net.node(&party(0)).evidence().records();
     let count = |kind: EvidenceKind| proposer_records.iter().filter(|r| r.kind == kind).count();
-    assert_eq!(count(EvidenceKind::StatePropose), 2, "2 rounds, not 5 updates");
+    assert_eq!(
+        count(EvidenceKind::StatePropose),
+        2,
+        "2 rounds, not 5 updates"
+    );
     assert_eq!(count(EvidenceKind::StateDecide), 2);
 
     // The batch run specifically: one record per protocol step per party.
@@ -546,16 +568,39 @@ fn a_batched_round_appends_one_evidence_record_per_protocol_step() {
         .run_of_ticket(&tickets[1])
         .unwrap()
         .to_hex();
-    let batch_records = cluster.net.node(&party(0)).evidence().records_for_run(&batch_run);
+    let batch_records = cluster
+        .net
+        .node(&party(0))
+        .evidence()
+        .records_for_run(&batch_run);
     let per_kind = |kind: EvidenceKind| batch_records.iter().filter(|r| r.kind == kind).count();
-    assert_eq!(per_kind(EvidenceKind::StatePropose), 1, "one m1 covers all 4 updates");
-    assert_eq!(per_kind(EvidenceKind::StateRespond), 2, "one logged receipt per peer");
+    assert_eq!(
+        per_kind(EvidenceKind::StatePropose),
+        1,
+        "one m1 covers all 4 updates"
+    );
+    assert_eq!(
+        per_kind(EvidenceKind::StateRespond),
+        2,
+        "one logged receipt per peer"
+    );
     assert_eq!(per_kind(EvidenceKind::StateDecide), 1);
-    assert_eq!(per_kind(EvidenceKind::Checkpoint), 1, "one install for the whole batch");
+    assert_eq!(
+        per_kind(EvidenceKind::Checkpoint),
+        1,
+        "one install for the whole batch"
+    );
     assert_eq!(batch_records.len(), 5);
     for who in 1..3 {
-        let recs = cluster.net.node(&party(who)).evidence().records_for_run(&batch_run);
-        let responds = recs.iter().filter(|r| r.kind == EvidenceKind::StateRespond).count();
+        let recs = cluster
+            .net
+            .node(&party(who))
+            .evidence()
+            .records_for_run(&batch_run);
+        let responds = recs
+            .iter()
+            .filter(|r| r.kind == EvidenceKind::StateRespond)
+            .count();
         assert_eq!(responds, 1, "party {who}: one receipt for the whole batch");
     }
 }

@@ -166,7 +166,9 @@ mod tests {
     #[test]
     fn all_good_batch_passes() {
         let pool = VerifyPool::new(3);
-        let items: Vec<VerifyItem> = (0..10).map(|i| item(i, format!("m{i}").as_bytes())).collect();
+        let items: Vec<VerifyItem> = (0..10)
+            .map(|i| item(i, format!("m{i}").as_bytes()))
+            .collect();
         assert!(pool.verify(items));
     }
 

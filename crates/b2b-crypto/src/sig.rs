@@ -50,7 +50,10 @@ impl Serialize for Signature {
     fn to_value(&self) -> serde::Value {
         serde::Value::Map(vec![
             ("scheme".to_string(), self.scheme.to_value()),
-            ("bytes".to_string(), serde::Value::Str(hex::encode(&self.bytes))),
+            (
+                "bytes".to_string(),
+                serde::Value::Str(hex::encode(&self.bytes)),
+            ),
         ])
     }
 }
@@ -69,8 +72,9 @@ impl Deserialize for Signature {
         };
         let scheme = SignatureScheme::from_value(field("scheme")?)?;
         let bytes = match field("bytes")? {
-            serde::Value::Str(s) => hex::decode(s)
-                .map_err(|_| serde::Error::msg("Signature: bytes is not hex"))?,
+            serde::Value::Str(s) => {
+                hex::decode(s).map_err(|_| serde::Error::msg("Signature: bytes is not hex"))?
+            }
             _ => return Err(serde::Error::msg("Signature: expected hex string bytes")),
         };
         Ok(Signature { scheme, bytes })

@@ -50,10 +50,8 @@ fn check_mix(mix: &[ItemKind], salt: u64) {
             )
         })
         .collect();
-    let borrowed: Vec<(&PublicKey, &[u8], &Signature)> = items
-        .iter()
-        .map(|(k, m, s)| (k, m.as_slice(), s))
-        .collect();
+    let borrowed: Vec<(&PublicKey, &[u8], &Signature)> =
+        items.iter().map(|(k, m, s)| (k, m.as_slice(), s)).collect();
 
     let per_item_ok = borrowed.iter().all(|(k, m, s)| k.verify(m, s).is_ok());
     let batch_ok = verify_batch(&borrowed).is_ok();

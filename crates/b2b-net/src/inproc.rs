@@ -14,7 +14,8 @@
 use crate::node::{NetNode, NodeCtx, Payload};
 use crate::stats::NetStats;
 use b2b_crypto::{PartyId, TimeMs};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use b2b_telemetry::{names, Telemetry};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -27,6 +28,35 @@ pub(crate) enum Envelope {
     Msg { from: PartyId, payload: Payload },
     Wake,
     Stop,
+}
+
+/// Default bound on a node's inbox channel.
+///
+/// Inboxes used to be unbounded, which lets one slow node buffer an
+/// arbitrary backlog — at thousands of groups per process that is a memory
+/// blowup. 1024 frames is far above any steady-state depth the protocols
+/// produce (a round is a handful of frames per peer) while capping the
+/// worst case; senders that hit the bound stall briefly and then shed the
+/// frame, which the reliable layer recovers like any other loss.
+pub const DEFAULT_INBOX_CAPACITY: usize = 1024;
+
+/// Pushes an envelope into a bounded inbox, applying the backpressure
+/// policy shared by the in-process transports: try without blocking; on a
+/// full inbox count an [`names::INBOX_FULL_STALLS`] and retry briefly; if
+/// the inbox is still full, shed the frame. Shedding (rather than blocking
+/// forever) keeps two mutually-flooding node threads from deadlocking —
+/// the fabric is best-effort and the reliable layer retransmits.
+pub(crate) fn send_bounded(tx: &Sender<Envelope>, envelope: Envelope, telemetry: &Telemetry) {
+    match tx.try_send(envelope) {
+        Ok(()) => {}
+        // A send to a stopped node fails harmlessly: the paper's model
+        // treats it as a lost message that retransmission recovers.
+        Err(TrySendError::Disconnected(_)) => {}
+        Err(TrySendError::Full(envelope)) => {
+            telemetry.inc(names::INBOX_FULL_STALLS);
+            let _ = tx.send_timeout(envelope, Duration::from_millis(2));
+        }
+    }
 }
 
 /// What a node's event loop needs from the medium underneath it: a clock
@@ -54,6 +84,7 @@ struct Router {
     start: Instant,
     sent: AtomicU64,
     delivered: AtomicU64,
+    telemetry: Telemetry,
 }
 
 impl Fabric for Router {
@@ -63,14 +94,18 @@ impl Fabric for Router {
 
     fn send(&self, from: &PartyId, to: &PartyId, payload: Payload) {
         self.sent.fetch_add(1, Ordering::Relaxed);
-        if let Some(tx) = self.channels.read().get(to) {
-            // A send to a stopped node fails harmlessly: the paper's model
-            // treats it as a lost message that retransmission recovers.
-            let _ = tx.send(Envelope::Msg {
+        let tx = match self.channels.read().get(to) {
+            Some(tx) => tx.clone(),
+            None => return,
+        };
+        send_bounded(
+            &tx,
+            Envelope::Msg {
                 from: from.clone(),
                 payload,
-            });
-        }
+            },
+            &self.telemetry,
+        );
     }
 
     fn note_delivered(&self) {
@@ -205,17 +240,36 @@ pub struct ThreadedNet<N: NetNode> {
 
 impl<N: NetNode> ThreadedNet<N> {
     /// Registers all nodes, spawns one thread per node, and runs each
-    /// node's `on_start`.
+    /// node's `on_start`. Inboxes are bounded at
+    /// [`DEFAULT_INBOX_CAPACITY`]; use [`ThreadedNet::spawn_with`] to tune
+    /// the bound or observe backpressure stalls.
     ///
     /// # Panics
     ///
     /// Panics if two nodes share an id.
     pub fn spawn(nodes: Vec<N>) -> ThreadedNet<N> {
+        ThreadedNet::spawn_with(nodes, DEFAULT_INBOX_CAPACITY, Telemetry::default())
+    }
+
+    /// [`ThreadedNet::spawn`] with an explicit per-node inbox bound and a
+    /// telemetry handle that counts [`names::INBOX_FULL_STALLS`] whenever
+    /// a sender finds a destination inbox full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two nodes share an id or `inbox_capacity` is zero.
+    pub fn spawn_with(
+        nodes: Vec<N>,
+        inbox_capacity: usize,
+        telemetry: Telemetry,
+    ) -> ThreadedNet<N> {
+        assert!(inbox_capacity > 0, "inbox capacity must be positive");
         let router = Arc::new(Router {
             channels: RwLock::new(HashMap::new()),
             start: Instant::now(),
             sent: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
+            telemetry,
         });
         let mut handles = HashMap::new();
         type Starter<N> = (
@@ -228,7 +282,7 @@ impl<N: NetNode> ThreadedNet<N> {
 
         for node in nodes {
             let id = node.id();
-            let (tx, rx) = unbounded();
+            let (tx, rx) = bounded(inbox_capacity);
             assert!(
                 router
                     .channels
@@ -327,9 +381,11 @@ impl<N: NetNode> Drop for ThreadedNet<N> {
 pub(crate) fn spawn_node_thread<N: NetNode>(
     node: N,
     fabric: Arc<dyn Fabric>,
+    inbox_capacity: usize,
 ) -> (NodeHandle<N>, Sender<Envelope>, JoinHandle<()>) {
+    assert!(inbox_capacity > 0, "inbox capacity must be positive");
     let id = node.id();
-    let (tx, rx) = unbounded();
+    let (tx, rx) = bounded(inbox_capacity);
     let shared = Arc::new(Shared {
         inner: Mutex::new(Inner {
             node,
@@ -490,5 +546,59 @@ mod tests {
     #[should_panic(expected = "duplicate node id")]
     fn duplicate_ids_rejected() {
         let _ = ThreadedNet::spawn(vec![PingPong::new("a", "b"), PingPong::new("a", "b")]);
+    }
+
+    struct Slow {
+        id: PartyId,
+        seen: u32,
+    }
+
+    impl NetNode for Slow {
+        fn id(&self) -> PartyId {
+            self.id.clone()
+        }
+        fn on_message(&mut self, _from: &PartyId, _payload: &[u8], _ctx: &mut NodeCtx) {
+            self.seen += 1;
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn full_inbox_counts_stalls_and_recovers() {
+        let telemetry = Telemetry::new();
+        let net = ThreadedNet::spawn_with(
+            vec![
+                Slow {
+                    id: PartyId::new("slow"),
+                    seen: 0,
+                },
+                Slow {
+                    id: PartyId::new("fast"),
+                    seen: 0,
+                },
+            ],
+            1,
+            telemetry.clone(),
+        );
+        let fast = net.handle(&PartyId::new("fast"));
+        // Burst far past the 1-slot inbox while the receiver sleeps 10 ms
+        // per frame: the overflow must register as stalls, not as an
+        // unbounded backlog, and some frames are shed (best-effort fabric).
+        fast.invoke(|_n, ctx| {
+            for _ in 0..20 {
+                ctx.send(PartyId::new("slow"), b"x".to_vec());
+            }
+        });
+        let slow = net.handle(&PartyId::new("slow"));
+        assert!(slow.wait_until(Duration::from_secs(5), |n| n.seen >= 1));
+        assert!(
+            telemetry
+                .metrics()
+                .snapshot()
+                .counter(b2b_telemetry::names::INBOX_FULL_STALLS)
+                > 0,
+            "a 20-frame burst into a 1-slot inbox must stall"
+        );
+        net.shutdown();
     }
 }

@@ -22,6 +22,9 @@
 //! * [`tcp`] — a transport over `std::net` OS sockets with length-prefixed
 //!   framing and reconnecting per-peer connections, for crossing process
 //!   and host boundaries;
+//! * [`shard`] — a sharded multi-group runtime multiplexing thousands of
+//!   coordination groups over a fixed worker pool, with per-shard timer
+//!   wheels and group-enveloped frames;
 //! * [`poll`] — bounded condition-polling helpers for tests against the
 //!   real-clock transports;
 //! * [`scrape`] — a tiny HTTP responder serving the metrics registry in
@@ -34,18 +37,20 @@ pub mod node;
 pub mod poll;
 pub mod reliable;
 pub mod scrape;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod tcp;
 
 pub use fault::FaultPlan;
-pub use inproc::{Fabric, NodeHandle, ThreadedNet};
+pub use inproc::{Fabric, NodeHandle, ThreadedNet, DEFAULT_INBOX_CAPACITY};
 pub use intruder::{
     InterceptAction, Intruder, PassThrough, ScriptAction, ScriptRule, ScriptedIntruder,
 };
 pub use node::{NetNode, NodeCtx, Payload};
 pub use reliable::{ReliableMux, RELIABLE_TIMER_BASE};
 pub use scrape::ScrapeServer;
+pub use shard::{GroupHandle, GroupId, ShardedNet, ShardedNetBuilder};
 pub use sim::SimNet;
 pub use stats::NetStats;
 pub use tcp::{TcpConfig, TcpEndpoint, TcpNet, MAX_FRAME_LEN};

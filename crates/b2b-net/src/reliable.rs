@@ -364,6 +364,36 @@ pub fn reframe(raw: &[u8], epoch: u64, seq: u64) -> Option<Vec<u8>> {
     }
 }
 
+/// Length of the group envelope prefixed to every frame that crosses a
+/// multi-group fabric: the destination group's id, big-endian.
+pub const GROUP_ENVELOPE_LEN: usize = 8;
+
+/// Wraps a reliable-layer frame in a group envelope: `group id (8, BE)`
+/// followed by the frame bytes unchanged.
+///
+/// Group routing is a *transport* concern, so the envelope sits **outside**
+/// the reliable frame — exactly like TCP's length prefix. The inner
+/// `kind | epoch | seq | trace` layout (and therefore every recorded
+/// counterexample, forged-frame fixture and wire-tap parser) is untouched,
+/// and a single-group fabric that never wraps its frames stays
+/// byte-identical on the wire.
+pub fn encode_group_frame(group: u64, frame: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(GROUP_ENVELOPE_LEN + frame.len());
+    out.extend_from_slice(&group.to_be_bytes());
+    out.extend_from_slice(frame);
+    out
+}
+
+/// Splits a group envelope off a received frame; `None` if `raw` is too
+/// short to carry one.
+pub fn decode_group_frame(raw: &[u8]) -> Option<(u64, &[u8])> {
+    if raw.len() < GROUP_ENVELOPE_LEN {
+        return None;
+    }
+    let group = u64::from_be_bytes(raw[..GROUP_ENVELOPE_LEN].try_into().ok()?);
+    Some((group, &raw[GROUP_ENVELOPE_LEN..]))
+}
+
 fn encode_frame(kind: u8, epoch: u64, seq: u64, trace: &TraceContext, body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
     out.push(kind);
@@ -426,6 +456,21 @@ mod tests {
         let ack = encode_frame(KIND_ACK, 7, 42, &TraceContext::NONE, &[]);
         assert!(!is_data_frame(&ack));
         assert!(reframe(&ack, 1, 1).is_none());
+    }
+
+    #[test]
+    fn group_envelope_roundtrips_and_preserves_the_inner_frame() {
+        let inner = encode_frame(KIND_DATA, 7, 42, &tctx(), b"payload");
+        let wrapped = encode_group_frame(0xDEAD_BEEF_0000_0001, &inner);
+        assert_eq!(wrapped.len(), GROUP_ENVELOPE_LEN + inner.len());
+        let (gid, frame) = decode_group_frame(&wrapped).unwrap();
+        assert_eq!(gid, 0xDEAD_BEEF_0000_0001);
+        // The inner frame is byte-identical: the envelope is pure prefix.
+        assert_eq!(frame, &inner[..]);
+        let (k, e, s, t, b) = decode_frame(frame).unwrap();
+        assert_eq!((k, e, s, t, b), (KIND_DATA, 7, 42, tctx(), &b"payload"[..]));
+        // Too-short inputs are rejected, not sliced.
+        assert!(decode_group_frame(&[1, 2, 3]).is_none());
     }
 
     #[test]

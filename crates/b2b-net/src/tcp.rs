@@ -28,7 +28,9 @@
 //!   wakes the accept loop, and reader/writer threads are joined, so a
 //!   dropped endpoint leaves no runaway threads.
 
-use crate::inproc::{spawn_node_thread, Envelope, Fabric, NodeHandle};
+use crate::inproc::{
+    send_bounded, spawn_node_thread, Envelope, Fabric, NodeHandle, DEFAULT_INBOX_CAPACITY,
+};
 use crate::node::{NetNode, Payload};
 use crate::stats::NetStats;
 use b2b_crypto::{PartyId, TimeMs};
@@ -106,11 +108,17 @@ pub struct TcpConfig {
     /// Telemetry handle for transport counters
     /// ([`names::TCP_CONNECTS`] and friends).
     pub telemetry: Telemetry,
+    /// Bound on the engine's inbox channel; a reader that finds it full
+    /// stalls briefly and then sheds the frame (counted as
+    /// [`names::INBOX_FULL_STALLS`]) — socket buffers then push back on
+    /// the peer naturally.
+    pub inbox_capacity: usize,
 }
 
 impl TcpConfig {
     /// Defaults: 10 ms backoff base, 1 s cap, 1 s connect timeout,
-    /// `TCP_NODELAY` on, no telemetry sink.
+    /// `TCP_NODELAY` on, no telemetry sink, inbox bounded at
+    /// [`DEFAULT_INBOX_CAPACITY`].
     pub fn new() -> TcpConfig {
         TcpConfig {
             reconnect_base: Duration::from_millis(10),
@@ -118,6 +126,7 @@ impl TcpConfig {
             connect_timeout: Duration::from_secs(1),
             nodelay: true,
             telemetry: Telemetry::default(),
+            inbox_capacity: DEFAULT_INBOX_CAPACITY,
         }
     }
 
@@ -136,6 +145,12 @@ impl TcpConfig {
     /// Attaches a telemetry handle.
     pub fn telemetry(mut self, telemetry: Telemetry) -> TcpConfig {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the engine inbox bound.
+    pub fn inbox_capacity(mut self, capacity: usize) -> TcpConfig {
+        self.inbox_capacity = capacity;
         self
     }
 }
@@ -347,7 +362,7 @@ impl ReaderRegistry {
     }
 }
 
-fn reader_loop(mut stream: TcpStream, node_tx: Sender<Envelope>) {
+fn reader_loop(mut stream: TcpStream, node_tx: Sender<Envelope>, telemetry: Telemetry) {
     // First frame is the hello naming the peer; a connection that fails to
     // say hello carries nothing we would trust anyway.
     let from = match read_frame(&mut stream) {
@@ -359,15 +374,14 @@ fn reader_loop(mut stream: TcpStream, node_tx: Sender<Envelope>) {
     };
     while let Ok(Some(frame)) = read_frame(&mut stream) {
         let payload: Payload = frame.into();
-        if node_tx
-            .send(Envelope::Msg {
+        send_bounded(
+            &node_tx,
+            Envelope::Msg {
                 from: from.clone(),
                 payload,
-            })
-            .is_err()
-        {
-            break;
-        }
+            },
+            &telemetry,
+        );
     }
 }
 
@@ -377,6 +391,7 @@ fn accept_loop(
     node_tx: Sender<Envelope>,
     readers: Arc<ReaderRegistry>,
     reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    telemetry: Telemetry,
 ) {
     for conn in listener.incoming() {
         if !running.load(Ordering::SeqCst) {
@@ -385,9 +400,10 @@ fn accept_loop(
         let Ok(stream) = conn else { continue };
         readers.register(&stream);
         let tx = node_tx.clone();
+        let tel = telemetry.clone();
         let t = std::thread::Builder::new()
             .name("b2b-tcp-reader".into())
-            .spawn(move || reader_loop(stream, tx))
+            .spawn(move || reader_loop(stream, tx, tel))
             .expect("spawn reader thread");
         reader_threads.lock().push(t);
     }
@@ -480,7 +496,8 @@ impl<N: NetNode> TcpEndpoint<N> {
             counters: Arc::clone(&counters),
             telemetry: config.telemetry.clone(),
         });
-        let (handle, node_tx, node_thread) = spawn_node_thread(node, fabric as Arc<dyn Fabric>);
+        let (handle, node_tx, node_thread) =
+            spawn_node_thread(node, fabric as Arc<dyn Fabric>, config.inbox_capacity);
 
         // Inbound: accept loop + readers.
         let running = Arc::new(AtomicBool::new(true));
@@ -491,9 +508,19 @@ impl<N: NetNode> TcpEndpoint<N> {
             let node_tx = node_tx.clone();
             let readers = Arc::clone(&readers);
             let reader_threads = Arc::clone(&reader_threads);
+            let telemetry = config.telemetry.clone();
             std::thread::Builder::new()
                 .name(format!("b2b-tcp-accept-{me}"))
-                .spawn(move || accept_loop(listener, running, node_tx, readers, reader_threads))
+                .spawn(move || {
+                    accept_loop(
+                        listener,
+                        running,
+                        node_tx,
+                        readers,
+                        reader_threads,
+                        telemetry,
+                    )
+                })
                 .expect("spawn accept thread")
         };
 

@@ -106,6 +106,31 @@ pub mod names {
     /// call (`b2b_crypto::sig::verify_batch`) rather than one public-key
     /// operation per signature.
     pub const SIG_BATCH_VERIFIES: &str = "sig_batch_verifies";
+    /// Transports with bounded inboxes: sends that found the destination
+    /// inbox full and had to stall (and possibly shed the frame) —
+    /// the backpressure signal of the sharded/threaded runtimes.
+    pub const INBOX_FULL_STALLS: &str = "inbox_full_stalls";
+    /// Sharded runtime: events processed, per shard (registered as
+    /// `shard_events:shard<i>`).
+    pub const SHARD_EVENTS: &str = "shard_events";
+    /// Sharded runtime: groups resident on each shard at registration
+    /// time (registered as `shard_occupancy:shard<i>`).
+    pub const SHARD_OCCUPANCY: &str = "shard_occupancy";
+    /// Sharded runtime: histogram of sampled shard-inbox queue depths.
+    pub const SHARD_QUEUE_DEPTH: &str = "shard_queue_depth";
+    /// Sharded runtime: timers fired from the per-shard timer wheels.
+    pub const SHARD_TIMER_FIRES: &str = "shard_timer_fires";
+    /// Sharded runtime: frames dropped because the destination group node
+    /// was crashed, unknown, or the group envelope failed to parse.
+    pub const SHARD_UNDELIVERABLE: &str = "shard_undeliverable";
+
+    /// Returns the metric key carrying a `group` label for `name`:
+    /// `<name>|group=<g>`. [`crate::MetricsSnapshot::to_prometheus`]
+    /// renders such keys as a Prometheus `group` label (aggregating
+    /// instead when a family's group cardinality exceeds the cap).
+    pub fn with_group(name: &str, group: u64) -> String {
+        format!("{name}|group={group}")
+    }
 }
 
 /// A cheap, shareable handle bundling a metrics registry and an optional

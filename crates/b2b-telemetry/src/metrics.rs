@@ -18,6 +18,15 @@ pub const BUCKET_BOUNDS: [u64; 14] = [
     1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10_000, 20_000,
 ];
 
+/// Maximum distinct `group` label values a metric family may expose before
+/// [`MetricsSnapshot::to_prometheus`] collapses it to one aggregate series.
+///
+/// A 10k-group process would otherwise serve a multi-megabyte `/metrics`
+/// page with 10k time series per family — unusable for a scraper and a
+/// cardinality bomb for any downstream TSDB. 64 keeps small multi-group
+/// runs fully inspectable while capping the page size.
+pub const GROUP_CARDINALITY_CAP: usize = 64;
+
 /// A latency histogram over [`BUCKET_BOUNDS`] plus an overflow bucket.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Histogram {
@@ -254,6 +263,32 @@ impl MetricsSnapshot {
         serde_json::from_str(json)
     }
 
+    /// Returns a copy of the snapshot with every metric key rewritten to
+    /// carry a `group` label (`<name>|group=<g>`, the convention
+    /// [`MetricsSnapshot::to_prometheus`] renders as a Prometheus label).
+    /// Keys that already carry a group label are left untouched, so
+    /// relabelling is idempotent per group. This is how a multi-group
+    /// harness folds per-group registries into one labelled exposition
+    /// off the hot path: each group keeps a plain registry, and only the
+    /// export pays for the label strings.
+    pub fn with_group_label(&self, group: u64) -> MetricsSnapshot {
+        let label = |name: &str| {
+            if name.contains("|group=") {
+                name.to_string()
+            } else {
+                format!("{name}|group={group}")
+            }
+        };
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (label(k), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (label(k), h.clone()))
+                .collect(),
+        }
+    }
+
     /// Renders the snapshot in the Prometheus text exposition format
     /// (version 0.0.4): every counter as a `counter`, every histogram as a
     /// cumulative-bucket `histogram` with `_sum` and `_count` series.
@@ -261,7 +296,20 @@ impl MetricsSnapshot {
     /// Metric names are prefixed `b2b_` and sanitized to the Prometheus
     /// charset (`[a-zA-Z0-9_]`); iteration order is the registry's sorted
     /// order, so the output is deterministic.
+    ///
+    /// Keys of the form `<name>|group=<g>` (see
+    /// [`MetricsSnapshot::with_group_label`]) render as a `group` label on
+    /// the family `<name>` — up to [`GROUP_CARDINALITY_CAP`] distinct
+    /// groups per family. Beyond the cap the family is exposed
+    /// aggregate-only (labelled series summed into one unlabelled series),
+    /// so a 10k-group process still serves a scrapeable `/metrics` page.
     pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_with_cap(GROUP_CARDINALITY_CAP)
+    }
+
+    /// [`MetricsSnapshot::to_prometheus`] with an explicit per-family
+    /// group-cardinality cap.
+    pub fn to_prometheus_with_cap(&self, cap: usize) -> String {
         fn sanitize(name: &str) -> String {
             let mut out = String::with_capacity(name.len() + 4);
             out.push_str("b2b_");
@@ -274,29 +322,120 @@ impl MetricsSnapshot {
             }
             out
         }
-        let mut out = String::new();
-        for (name, value) in &self.counters {
-            let name = sanitize(name);
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
+        fn escape_label(value: &str) -> String {
+            let mut out = String::with_capacity(value.len());
+            for c in value.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out
         }
-        for (name, h) in &self.histograms {
-            let name = sanitize(name);
-            let _ = writeln!(out, "# TYPE {name} histogram");
-            let mut cumulative = 0u64;
-            for (i, c) in h.counts.iter().enumerate() {
-                cumulative += c;
-                match BUCKET_BOUNDS.get(i) {
-                    Some(bound) => {
-                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
-                    }
-                    None => {
-                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        /// Splits `<name>|group=<g>` into `(name, Some(g))`.
+        fn split_group(key: &str) -> (&str, Option<&str>) {
+            match key.split_once("|group=") {
+                Some((base, g)) => (base, Some(g)),
+                None => (key, None),
+            }
+        }
+        // Families in sorted base-name order; within a family the
+        // unlabelled series first, then groups sorted (None < Some).
+        let mut counter_families: BTreeMap<&str, Vec<(Option<&str>, u64)>> = BTreeMap::new();
+        for (key, value) in &self.counters {
+            let (base, group) = split_group(key);
+            counter_families
+                .entry(base)
+                .or_default()
+                .push((group, *value));
+        }
+        let mut hist_families: BTreeMap<&str, Vec<(Option<&str>, &Histogram)>> = BTreeMap::new();
+        for (key, h) in &self.histograms {
+            let (base, group) = split_group(key);
+            hist_families.entry(base).or_default().push((group, h));
+        }
+
+        let mut out = String::new();
+        for (base, mut series) in counter_families {
+            let name = sanitize(base);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let groups = series.iter().filter(|(g, _)| g.is_some()).count();
+            if groups > cap {
+                let total: u64 = series.iter().map(|(_, v)| v).sum();
+                let _ = writeln!(
+                    out,
+                    "# {name}: group label elided ({groups} groups > cap {cap})"
+                );
+                let _ = writeln!(out, "{name} {total}");
+            } else {
+                series.sort();
+                for (group, value) in series {
+                    match group {
+                        Some(g) => {
+                            let _ =
+                                writeln!(out, "{name}{{group=\"{}\"}} {value}", escape_label(g));
+                        }
+                        None => {
+                            let _ = writeln!(out, "{name} {value}");
+                        }
                     }
                 }
             }
-            let _ = writeln!(out, "{name}_sum {}", h.sum);
-            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        for (base, mut series) in hist_families {
+            let name = sanitize(base);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let groups = series.iter().filter(|(g, _)| g.is_some()).count();
+            let merged;
+            if groups > cap {
+                let mut total = Histogram::default();
+                for (_, h) in &series {
+                    total.merge(h);
+                }
+                let _ = writeln!(
+                    out,
+                    "# {name}: group label elided ({groups} groups > cap {cap})"
+                );
+                merged = total;
+                series = vec![(None, &merged)];
+            } else {
+                series.sort_by_key(|(g, _)| *g);
+            }
+            for (group, h) in series {
+                let label = |le: &str| match group {
+                    Some(g) => format!("{{group=\"{}\",le=\"{le}\"}}", escape_label(g)),
+                    None => format!("{{le=\"{le}\"}}"),
+                };
+                let mut cumulative = 0u64;
+                for (i, c) in h.counts.iter().enumerate() {
+                    cumulative += c;
+                    match BUCKET_BOUNDS.get(i) {
+                        Some(bound) => {
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cumulative}",
+                                label(&bound.to_string())
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(out, "{name}_bucket{} {cumulative}", label("+Inf"));
+                        }
+                    }
+                }
+                match group {
+                    Some(g) => {
+                        let g = escape_label(g);
+                        let _ = writeln!(out, "{name}_sum{{group=\"{g}\"}} {}", h.sum);
+                        let _ = writeln!(out, "{name}_count{{group=\"{g}\"}} {}", h.count);
+                    }
+                    None => {
+                        let _ = writeln!(out, "{name}_sum {}", h.sum);
+                        let _ = writeln!(out, "{name}_count {}", h.count);
+                    }
+                }
+            }
         }
         out
     }
@@ -503,6 +642,58 @@ mod tests {
         assert!(text.contains("b2b_round_latency_ms_count 3"));
         // Deterministic bytes.
         assert_eq!(text, reg.snapshot().to_prometheus());
+    }
+
+    #[test]
+    fn prometheus_group_labels_below_the_cap() {
+        let g0 = MetricsRegistry::new();
+        g0.add("rounds_started", 2);
+        g0.observe("round_latency_ms", 1);
+        let g1 = MetricsRegistry::new();
+        g1.add("rounds_started", 5);
+        g1.observe("round_latency_ms", 6);
+
+        let mut fleet = g0.snapshot().with_group_label(0);
+        fleet.merge(&g1.snapshot().with_group_label(1));
+        // Relabelling is idempotent: already-labelled keys keep their group.
+        assert_eq!(fleet.with_group_label(9), fleet);
+
+        let text = fleet.to_prometheus();
+        assert!(text.contains("# TYPE b2b_rounds_started counter"));
+        assert!(text.contains("b2b_rounds_started{group=\"0\"} 2"));
+        assert!(text.contains("b2b_rounds_started{group=\"1\"} 5"));
+        assert!(text.contains("b2b_round_latency_ms_bucket{group=\"0\",le=\"1\"} 1"));
+        assert!(text.contains("b2b_round_latency_ms_sum{group=\"1\"} 6"));
+        assert!(text.contains("b2b_round_latency_ms_count{group=\"1\"} 1"));
+        // One TYPE line per family, not per labelled series.
+        assert_eq!(text.matches("# TYPE b2b_rounds_started counter").count(), 1);
+        assert_eq!(
+            text.matches("# TYPE b2b_round_latency_ms histogram")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn prometheus_aggregates_above_the_cardinality_cap() {
+        let mut fleet = MetricsSnapshot::default();
+        for g in 0..10u64 {
+            let reg = MetricsRegistry::new();
+            reg.add("rounds_started", 1);
+            reg.observe("round_latency_ms", g + 1);
+            fleet.merge(&reg.snapshot().with_group_label(g));
+        }
+        let text = fleet.to_prometheus_with_cap(4);
+        // Above the cap: a single unlabelled aggregate series per family.
+        assert!(text.contains("b2b_rounds_started 10\n"));
+        assert!(!text.contains("b2b_rounds_started{group="));
+        assert!(text.contains("# b2b_rounds_started: group label elided (10 groups > cap 4)"));
+        assert!(text.contains("b2b_round_latency_ms_count 10"));
+        assert!(text.contains("b2b_round_latency_ms_sum 55"));
+        assert!(!text.contains("b2b_round_latency_ms_bucket{group="));
+        // Below the cap the same snapshot stays fully labelled.
+        let labelled = fleet.to_prometheus_with_cap(64);
+        assert!(labelled.contains("b2b_rounds_started{group=\"9\"} 1"));
     }
 
     #[test]

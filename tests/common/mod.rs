@@ -6,7 +6,7 @@
 use b2bobjects::core::{B2BObject, Coordinator, ObjectId, Outcome, RunId};
 use b2bobjects::crypto::{KeyPair, KeyRing, PartyId, Signer, TimeMs, TimeStampAuthority};
 use b2bobjects::evidence::{EvidenceStore, MemStore};
-use b2bobjects::net::{NodeHandle, SimNet, TcpConfig, TcpNet};
+use b2bobjects::net::{GroupHandle, GroupId, NodeHandle, ShardedNet, SimNet, TcpConfig, TcpNet};
 use b2bobjects::telemetry::Telemetry;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -312,6 +312,154 @@ impl TcpWorld {
     pub fn state(&self, who: &str, alias: &str) -> Vec<u8> {
         self.handle(who)
             .read(|c| c.agreed_state(&ObjectId::new(alias)))
+            .expect("state present")
+    }
+}
+
+/// The [`World`] harness on the sharded multi-group runtime, pinned to a
+/// single group: identical key material, seeds and script driving as
+/// [`World`] and [`TcpWorld`], so a one-group sharded run must produce
+/// the same evidence projection and the same canonical trace DAGs as the
+/// legacy fabrics.
+pub struct ShardedWorld {
+    pub net: ShardedNet<Coordinator>,
+    pub parties: Vec<PartyId>,
+    pub stores: HashMap<PartyId, Arc<MemStore>>,
+    pub ring: KeyRing,
+}
+
+/// The single group a [`ShardedWorld`] runs.
+pub const SHARD_GROUP: GroupId = GroupId(0);
+
+impl ShardedWorld {
+    /// Builds coordinators named after `names` inside one group on a
+    /// small fixed worker pool. Key material and coordinator seeds match
+    /// [`World::new`] exactly.
+    pub fn new(names: &[&str], seed: u64) -> ShardedWorld {
+        let telemetry = names.iter().map(|_| Telemetry::new()).collect();
+        ShardedWorld::with_telemetry(names, seed, telemetry)
+    }
+
+    /// [`ShardedWorld::new`] with one caller-supplied telemetry handle
+    /// per party, mirroring [`World::with_telemetry`].
+    pub fn with_telemetry(names: &[&str], seed: u64, telemetry: Vec<Telemetry>) -> ShardedWorld {
+        assert_eq!(names.len(), telemetry.len());
+        let mut ring = KeyRing::new();
+        let mut keys = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let kp = KeyPair::generate_from_seed(500 + i as u64);
+            ring.register(PartyId::new(*name), kp.public_key());
+            keys.push((PartyId::new(*name), kp));
+        }
+        let tsa = TimeStampAuthority::new(KeyPair::generate_from_seed(777));
+        let mut stores = HashMap::new();
+        let mut nodes = Vec::new();
+        for (i, ((id, kp), tel)) in keys.into_iter().zip(telemetry).enumerate() {
+            let store = Arc::new(MemStore::new());
+            stores.insert(id.clone(), store.clone());
+            nodes.push(
+                Coordinator::builder(id, kp)
+                    .ring(ring.clone())
+                    .tsa(tsa.clone())
+                    .store(store)
+                    .seed(seed + i as u64)
+                    .telemetry(tel)
+                    .build(),
+            );
+        }
+        let net = ShardedNet::builder()
+            .shards(2)
+            .add_group(SHARD_GROUP, nodes)
+            .spawn();
+        ShardedWorld {
+            net,
+            parties: names.iter().map(|n| PartyId::new(*n)).collect(),
+            stores,
+            ring,
+        }
+    }
+
+    pub fn handle(&self, who: &str) -> GroupHandle<Coordinator> {
+        self.net.handle(SHARD_GROUP, &PartyId::new(who))
+    }
+
+    /// Registers an object at `owner` and joins the remaining `joiners`
+    /// in order, each sponsored by the previously joined member.
+    pub fn share<F>(&mut self, alias: &str, owner: &str, joiners: &[&str], factory: F)
+    where
+        F: Fn() -> Box<dyn B2BObject> + Clone + Send + 'static,
+    {
+        let f = factory.clone();
+        self.handle(owner).invoke(move |c, _| {
+            c.register_object(ObjectId::new(alias.to_string()), Box::new(f))
+                .unwrap();
+        });
+        let mut sponsor = PartyId::new(owner);
+        let alias = alias.to_string();
+        for joiner in joiners {
+            let f = factory.clone();
+            let s = sponsor.clone();
+            let a = alias.clone();
+            self.handle(joiner).invoke(move |c, ctx| {
+                c.request_connect(ObjectId::new(a), Box::new(f), s, ctx)
+                    .unwrap();
+            });
+            let a = ObjectId::new(alias.clone());
+            assert!(
+                self.handle(joiner)
+                    .wait_until(TCP_STEP, move |c| c.is_member(&a)),
+                "{joiner} failed to join {alias} on the sharded runtime"
+            );
+            let a = ObjectId::new(alias.clone());
+            let sp = sponsor.clone();
+            assert!(
+                self.net
+                    .handle(SHARD_GROUP, &sp)
+                    .wait_until(TCP_STEP, move |c| !c.is_busy(&a)),
+                "sponsor {sp} still busy after admitting {joiner}"
+            );
+            sponsor = PartyId::new(*joiner);
+        }
+    }
+
+    /// Proposes `state` on `alias` from `who`; waits until every member
+    /// has recorded the run's outcome and returns it as seen by the
+    /// proposer.
+    pub fn propose(&mut self, who: &str, alias: &str, state: Vec<u8>) -> (RunId, Outcome) {
+        let run = self.propose_async(who, alias, state);
+        let oid = ObjectId::new(alias);
+        for p in &self.parties {
+            let h = self.net.handle(SHARD_GROUP, p);
+            let o = oid.clone();
+            if !h.read(move |c| c.is_member(&o)) {
+                continue;
+            }
+            let r = run.clone();
+            assert!(
+                h.wait_until(TCP_STEP, move |c| c.outcome_of(&r).is_some()),
+                "{p} never recorded the outcome of {who}'s run"
+            );
+        }
+        let r = run.clone();
+        let outcome = self
+            .handle(who)
+            .read(move |c| c.outcome_of(&r).cloned())
+            .expect("run completed");
+        (run, outcome)
+    }
+
+    /// Submits the proposal without waiting for its outcome — the hook
+    /// for crash-in-flight tests that need to act mid-round.
+    pub fn propose_async(&self, who: &str, alias: &str, state: Vec<u8>) -> RunId {
+        let a = ObjectId::new(alias);
+        self.handle(who)
+            .invoke(move |c, ctx| c.propose_overwrite(&a, state, ctx).unwrap())
+    }
+
+    pub fn state(&self, who: &str, alias: &str) -> Vec<u8> {
+        let a = ObjectId::new(alias);
+        self.handle(who)
+            .read(move |c| c.agreed_state(&a))
             .expect("state present")
     }
 }

@@ -1,10 +1,11 @@
 //! Minimal offline stand-in for the `crossbeam` crate.
 //!
 //! Only the `channel` module subset used by this workspace is provided
-//! (`unbounded`, `Sender`, `Receiver`, `RecvTimeoutError`), implemented over
-//! `std::sync::mpsc` (whose `Sender` is `Sync` since Rust 1.72, matching
-//! crossbeam's sharing semantics for our use). Vendored because the build
-//! environment has no crates.io registry.
+//! (`unbounded`, `bounded`, `Sender`, `Receiver`, the recv/send error
+//! enums), implemented over `std::sync::mpsc` (whose `Sender` is `Sync`
+//! since Rust 1.72, matching crossbeam's sharing semantics for our use;
+//! bounded channels map onto `mpsc::sync_channel`). Vendored because the
+//! build environment has no crates.io registry.
 
 /// Multi-producer channels.
 pub mod channel {
@@ -39,8 +40,40 @@ pub mod channel {
         Disconnected,
     }
 
-    /// The sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The (bounded) channel is at capacity.
+        Full(T),
+        /// The receiver is gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Sender::send_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The channel stayed at capacity past the timeout.
+        Timeout(T),
+        /// The receiver is gone.
+        Disconnected(T),
+    }
+
+    enum Flavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Flavor<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Flavor::Unbounded(tx) => Flavor::Unbounded(tx.clone()),
+                Flavor::Bounded(tx) => Flavor::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(Flavor<T>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
@@ -49,11 +82,53 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Sends `value`, never blocking.
+        /// Sends `value`; on a bounded channel this blocks until a slot
+        /// frees up, on an unbounded channel it never blocks.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+            match &self.0 {
+                Flavor::Unbounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Flavor::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
+        }
+
+        /// Sends `value` without ever blocking; on a bounded channel at
+        /// capacity the value comes back as [`TrySendError::Full`].
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Flavor::Unbounded(tx) => tx
+                    .send(value)
+                    .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+                Flavor::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
+        }
+
+        /// Sends `value`, giving up after `timeout` if the channel stays
+        /// full.
+        ///
+        /// `std::sync::mpsc` has no native timed send, so the bounded
+        /// flavour polls `try_send` with a short sleep — adequate for a
+        /// backpressure stall window, not for microsecond precision.
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut value = value;
+            loop {
+                match self.try_send(value) {
+                    Ok(()) => return Ok(()),
+                    Err(TrySendError::Disconnected(v)) => {
+                        return Err(SendTimeoutError::Disconnected(v));
+                    }
+                    Err(TrySendError::Full(v)) => {
+                        if std::time::Instant::now() >= deadline {
+                            return Err(SendTimeoutError::Timeout(v));
+                        }
+                        value = v;
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                }
+            }
         }
     }
 
@@ -87,7 +162,16 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a bounded channel holding at most `capacity` queued
+    /// messages (`capacity` must be positive; a zero-capacity rendezvous
+    /// channel is not part of this stand-in).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "bounded(0) rendezvous channels unsupported");
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (Sender(Flavor::Bounded(tx)), Receiver(rx))
     }
 
     #[cfg(test)]
@@ -113,6 +197,24 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(5)),
                 Err(RecvTimeoutError::Disconnected)
             );
+        }
+
+        #[test]
+        fn bounded_full_and_timeout_semantics() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(
+                tx.send_timeout(3, Duration::from_millis(5)),
+                Err(SendTimeoutError::Timeout(3))
+            );
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.send_timeout(3, Duration::from_millis(50)).unwrap();
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Ok(3));
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
         }
 
         #[test]

@@ -258,11 +258,7 @@ mod tests {
     fn batch_accepts_all_good_and_rejects_any_bad() {
         let keys: Vec<SigningKey> = (0..4u8).map(|i| SigningKey::from_bytes(&[i; 32])).collect();
         let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i, i, i]).collect();
-        let mut sigs: Vec<Signature> = keys
-            .iter()
-            .zip(&msgs)
-            .map(|(k, m)| k.sign(m))
-            .collect();
+        let mut sigs: Vec<Signature> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
         let vks: Vec<VerifyingKey> = keys.iter().map(|k| k.verifying_key()).collect();
         let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
         assert!(verify_batch(&refs, &sigs, &vks).is_ok());
