@@ -49,8 +49,9 @@ fn main() {
         return;
     }
     if which == "eshard" {
-        let metrics = eshard_sharded_fleet(std::env::args().skip(2).collect());
-        write_sidecar("eshard", "sharded", ESHARD_SEED, &metrics);
+        let (metrics, fabric) = eshard_sharded_fleet(std::env::args().skip(2).collect());
+        let label = format!("sharded-{}", fabric.label());
+        write_sidecar("eshard", &label, ESHARD_SEED, &metrics);
         return;
     }
     let known = [
@@ -1587,6 +1588,7 @@ fn eshard_cell(
     groups: usize,
     k: usize,
     shards: Option<usize>,
+    fabric: b2b_bench::sharded::WorldFabric,
     metrics: &MetricsSnapshot,
 ) -> (ShardSample, MetricsSnapshot) {
     use b2b_bench::sharded::{ShardedWorld, ShardedWorldOptions};
@@ -1603,6 +1605,7 @@ fn eshard_cell(
                 b2b_crypto::VerifyPool::with_default_parallelism(),
             )),
             shards,
+            fabric,
             ..ShardedWorldOptions::default()
         },
         "blob",
@@ -1667,6 +1670,7 @@ fn eshard_cell(
 /// stable wall-clock.
 fn eshard_sync_anchor(
     shards: Option<usize>,
+    fabric: b2b_bench::sharded::WorldFabric,
     metrics: &MetricsSnapshot,
 ) -> (ShardSample, MetricsSnapshot) {
     use b2b_bench::sharded::{ShardedWorld, ShardedWorldOptions};
@@ -1681,6 +1685,7 @@ fn eshard_sync_anchor(
                 b2b_crypto::VerifyPool::with_default_parallelism(),
             )),
             shards,
+            fabric,
             ..ShardedWorldOptions::default()
         },
         "blob",
@@ -1710,6 +1715,92 @@ fn eshard_sync_anchor(
     )
 }
 
+/// Measures the **threaded single-connection** TCP anchor: one two-party
+/// group over the legacy thread-per-connection transport
+/// ([`b2b_net::TcpNet`]), one update per signed round, sync. This is the
+/// operating point the multiplexed fabric must not regress below: a
+/// 1k-group sweep over ONE socket pair has to at least match what a
+/// dedicated socket pair delivers to a single group.
+fn eshard_threaded_anchor(metrics: &MetricsSnapshot) -> (ShardSample, MetricsSnapshot) {
+    const ROUNDS: u64 = 64;
+    let telemetry = Telemetry::new();
+    let setup_start = Instant::now();
+    let mut ring = KeyRing::new();
+    let mut keys = Vec::new();
+    for i in 0..ESHARD_PER_GROUP {
+        let kp = KeyPair::generate_from_seed(1000 + i as u64);
+        ring.register(party(i), kp.public_key());
+        keys.push(kp);
+    }
+    let nodes: Vec<Coordinator> = keys
+        .into_iter()
+        .enumerate()
+        .map(|(i, kp)| {
+            Coordinator::builder(party(i), kp)
+                .ring(ring.clone())
+                .config(CoordinatorConfig::default().batch_max(1))
+                .seed(10 + i as u64)
+                .telemetry(telemetry.clone())
+                .build()
+        })
+        .collect();
+    let net = TcpNet::spawn_loopback_with(nodes, TcpConfig::new().telemetry(telemetry.clone()))
+        .expect("bind loopback listeners");
+    let oid = ObjectId::new("blob");
+    net.handle(&party(0)).invoke({
+        let oid = oid.clone();
+        move |c, _| {
+            c.register_object(oid, Box::new(append_blob_factory))
+                .unwrap();
+        }
+    });
+    for i in 1..ESHARD_PER_GROUP {
+        let sponsor = party(i - 1);
+        let h = net.handle(&party(i));
+        let o = oid.clone();
+        h.invoke(move |c, ctx| {
+            c.request_connect(o, Box::new(append_blob_factory), sponsor, ctx)
+                .unwrap();
+        });
+        let o = oid.clone();
+        assert!(
+            h.wait_until(Duration::from_secs(30), move |c| c.is_member(&o)),
+            "org{i} failed to join over TCP"
+        );
+    }
+    let setup = setup_start.elapsed();
+    let h0 = net.handle(&party(0)).clone();
+    let t = Instant::now();
+    for _ in 0..ROUNDS {
+        let o = oid.clone();
+        let ticket =
+            h0.invoke(move |c, ctx| c.submit_update(&o, vec![0xEE; ESHARD_CHUNK], ctx).unwrap());
+        let tk = ticket;
+        assert!(
+            h0.wait_until(Duration::from_secs(60), move |c| c
+                .outcome_of_ticket(&tk)
+                .is_some()),
+            "threaded-TCP anchor round did not complete"
+        );
+    }
+    let wall = t.elapsed();
+    let after = telemetry.metrics().snapshot();
+    net.shutdown();
+    let mut merged = metrics.clone();
+    merged.merge(&after);
+    (
+        ShardSample {
+            groups: 1,
+            k: 1,
+            updates: ROUNDS,
+            setup,
+            wall,
+            stalls: 0,
+        },
+        merged,
+    )
+}
+
 /// E-SHARD — aggregate pipelined-update throughput across {16…10k}
 /// concurrent coordination groups multiplexed over a fixed worker pool.
 /// The anchor is the single-group sync operating point (one update per
@@ -1718,9 +1809,17 @@ fn eshard_sync_anchor(
 /// anchor, i.e. the runtime must actually compound cross-group
 /// pipelining with in-round batching instead of serialising groups.
 /// `ESHARD_NO_GATE` records a miss without failing.
-fn eshard_sharded_fleet(args: Vec<String>) -> MetricsSnapshot {
+///
+/// `--fabric tcp` runs the identical sweep with every inter-party frame
+/// crossing the multiplexed loopback socket; there the anchor — and the
+/// gate — is the **threaded single-connection** transport at 1×: one
+/// socket pair carrying 1k groups must not fall below what a dedicated
+/// socket pair gives a single group.
+fn eshard_sharded_fleet(args: Vec<String>) -> (MetricsSnapshot, b2b_bench::sharded::WorldFabric) {
+    use b2b_bench::sharded::WorldFabric;
     let mut max_groups = 10_000usize;
     let mut shards: Option<usize> = None;
+    let mut fabric = WorldFabric::Inproc;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -1737,6 +1836,13 @@ fn eshard_sharded_fleet(args: Vec<String>) -> MetricsSnapshot {
                         .unwrap_or_else(|| die("--shards needs a positive integer")),
                 );
             }
+            "--fabric" => {
+                fabric = match it.next().map(String::as_str) {
+                    Some("inproc") => WorldFabric::Inproc,
+                    Some("tcp") => WorldFabric::Tcp,
+                    _ => die("--fabric needs 'inproc' or 'tcp'"),
+                };
+            }
             other => die(&format!("unknown eshard flag '{other}'")),
         }
     }
@@ -1745,14 +1851,27 @@ fn eshard_sharded_fleet(args: Vec<String>) -> MetricsSnapshot {
             .map(|n| n.get())
             .unwrap_or(4)
     });
-    println!("## E-SHARD — multi-group sharded runtime ({pool}-shard pool, {ESHARD_PER_GROUP}-party groups, ed25519)\n");
+    println!(
+        "## E-SHARD — multi-group sharded runtime ({pool}-shard pool, {ESHARD_PER_GROUP}-party groups, ed25519, {} fabric)\n",
+        fabric.label()
+    );
     println!("| groups | k | updates | setup ms | wall ms | agg updates/s | inbox stalls |");
     println!("|-------:|--:|--------:|---------:|--------:|--------------:|-------------:|");
     let mut metrics = MetricsSnapshot::default();
-    let (anchor, m) = eshard_sync_anchor(shards, &metrics);
+    // The gate anchor: the sharded runtime's own single-group sync point
+    // on the in-process fabric, the threaded single-connection transport
+    // on TCP (the socket model the multiplexed fabric replaces).
+    let (anchor, m) = match fabric {
+        WorldFabric::Inproc => eshard_sync_anchor(shards, fabric, &metrics),
+        WorldFabric::Tcp => eshard_threaded_anchor(&metrics),
+    };
     metrics = m;
+    let anchor_label = match fabric {
+        WorldFabric::Inproc => "1 (sync anchor)",
+        WorldFabric::Tcp => "1 (threaded single-connection anchor)",
+    };
     println!(
-        "| 1 (sync anchor) | 1 | {} | {:.0} | {:.0} | {:.1} | {} |",
+        "| {anchor_label} | 1 | {} | {:.0} | {:.0} | {:.1} | {} |",
         anchor.updates,
         anchor.setup.as_secs_f64() * 1e3,
         anchor.wall.as_secs_f64() * 1e3,
@@ -1765,7 +1884,7 @@ fn eshard_sharded_fleet(args: Vec<String>) -> MetricsSnapshot {
             if groups > max_groups {
                 continue;
             }
-            let (row, m) = eshard_cell(groups, k, shards, &metrics);
+            let (row, m) = eshard_cell(groups, k, shards, fabric, &metrics);
             metrics = m;
             println!(
                 "| {} | {} | {} | {:.0} | {:.0} | {:.1} | {} |",
@@ -1780,16 +1899,24 @@ fn eshard_sharded_fleet(args: Vec<String>) -> MetricsSnapshot {
             rows.push(row);
         }
     }
-    // Scaling gate: the 1k-group batched cell vs the sync anchor.
+    // Scaling gate: the 1k-group batched cell vs the fabric's anchor.
+    // In-process must compound pipelining with batching (5x); the
+    // multiplexed socket must at least match the dedicated-socket
+    // operating point it replaces (1x).
+    let threshold = match fabric {
+        WorldFabric::Inproc => 5.0,
+        WorldFabric::Tcp => 1.0,
+    };
     let mut gate_ok = true;
     let mut gates = Vec::new();
     if let Some(row) = rows.iter().find(|r| r.groups == 1000 && r.k == 16) {
         let anchor_ups = anchor.updates_per_sec();
         let factor = row.updates_per_sec() / anchor_ups;
-        let ok = factor >= 5.0;
+        let ok = factor >= threshold;
         gate_ok &= ok;
         println!(
-            "\nE-SHARD gate: 1k-group k=16 aggregate {:.1} u/s vs sync anchor {:.1} u/s — {:.1}x ({})",
+            "\nE-SHARD gate ({}): 1k-group k=16 aggregate {:.1} u/s vs anchor {:.1} u/s — {:.1}x, need {threshold}x ({})",
+            fabric.label(),
             row.updates_per_sec(),
             anchor_ups,
             factor,
@@ -1798,15 +1925,18 @@ fn eshard_sharded_fleet(args: Vec<String>) -> MetricsSnapshot {
         gates.push((16usize, anchor_ups, row.updates_per_sec(), factor, ok));
     }
     rows.insert(0, anchor);
-    write_bench_shard(pool, &rows, &gates, gate_ok);
+    write_bench_shard(pool, fabric, threshold, &rows, &gates, gate_ok);
     if !gate_ok {
-        eprintln!("E-SHARD FAIL: 1k-group aggregate throughput below 5x the single-group anchor");
+        eprintln!(
+            "E-SHARD FAIL: 1k-group aggregate throughput below {threshold}x the {} anchor",
+            fabric.label()
+        );
         if std::env::var_os("ESHARD_NO_GATE").is_none() {
             std::process::exit(1);
         }
         eprintln!("(ESHARD_NO_GATE set: recording the miss without failing)");
     }
-    metrics
+    (metrics, fabric)
 }
 
 fn die(msg: &str) -> ! {
@@ -1819,6 +1949,8 @@ fn die(msg: &str) -> ! {
 /// `Value`).
 fn write_bench_shard(
     pool: usize,
+    fabric: b2b_bench::sharded::WorldFabric,
+    gate_threshold: f64,
     rows: &[ShardSample],
     gates: &[(usize, f64, f64, f64, bool)],
     gate_ok: bool,
@@ -1860,6 +1992,8 @@ fn write_bench_shard(
             "{{\n",
             "  \"experiment\": \"eshard\",\n",
             "  \"commit\": {},\n",
+            "  \"fabric\": {},\n",
+            "  \"gate_threshold\": {},\n",
             "  \"workload\": {{\n",
             "    \"per_group\": {},\n",
             "    \"chunk_bytes\": {},\n",
@@ -1876,6 +2010,8 @@ fn write_bench_shard(
             "}}\n"
         ),
         json_str(&git_sha()),
+        json_str(fabric.label()),
+        gate_threshold,
         ESHARD_PER_GROUP,
         ESHARD_CHUNK,
         pool,

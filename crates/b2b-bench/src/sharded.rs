@@ -17,10 +17,31 @@
 use crate::party;
 use b2b_core::{B2BObject, Coordinator, CoordinatorConfig, ObjectId, TicketId};
 use b2b_crypto::{KeyPair, KeyRing, Signer, VerifyPool};
-use b2b_net::{GroupHandle, GroupId, NetStats, ShardedNet};
+use b2b_net::{GroupHandle, GroupId, NetStats, ShardedNet, ShardedTcpConfig, ShardedTcpNet};
 use b2b_telemetry::{MetricsSnapshot, Telemetry};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Socket fabric carrying inter-party frames of a [`ShardedWorld`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WorldFabric {
+    /// In-process delivery between slots (no sockets).
+    #[default]
+    Inproc,
+    /// One multiplexed loopback TCP socket pair per party pair — every
+    /// group's frames cross a real socket, demuxed by group envelope.
+    Tcp,
+}
+
+impl WorldFabric {
+    /// The sidecar/trajectory label of this fabric.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorldFabric::Inproc => "inproc",
+            WorldFabric::Tcp => "tcp",
+        }
+    }
+}
 
 /// Construction knobs for a [`ShardedWorld`].
 pub struct ShardedWorldOptions {
@@ -36,6 +57,8 @@ pub struct ShardedWorldOptions {
     pub verify_pool: Option<Arc<VerifyPool>>,
     /// Worker-pool size; `None` = one shard per available CPU.
     pub shards: Option<usize>,
+    /// Socket fabric between parties.
+    pub fabric: WorldFabric,
 }
 
 impl Default for ShardedWorldOptions {
@@ -47,6 +70,7 @@ impl Default for ShardedWorldOptions {
             telemetry: Telemetry::new(),
             verify_pool: None,
             shards: None,
+            fabric: WorldFabric::Inproc,
         }
     }
 }
@@ -54,13 +78,41 @@ impl Default for ShardedWorldOptions {
 /// A running multi-group fleet: `groups` × `per_group` coordinators on a
 /// fixed worker pool, all sharing one object alias.
 pub struct ShardedWorld {
-    /// The sharded runtime.
-    pub net: ShardedNet<Coordinator>,
+    net: Net,
     /// Fleet-wide observability handle.
     pub telemetry: Telemetry,
     groups: usize,
     per_group: usize,
     object: ObjectId,
+}
+
+/// The runtime behind a [`ShardedWorld`], by fabric.
+enum Net {
+    Inproc(ShardedNet<Coordinator>),
+    Tcp(ShardedTcpNet<Coordinator>),
+}
+
+impl Net {
+    fn handle(&self, gid: GroupId, party: &b2b_crypto::PartyId) -> GroupHandle<Coordinator> {
+        match self {
+            Net::Inproc(net) => net.handle(gid, party),
+            Net::Tcp(net) => net.handle(gid, party),
+        }
+    }
+
+    fn stats(&self) -> NetStats {
+        match self {
+            Net::Inproc(net) => net.stats(),
+            Net::Tcp(net) => net.stats(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            Net::Inproc(net) => net.shutdown(),
+            Net::Tcp(net) => net.shutdown(),
+        }
+    }
 }
 
 impl ShardedWorld {
@@ -86,10 +138,7 @@ impl ShardedWorld {
             keys.push(kp);
         }
         let ring = Arc::new(ring);
-        let mut builder = ShardedNet::builder().telemetry(opts.telemetry.clone());
-        if let Some(shards) = opts.shards {
-            builder = builder.shards(shards);
-        }
+        let mut group_nodes: Vec<(GroupId, Vec<Coordinator>)> = Vec::with_capacity(opts.groups);
         for g in 0..opts.groups {
             let nodes = (0..opts.per_group)
                 .map(|i| {
@@ -104,9 +153,30 @@ impl ShardedWorld {
                     b.build()
                 })
                 .collect();
-            builder = builder.add_group(GroupId(g as u64), nodes);
+            group_nodes.push((GroupId(g as u64), nodes));
         }
-        let net = builder.spawn();
+        let net = match opts.fabric {
+            WorldFabric::Inproc => {
+                let mut builder = ShardedNet::builder().telemetry(opts.telemetry.clone());
+                if let Some(shards) = opts.shards {
+                    builder = builder.shards(shards);
+                }
+                for (gid, nodes) in group_nodes {
+                    builder = builder.add_group(gid, nodes);
+                }
+                Net::Inproc(builder.spawn().expect("spawn worker pool"))
+            }
+            WorldFabric::Tcp => {
+                let mut cfg = ShardedTcpConfig::new().telemetry(opts.telemetry.clone());
+                if let Some(shards) = opts.shards {
+                    cfg = cfg.shards(shards);
+                }
+                Net::Tcp(
+                    ShardedTcpNet::spawn_loopback_with(group_nodes, cfg)
+                        .expect("spawn TCP worker pool"),
+                )
+            }
+        };
         let world = ShardedWorld {
             net,
             telemetry: opts.telemetry,

@@ -38,6 +38,7 @@ pub mod poll;
 pub mod reliable;
 pub mod scrape;
 pub mod shard;
+pub mod shard_tcp;
 pub mod sim;
 pub mod stats;
 pub mod tcp;
@@ -51,6 +52,7 @@ pub use node::{NetNode, NodeCtx, Payload};
 pub use reliable::{ReliableMux, RELIABLE_TIMER_BASE};
 pub use scrape::ScrapeServer;
 pub use shard::{GroupHandle, GroupId, ShardedNet, ShardedNetBuilder};
+pub use shard_tcp::{ShardedTcpConfig, ShardedTcpEndpoint, ShardedTcpNet};
 pub use sim::SimNet;
 pub use stats::NetStats;
 pub use tcp::{TcpConfig, TcpEndpoint, TcpNet, MAX_FRAME_LEN};

@@ -473,6 +473,51 @@ mod tests {
         assert!(decode_group_frame(&[1, 2, 3]).is_none());
     }
 
+    /// Property sweep over [`decode_group_frame`]: every input shorter
+    /// than the envelope is rejected; every input at least as long is
+    /// split exactly at the 8-byte boundary with the group id read
+    /// big-endian, whatever the bytes are — garbage in the body never
+    /// confuses the envelope layer, and the decode never panics.
+    #[test]
+    fn group_envelope_decode_is_total_and_exact_on_arbitrary_bytes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xE57A6E);
+        // Truncated: every length below the envelope, random contents.
+        for len in 0..GROUP_ENVELOPE_LEN {
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+            assert!(decode_group_frame(&bytes).is_none(), "len {len} accepted");
+        }
+        // At or above the envelope: decode must agree with a manual
+        // split, including the empty-body boundary and oversized bodies.
+        for case in 0..200 {
+            let body_len = match case % 4 {
+                0 => 0,
+                1 => 1,
+                2 => rng.gen_range(2..64usize),
+                _ => rng.gen_range(64..4096usize),
+            };
+            let gid: u64 = rng.gen_range(0..=u64::MAX);
+            let body: Vec<u8> = (0..body_len)
+                .map(|_| rng.gen_range(0..=255u32) as u8)
+                .collect();
+            let wrapped = encode_group_frame(gid, &body);
+            assert_eq!(wrapped.len(), GROUP_ENVELOPE_LEN + body_len);
+            let (got_gid, got_body) = decode_group_frame(&wrapped).unwrap();
+            assert_eq!(got_gid, gid, "case {case}");
+            assert_eq!(got_body, &body[..], "case {case}");
+            // Raw random bytes of the same length also decode: the
+            // envelope is position-defined, so the split point cannot
+            // drift no matter the contents.
+            let raw: Vec<u8> = (0..GROUP_ENVELOPE_LEN + body_len)
+                .map(|_| rng.gen_range(0..=255u32) as u8)
+                .collect();
+            let (raw_gid, raw_body) = decode_group_frame(&raw).unwrap();
+            assert_eq!(raw_gid, u64::from_be_bytes(raw[..8].try_into().unwrap()));
+            assert_eq!(raw_body, &raw[8..]);
+        }
+    }
+
     #[test]
     fn frame_roundtrip() {
         let f = encode_frame(KIND_DATA, 7, 42, &tctx(), b"payload");

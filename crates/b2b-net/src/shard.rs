@@ -46,8 +46,9 @@ use b2b_telemetry::{names, Telemetry};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::io;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -172,10 +173,11 @@ struct SlotInner<N> {
     crashed: bool,
     /// Bumped on every crash; timers armed before the bump never fire.
     epoch: u64,
-    /// Outgoing events not yet accepted by their destination shard's
-    /// inbox, in send order. Drained front-first; a full destination
-    /// parks the whole queue (head-of-line) so per-link FIFO holds.
-    outbox: VecDeque<(usize, ShardEvent)>,
+    /// Outgoing events not yet accepted by their destination — a local
+    /// shard's inbox or the external transport — in send order. Drained
+    /// front-first; a full destination parks the whole queue
+    /// (head-of-line) so per-link FIFO holds.
+    outbox: VecDeque<(OutDest, ShardEvent)>,
     /// Whether this slot is registered on its shard's parked list.
     outbox_blocked: bool,
 }
@@ -203,6 +205,42 @@ enum ShardEvent {
     Stop,
 }
 
+/// Where an outbox entry is headed: a local worker shard, or out of the
+/// process through the configured [`ExternalRoute`].
+enum OutDest {
+    Shard(usize),
+    External,
+}
+
+/// A transport's answer to one offered frame.
+pub(crate) enum RouteOffer {
+    /// Accepted; the transport owns the frame now.
+    Sent,
+    /// Transport queue full — the sender's outbox parks head-of-line and
+    /// the offer is retried, so per-link FIFO carries across the socket.
+    Full,
+    /// No route to that party; the frame is dropped (a lost message, as
+    /// the paper's model allows).
+    Unroutable,
+}
+
+/// A transport bridging this process's slots to remote endpoints.
+///
+/// Installed once per [`ShardedNet`] (see
+/// [`ShardedNet::set_external_route`]); sends to parties without a local
+/// slot are offered here instead of being dropped.
+pub(crate) trait ExternalRoute: Send + Sync {
+    /// Offers one group-enveloped `frame` addressed to `to`. Must not
+    /// block: backpressure is expressed through [`RouteOffer::Full`].
+    fn try_send(&self, gid: GroupId, to: &PartyId, frame: &Payload) -> RouteOffer;
+}
+
+/// An inbound sink handed to a transport: `(raw group id, sender,
+/// enveloped frame) → accepted?`. Returns `false` when the destination
+/// shard's inbox is full — the transport must hold the frame and retry
+/// (its socket receive window then pushes back on the peer).
+pub(crate) type ExternalInjector = Arc<dyn Fn(u64, PartyId, Payload) -> bool + Send + Sync>;
+
 // ---------------------------------------------------------------------------
 // The core: routing table, shard inboxes, wheels
 // ---------------------------------------------------------------------------
@@ -220,6 +258,10 @@ struct Core<N> {
     /// Per *source* shard: slots whose outbox parked on a full
     /// destination inbox, awaiting a re-drain by their owning worker.
     parked: Vec<Mutex<Vec<(GroupId, PartyId)>>>,
+    /// Set once (before any engine runs) when a transport bridges this
+    /// process to remote endpoints; sends to parties without a local
+    /// slot route here. Never set for a purely in-process net.
+    external: OnceLock<Arc<dyn ExternalRoute>>,
     telemetry: Telemetry,
     sent: AtomicU64,
     delivered: AtomicU64,
@@ -245,39 +287,67 @@ impl<N: NetNode> Core<N> {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         };
-        if !self.slots.contains_key(&(slot.gid, to.clone())) {
+        let dest = if self.slots.contains_key(&(slot.gid, to.clone())) {
+            OutDest::Shard(shard)
+        } else if self.external.get().is_some() {
+            // The party lives on a remote endpoint: route through the
+            // transport, in the same FIFO as local frames.
+            OutDest::External
+        } else {
             // Unknown destination: undeliverable, silently lost (the
             // paper's model treats it as a lost message).
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
-        }
+        };
         let event = ShardEvent::Deliver {
             gid: slot.gid,
             from: slot.party.clone(),
             to: to.clone(),
             frame: encode_group_frame(slot.gid.0, &payload).into(),
         };
-        inner.outbox.push_back((shard, event));
+        inner.outbox.push_back((dest, event));
     }
 
-    /// Offers `slot`'s outbox to the destination inboxes in send order,
-    /// stopping at the first full one (head-of-line — nothing is shed
-    /// and nothing overtakes). Never blocks, so workers cannot deadlock
-    /// on each other's full inboxes. Returns whether the outbox emptied
-    /// (caller holds the slot lock).
+    /// Offers `slot`'s outbox to the destinations in send order — local
+    /// shard inboxes or the external transport — stopping at the first
+    /// full one (head-of-line — nothing is shed and nothing overtakes).
+    /// Never blocks, so workers cannot deadlock on each other's full
+    /// inboxes. Returns whether the outbox emptied (caller holds the
+    /// slot lock).
     fn try_drain(&self, inner: &mut SlotInner<N>) -> bool {
         while let Some((dest, event)) = inner.outbox.pop_front() {
-            match self.shard_txs[dest].try_send(event) {
-                Ok(()) => {
-                    self.depths[dest].fetch_add(1, Ordering::Relaxed);
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    // Shutting down; the frame is lost with the pool.
-                    self.dropped.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(TrySendError::Full(event)) => {
-                    inner.outbox.push_front((dest, event));
-                    return false;
+            match dest {
+                OutDest::Shard(d) => match self.shard_txs[d].try_send(event) {
+                    Ok(()) => {
+                        self.depths[d].fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        // Shutting down; the frame is lost with the pool.
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(event)) => {
+                        inner.outbox.push_front((OutDest::Shard(d), event));
+                        return false;
+                    }
+                },
+                OutDest::External => {
+                    let Some(route) = self.external.get() else {
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    };
+                    let ShardEvent::Deliver { gid, to, frame, .. } = &event else {
+                        continue;
+                    };
+                    match route.try_send(*gid, to, frame) {
+                        RouteOffer::Sent => {}
+                        RouteOffer::Unroutable => {
+                            self.dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        RouteOffer::Full => {
+                            inner.outbox.push_front((OutDest::External, event));
+                            return false;
+                        }
+                    }
                 }
             }
         }
@@ -333,6 +403,35 @@ impl<N: NetNode> Core<N> {
             // Full or stopped: either way the worker is busy and will
             // re-check its deadline soon.
             self.depths[shard].fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Offers an externally received, still-enveloped frame to its
+    /// destination shard's inbox. Returns `false` when the inbox is full
+    /// — the transport must hold the frame and retry later, never shed
+    /// or reorder it.
+    fn try_inject(&self, gid_raw: u64, from: PartyId, to: PartyId, frame: Payload) -> bool {
+        let gid = GroupId(gid_raw);
+        let Some(&shard) = self.shard_of.get(&gid) else {
+            // Unknown group on this endpoint: consumed, counted, lost.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.inc(names::SHARD_UNDELIVERABLE);
+            return true;
+        };
+        let event = ShardEvent::Deliver {
+            gid,
+            from,
+            to,
+            frame,
+        };
+        match self.shard_txs[shard].try_send(event) {
+            Ok(()) => {
+                self.depths[shard].fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) => false,
+            // Shutting down; consume the frame with the pool.
+            Err(TrySendError::Disconnected(_)) => true,
         }
     }
 }
@@ -581,6 +680,10 @@ pub struct ShardedNetBuilder<N: NetNode> {
     telemetry: Telemetry,
 }
 
+/// A spawned-but-not-started pool plus its registration list, in
+/// registration order (the [`ShardedNet::start_all`] argument).
+pub(crate) type Unstarted<N> = (ShardedNet<N>, Vec<(GroupId, PartyId)>);
+
 impl<N: NetNode> ShardedNetBuilder<N> {
     /// Registers one group's nodes. Insertion order is the placement
     /// order: group *i* lands on shard `i % shards`.
@@ -626,7 +729,25 @@ impl<N: NetNode> ShardedNetBuilder<N> {
 
     /// Freezes the shard map, starts the worker pool and runs every
     /// node's `on_start` (groups in registration order).
-    pub fn spawn(self) -> ShardedNet<N> {
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error if a worker thread cannot be spawned; the
+    /// workers already started are stopped and joined first, so a failed
+    /// spawn leaves no partial pool behind (and no engine has run
+    /// `on_start` yet).
+    pub fn spawn(self) -> io::Result<ShardedNet<N>> {
+        let (net, started) = self.spawn_without_start()?;
+        net.start_all(&started);
+        Ok(net)
+    }
+
+    /// Like [`ShardedNetBuilder::spawn`] but without running any
+    /// engine's `on_start`, returning the registration list instead.
+    /// Transports that must install an [`ExternalRoute`] before the
+    /// first send (the multiplexed TCP bridge) start the pool, wire the
+    /// route, then call [`ShardedNet::start_all`].
+    pub(crate) fn spawn_without_start(self) -> io::Result<Unstarted<N>> {
         let shards = self.shards;
         let start = Instant::now();
         let mut shard_of = HashMap::new();
@@ -679,27 +800,35 @@ impl<N: NetNode> ShardedNetBuilder<N> {
                 .collect(),
             depths: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
             parked: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            external: OnceLock::new(),
             telemetry: self.telemetry,
             sent: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
         });
-        let threads = shard_rxs
-            .into_iter()
-            .enumerate()
-            .map(|(i, rx)| {
-                let core = Arc::clone(&core);
-                std::thread::Builder::new()
-                    .name(format!("b2b-shard-{i}"))
-                    .spawn(move || run_shard(i, rx, core))
-                    .expect("spawn shard worker")
-            })
-            .collect();
-        let net = ShardedNet { core, threads };
-        for (gid, party) in started {
-            net.handle(gid, &party).invoke(|n, ctx| n.on_start(ctx));
+        let mut threads = Vec::with_capacity(shards);
+        for (i, rx) in shard_rxs.into_iter().enumerate() {
+            let worker_core = Arc::clone(&core);
+            match std::thread::Builder::new()
+                .name(format!("b2b-shard-{i}"))
+                .spawn(move || run_shard(i, rx, worker_core))
+            {
+                Ok(t) => threads.push(t),
+                Err(e) => {
+                    // Unwind the partial pool: stop and join the workers
+                    // already running, then surface the OS error instead
+                    // of panicking the process.
+                    for tx in &core.shard_txs[..threads.len()] {
+                        let _ = tx.send(ShardEvent::Stop);
+                    }
+                    for t in threads {
+                        let _ = t.join();
+                    }
+                    return Err(e);
+                }
+            }
         }
-        net
+        Ok((ShardedNet { core, threads }, started))
     }
 }
 
@@ -729,7 +858,8 @@ impl<N: NetNode> ShardedNetBuilder<N> {
 ///         Counter { id: PartyId::new("a"), seen: 0 },
 ///         Counter { id: PartyId::new("b"), seen: 0 },
 ///     ])
-///     .spawn();
+///     .spawn()
+///     .expect("spawn worker pool");
 /// net.handle(GroupId(1), &PartyId::new("a")).invoke(|_n, ctx| {
 ///     ctx.send(PartyId::new("b"), vec![1]);
 /// });
@@ -778,6 +908,30 @@ impl<N: NetNode> ShardedNet<N> {
     /// Number of worker shards.
     pub fn shard_count(&self) -> usize {
         self.threads.len()
+    }
+
+    /// Runs `on_start` for every listed slot (registration order) —
+    /// the second half of [`ShardedNetBuilder::spawn_without_start`].
+    pub(crate) fn start_all(&self, started: &[(GroupId, PartyId)]) {
+        for (gid, party) in started {
+            self.handle(*gid, party).invoke(|n, ctx| n.on_start(ctx));
+        }
+    }
+
+    /// Installs the transport that carries frames for parties without a
+    /// local slot. First call wins; must happen before any engine runs
+    /// (pair with [`ShardedNetBuilder::spawn_without_start`]).
+    pub(crate) fn set_external_route(&self, route: Arc<dyn ExternalRoute>) {
+        let _ = self.core.external.set(route);
+    }
+
+    /// An inbound sink delivering externally received frames to `to`'s
+    /// slots on this net (every slot of one endpoint belongs to the same
+    /// party). The transport calls it with the raw group id from the
+    /// envelope and the sender learned from the connection's hello.
+    pub(crate) fn injector(&self, to: PartyId) -> ExternalInjector {
+        let core = Arc::clone(&self.core);
+        Arc::new(move |gid_raw, from, frame| core.try_inject(gid_raw, from, to.clone(), frame))
     }
 
     /// Crashes `party` in `gid`: inbound frames are dropped, armed
@@ -945,7 +1099,8 @@ mod tests {
             .add_group(GroupId(0), pair())
             .add_group(GroupId(1), pair())
             .add_group(GroupId(2), pair())
-            .spawn();
+            .spawn()
+            .expect("spawn worker pool");
         for g in 0..3 {
             let a = net.handle(GroupId(g), &PartyId::new("a"));
             let peer = a.read(|n| n.peer.clone());
@@ -973,7 +1128,8 @@ mod tests {
         let net = ShardedNet::builder()
             .shards(1)
             .add_group(GroupId(7), pair())
-            .spawn();
+            .spawn()
+            .expect("spawn worker pool");
         let a = net.handle(GroupId(7), &PartyId::new("a"));
         a.invoke(|_n, ctx| {
             ctx.set_timer(1, TimeMs(10));
@@ -988,7 +1144,8 @@ mod tests {
         let net = ShardedNet::builder()
             .shards(1)
             .add_group(GroupId(0), pair())
-            .spawn();
+            .spawn()
+            .expect("spawn worker pool");
         let gid = GroupId(0);
         let a_id = PartyId::new("a");
         let b_id = PartyId::new("b");
@@ -1009,6 +1166,41 @@ mod tests {
         assert!(
             !b.read(|n| n.timer_fires > 0),
             "crashed incarnation's timer stayed dead"
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn crash_with_parked_timers_cancels_near_and_overflow_entries() {
+        let net = ShardedNet::builder()
+            .shards(1)
+            .add_group(GroupId(0), pair())
+            .spawn()
+            .expect("spawn worker pool");
+        let gid = GroupId(0);
+        let b_id = PartyId::new("b");
+        let b = net.handle(gid, &b_id);
+        // Park one timer inside the wheel horizon and one beyond it (the
+        // overflow list), then crash with both still armed: they belong
+        // to the dead incarnation and must be discarded lazily — on the
+        // wheel pass for the near entry, and on the overflow re-hash
+        // after the cursor wraps for the far one.
+        b.invoke(|_n, ctx| {
+            ctx.set_timer(1, TimeMs(50));
+            ctx.set_timer(2, TimeMs(1_500));
+        });
+        net.crash(gid, &b_id);
+        net.recover(gid, &b_id);
+        // A timer armed by the recovered incarnation fires normally.
+        b.invoke(|_n, ctx| ctx.set_timer(3, TimeMs(40)));
+        assert!(b.wait_until(Duration::from_secs(5), |n| n.timer_fires == 1));
+        // Outlive both stale deadlines (and the wheel wrap that re-hashes
+        // the overflow entry): neither may fire.
+        std::thread::sleep(Duration::from_millis(1_800));
+        assert_eq!(
+            b.read(|n| n.timer_fires),
+            1,
+            "a crashed incarnation's parked timers (near and overflow) must stay dead"
         );
         net.shutdown();
     }
@@ -1092,7 +1284,8 @@ mod tests {
                     },
                 ],
             )
-            .spawn();
+            .spawn()
+            .expect("spawn worker pool");
         let a = net.handle(GroupId(0), &PartyId::new("a"));
         a.invoke(|_n, ctx| {
             for i in 0..200u8 {
@@ -1119,7 +1312,7 @@ mod tests {
         for g in 0..1000 {
             builder = builder.add_group(GroupId(g), pair());
         }
-        let net = builder.spawn();
+        let net = builder.spawn().expect("spawn worker pool");
         for g in 0..1000 {
             net.handle(GroupId(g), &PartyId::new("a"))
                 .invoke(|_n, ctx| ctx.send(PartyId::new("b"), b"ping".to_vec()));

@@ -42,6 +42,13 @@ pub struct NetStats {
     /// Connections re-established after a loss — a subset of `connects`
     /// (TCP transport; zero elsewhere).
     pub reconnects: u64,
+    /// Recoverable I/O failures on the transport's connect/write path:
+    /// failed connect attempts, established streams dying mid-write,
+    /// reader-thread spawn failures. Each armed a backoff or dropped a
+    /// connection instead of panicking; retransmission masks the loss, so
+    /// these do not add to [`NetStats::lost`] beyond the frames already
+    /// counted in `dropped`.
+    pub io_errors: u64,
 }
 
 impl NetStats {
@@ -78,6 +85,7 @@ mod tests {
             dedup_drops: 1,
             connects: 2,
             reconnects: 1,
+            io_errors: 1,
         };
         assert_eq!(s.lost(), 4);
     }
@@ -100,6 +108,17 @@ mod tests {
         let s = NetStats {
             retransmits: 7,
             dedup_drops: 5,
+            ..NetStats::default()
+        };
+        assert_eq!(s.lost(), 0);
+    }
+
+    #[test]
+    fn io_errors_do_not_inflate_loss() {
+        // Every I/O error that actually lost a frame already bumped
+        // `dropped`; the error counter is diagnostic, not additive.
+        let s = NetStats {
+            io_errors: 6,
             ..NetStats::default()
         };
         assert_eq!(s.lost(), 0);

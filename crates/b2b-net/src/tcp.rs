@@ -18,7 +18,10 @@
 //! * **Connections** — one outbound connection per direction, opened
 //!   lazily by the first send and re-opened on demand after a failure
 //!   with deterministic exponential backoff (`base · 2^(n-1)`, capped).
-//!   A frame that arrives while the link is down or still backing off is
+//!   The backoff resets only once the new connection *carries a frame*:
+//!   a peer that accepts and immediately resets keeps counting as a
+//!   failure, so it cannot drive a tight connect/write loop. A frame
+//!   that arrives while the link is down or still backing off is
 //!   *dropped*: a connection reset is just another temporary failure that
 //!   retransmission masks.
 //! * **Zero copy** — payloads stay `Arc<[u8]>` ([`Payload`]) from the
@@ -189,6 +192,7 @@ struct Counters {
     bytes_sent: AtomicU64,
     connects: AtomicU64,
     reconnects: AtomicU64,
+    io_errors: AtomicU64,
 }
 
 // ---------------------------------------------------------------------------
@@ -246,16 +250,46 @@ impl Writer {
             self.counters.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let stream = self.stream.as_mut().expect("connected above");
-        if let Err(_e) = write_frame(stream, payload) {
-            // A reset mid-write loses this frame; the next one reconnects.
-            self.drop_stream();
+        let Some(stream) = self.stream.as_mut() else {
+            // Defensive: no panic on the connect path — count and drop.
             self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        match write_frame(stream, payload) {
+            Ok(()) => {
+                // First data frame through the new connection proves the
+                // link healthy: only now does backoff return to base.
+                self.failures = 0;
+                self.next_attempt_at = None;
+            }
+            Err(_e) => {
+                // A reset mid-write loses this frame; the next one
+                // reconnects. An established stream dying is a connect
+                // failure too — arm the backoff, so an accept-then-reset
+                // peer cannot drive a tight connect/write loop.
+                self.drop_stream();
+                self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                self.note_failure();
+            }
         }
     }
 
+    /// Counts one connect-path failure and arms the backoff window.
+    fn note_failure(&mut self) {
+        self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+        self.failures = self.failures.saturating_add(1);
+        let delay = backoff_delay(
+            self.cfg.reconnect_base,
+            self.cfg.reconnect_max,
+            self.failures,
+        );
+        self.next_attempt_at = Some(Instant::now() + delay);
+    }
+
     /// Attempts to connect if the backoff window allows; returns whether a
-    /// connection is now up.
+    /// connection is now up. Deliberately does **not** reset the failure
+    /// count: a successful connect proves nothing until a frame makes it
+    /// through (see [`Writer::send_frame`]).
     fn try_connect(&mut self) -> bool {
         if let Some(at) = self.next_attempt_at {
             if Instant::now() < at {
@@ -274,8 +308,6 @@ impl Writer {
             }) {
             Ok(s) => {
                 self.stream = Some(s);
-                self.failures = 0;
-                self.next_attempt_at = None;
                 self.counters.connects.fetch_add(1, Ordering::Relaxed);
                 self.cfg.telemetry.inc(names::TCP_CONNECTS);
                 if self.ever_connected {
@@ -286,13 +318,7 @@ impl Writer {
                 true
             }
             Err(_) => {
-                self.failures = self.failures.saturating_add(1);
-                let delay = backoff_delay(
-                    self.cfg.reconnect_base,
-                    self.cfg.reconnect_max,
-                    self.failures,
-                );
-                self.next_attempt_at = Some(Instant::now() + delay);
+                self.note_failure();
                 false
             }
         }
@@ -392,6 +418,7 @@ fn accept_loop(
     readers: Arc<ReaderRegistry>,
     reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     telemetry: Telemetry,
+    counters: Arc<Counters>,
 ) {
     for conn in listener.incoming() {
         if !running.load(Ordering::SeqCst) {
@@ -401,11 +428,18 @@ fn accept_loop(
         readers.register(&stream);
         let tx = node_tx.clone();
         let tel = telemetry.clone();
-        let t = std::thread::Builder::new()
+        match std::thread::Builder::new()
             .name("b2b-tcp-reader".into())
             .spawn(move || reader_loop(stream, tx, tel))
-            .expect("spawn reader thread");
-        reader_threads.lock().push(t);
+        {
+            Ok(t) => reader_threads.lock().push(t),
+            Err(_) => {
+                // Out of threads is a recoverable condition: drop this
+                // connection (the peer reconnects with backoff) and keep
+                // accepting.
+                counters.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -481,10 +515,12 @@ impl<N: NetNode> TcpEndpoint<N> {
                 next_attempt_at: None,
                 ever_connected: false,
             };
+            // A spawn failure aborts endpoint construction as an
+            // `io::Result` (dropping the link senders unwinds the writers
+            // already started) — never a panic.
             let t = std::thread::Builder::new()
                 .name(format!("b2b-tcp-writer-{me}-{peer}"))
-                .spawn(move || writer.run(rx))
-                .expect("spawn writer thread");
+                .spawn(move || writer.run(rx))?;
             writer_threads.push(t);
             links.insert(peer.clone(), PeerLink { tx: tx.clone() });
             fabric_links.insert(peer, PeerLink { tx });
@@ -509,6 +545,7 @@ impl<N: NetNode> TcpEndpoint<N> {
             let readers = Arc::clone(&readers);
             let reader_threads = Arc::clone(&reader_threads);
             let telemetry = config.telemetry.clone();
+            let counters = Arc::clone(&counters);
             std::thread::Builder::new()
                 .name(format!("b2b-tcp-accept-{me}"))
                 .spawn(move || {
@@ -519,9 +556,9 @@ impl<N: NetNode> TcpEndpoint<N> {
                         readers,
                         reader_threads,
                         telemetry,
+                        counters,
                     )
-                })
-                .expect("spawn accept thread")
+                })?
         };
 
         Ok(TcpEndpoint {
@@ -576,6 +613,7 @@ impl<N: NetNode> TcpEndpoint<N> {
             bytes_sent: self.counters.bytes_sent.load(Ordering::Relaxed),
             connects: self.counters.connects.load(Ordering::Relaxed),
             reconnects: self.counters.reconnects.load(Ordering::Relaxed),
+            io_errors: self.counters.io_errors.load(Ordering::Relaxed),
             ..NetStats::default()
         }
     }
@@ -708,6 +746,7 @@ impl<N: NetNode> TcpNet<N> {
             total.bytes_sent += s.bytes_sent;
             total.connects += s.connects;
             total.reconnects += s.reconnects;
+            total.io_errors += s.io_errors;
         }
         total
     }
@@ -839,6 +878,111 @@ mod tests {
         assert_eq!(backoff_delay(base, max, 2), Duration::from_millis(20));
         assert_eq!(backoff_delay(base, max, 5), Duration::from_millis(160));
         assert_eq!(backoff_delay(base, max, 40), Duration::from_millis(160));
+    }
+
+    /// A bare [`Writer`] for driving the reconnect state machine directly.
+    fn test_writer(addr: SocketAddr, counters: &Arc<Counters>) -> Writer {
+        Writer {
+            me: PartyId::new("a"),
+            peer_addr: addr,
+            cfg: TcpConfig::new()
+                .reconnect_base(Duration::from_millis(10))
+                .reconnect_max(Duration::from_secs(10)),
+            counters: Arc::clone(counters),
+            stream: None,
+            failures: 0,
+            next_attempt_at: None,
+            ever_connected: false,
+        }
+    }
+
+    /// Two outages with a healthy interlude: the backoff must build during
+    /// the first outage, reset to base once a frame actually crosses the
+    /// reconnected link, and start again from base in the second outage —
+    /// not resume from where the first left off.
+    #[test]
+    fn backoff_resets_after_a_healthy_reconnect_two_outages() {
+        // Outage 1: reserve a port, then free it so connects are refused.
+        let parked = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = parked.local_addr().unwrap();
+        drop(parked);
+
+        let counters = Arc::new(Counters::default());
+        let mut w = test_writer(addr, &counters);
+        for expected in 1..=3 {
+            w.next_attempt_at = None; // collapse the wait, keep the count
+            w.send_frame(b"x");
+            assert_eq!(w.failures, expected, "each refused connect counts");
+        }
+        assert!(w.next_attempt_at.is_some(), "outage arms the backoff");
+        assert_eq!(counters.io_errors.load(Ordering::Relaxed), 3);
+
+        // The peer comes back on the same port and drains what we send.
+        let listener = TcpListener::bind(addr).expect("rebind freed port");
+        let acceptor = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let hello = read_frame(&mut s).unwrap().unwrap();
+            let data = read_frame(&mut s).unwrap().unwrap();
+            (hello, data, s)
+        });
+        w.next_attempt_at = None;
+        w.send_frame(b"data");
+        assert_eq!(
+            w.failures, 0,
+            "a frame through the new connection returns the link to base backoff"
+        );
+        assert!(w.next_attempt_at.is_none());
+        let (hello, data, accepted) = acceptor.join().unwrap();
+        assert_eq!(hello, b"a");
+        assert_eq!(data, b"data");
+
+        // Outage 2: the peer goes away again. The first failure must back
+        // off from base (failures == 1), not continue at 3+.
+        drop(accepted);
+        w.drop_stream();
+        w.send_frame(b"y");
+        assert_eq!(w.failures, 1, "second outage starts from base backoff");
+        assert_eq!(
+            backoff_delay(w.cfg.reconnect_base, w.cfg.reconnect_max, w.failures),
+            w.cfg.reconnect_base
+        );
+    }
+
+    /// An established stream dying mid-write is a failure like any other:
+    /// it must arm the backoff (and count an I/O error), so a peer that
+    /// accepts connections and immediately resets them cannot pull the
+    /// writer into a tight connect/write loop.
+    #[test]
+    fn mid_write_stream_death_arms_backoff() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let acceptor = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut s); // hello
+            let _ = read_frame(&mut s); // first data frame
+                                        // Stream and listener drop here: the peer is gone.
+        });
+
+        let counters = Arc::new(Counters::default());
+        let mut w = test_writer(addr, &counters);
+        w.send_frame(b"first");
+        assert_eq!(w.failures, 0, "healthy write");
+        acceptor.join().unwrap();
+
+        // The RST needs a moment to surface; the first write after it may
+        // still land in the local socket buffer.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while w.failures == 0 && Instant::now() < deadline {
+            w.send_frame(b"x");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            w.failures > 0,
+            "a dying stream must count as a failure and arm the backoff"
+        );
+        assert!(w.next_attempt_at.is_some());
+        assert!(w.stream.is_none(), "the dead stream is dropped");
+        assert!(counters.io_errors.load(Ordering::Relaxed) >= 1);
     }
 
     #[test]

@@ -123,6 +123,31 @@ pub mod names {
     /// Sharded runtime: frames dropped because the destination group node
     /// was crashed, unknown, or the group envelope failed to parse.
     pub const SHARD_UNDELIVERABLE: &str = "shard_undeliverable";
+    /// Multiplexed sharded TCP transport: connections established to
+    /// peer endpoints (one socket pair carries every group).
+    pub const MUX_CONNECTS: &str = "mux_connects";
+    /// Multiplexed transport: connections re-established after a loss —
+    /// a subset of [`MUX_CONNECTS`].
+    pub const MUX_RECONNECTS: &str = "mux_reconnects";
+    /// Multiplexed transport: group-enveloped frames handed to the wire.
+    pub const MUX_FRAMES_SENT: &str = "mux_frames_sent";
+    /// Multiplexed transport: payload bytes handed to the wire (framing
+    /// overhead excluded).
+    pub const MUX_BYTES_SENT: &str = "mux_bytes_sent";
+    /// Multiplexed transport: `write(2)` calls issued; the ratio
+    /// [`MUX_FRAMES_SENT`]` / MUX_WRITE_SYSCALLS` is the write-coalescing
+    /// factor (frames per syscall).
+    pub const MUX_WRITE_SYSCALLS: &str = "mux_write_syscalls";
+    /// Multiplexed transport: readiness-poll iterations of the reactor.
+    pub const MUX_POLL_ROUNDS: &str = "mux_poll_rounds";
+    /// Multiplexed transport: reads deferred because a decoded frame is
+    /// still waiting for shard-inbox space (inbound backpressure: the
+    /// socket's receive window pushes back on the peer).
+    pub const MUX_READ_STALLS: &str = "mux_read_stalls";
+    /// Multiplexed transport: frames whose group envelope failed to
+    /// parse; the frame is dropped but the length-prefixed stream stays
+    /// in sync.
+    pub const MUX_BAD_FRAMES: &str = "mux_bad_frames";
 
     /// Returns the metric key carrying a `group` label for `name`:
     /// `<name>|group=<g>`. [`crate::MetricsSnapshot::to_prometheus`]

@@ -19,13 +19,27 @@ pub const BUCKET_BOUNDS: [u64; 14] = [
 ];
 
 /// Maximum distinct `group` label values a metric family may expose before
-/// [`MetricsSnapshot::to_prometheus`] collapses it to one aggregate series.
+/// [`MetricsSnapshot::to_prometheus`] folds the excess into a single
+/// `group="__overflow"` series.
 ///
 /// A 10k-group process would otherwise serve a multi-megabyte `/metrics`
 /// page with 10k time series per family — unusable for a scraper and a
 /// cardinality bomb for any downstream TSDB. 64 keeps small multi-group
-/// runs fully inspectable while capping the page size.
+/// runs fully inspectable while capping the page size. Truncation is never
+/// silent: the folded remainder stays visible under the overflow label and
+/// the page carries a [`GROUP_LABEL_OVERFLOW`] counter of elided series.
 pub const GROUP_CARDINALITY_CAP: usize = 64;
+
+/// The reserved `group` label value carrying everything beyond
+/// [`GROUP_CARDINALITY_CAP`]: the sum (counters) or merge (histograms) of
+/// all elided per-group series, so family totals stay exact.
+pub const GROUP_OVERFLOW_LABEL: &str = "__overflow";
+
+/// Name of the synthetic counter `to_prometheus` emits when any family
+/// overflowed the group-cardinality cap: the total number of per-group
+/// series folded into [`GROUP_OVERFLOW_LABEL`] across all families.
+/// Absent when nothing overflowed, so its mere presence is the alert.
+pub const GROUP_LABEL_OVERFLOW: &str = "group_label_overflow";
 
 /// A latency histogram over [`BUCKET_BOUNDS`] plus an overflow bucket.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -300,9 +314,12 @@ impl MetricsSnapshot {
     /// Keys of the form `<name>|group=<g>` (see
     /// [`MetricsSnapshot::with_group_label`]) render as a `group` label on
     /// the family `<name>` — up to [`GROUP_CARDINALITY_CAP`] distinct
-    /// groups per family. Beyond the cap the family is exposed
-    /// aggregate-only (labelled series summed into one unlabelled series),
-    /// so a 10k-group process still serves a scrapeable `/metrics` page.
+    /// groups per family. Beyond the cap the first `cap` groups (sorted)
+    /// stay labelled and the remainder is folded into one explicit
+    /// `group="__overflow"` series ([`GROUP_OVERFLOW_LABEL`]), with a
+    /// page-level [`GROUP_LABEL_OVERFLOW`] counter of elided series — so a
+    /// 10k-group process still serves a scrapeable `/metrics` page *and*
+    /// operators can see that (and how much) truncation happened.
     pub fn to_prometheus(&self) -> String {
         self.to_prometheus_with_cap(GROUP_CARDINALITY_CAP)
     }
@@ -358,19 +375,42 @@ impl MetricsSnapshot {
         }
 
         let mut out = String::new();
+        // Per-group series folded into `group="__overflow"` across every
+        // family, surfaced at the end of the page as the
+        // `group_label_overflow` counter.
+        let mut overflowed_series = 0usize;
         for (base, mut series) in counter_families {
             let name = sanitize(base);
             let _ = writeln!(out, "# TYPE {name} counter");
             let groups = series.iter().filter(|(g, _)| g.is_some()).count();
+            series.sort();
             if groups > cap {
-                let total: u64 = series.iter().map(|(_, v)| v).sum();
+                overflowed_series += groups - cap;
                 let _ = writeln!(
                     out,
-                    "# {name}: group label elided ({groups} groups > cap {cap})"
+                    "# {name}: {} of {groups} group series folded into group=\"{GROUP_OVERFLOW_LABEL}\" (cap {cap})",
+                    groups - cap
                 );
-                let _ = writeln!(out, "{name} {total}");
+                let mut labelled = 0usize;
+                let mut overflow_total = 0u64;
+                for (group, value) in series {
+                    match group {
+                        None => {
+                            let _ = writeln!(out, "{name} {value}");
+                        }
+                        Some(g) if labelled < cap => {
+                            labelled += 1;
+                            let _ =
+                                writeln!(out, "{name}{{group=\"{}\"}} {value}", escape_label(g));
+                        }
+                        Some(_) => overflow_total += value,
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "{name}{{group=\"{GROUP_OVERFLOW_LABEL}\"}} {overflow_total}"
+                );
             } else {
-                series.sort();
                 for (group, value) in series {
                     match group {
                         Some(g) => {
@@ -388,20 +428,33 @@ impl MetricsSnapshot {
             let name = sanitize(base);
             let _ = writeln!(out, "# TYPE {name} histogram");
             let groups = series.iter().filter(|(g, _)| g.is_some()).count();
+            series.sort_by_key(|(g, _)| *g);
             let merged;
             if groups > cap {
+                overflowed_series += groups - cap;
+                // Keep the first `cap` sorted groups labelled, merge the
+                // rest into the explicit overflow series.
                 let mut total = Histogram::default();
-                for (_, h) in &series {
-                    total.merge(h);
+                let mut kept: Vec<(Option<&str>, &Histogram)> = Vec::with_capacity(cap + 1);
+                let mut labelled = 0usize;
+                for (group, h) in series {
+                    match group {
+                        None => kept.push((None, h)),
+                        Some(_) if labelled < cap => {
+                            labelled += 1;
+                            kept.push((group, h));
+                        }
+                        Some(_) => total.merge(h),
+                    }
                 }
                 let _ = writeln!(
                     out,
-                    "# {name}: group label elided ({groups} groups > cap {cap})"
+                    "# {name}: {} of {groups} group series folded into group=\"{GROUP_OVERFLOW_LABEL}\" (cap {cap})",
+                    groups - cap
                 );
                 merged = total;
-                series = vec![(None, &merged)];
-            } else {
-                series.sort_by_key(|(g, _)| *g);
+                kept.push((Some(GROUP_OVERFLOW_LABEL), &merged));
+                series = kept;
             }
             for (group, h) in series {
                 let label = |le: &str| match group {
@@ -436,6 +489,11 @@ impl MetricsSnapshot {
                     }
                 }
             }
+        }
+        if overflowed_series > 0 {
+            let name = sanitize(GROUP_LABEL_OVERFLOW);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {overflowed_series}");
         }
         out
     }
@@ -675,7 +733,7 @@ mod tests {
     }
 
     #[test]
-    fn prometheus_aggregates_above_the_cardinality_cap() {
+    fn prometheus_folds_overflow_above_the_cardinality_cap() {
         let mut fleet = MetricsSnapshot::default();
         for g in 0..10u64 {
             let reg = MetricsRegistry::new();
@@ -684,16 +742,56 @@ mod tests {
             fleet.merge(&reg.snapshot().with_group_label(g));
         }
         let text = fleet.to_prometheus_with_cap(4);
-        // Above the cap: a single unlabelled aggregate series per family.
-        assert!(text.contains("b2b_rounds_started 10\n"));
-        assert!(!text.contains("b2b_rounds_started{group="));
-        assert!(text.contains("# b2b_rounds_started: group label elided (10 groups > cap 4)"));
-        assert!(text.contains("b2b_round_latency_ms_count 10"));
-        assert!(text.contains("b2b_round_latency_ms_sum 55"));
-        assert!(!text.contains("b2b_round_latency_ms_bucket{group="));
+        // The first `cap` sorted groups stay labelled...
+        for g in 0..4 {
+            assert!(text.contains(&format!("b2b_rounds_started{{group=\"{g}\"}} 1")));
+        }
+        // ...and the remainder is folded into an explicit overflow series,
+        // never a silent unlabelled aggregate.
+        assert!(text.contains("b2b_rounds_started{group=\"__overflow\"} 6\n"));
+        assert!(!text.contains("b2b_rounds_started{group=\"9\"}"));
+        assert!(text.contains(
+            "# b2b_rounds_started: 6 of 10 group series folded into group=\"__overflow\" (cap 4)"
+        ));
+        // Histograms fold the same way: sum of groups 4..9 is 5+..+10 = 45.
+        assert!(text.contains("b2b_round_latency_ms_sum{group=\"__overflow\"} 45"));
+        assert!(text.contains("b2b_round_latency_ms_count{group=\"__overflow\"} 6"));
+        assert!(text.contains("b2b_round_latency_ms_bucket{group=\"0\",le=\"1\"} 1"));
+        // Both families overflowed 6 series each.
+        assert!(text.contains("# TYPE b2b_group_label_overflow counter"));
+        assert!(text.contains("b2b_group_label_overflow 12\n"));
         // Below the cap the same snapshot stays fully labelled.
         let labelled = fleet.to_prometheus_with_cap(64);
         assert!(labelled.contains("b2b_rounds_started{group=\"9\"} 1"));
+        assert!(!labelled.contains("__overflow"));
+    }
+
+    #[test]
+    fn prometheus_cap_boundary_exactly_at_and_one_past() {
+        let build = |groups: u64| {
+            let mut fleet = MetricsSnapshot::default();
+            for g in 0..groups {
+                let reg = MetricsRegistry::new();
+                reg.add("rounds_started", 1);
+                fleet.merge(&reg.snapshot().with_group_label(g));
+            }
+            fleet
+        };
+        // Exactly at the cap: every group labelled, no overflow machinery.
+        let at = build(GROUP_CARDINALITY_CAP as u64).to_prometheus();
+        assert!(at.contains(&format!(
+            "b2b_rounds_started{{group=\"{}\"}} 1",
+            GROUP_CARDINALITY_CAP - 1
+        )));
+        assert!(!at.contains("__overflow"));
+        assert!(!at.contains("group_label_overflow"));
+        // One past the cap: exactly one series folds and the counter says so.
+        let past = build(GROUP_CARDINALITY_CAP as u64 + 1).to_prometheus();
+        assert!(past.contains("b2b_rounds_started{group=\"__overflow\"} 1\n"));
+        assert!(past.contains("b2b_group_label_overflow 1\n"));
+        // Totals stay exact: labelled series + overflow = all groups.
+        let labelled = past.matches("b2b_rounds_started{group=").count();
+        assert_eq!(labelled, GROUP_CARDINALITY_CAP + 1); // cap labelled + __overflow
     }
 
     #[test]

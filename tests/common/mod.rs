@@ -6,7 +6,10 @@
 use b2bobjects::core::{B2BObject, Coordinator, ObjectId, Outcome, RunId};
 use b2bobjects::crypto::{KeyPair, KeyRing, PartyId, Signer, TimeMs, TimeStampAuthority};
 use b2bobjects::evidence::{EvidenceStore, MemStore};
-use b2bobjects::net::{GroupHandle, GroupId, NodeHandle, ShardedNet, SimNet, TcpConfig, TcpNet};
+use b2bobjects::net::{
+    GroupHandle, GroupId, NodeHandle, ShardedNet, ShardedTcpConfig, ShardedTcpNet, SimNet,
+    TcpConfig, TcpNet,
+};
 use b2bobjects::telemetry::Telemetry;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -281,6 +284,22 @@ impl TcpWorld {
             );
             sponsor = PartyId::new(*joiner);
         }
+        // A join round touches every existing member, not just the
+        // sponsor — the owner can still be installing the final
+        // membership change when the last welcome lands. Drain every
+        // member so the caller's first proposal starts from an idle
+        // group.
+        let a = ObjectId::new(alias);
+        for p in &self.parties {
+            let h = self.net.handle(p);
+            if !h.read(|c| c.is_member(&a)) {
+                continue;
+            }
+            assert!(
+                h.wait_until(TCP_STEP, |c| !c.is_busy(&a)),
+                "{p} still busy on {a:?} after the join chain settled"
+            );
+        }
     }
 
     /// Proposes `state` on `alias` from `who`; waits until every member
@@ -321,11 +340,98 @@ impl TcpWorld {
 /// [`World`] and [`TcpWorld`], so a one-group sharded run must produce
 /// the same evidence projection and the same canonical trace DAGs as the
 /// legacy fabrics.
+/// The socket fabric a [`ShardedWorld`] runs its worker pool over.
+pub enum ShardFabric {
+    /// In-process delivery between slots (the default).
+    Inproc(ShardedNet<Coordinator>),
+    /// One multiplexed loopback TCP socket pair per party pair.
+    Tcp(ShardedTcpNet<Coordinator>),
+}
+
+impl ShardFabric {
+    pub fn handle(&self, gid: GroupId, party: &PartyId) -> GroupHandle<Coordinator> {
+        match self {
+            ShardFabric::Inproc(net) => net.handle(gid, party),
+            ShardFabric::Tcp(net) => net.handle(gid, party),
+        }
+    }
+
+    pub fn crash(&self, gid: GroupId, party: &PartyId) {
+        match self {
+            ShardFabric::Inproc(net) => net.crash(gid, party),
+            ShardFabric::Tcp(net) => net.crash(gid, party),
+        }
+    }
+
+    pub fn recover(&self, gid: GroupId, party: &PartyId) {
+        match self {
+            ShardFabric::Inproc(net) => net.recover(gid, party),
+            ShardFabric::Tcp(net) => net.recover(gid, party),
+        }
+    }
+
+    /// Drops both directions of the TCP socket pair between two parties.
+    /// No-op on the in-process fabric, which has no connections to kill.
+    pub fn kill_connection(&self, a: &PartyId, b: &PartyId) {
+        if let ShardFabric::Tcp(net) = self {
+            net.kill_connection(a, b);
+        }
+    }
+
+    pub fn shutdown(self) {
+        match self {
+            ShardFabric::Inproc(net) => net.shutdown(),
+            ShardFabric::Tcp(net) => net.shutdown(),
+        }
+    }
+}
+
 pub struct ShardedWorld {
-    pub net: ShardedNet<Coordinator>,
+    pub net: ShardFabric,
     pub parties: Vec<PartyId>,
     pub stores: HashMap<PartyId, Arc<MemStore>>,
     pub ring: KeyRing,
+}
+
+/// Builds the coordinator set every [`ShardedWorld`] fabric shares: key
+/// material, TSA and per-coordinator seeds match [`World::new`] exactly,
+/// so evidence is byte-comparable across fabrics.
+fn sharded_nodes(
+    names: &[&str],
+    seed: u64,
+    telemetry: Vec<Telemetry>,
+) -> (
+    Vec<Coordinator>,
+    Vec<PartyId>,
+    HashMap<PartyId, Arc<MemStore>>,
+    KeyRing,
+) {
+    assert_eq!(names.len(), telemetry.len());
+    let mut ring = KeyRing::new();
+    let mut keys = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let kp = KeyPair::generate_from_seed(500 + i as u64);
+        ring.register(PartyId::new(*name), kp.public_key());
+        keys.push((PartyId::new(*name), kp));
+    }
+    let tsa = TimeStampAuthority::new(KeyPair::generate_from_seed(777));
+    let mut stores = HashMap::new();
+    let mut nodes = Vec::new();
+    for (i, ((id, kp), tel)) in keys.into_iter().zip(telemetry).enumerate() {
+        let store = Arc::new(MemStore::new());
+        stores.insert(id.clone(), store.clone());
+        nodes.push(
+            Coordinator::builder(id, kp)
+                .ring(ring.clone())
+                .tsa(tsa.clone())
+                .store(store)
+                .seed(seed + i as u64)
+                .telemetry(tel)
+                .build(),
+        );
+    }
+    let parties = names.iter().map(|n| PartyId::new(*n)).collect();
+    (nodes, parties, stores, ring)
 }
 
 /// The single group a [`ShardedWorld`] runs.
@@ -340,40 +446,46 @@ impl ShardedWorld {
         ShardedWorld::with_telemetry(names, seed, telemetry)
     }
 
-    /// [`ShardedWorld::new`] with one caller-supplied telemetry handle
-    /// per party, mirroring [`World::with_telemetry`].
+    /// [`ShardedWorld::new`] over multiplexed loopback TCP sockets: same
+    /// coordinators, same seeds, but every inter-party frame crosses a
+    /// real socket.
+    pub fn new_tcp(names: &[&str], seed: u64) -> ShardedWorld {
+        let telemetry = names.iter().map(|_| Telemetry::new()).collect();
+        ShardedWorld::with_telemetry_tcp(names, seed, telemetry)
+    }
+
+    /// [`ShardedWorld::with_telemetry`] with one caller-supplied telemetry
+    /// handle per party, mirroring [`World::with_telemetry`].
     pub fn with_telemetry(names: &[&str], seed: u64, telemetry: Vec<Telemetry>) -> ShardedWorld {
-        assert_eq!(names.len(), telemetry.len());
-        let mut ring = KeyRing::new();
-        let mut keys = Vec::new();
-        for (i, name) in names.iter().enumerate() {
-            let kp = KeyPair::generate_from_seed(500 + i as u64);
-            ring.register(PartyId::new(*name), kp.public_key());
-            keys.push((PartyId::new(*name), kp));
-        }
-        let tsa = TimeStampAuthority::new(KeyPair::generate_from_seed(777));
-        let mut stores = HashMap::new();
-        let mut nodes = Vec::new();
-        for (i, ((id, kp), tel)) in keys.into_iter().zip(telemetry).enumerate() {
-            let store = Arc::new(MemStore::new());
-            stores.insert(id.clone(), store.clone());
-            nodes.push(
-                Coordinator::builder(id, kp)
-                    .ring(ring.clone())
-                    .tsa(tsa.clone())
-                    .store(store)
-                    .seed(seed + i as u64)
-                    .telemetry(tel)
-                    .build(),
-            );
-        }
+        let (nodes, parties, stores, ring) = sharded_nodes(names, seed, telemetry);
         let net = ShardedNet::builder()
             .shards(2)
             .add_group(SHARD_GROUP, nodes)
-            .spawn();
+            .spawn()
+            .expect("spawn worker pool");
         ShardedWorld {
-            net,
-            parties: names.iter().map(|n| PartyId::new(*n)).collect(),
+            net: ShardFabric::Inproc(net),
+            parties,
+            stores,
+            ring,
+        }
+    }
+
+    /// [`ShardedWorld::new_tcp`] with caller-supplied telemetry.
+    pub fn with_telemetry_tcp(
+        names: &[&str],
+        seed: u64,
+        telemetry: Vec<Telemetry>,
+    ) -> ShardedWorld {
+        let (nodes, parties, stores, ring) = sharded_nodes(names, seed, telemetry);
+        let net = ShardedTcpNet::spawn_loopback_with(
+            vec![(SHARD_GROUP, nodes)],
+            ShardedTcpConfig::new().shards(2),
+        )
+        .expect("spawn TCP worker pool");
+        ShardedWorld {
+            net: ShardFabric::Tcp(net),
+            parties,
             stores,
             ring,
         }
@@ -419,6 +531,22 @@ impl ShardedWorld {
                 "sponsor {sp} still busy after admitting {joiner}"
             );
             sponsor = PartyId::new(*joiner);
+        }
+        // A join round touches every existing member, not just the
+        // sponsor — the owner can still be installing the final
+        // membership change when the last welcome lands. Drain every
+        // member so the caller's first proposal starts from an idle
+        // group.
+        let a = ObjectId::new(alias);
+        for p in &self.parties {
+            let h = self.net.handle(SHARD_GROUP, p);
+            if !h.read(|c| c.is_member(&a)) {
+                continue;
+            }
+            assert!(
+                h.wait_until(TCP_STEP, |c| !c.is_busy(&a)),
+                "{p} still busy on {a:?} after the join chain settled"
+            );
         }
     }
 

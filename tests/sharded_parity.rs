@@ -150,6 +150,15 @@ fn sharded_run() -> RunArtifacts {
     out
 }
 
+fn sharded_tcp_run() -> RunArtifacts {
+    let (recorder, telemetry) = recorded_telemetry(2);
+    let mut world = ShardedWorld::with_telemetry_tcp(&["cross", "nought"], 100, telemetry.clone());
+    play_figure5!(world);
+    let out = collect!(world, recorder, telemetry);
+    world.net.shutdown();
+    out
+}
+
 fn assert_parity(reference: &RunArtifacts, sharded: &RunArtifacts, fabric: &str) {
     for (party, projection) in &reference.evidence {
         assert_eq!(
@@ -200,6 +209,24 @@ fn single_group_sharded_run_matches_tcp_evidence_and_traces() {
     assert_parity(&tcp, &sharded, "TCP");
 }
 
+#[test]
+fn single_group_sharded_tcp_run_matches_sim_evidence_and_traces() {
+    // The multiplexed-socket fabric must be just as invisible to the
+    // protocol as the in-process one: identical evidence bytes, DAGs
+    // and counters against the virtual-time reference.
+    let sim = sim_run();
+    let mux = sharded_tcp_run();
+    assert_eq!(mux.dags.len(), 5, "one membership and four state traces");
+    assert_parity(&sim, &mux, "sim-vs-sharded-TCP");
+}
+
+#[test]
+fn sharded_tcp_and_sharded_inproc_runs_are_indistinguishable() {
+    let inproc = sharded_run();
+    let mux = sharded_tcp_run();
+    assert_parity(&inproc, &mux, "sharded-inproc-vs-sharded-TCP");
+}
+
 fn cell_factory() -> Box<dyn b2bobjects::core::B2BObject> {
     Box::new(SharedCell::new(0u64))
 }
@@ -248,6 +275,43 @@ fn sharded_member_crashing_mid_round_recovers_and_round_completes() {
             "{who} must see the round install, got {o:?}"
         );
         assert_eq!(world.state(who, "cell"), enc(7), "{who} converged");
+    }
+    world.net.shutdown();
+}
+
+#[test]
+fn killing_the_multiplexed_socket_mid_round_recovers_and_round_completes() {
+    // The one socket pair between a and b carries *every* group the two
+    // parties share. Killing it mid-round drops whatever frames were in
+    // flight; the reliable layer's retransmission must ride the
+    // reconnect and complete the round with nothing lost at the
+    // protocol layer.
+    let world = {
+        let mut w = ShardedWorld::new_tcp(&["a", "b", "c"], 42);
+        w.share("cell", "a", &["b", "c"], cell_factory);
+        w
+    };
+    let a = PartyId::new("a");
+    let b = PartyId::new("b");
+    let run = world.propose_async("a", "cell", enc(9));
+    // Cut the a<->b socket pair immediately, while the round's frames
+    // are (with high probability) still crossing it.
+    world.net.kill_connection(&a, &b);
+    for who in ["a", "b", "c"] {
+        let r = run.clone();
+        assert!(
+            world
+                .handle(who)
+                .wait_until(TCP_STEP, move |n| n.outcome_of(&r).is_some()),
+            "{who} never learned the outcome after the socket was killed"
+        );
+        let r = run.clone();
+        let o = world.handle(who).read(move |n| n.outcome_of(&r).cloned());
+        assert!(
+            o.as_ref().unwrap().is_installed(),
+            "{who} must see the round install, got {o:?}"
+        );
+        assert_eq!(world.state(who, "cell"), enc(9), "{who} converged");
     }
     world.net.shutdown();
 }
