@@ -27,7 +27,7 @@ pub mod ttp;
 pub mod whiteboard;
 
 pub use auction::{Auction, AuctionObject, Bid};
-pub use order::{Order, OrderLine, OrderObject, OrderRoles};
+pub use order::{Order, OrderLine, OrderObject, OrderRoles, OrderUpdate};
 pub use oss::{FaultTicket, OssObject, ServiceConfig};
 pub use tictactoe::{Board, GameObject, Mark, MoveError, Players};
 pub use ttp::{lenient_game_object, BridgeAgent};

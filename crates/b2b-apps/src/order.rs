@@ -128,6 +128,82 @@ impl fmt::Display for Order {
     }
 }
 
+/// An update-style delta (§4.3.1) on an order: one role action, applied
+/// to whatever state the group currently agrees on at validation time —
+/// so concurrent deltas from different organisations *compose* (and can
+/// coalesce into one batched round) instead of overwriting each other,
+/// as a whole-state proposal would.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderUpdate {
+    /// Add `item`, or set its quantity (a customer action).
+    SetQuantity {
+        /// The item ordered.
+        item: String,
+        /// The new quantity.
+        qty: u32,
+    },
+    /// Price `item` (a supplier action).
+    SetPrice {
+        /// The item priced.
+        item: String,
+        /// The unit price.
+        unit_price: u32,
+    },
+    /// Approve `item` (an approver action, four-party variant).
+    Approve {
+        /// The item approved.
+        item: String,
+    },
+    /// Commit delivery terms (a dispatcher action, four-party variant).
+    SetDeliveryTerms {
+        /// The committed terms.
+        terms: String,
+    },
+}
+
+impl OrderUpdate {
+    /// Serialises the delta (JSON) for coordination.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("order update serialises")
+    }
+
+    /// Parses a delta from update bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<OrderUpdate> {
+        serde_json::from_slice(bytes).ok()
+    }
+
+    /// Applies the delta to `order`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic when the delta no longer applies (e.g.
+    /// pricing an item that was never ordered).
+    pub fn apply(&self, order: &mut Order) -> Result<(), String> {
+        match self {
+            OrderUpdate::SetQuantity { item, qty } => {
+                order.set_quantity(item, *qty);
+                Ok(())
+            }
+            OrderUpdate::SetPrice { item, unit_price } => {
+                if !order.set_price(item, *unit_price) {
+                    return Err(format!("no line for item {item}"));
+                }
+                Ok(())
+            }
+            OrderUpdate::Approve { item } => {
+                if !order.approve(item) {
+                    return Err(format!("no line for item {item}"));
+                }
+                Ok(())
+            }
+            OrderUpdate::SetDeliveryTerms { terms } => {
+                order.delivery_terms = Some(terms.clone());
+                Ok(())
+            }
+        }
+    }
+}
+
 /// The party-to-role assignment for an order.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OrderRoles {
@@ -302,6 +378,25 @@ impl B2BObject for OrderObject {
             Some(reason) => Decision::reject(reason),
         }
     }
+
+    fn apply_update(&self, current: &[u8], update: &[u8]) -> Result<Vec<u8>, String> {
+        // Updates arrive either as an [`OrderUpdate`] delta — replayed
+        // against whatever state the group agrees on when the round
+        // runs, so concurrent compatible actions compose — or as a
+        // whole-state `Order` (the scoped enter/update/leave path),
+        // which keeps last-writer-proposes semantics and lets the
+        // validators veto stale snapshots.
+        if let Some(delta) = OrderUpdate::from_bytes(update) {
+            let mut order =
+                Order::from_bytes(current).ok_or_else(|| "undecodable order state".to_string())?;
+            delta.apply(&mut order)?;
+            return Ok(order.to_bytes());
+        }
+        if Order::from_bytes(update).is_some() {
+            return Ok(update.to_vec());
+        }
+        Err("undecodable order update".to_string())
+    }
 }
 
 #[cfg(test)]
@@ -461,5 +556,59 @@ mod tests {
         o.set_price("a", 2);
         assert_eq!(Order::from_bytes(&o.to_bytes()).unwrap(), o);
         assert!(Order::from_bytes(b"junk").is_none());
+    }
+
+    #[test]
+    fn update_bytes_roundtrip_and_disambiguation() {
+        let u = OrderUpdate::SetPrice { item: "a".into(), unit_price: 7 };
+        assert_eq!(OrderUpdate::from_bytes(&u.to_bytes()).unwrap(), u);
+        // A delta never parses as a whole order, and vice versa — the
+        // two update encodings stay unambiguous on the wire.
+        assert!(Order::from_bytes(&u.to_bytes()).is_none());
+        assert!(OrderUpdate::from_bytes(&Order::new().to_bytes()).is_none());
+    }
+
+    #[test]
+    fn delta_updates_compose_against_the_live_state() {
+        // Two concurrent deltas derived from the same base state chain
+        // cleanly through apply_update: the second applies on top of the
+        // first's result instead of overwriting it.
+        let obj = two_party_object();
+        let base = Order::new().to_bytes();
+        let add_a = OrderUpdate::SetQuantity { item: "a".into(), qty: 2 };
+        let add_b = OrderUpdate::SetQuantity { item: "b".into(), qty: 3 };
+        let after_a = obj.apply_update(&base, &add_a.to_bytes()).unwrap();
+        let after_ab = obj.apply_update(&after_a, &add_b.to_bytes()).unwrap();
+        let order = Order::from_bytes(&after_ab).unwrap();
+        assert_eq!(order.lines.len(), 2);
+        // And the chained transition still passes role validation.
+        assert!(obj
+            .validate_update(&customer(), &after_a, &add_b.to_bytes())
+            .is_accept());
+    }
+
+    #[test]
+    fn delta_updates_surface_inapplicability() {
+        let obj = two_party_object();
+        let base = Order::new().to_bytes();
+        let price = OrderUpdate::SetPrice { item: "ghost".into(), unit_price: 1 };
+        let err = obj.apply_update(&base, &price.to_bytes()).unwrap_err();
+        assert!(err.contains("no line for item"), "{err}");
+        assert!(obj.apply_update(&base, b"junk").is_err());
+        // Whole-state updates still pass through untouched.
+        let mut o = Order::new();
+        o.set_quantity("w", 1);
+        assert_eq!(obj.apply_update(&base, &o.to_bytes()).unwrap(), o.to_bytes());
+    }
+
+    #[test]
+    fn delta_updates_still_veto_role_violations() {
+        // A supplier delta that *applies* cleanly can still be vetoed by
+        // role validation: only the customer adds lines.
+        let obj = two_party_object();
+        let base = Order::new().to_bytes();
+        let add = OrderUpdate::SetQuantity { item: "w".into(), qty: 1 };
+        let d = obj.validate_update(&supplier(), &base, &add.to_bytes());
+        assert!(!d.is_accept());
     }
 }

@@ -18,6 +18,12 @@
 //!   16…10k coordination groups multiplexed over a fixed worker pool
 //!   (`b2b-net::shard`), aggregate pipelined-update throughput per group
 //!   count × batch k, recorded in the repo-root `BENCH_shard.json`.
+//! * `exp -- eserve [--clients N] [--orders M] [--ops K]` — the E-SERVE
+//!   closed-loop sweep against the `b2b-server` HTTP/JSON order service:
+//!   N client threads over M orders in each of the three §3.3 modes,
+//!   throughput and p50/p95/p99 per-request latency per mode, gated ≥ 1×
+//!   the E-SHARD tcp per-group update rate at the same group count,
+//!   recorded in the repo-root `BENCH_serve.json`.
 //!
 //! Besides its markdown table, every experiment merges the fleet-wide
 //! metrics registries of all the fleets it ran and writes the result as
@@ -52,6 +58,11 @@ fn main() {
         let (metrics, fabric) = eshard_sharded_fleet(std::env::args().skip(2).collect());
         let label = format!("sharded-{}", fabric.label());
         write_sidecar("eshard", &label, ESHARD_SEED, &metrics);
+        return;
+    }
+    if which == "eserve" {
+        let metrics = eserve_http_service(std::env::args().skip(2).collect());
+        write_sidecar("eserve", "http+inproc", ESERVE_SEED, &metrics);
         return;
     }
     let known = [
@@ -1942,6 +1953,543 @@ fn eshard_sharded_fleet(args: Vec<String>) -> (MetricsSnapshot, b2b_bench::shard
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(2);
+}
+
+// ---------------------------------------------------------------------
+// E-SERVE — closed-loop HTTP load against the b2b-server order service
+// ---------------------------------------------------------------------
+
+/// Base seed recorded in the E-SERVE sidecar provenance header.
+const ESERVE_SEED: u64 = 12;
+/// In-flight window per client in the deferred/async modes: how many
+/// submitted-but-unresolved tickets one client keeps open. One bulk
+/// request carries the whole window; the coordinator drains it as a
+/// back-to-back pipeline of `batch_max` rounds. Sync is always 1 (the
+/// request blocks for the round).
+const ESERVE_WINDOW: usize = 64;
+
+/// One measured mode of the E-SERVE sweep.
+struct ServeSample {
+    mode: &'static str,
+    ops: u64,
+    wall: Duration,
+    retries_429: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+impl ServeSample {
+    fn updates_per_sec(&self) -> f64 {
+        self.ops as f64 / self.wall.as_secs_f64()
+    }
+    fn per_group(&self, groups: usize) -> f64 {
+        self.updates_per_sec() / groups as f64
+    }
+}
+
+/// Pulls the integer array `"key":[n,n,…]` out of a JSON body.
+fn eserve_int_array(body: &str, key: &str) -> Vec<u64> {
+    let tag = format!("\"{key}\":[");
+    let Some(at) = body.find(&tag) else {
+        return Vec::new();
+    };
+    let rest = &body[at + tag.len()..];
+    let Some(end) = rest.find(']') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+/// Runs one mode of the closed-loop sweep: every client thread owns a
+/// disjoint slice of the orders (client c drives orders c, c+N, …) and
+/// performs `ops` customer line updates against them — one in flight in
+/// sync mode, a sliding window of [`ESERVE_WINDOW`] tickets in the
+/// deferred/async modes (that is what those modes are *for*: §3.3 hides
+/// round latency behind the application's own progress, and the
+/// coordinator coalesces the window into batched rounds). Every op must
+/// end `installed`; a veto or a lost ticket fails the run. Per-op
+/// latency (submit → observed terminal status) is collected as exact
+/// microsecond samples for the BENCH percentiles, and mirrored in
+/// milliseconds into the mode's `serve_latency_ms_*` histogram of the
+/// server's own registry (the 1-2-5 bucket ladder is ms-grained — raw
+/// microseconds would all land in the overflow bucket).
+fn eserve_run_mode(
+    addr: std::net::SocketAddr,
+    telemetry: &Telemetry,
+    mode: &'static str,
+    hist: &'static str,
+    clients: usize,
+    orders: usize,
+    ops: u64,
+    salt: u64,
+) -> (Duration, u64, Vec<u64>) {
+    use b2b_net::HttpClient;
+    let t = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|cidx| {
+            let telemetry = telemetry.clone();
+            std::thread::spawn(move || {
+                let mut http = HttpClient::connect(addr).expect("E-SERVE: connect");
+                let owned: Vec<usize> = (cidx..orders).step_by(clients).collect();
+                assert!(!owned.is_empty(), "more clients than orders");
+                let mut retries = 0u64;
+                let mut samples: Vec<u64> = Vec::with_capacity(ops as usize);
+                // Long-poll a whole window to terminal in one request:
+                // the server parks the request on the groups' condvars
+                // until every ticket resolves, so draining costs one
+                // round-trip per window, not per op.
+                let drain = |http: &mut HttpClient, tickets: &[u64]| {
+                    let ids = tickets
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    loop {
+                        let (status, body) = http
+                            .get(&format!("/tickets?ids={ids}&wait_ms=5000"))
+                            .expect("E-SERVE: poll");
+                        assert_eq!(status, 200, "{body}");
+                        if body.matches("\"status\":\"installed\"").count() == tickets.len() {
+                            return;
+                        }
+                        assert!(
+                            !body.contains("invalidated") && !body.contains("aborted"),
+                            "E-SERVE must be lossless, window ended: {body}"
+                        );
+                    }
+                };
+                // All of an order's ops go out back-to-back: in the
+                // deferred/async modes a whole window travels in one
+                // bulk request and coalesces into batched signed rounds
+                // (§3.3 — the round latency hides behind the client's
+                // own progress), while sync pays one blocking round per
+                // op by definition.
+                let per_order = (ops as usize).div_ceil(owned.len());
+                for (oidx, &g) in owned.iter().enumerate() {
+                    let todo =
+                        (ops as usize).min((oidx + 1) * per_order) - oidx * per_order;
+                    let mut done = 0usize;
+                    while done < todo {
+                        if mode == "sync" {
+                            let path = format!("/orders/{g}/lines?mode=sync");
+                            let body = format!(
+                                "{{\"item\":\"c{cidx}i{}\",\"qty\":{}}}",
+                                done % 4,
+                                salt + done as u64 + 1
+                            );
+                            let t0 = Instant::now();
+                            loop {
+                                let (status, rbody) =
+                                    http.post(&path, &body).expect("E-SERVE: post");
+                                match status {
+                                    200 => break,
+                                    429 => {
+                                        retries += 1;
+                                        std::thread::sleep(Duration::from_millis(1));
+                                    }
+                                    other => {
+                                        panic!("E-SERVE: unexpected status {other}: {rbody}")
+                                    }
+                                }
+                            }
+                            let us = (t0.elapsed().as_micros() as u64).max(1);
+                            samples.push(us);
+                            telemetry.observe_ms(hist, (us / 1000).max(1));
+                            done += 1;
+                            continue;
+                        }
+                        let n = (todo - done).min(ESERVE_WINDOW);
+                        let elems: Vec<String> = (0..n)
+                            .map(|i| {
+                                format!(
+                                    "{{\"op\":\"line\",\"item\":\"c{cidx}i{}\",\"qty\":{}}}",
+                                    (done + i) % 4,
+                                    salt + (done + i) as u64 + 1
+                                )
+                            })
+                            .collect();
+                        let body = format!("{{\"ops\":[{}]}}", elems.join(","));
+                        let path = format!("/orders/{g}/bulk?mode={mode}");
+                        let t0 = Instant::now();
+                        let tickets = loop {
+                            let (status, rbody) = http.post(&path, &body).expect("E-SERVE: post");
+                            match status {
+                                202 => break eserve_int_array(&rbody, "tickets"),
+                                429 => {
+                                    retries += 1;
+                                    std::thread::sleep(Duration::from_millis(1));
+                                }
+                                other => panic!("E-SERVE: unexpected status {other}: {rbody}"),
+                            }
+                        };
+                        assert!(!tickets.is_empty(), "202 with no tickets");
+                        // A partially accepted batch (backpressure) just
+                        // shrinks this window; the remainder goes out in
+                        // the next one.
+                        drain(&mut http, &tickets);
+                        let us = (t0.elapsed().as_micros() as u64).max(1);
+                        for _ in &tickets {
+                            samples.push(us);
+                            telemetry.observe_ms(hist, (us / 1000).max(1));
+                        }
+                        done += tickets.len();
+                    }
+                }
+                (retries, samples)
+            })
+        })
+        .collect();
+    let mut retries = 0u64;
+    let mut samples: Vec<u64> = Vec::new();
+    for h in handles {
+        let (r, s) = h.join().expect("E-SERVE client thread");
+        retries += r;
+        samples.extend(s);
+    }
+    (t.elapsed(), retries, samples)
+}
+
+/// Nearest-rank percentile over exact samples; `samples` is sorted by
+/// the caller.
+fn eserve_pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// E-SERVE — the order service under closed-loop HTTP load: N client
+/// threads × M orders × the three §3.3 modes. Every order is one
+/// coordination group on the sharded runtime; every op is a signed
+/// two-party round reached through `POST /orders/:id/lines`. The sweep
+/// must be lossless (every op installs, replicas converge, the evidence
+/// audit stays clean) and the gate requires the best mode to sustain at
+/// least 1× the E-SHARD **tcp** per-group update rate at the same group
+/// count — the HTTP face on the in-process fabric must not fall below
+/// what the raw sharded runtime delivers per group across a socket. A
+/// miss is re-measured once; `ESERVE_NO_GATE` records it without
+/// failing.
+fn eserve_http_service(args: Vec<String>) -> MetricsSnapshot {
+    use b2b_net::HttpClient;
+    use b2b_server::{OrderServer, OrderServerOptions};
+    let mut clients = 64usize;
+    let mut orders = 256usize;
+    let mut ops: u64 = 256;
+    let mut shards: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--clients" => {
+                clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--clients needs a positive integer"));
+            }
+            "--orders" => {
+                orders = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--orders needs a positive integer"));
+            }
+            "--ops" => {
+                ops = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--ops needs a positive integer"));
+            }
+            "--shards" => {
+                shards = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--shards needs a positive integer")),
+                );
+            }
+            other => die(&format!("unknown eserve flag '{other}'")),
+        }
+    }
+    assert!(clients <= orders, "each client needs at least one order");
+
+    println!(
+        "## E-SERVE — HTTP/JSON order service under closed-loop load \
+         ({clients} clients, {orders} orders, 2-party, ed25519)\n"
+    );
+    let telemetry = Telemetry::new();
+    let setup_start = Instant::now();
+    let server = OrderServer::start(OrderServerOptions {
+        orders,
+        parties: 2,
+        shards,
+        // Batch a whole client window into one signed round: the bulk
+        // endpoint enqueues the window before dispatching, so no linger
+        // is needed (and sync ops stay un-lingered).
+        config: CoordinatorConfig::default().batch_max(ESERVE_WINDOW),
+        // One worker per load connection plus headroom for the
+        // provisioning/scrape connection — a keep-alive connection pins
+        // its worker for its whole lifetime.
+        http_workers: clients + 8,
+        telemetry: telemetry.clone(),
+        verify_pool: Some(std::sync::Arc::new(
+            b2b_crypto::VerifyPool::with_default_parallelism(),
+        )),
+        sync_timeout: Duration::from_secs(60),
+        ..OrderServerOptions::default()
+    })
+    .expect("E-SERVE: server boots");
+    let addr = server.addr();
+    let mut http = HttpClient::connect(addr).expect("E-SERVE: connect");
+    for _ in 0..orders {
+        let (status, body) = http.post("/orders", "").expect("E-SERVE: create order");
+        assert_eq!(status, 201, "{body}");
+    }
+    let setup = setup_start.elapsed();
+    println!(
+        "setup: {} orders provisioned (group + membership rounds) in {:.0} ms\n",
+        orders,
+        setup.as_secs_f64() * 1e3
+    );
+
+    println!("| mode | ops | wall ms | agg updates/s | per-group u/s | p50 µs | p95 µs | p99 µs | 429 retries |");
+    println!("|------|----:|--------:|--------------:|--------------:|-------:|-------:|-------:|------------:|");
+    const MODES: [(&str, &str); 3] = [
+        ("sync", names::SERVE_LATENCY_MS_SYNC),
+        ("deferred", names::SERVE_LATENCY_MS_DEFERRED),
+        ("async", names::SERVE_LATENCY_MS_ASYNC),
+    ];
+    let total_ops = clients as u64 * ops;
+    let run_salt = std::sync::atomic::AtomicU64::new(0);
+    let run_one = |mode: &'static str, hist: &'static str| -> ServeSample {
+        // Distinct quantity range per run: a re-run proposing the exact
+        // agreed state would (correctly) draw §4.4 null-transition
+        // vetoes.
+        let salt = run_salt.fetch_add(1, std::sync::atomic::Ordering::SeqCst) * 1_000_000;
+        let (wall, retries_429, mut samples) =
+            eserve_run_mode(addr, &telemetry, mode, hist, clients, orders, ops, salt);
+        assert!(
+            server.wait_converged(Duration::from_secs(120)),
+            "E-SERVE {mode}: replicas did not converge"
+        );
+        samples.sort_unstable();
+        let (p50_us, p95_us, p99_us) = (
+            eserve_pct(&samples, 50.0),
+            eserve_pct(&samples, 95.0),
+            eserve_pct(&samples, 99.0),
+        );
+        ServeSample {
+            mode,
+            ops: total_ops,
+            wall,
+            retries_429,
+            p50_us,
+            p95_us,
+            p99_us,
+        }
+    };
+    let mut rows: Vec<ServeSample> = Vec::new();
+    for (mode, hist) in MODES {
+        let row = run_one(mode, hist);
+        println!(
+            "| {} | {} | {:.0} | {:.1} | {:.2} | {} | {} | {} | {} |",
+            row.mode,
+            row.ops,
+            row.wall.as_secs_f64() * 1e3,
+            row.updates_per_sec(),
+            row.per_group(orders),
+            row.p50_us,
+            row.p95_us,
+            row.p99_us,
+            row.retries_429,
+        );
+        rows.push(row);
+    }
+
+    // Liveness of the observability face: /metrics answers from the same
+    // process and already carries the serve counters. Fresh connection —
+    // the provisioning one idled through three mode runs.
+    let mut http = HttpClient::connect(addr).expect("E-SERVE: reconnect");
+    let (status, body) = http.get("/metrics").expect("E-SERVE: scrape /metrics");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(names::SERVE_REQUESTS),
+        "live /metrics must expose the serve counters"
+    );
+
+    // The gate anchor: the raw sharded runtime over the multiplexed TCP
+    // fabric at the SAME group count, k = 16 batched — E-SHARD's tcp
+    // operating point per group.
+    let (anchor, _) = eshard_cell(
+        orders,
+        16,
+        shards,
+        b2b_bench::sharded::WorldFabric::Tcp,
+        &MetricsSnapshot::default(),
+    );
+    let anchor_per_group = anchor.updates_per_sec() / orders as f64;
+    println!(
+        "\nanchor: E-SHARD tcp {orders}-group k=16 — {:.1} u/s aggregate, {:.2} u/s per group",
+        anchor.updates_per_sec(),
+        anchor_per_group,
+    );
+    let best = |rows: &[ServeSample]| -> (usize, f64) {
+        rows.iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.per_group(orders)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one mode")
+    };
+    let (mut best_i, mut best_rate) = best(&rows);
+    let mut gate_attempts = 1u32;
+    let mut factor = best_rate / anchor_per_group;
+    if factor < 1.0 {
+        // One re-measure of the best mode before concluding a miss: the
+        // first run also paid cache warmup and allocator churn.
+        gate_attempts += 1;
+        let (mode, hist) = MODES[best_i];
+        eprintln!("E-SERVE gate miss ({factor:.2}x) — re-measuring {mode} once");
+        let row = run_one(mode, hist);
+        println!(
+            "| {} (re-measure) | {} | {:.0} | {:.1} | {:.2} | {} | {} | {} | {} |",
+            row.mode,
+            row.ops,
+            row.wall.as_secs_f64() * 1e3,
+            row.updates_per_sec(),
+            row.per_group(orders),
+            row.p50_us,
+            row.p95_us,
+            row.p99_us,
+            row.retries_429,
+        );
+        rows.push(row);
+        let (i, rate) = best(&rows);
+        best_i = i;
+        best_rate = rate;
+        factor = best_rate / anchor_per_group;
+    }
+    let gate_ok = factor >= 1.0;
+    println!(
+        "\nE-SERVE gate: best mode '{}' {:.2} u/s per group vs anchor {:.2} — {:.2}x, need 1x ({})",
+        rows[best_i].mode,
+        best_rate,
+        anchor_per_group,
+        factor,
+        if gate_ok { "pass" } else { "FAIL" },
+    );
+
+    // Non-repudiation after the whole sweep: every store audits clean.
+    let (clean, records) = server.audit();
+    assert!(clean, "E-SERVE: evidence audit must be clean");
+    let vetoed = telemetry.metrics().snapshot().counter(names::SERVE_VETOED);
+    assert_eq!(vetoed, 0, "E-SERVE must be lossless: {vetoed} ops vetoed");
+    let metrics = telemetry.metrics().snapshot();
+    server.shutdown();
+
+    write_bench_serve(
+        clients, orders, ops, shards, &rows, &anchor, anchor_per_group, factor, gate_attempts,
+        gate_ok, records,
+    );
+    if !gate_ok {
+        eprintln!("E-SERVE FAIL: best mode below 1x the E-SHARD tcp per-group rate");
+        if std::env::var_os("ESERVE_NO_GATE").is_none() {
+            std::process::exit(1);
+        }
+        eprintln!("(ESERVE_NO_GATE set: recording the miss without failing)");
+    }
+    metrics
+}
+
+/// Writes the repo-root `BENCH_serve.json` trajectory file for the
+/// E-SERVE sweep (hand-formatted: the vendored serde_json has no
+/// `Value`).
+#[allow(clippy::too_many_arguments)]
+fn write_bench_serve(
+    clients: usize,
+    orders: usize,
+    ops: u64,
+    shards: Option<usize>,
+    rows: &[ServeSample],
+    anchor: &ShardSample,
+    anchor_per_group: f64,
+    factor: f64,
+    gate_attempts: u32,
+    gate_ok: bool,
+    evidence_records: usize,
+) {
+    let mode_entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{ \"mode\": \"{}\", \"ops\": {}, \"wall_ms\": {:.3}, ",
+                    "\"updates_per_sec\": {:.2}, \"per_group_updates_per_sec\": {:.3}, ",
+                    "\"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"retries_429\": {} }}"
+                ),
+                r.mode,
+                r.ops,
+                r.wall.as_secs_f64() * 1e3,
+                r.updates_per_sec(),
+                r.per_group(orders),
+                r.p50_us,
+                r.p95_us,
+                r.p99_us,
+                r.retries_429,
+            )
+        })
+        .collect();
+    let body = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"eserve\",\n",
+            "  \"commit\": {},\n",
+            "  \"fabric\": \"http+inproc\",\n",
+            "  \"workload\": {{\n",
+            "    \"clients\": {},\n",
+            "    \"orders\": {},\n",
+            "    \"ops_per_client\": {},\n",
+            "    \"parties\": 2,\n",
+            "    \"window\": {},\n",
+            "    \"shards\": {},\n",
+            "    \"crypto\": \"ed25519, shared ring, shared verify pool\"\n",
+            "  }},\n",
+            "  \"modes\": [\n",
+            "{}\n",
+            "  ],\n",
+            "  \"anchor\": {{\n",
+            "    \"source\": \"eshard tcp k=16\",\n",
+            "    \"groups\": {},\n",
+            "    \"updates_per_sec\": {:.2},\n",
+            "    \"per_group_updates_per_sec\": {:.3}\n",
+            "  }},\n",
+            "  \"gate\": {{ \"threshold\": 1.0, \"factor\": {:.3}, \"attempts\": {}, \"pass\": {} }},\n",
+            "  \"lossless\": true,\n",
+            "  \"audit_clean\": true,\n",
+            "  \"evidence_records\": {}\n",
+            "}}\n"
+        ),
+        json_str(&git_sha()),
+        clients,
+        orders,
+        ops,
+        ESERVE_WINDOW,
+        shards
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "null".into()),
+        mode_entries.join(",\n"),
+        anchor.groups,
+        anchor.updates_per_sec(),
+        anchor_per_group,
+        factor,
+        gate_attempts,
+        gate_ok,
+        evidence_records,
+    );
+    match std::fs::write("BENCH_serve.json", body) {
+        Ok(()) => println!("\ntrajectory file: BENCH_serve.json"),
+        Err(e) => eprintln!("cannot write BENCH_serve.json: {e}"),
+    }
 }
 
 /// Writes the repo-root `BENCH_shard.json` trajectory file for the

@@ -23,12 +23,12 @@
 //! [`CoordAccess`] abstraction: [`b2b_net::NodeHandle`] for the threaded
 //! transport and [`SimAccess`] for the deterministic simulator.
 
-use crate::coordinator::{ConnectStatus, Coordinator, ObjectFactory, TicketId};
+use crate::coordinator::{ConnectStatus, Coordinator, ObjectFactory, TicketId, TicketState};
 use crate::decision::Outcome;
 use crate::error::CoordError;
-use crate::ids::{ObjectId, RunId};
+use crate::ids::{ObjectId, RunId, StateId};
 use b2b_crypto::PartyId;
-use b2b_net::{NodeCtx, NodeHandle, SimNet};
+use b2b_net::{GroupHandle, NodeCtx, NodeHandle, SimNet};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
@@ -45,6 +45,20 @@ pub trait CoordAccess {
 }
 
 impl CoordAccess for NodeHandle<Coordinator> {
+    fn with<R>(&self, f: impl FnOnce(&mut Coordinator, &mut NodeCtx) -> R) -> R {
+        self.invoke(f)
+    }
+
+    fn wait(&self, timeout: Duration, mut pred: impl FnMut(&Coordinator) -> bool) -> bool {
+        self.wait_until(timeout, |c| pred(c))
+    }
+}
+
+/// [`CoordAccess`] over one group of the sharded multi-group runtime:
+/// the same controller API drives any of the thousands of coordination
+/// groups multiplexed onto a fixed worker pool (the `b2b-server` order
+/// service runs one controller per HTTP scope session this way).
+impl CoordAccess for GroupHandle<Coordinator> {
     fn with<R>(&self, f: impl FnOnce(&mut Coordinator, &mut NodeCtx) -> R) -> R {
         self.invoke(f)
     }
@@ -134,6 +148,53 @@ pub enum Mode {
 pub struct CoordTicket {
     /// The coordinator ticket the handle waits on.
     pub ticket: TicketId,
+}
+
+/// The observable lifecycle of a ticket, as reported by
+/// [`Controller::poll_status`].
+///
+/// Unlike draining the `coordCallback` event stream (which consumes each
+/// completion exactly once), polling a status is **idempotent**: a
+/// completed ticket keeps answering with the same terminal status — veto
+/// reasons included — for as long as the coordinator retains the outcome.
+/// This is what a poll endpoint (the order server's `/tickets/:id`) needs:
+/// clients retry, proxies duplicate, and every read must see the same
+/// answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TicketStatus {
+    /// No such ticket was ever issued by this coordinator.
+    Unknown,
+    /// Still in flight: waiting in the pending queue (`run: None`) or
+    /// riding in a dispatched round (`run: Some(..)`).
+    Pending {
+        /// The run carrying the update, once dispatched.
+        run: Option<RunId>,
+    },
+    /// The update was validated and installed as the new agreed state.
+    Installed {
+        /// Identifier of the installed state.
+        state: StateId,
+    },
+    /// The proposal was vetoed; each vetoer states its reason (§4.3).
+    Invalidated {
+        /// `(party, reason)` for every vetoing member.
+        vetoers: Vec<(PartyId, String)>,
+    },
+    /// Never dispatched (e.g. the update stopped being applicable to the
+    /// state the group agreed in the meantime) or aborted by recovery.
+    Aborted {
+        /// Why the update never took effect.
+        reason: String,
+    },
+}
+
+impl TicketStatus {
+    /// Whether the ticket has reached a terminal state (installed,
+    /// invalidated or aborted).
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, TicketStatus::Pending { .. })
+            && !matches!(self, TicketStatus::Unknown)
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -487,6 +548,52 @@ impl<A: CoordAccess> Controller<A> {
     pub fn poll(&self, ticket: CoordTicket) -> Option<Outcome> {
         let id = ticket.ticket;
         self.access.with(move |c, _| c.outcome_of_ticket(&id))
+    }
+
+    /// Non-blocking, **idempotent** status poll for a ticket.
+    ///
+    /// Where [`Controller::poll`] cannot distinguish "unknown ticket"
+    /// from "still queued" from "dispatched but undecided" (all `None`),
+    /// this reports the full lifecycle, and a terminal status keeps
+    /// being returned on every subsequent poll — with the veto reasons
+    /// that previously surfaced only in the evidence log or the
+    /// once-only event stream.
+    pub fn poll_status(&self, ticket: CoordTicket) -> TicketStatus {
+        let id = ticket.ticket;
+        self.access.with(move |c, _| match c.ticket_state(&id) {
+            None => TicketStatus::Unknown,
+            Some(TicketState::Queued) => TicketStatus::Pending { run: None },
+            Some(TicketState::Failed(_)) | Some(TicketState::Run(_)) => {
+                match c.outcome_of_ticket(&id) {
+                    None => TicketStatus::Pending {
+                        run: c.run_of_ticket(&id),
+                    },
+                    Some(Outcome::Installed { state }) => TicketStatus::Installed { state },
+                    Some(Outcome::Invalidated { vetoers }) => {
+                        TicketStatus::Invalidated { vetoers }
+                    }
+                    Some(Outcome::Aborted { reason }) => TicketStatus::Aborted { reason },
+                }
+            }
+        })
+    }
+
+    /// Blocks until the ticket reaches a terminal status or `timeout`
+    /// elapses, then reports it ([`Controller::poll_status`]
+    /// semantics). The long-poll primitive: waiting rides the group's
+    /// condvar instead of a busy re-poll loop, so a thousand pollers
+    /// cost nothing while rounds are in flight. A ticket that is
+    /// requeued by the contention-retry path stays non-terminal and
+    /// keeps the caller waiting.
+    pub fn wait_terminal(&self, ticket: CoordTicket, timeout: Duration) -> TicketStatus {
+        let id = ticket.ticket;
+        self.access.wait(timeout, move |c| match c.ticket_state(&id) {
+            None => true,
+            Some(TicketState::Queued) => false,
+            Some(TicketState::Failed(_)) => true,
+            Some(TicketState::Run(_)) => c.outcome_of_ticket(&id).is_some(),
+        });
+        self.poll_status(ticket)
     }
 
     /// The protocol run carrying the ticketed update, once dispatched

@@ -107,6 +107,26 @@ pub(crate) struct PendingUpdates {
     /// The armed batch-linger timer, if any (stale timer ids are ignored
     /// when they fire).
     pub(crate) linger_timer: Option<u64>,
+    /// The armed contention-retry holdoff timer, if any: while set, the
+    /// queue is not flushed — requeued updates wait out a short jittered
+    /// backoff so two colliding proposers desynchronise instead of
+    /// re-colliding in lockstep.
+    pub(crate) holdoff_timer: Option<u64>,
+}
+
+/// How many times one ticket's update is re-proposed after rounds lost
+/// purely to the group's concurrency control before the ticket fails.
+pub(crate) const MAX_TRANSIENT_RETRIES: u32 = 100;
+
+/// Whether a veto reason is the systematic concurrency-control rejection
+/// a recipient issues for a structurally honest proposal that merely
+/// lost a race — a peer was mid-round, or an install beat this proposal
+/// to the sequence number. These carry no application judgement, so the
+/// proposer retries them (§3.3) instead of surfacing a veto.
+pub(crate) fn is_transient_reject(reason: &str) -> bool {
+    reason == "concurrent coordination run active"
+        || reason == "predecessor is not the agreed state"
+        || reason == "sequence number is not agreed + 1"
 }
 
 #[derive(Serialize, Deserialize)]
@@ -150,6 +170,12 @@ pub struct Coordinator {
     pub(crate) next_ticket: u64,
     /// Armed batch-linger timers, timer id → object.
     pub(crate) linger_timers: HashMap<u64, ObjectId>,
+    /// Armed contention-retry holdoff timers, timer id → object.
+    pub(crate) holdoff_timers: HashMap<u64, ObjectId>,
+    /// How often each still-live ticket has been re-proposed after a round
+    /// lost to the group's concurrency control. Entries are dropped when
+    /// the ticket's run completes (or the ticket fails). Volatile.
+    pub(crate) transient_retry: HashMap<TicketId, u32>,
     /// Optional worker pool for cross-group parallel signature
     /// verification. When absent, batch verification runs inline on the
     /// coordinator's thread (deterministic — the simulator never sets it).
@@ -308,6 +334,8 @@ impl CoordinatorBuilder {
             tickets: HashMap::new(),
             next_ticket: 1,
             linger_timers: HashMap::new(),
+            holdoff_timers: HashMap::new(),
+            transient_retry: HashMap::new(),
             verify_pool: self.verify_pool,
             sig_cache,
             telemetry: self.telemetry,
@@ -1256,6 +1284,50 @@ impl Coordinator {
         Ok(ticket)
     }
 
+    /// Submits several updates in one call: every update is ticketed and
+    /// enqueued before the queue is pumped once, so the whole bulk rides
+    /// a single batched round (up to `batch_max`) instead of the first
+    /// update dispatching a round alone. Admission is all-or-nothing
+    /// against `pending_updates_max` — a bulk that does not fit answers
+    /// `Busy` without enqueueing anything.
+    pub fn submit_updates(
+        &mut self,
+        object: &ObjectId,
+        updates: Vec<Vec<u8>>,
+        ctx: &mut NodeCtx,
+    ) -> Result<Vec<TicketId>, CoordError> {
+        {
+            let rep = self
+                .replicas
+                .get(object)
+                .ok_or_else(|| CoordError::UnknownObject(object.clone()))?;
+            if rep.detached || !rep.is_member(&self.me) {
+                return Err(CoordError::NotMember {
+                    party: self.me.clone(),
+                    object: object.clone(),
+                });
+            }
+        }
+        let pending = self.pending_updates.entry(object.clone()).or_default();
+        if pending.queue.len() + updates.len() > self.config.pending_updates_max {
+            return Err(CoordError::Busy {
+                object: object.clone(),
+            });
+        }
+        let mut tickets = Vec::with_capacity(updates.len());
+        for update in updates {
+            let ticket = TicketId(self.next_ticket);
+            self.next_ticket += 1;
+            pending.queue.push((ticket, update));
+            tickets.push(ticket);
+        }
+        for &ticket in &tickets {
+            self.tickets.insert(ticket, TicketState::Queued);
+        }
+        self.maybe_dispatch(object, ctx);
+        Ok(tickets)
+    }
+
     /// Dispatches or schedules pending updates for `object`: flush now when
     /// the queue is full enough (or lingering is disabled), otherwise arm
     /// the linger timer and let a little more load coalesce.
@@ -1288,6 +1360,30 @@ impl Coordinator {
         }
     }
 
+    /// Arms a short, jittered contention holdoff on `object`'s pending
+    /// queue: requeued updates re-propose only after it fires, so two
+    /// proposers that just collided are unlikely to collide again in
+    /// lockstep (randomised backoff; the jitter comes from this party's
+    /// own seeded rng, keeping simulation runs deterministic).
+    pub(crate) fn arm_retry_holdoff(&mut self, object: &ObjectId, ctx: &mut NodeCtx) {
+        let already = self
+            .pending_updates
+            .get(object)
+            .map(|p| p.holdoff_timer.is_some())
+            .unwrap_or(false);
+        if already {
+            return;
+        }
+        let id = self.next_timer;
+        self.next_timer += 1;
+        self.holdoff_timers.insert(id, object.clone());
+        if let Some(p) = self.pending_updates.get_mut(object) {
+            p.holdoff_timer = Some(id);
+        }
+        let jitter_ms = 1 + (self.rng.nonce()[0] % 8) as u64;
+        ctx.set_timer(id, b2b_crypto::TimeMs(jitter_ms));
+    }
+
     /// Coalesces the pending updates of `object` into the next coordination
     /// round, if the object is idle: up to `batch_max` updates become one
     /// signed proposal (a singleton flush is byte-identical to a direct
@@ -1295,6 +1391,14 @@ impl Coordinator {
     /// apply to the evolved state fail their tickets without sinking the
     /// rest of the chunk.
     pub(crate) fn flush_pending_updates(&mut self, object: &ObjectId, ctx: &mut NodeCtx) {
+        if self
+            .pending_updates
+            .get(object)
+            .map(|p| p.holdoff_timer.is_some())
+            .unwrap_or(false)
+        {
+            return; // contention backoff armed: the holdoff timer flushes
+        }
         loop {
             let busy = self
                 .replicas
@@ -1476,6 +1580,30 @@ impl NetNode for Coordinator {
                 self.end_episode();
             }
         }
+        if let Some(object) = self.holdoff_timers.remove(&timer) {
+            let armed = self
+                .pending_updates
+                .get_mut(&object)
+                .map(|p| {
+                    if p.holdoff_timer == Some(timer) {
+                        p.holdoff_timer = None;
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .unwrap_or(false);
+            if armed {
+                self.begin_root(Coordinator::derive_root(&[
+                    b"retry-holdoff",
+                    self.me.as_str().as_bytes(),
+                    object.as_str().as_bytes(),
+                    &timer.to_be_bytes(),
+                ]));
+                self.flush_pending_updates(&object, ctx);
+                self.end_episode();
+            }
+        }
         self.flush_evidence();
     }
 
@@ -1494,6 +1622,8 @@ impl NetNode for Coordinator {
         self.pending_updates.clear();
         self.tickets.clear();
         self.linger_timers.clear();
+        self.holdoff_timers.clear();
+        self.transient_retry.clear();
         self.run_started.clear();
         self.sig_cache.borrow_mut().clear();
         // The episode dies with the crash; the span allocator survives so

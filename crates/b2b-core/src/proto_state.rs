@@ -899,6 +899,77 @@ impl Coordinator {
             rep.object.apply_state(&agreed);
             Outcome::Invalidated { vetoers }
         };
+
+        // §3.3 "the proposer simply retries": a round rejected purely by
+        // the group's concurrency control — every veto reason systematic
+        // (a peer was mid-round, or an install won the race for this
+        // sequence number), none an application judgement — requeues its
+        // updates at the head of the pending queue. The next flush
+        // re-derives them against the new agreed state (the object's
+        // `apply_update`), after a jittered holdoff so the colliding
+        // proposers desynchronise. Overwrites are excluded: an overwrite
+        // asserts an exact predecessor, so replaying it against a
+        // different one would change its meaning.
+        let mut requeue: Vec<(crate::coordinator::TicketId, Vec<u8>)> = Vec::new();
+        if let Outcome::Invalidated { vetoers } = &outcome {
+            if !vetoers.is_empty()
+                && vetoers
+                    .iter()
+                    .all(|(_, r)| crate::coordinator::is_transient_reject(r))
+            {
+                let updates: Vec<Vec<u8>> = match &pr.propose.proposal.kind {
+                    ProposalKind::Update { .. } => vec![pr.propose.body.clone()],
+                    ProposalKind::Batch { .. } => {
+                        crate::messages::decode_batch_body(&pr.propose.body).unwrap_or_default()
+                    }
+                    ProposalKind::Overwrite => Vec::new(),
+                };
+                if !updates.is_empty() {
+                    // This run's tickets, in submission (= batch) order.
+                    let mut tids: Vec<crate::coordinator::TicketId> = self
+                        .tickets
+                        .iter()
+                        .filter(|(_, s)| {
+                            matches!(s, crate::coordinator::TicketState::Run(r) if *r == run)
+                        })
+                        .map(|(t, _)| *t)
+                        .collect();
+                    tids.sort();
+                    if tids.len() == updates.len() {
+                        let reason = vetoers
+                            .first()
+                            .map(|(_, r)| r.clone())
+                            .unwrap_or_default();
+                        for (tid, u) in tids.into_iter().zip(updates) {
+                            let n = self.transient_retry.entry(tid).or_insert(0);
+                            *n += 1;
+                            if *n > crate::coordinator::MAX_TRANSIENT_RETRIES {
+                                self.transient_retry.remove(&tid);
+                                self.tickets.insert(
+                                    tid,
+                                    crate::coordinator::TicketState::Failed(format!(
+                                        "contention retries exhausted: {reason}"
+                                    )),
+                                );
+                            } else {
+                                self.tickets
+                                    .insert(tid, crate::coordinator::TicketState::Queued);
+                                requeue.push((tid, u));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if outcome.is_installed() && !self.transient_retry.is_empty() {
+            // The contended updates made it in: drop their retry counters.
+            let tickets = &self.tickets;
+            self.transient_retry.retain(|tid, _| {
+                !matches!(tickets.get(tid),
+                          Some(crate::coordinator::TicketState::Run(r)) if *r == run)
+            });
+        }
+
         let recipients = rep.recipients(&me);
         rep.remember_reply(
             run,
@@ -940,6 +1011,14 @@ impl Coordinator {
         self.persist(oid);
         self.outcomes.insert(run, outcome.clone());
         self.emit(oid, run, CoordEventKind::Completed { outcome }, now);
+        if !requeue.is_empty() {
+            self.telemetry.inc(names::ROUNDS_RETRIED);
+            let p = self.pending_updates.entry(oid.clone()).or_default();
+            let mut rest = std::mem::take(&mut p.queue);
+            p.queue = requeue;
+            p.queue.append(&mut rest);
+            self.arm_retry_holdoff(oid, ctx);
+        }
         self.pump_queue(oid, ctx);
     }
 

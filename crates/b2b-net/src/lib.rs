@@ -27,10 +27,14 @@
 //!   wheels and group-enveloped frames;
 //! * [`poll`] — bounded condition-polling helpers for tests against the
 //!   real-clock transports;
+//! * [`httpd`] — reusable dependency-free HTTP/1.1 plumbing (readiness
+//!   accept loop, joined worker pool, keep-alive) shared by the scrape
+//!   endpoint and the `b2b-server` order service;
 //! * [`scrape`] — a tiny HTTP responder serving the metrics registry in
 //!   Prometheus text exposition format, for watching a live TCP fleet.
 
 pub mod fault;
+pub mod httpd;
 pub mod inproc;
 pub mod intruder;
 pub mod node;
@@ -44,6 +48,7 @@ pub mod stats;
 pub mod tcp;
 
 pub use fault::FaultPlan;
+pub use httpd::{HttpClient, HttpHandler, HttpRequest, HttpResponse, HttpServer};
 pub use inproc::{Fabric, NodeHandle, ThreadedNet, DEFAULT_INBOX_CAPACITY};
 pub use intruder::{
     InterceptAction, Intruder, PassThrough, ScriptAction, ScriptRule, ScriptedIntruder,

@@ -1,21 +1,22 @@
 //! A live Prometheus scrape endpoint for the metrics registry.
 //!
-//! [`ScrapeServer`] is a deliberately tiny HTTP/1.1 responder: it binds an
-//! ephemeral loopback listener, answers `GET /metrics` with the registry
-//! snapshot rendered in the Prometheus text exposition format (version
-//! 0.0.4), and anything else with `404`. One background thread, blocking
-//! accepts, no HTTP library — the request line is all it reads.
+//! [`ScrapeServer`] is a thin wrapper over the reusable HTTP plumbing in
+//! [`crate::httpd`]: it binds an ephemeral loopback listener, answers
+//! `GET /metrics` (or `GET /`) with the registry snapshot rendered in the
+//! Prometheus text exposition format (version 0.0.4), and anything else
+//! with `404`. One worker thread is plenty for a scraper; shutdown joins
+//! both the accept thread and the worker — no leaked threads, no
+//! throwaway unblocking connections.
 //!
 //! The registry handle is shared, so a scrape taken while a `TcpNet`
 //! experiment is running observes the counters live. Determinism is not at
 //! stake here: scraping reads a snapshot, it never mutates protocol state.
 
+use crate::httpd::{HttpHandler, HttpResponse, HttpServer};
 use b2b_telemetry::MetricsRegistry;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// A background HTTP responder serving one metrics registry.
@@ -34,51 +35,39 @@ use std::time::Duration;
 /// server.shutdown();
 /// ```
 pub struct ScrapeServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    server: HttpServer,
 }
 
 impl ScrapeServer {
     /// Binds an ephemeral loopback listener and starts serving `registry`.
     pub fn bind(registry: MetricsRegistry) -> io::Result<ScrapeServer> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_thread = stop.clone();
-        let handle = std::thread::Builder::new()
-            .name("b2b-scrape".to_string())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if stop_thread.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    if let Ok(stream) = conn {
-                        // A failed scrape is the scraper's problem, never ours.
-                        let _ = serve_one(stream, &registry);
-                    }
+        let handler: HttpHandler = Arc::new(move |req| {
+            if req.method == "GET" && (req.path == "/metrics" || req.path == "/") {
+                HttpResponse {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4; charset=utf-8".into(),
+                    body: registry.snapshot().to_prometheus().into_bytes(),
                 }
-            })?;
-        Ok(ScrapeServer {
-            addr,
-            stop,
-            handle: Some(handle),
-        })
+            } else {
+                HttpResponse {
+                    status: 404,
+                    content_type: "text/plain; charset=utf-8".into(),
+                    body: Vec::new(),
+                }
+            }
+        });
+        let server = HttpServer::bind("127.0.0.1:0", 1, handler)?;
+        Ok(ScrapeServer { server })
     }
 
     /// The address scrapers should `GET /metrics` against.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.server.addr()
     }
 
-    /// Stops the responder thread and closes the listener.
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+    /// Stops the responder and joins its accept + worker threads.
+    pub fn shutdown(self) {
+        self.server.shutdown();
     }
 
     /// Issues one `GET /metrics` against `addr` and returns the body.
@@ -99,43 +88,6 @@ impl ScrapeServer {
             )),
         }
     }
-}
-
-impl Drop for ScrapeServer {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
-    }
-}
-
-/// Answers a single connection: `GET /metrics` → 200 with the exposition
-/// text, everything else → 404.
-fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    let mut buf = [0u8; 1024];
-    let n = stream.read(&mut buf)?;
-    let request = String::from_utf8_lossy(&buf[..n]);
-    let line = request.lines().next().unwrap_or("");
-    let mut parts = line.split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    if method == "GET" && (path == "/metrics" || path == "/") {
-        let body = registry.snapshot().to_prometheus();
-        write!(
-            stream,
-            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-            body.len(),
-            body
-        )?;
-    } else {
-        write!(
-            stream,
-            "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
-        )?;
-    }
-    stream.flush()
 }
 
 #[cfg(test)]

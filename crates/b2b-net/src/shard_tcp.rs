@@ -61,22 +61,24 @@ use std::time::{Duration, Instant};
 // poll(2) without libc
 // ---------------------------------------------------------------------------
 
-/// `struct pollfd`, as the kernel ABI defines it.
+/// `struct pollfd`, as the kernel ABI defines it. Shared with the HTTP
+/// plumbing in [`crate::httpd`], which waits on listener readiness with
+/// the same primitive.
 #[repr(C)]
 #[derive(Clone, Copy)]
-struct PollFd {
+pub(crate) struct PollFd {
     fd: i32,
     events: i16,
     revents: i16,
 }
 
-const POLLIN: i16 = 0x001;
+pub(crate) const POLLIN: i16 = 0x001;
 const POLLOUT: i16 = 0x004;
 const POLLERR: i16 = 0x008;
 const POLLHUP: i16 = 0x010;
 
 impl PollFd {
-    fn new(fd: i32, events: i16) -> PollFd {
+    pub(crate) fn new(fd: i32, events: i16) -> PollFd {
         PollFd {
             fd,
             events,
@@ -84,7 +86,7 @@ impl PollFd {
         }
     }
 
-    fn readable(&self) -> bool {
+    pub(crate) fn readable(&self) -> bool {
         self.revents & (POLLIN | POLLERR | POLLHUP) != 0
     }
 
@@ -96,7 +98,7 @@ impl PollFd {
 /// Raw `poll(2)` on x86-64 Linux (syscall 7). The build is offline —
 /// no libc crate — so the reactor makes the syscall itself.
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
-fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> isize {
+pub(crate) fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> isize {
     let ret: isize;
     unsafe {
         std::arch::asm!(
@@ -116,7 +118,7 @@ fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> isize {
 /// Raw `ppoll` on aarch64 Linux (syscall 73; aarch64 has no plain
 /// `poll`).
 #[cfg(all(target_os = "linux", target_arch = "aarch64"))]
-fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> isize {
+pub(crate) fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> isize {
     #[repr(C)]
     struct Timespec {
         tv_sec: i64,
@@ -149,7 +151,7 @@ fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> isize {
     target_os = "linux",
     any(target_arch = "x86_64", target_arch = "aarch64")
 )))]
-fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> isize {
+pub(crate) fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> isize {
     std::thread::sleep(Duration::from_millis(timeout_ms.clamp(0, 1) as u64));
     for f in fds.iter_mut() {
         f.revents = f.events;

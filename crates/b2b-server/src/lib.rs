@@ -1,0 +1,1206 @@
+#![warn(missing_docs)]
+
+//! An HTTP/JSON order-processing service on the sharded B2BObjects
+//! runtime.
+//!
+//! This crate is the paper's second application — inter-organisational
+//! **order processing** (§5.2) — served for real: one process hosts
+//! thousands of concurrent orders, each order its own coordination group
+//! on the sharded runtime ([`b2b_net::shard`]), every mutation a signed,
+//! non-repudiable state-coordination round between the organisations
+//! holding a role on the order.
+//!
+//! The HTTP surface maps one-to-one onto the middleware's §3/§5
+//! operations:
+//!
+//! | Endpoint | Middleware operation |
+//! |---|---|
+//! | `POST /orders` | provision a sharing group (customer registers, peers join sponsored) |
+//! | `GET /orders/:id` | read the agreed state |
+//! | `POST /orders/:id/lines` | customer adds/changes a line (update coordination) |
+//! | `POST /orders/:id/price` | supplier prices a line |
+//! | `POST /orders/:id/approve` | approver sanctions a line (four-party) |
+//! | `POST /orders/:id/ship` | dispatcher commits delivery terms (four-party) |
+//! | `POST /orders/:id/bulk` | a window of updates in one signed batched round |
+//! | `POST /orders/:id/enter` … `/leave` | explicit §5 state-access scoping |
+//! | `GET /tickets/:id` | idempotent deferred/async completion poll |
+//! | `GET /tickets?ids=a,b,…` | one poll covering a whole ticket window |
+//! | `GET /metrics` | live Prometheus exposition of the fleet registry |
+//!
+//! Every mutating request picks a communication mode (§3.3) with
+//! `?mode=sync|deferred|async`: synchronous calls block until the round
+//! completes (a veto is `409` with the vetoers' reasons), the other two
+//! answer `202` with a ticket for `/tickets/:id`. Both ticket endpoints
+//! accept `?wait_ms=N` to long-poll: the request parks on the group's
+//! condvar until the ticket(s) turn terminal or the budget expires, so a
+//! closed-loop client spends one round-trip per outcome instead of
+//! spinning. When an order's pending-update queue is at
+//! `pending_updates_max`, the coordinator's backpressure surfaces as
+//! `429` — overload degrades gracefully instead of queueing unboundedly.
+
+use b2b_apps::{Order, OrderObject, OrderRoles, OrderUpdate};
+use b2b_core::controller::Mode;
+use b2b_core::{
+    Controller, CoordError, CoordTicket, Coordinator, CoordinatorConfig, ObjectId, TicketId,
+    TicketStatus,
+};
+use b2b_crypto::{KeyPair, KeyRing, PartyId, Signer, VerifyPool};
+use b2b_evidence::{LogAuditor, MemStore};
+use b2b_net::{GroupHandle, GroupId, HttpHandler, HttpRequest, HttpResponse, HttpServer, ShardedNet};
+use b2b_telemetry::{names, Telemetry};
+use serde::Deserialize;
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Role names, in join order; index = party index. Two-party orders use
+/// the first two, four-party orders all four.
+pub const ROLES: [&str; 4] = ["customer", "supplier", "approver", "dispatcher"];
+
+/// Construction knobs for an [`OrderServer`].
+pub struct OrderServerOptions {
+    /// Listen address (`"127.0.0.1:0"` for an ephemeral port).
+    pub addr: String,
+    /// Orders provisioned at startup — the capacity of `POST /orders`.
+    /// Each order is one coordination group; the groups (and their
+    /// membership rounds) are brought up before the listener opens, so
+    /// order creation is O(1) at request time.
+    pub orders: usize,
+    /// Organisations per order: 2 (customer/supplier) or 4 (+ approver,
+    /// dispatcher).
+    pub parties: usize,
+    /// Worker-pool size of the sharded runtime; `None` = one per CPU.
+    pub shards: Option<usize>,
+    /// HTTP worker threads (each may block on a synchronous round).
+    pub http_workers: usize,
+    /// Per-coordinator configuration (batching, `pending_updates_max`…).
+    pub config: CoordinatorConfig,
+    /// Fleet-wide telemetry handle, served live on `/metrics`.
+    pub telemetry: Telemetry,
+    /// Shared signature-verification pool, if any.
+    pub verify_pool: Option<Arc<VerifyPool>>,
+    /// How long synchronous requests (and `leave` commits) block before
+    /// answering `504`.
+    pub sync_timeout: Duration,
+}
+
+impl Default for OrderServerOptions {
+    fn default() -> OrderServerOptions {
+        OrderServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            orders: 64,
+            parties: 2,
+            shards: None,
+            http_workers: 8,
+            config: CoordinatorConfig::default(),
+            telemetry: Telemetry::new(),
+            verify_pool: None,
+            sync_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Where a public ticket points, plus whether its terminal outcome has
+/// been counted into the `serve_installed`/`serve_vetoed` metrics.
+struct TicketRef {
+    group: usize,
+    party: usize,
+    ticket: TicketId,
+    counted: bool,
+}
+
+/// One open §5 state-access scope, pinned to an (order, party) pair
+/// across HTTP requests.
+struct Session {
+    ctrl: Controller<GroupHandle<Coordinator>>,
+    depth: u32,
+}
+
+/// Request body accepted by every mutating endpoint. Only the fields an
+/// action needs are read; `op` selects the action on scope `update`.
+#[derive(Deserialize, Default)]
+struct ActionBody {
+    op: Option<String>,
+    item: Option<String>,
+    qty: Option<u32>,
+    unit_price: Option<u32>,
+    terms: Option<String>,
+}
+
+/// Request body of `POST /orders/:id/bulk`: several actions submitted
+/// in one request, each element an [`ActionBody`] whose `op` field
+/// names the action (`line`, `price`, `approve`, `ship`).
+#[derive(Deserialize)]
+struct BulkBody {
+    ops: Vec<ActionBody>,
+}
+
+/// Largest accepted bulk batch — aligned with the coordinator's own
+/// `batch_max` scale so one request maps onto a handful of rounds at
+/// most.
+const BULK_MAX: usize = 64;
+
+struct Core {
+    handles: Vec<Vec<GroupHandle<Coordinator>>>,
+    stores: Vec<Vec<Arc<MemStore>>>,
+    ring: Arc<KeyRing>,
+    parties: Vec<PartyId>,
+    object: ObjectId,
+    orders: usize,
+    allocated: AtomicU64,
+    next_ticket: AtomicU64,
+    tickets: Mutex<HashMap<u64, TicketRef>>,
+    sessions: Mutex<HashMap<(usize, usize), Session>>,
+    telemetry: Telemetry,
+    sync_timeout: Duration,
+}
+
+/// The running order service: sharded engine fleet + HTTP front-end.
+pub struct OrderServer {
+    core: Arc<Core>,
+    http: Option<HttpServer>,
+    net: Option<ShardedNet<Coordinator>>,
+}
+
+impl OrderServer {
+    /// Brings up the engine fleet (all groups joined, all evidence
+    /// stores attached), then opens the HTTP listener.
+    pub fn start(opts: OrderServerOptions) -> io::Result<OrderServer> {
+        assert!(
+            opts.parties == 2 || opts.parties == 4,
+            "orders are two-party or four-party"
+        );
+        assert!(opts.orders > 0, "provision at least one order");
+
+        let party_ids: Vec<PartyId> = ROLES[..opts.parties]
+            .iter()
+            .map(|r| PartyId::new(*r))
+            .collect();
+        let mut ring = KeyRing::new();
+        let mut keys = Vec::new();
+        for (i, id) in party_ids.iter().enumerate() {
+            let kp = KeyPair::generate_from_seed(2000 + i as u64);
+            ring.register(id.clone(), kp.public_key());
+            keys.push(kp);
+        }
+        let ring = Arc::new(ring);
+        let object = ObjectId::new("order");
+
+        let mut stores: Vec<Vec<Arc<MemStore>>> = Vec::with_capacity(opts.orders);
+        let mut builder = ShardedNet::builder().telemetry(opts.telemetry.clone());
+        if let Some(shards) = opts.shards {
+            builder = builder.shards(shards);
+        }
+        for g in 0..opts.orders {
+            let mut group_stores = Vec::with_capacity(opts.parties);
+            let nodes = (0..opts.parties)
+                .map(|i| {
+                    let store = Arc::new(MemStore::default());
+                    group_stores.push(Arc::clone(&store));
+                    let mut b = Coordinator::builder(party_ids[i].clone(), keys[i].clone())
+                        .shared_ring(Arc::clone(&ring))
+                        .config(opts.config.clone())
+                        .store(store)
+                        .seed(10 + (g * opts.parties + i) as u64)
+                        .telemetry(opts.telemetry.clone());
+                    if let Some(pool) = &opts.verify_pool {
+                        b = b.verify_pool(Arc::clone(pool));
+                    }
+                    b.build()
+                })
+                .collect();
+            stores.push(group_stores);
+            builder = builder.add_group(GroupId(g as u64), nodes);
+        }
+        let net = builder.spawn()?;
+
+        let handles: Vec<Vec<GroupHandle<Coordinator>>> = (0..opts.orders)
+            .map(|g| {
+                (0..opts.parties)
+                    .map(|i| net.handle(GroupId(g as u64), &party_ids[i]))
+                    .collect()
+            })
+            .collect();
+
+        // Provision every group: the customer registers the order object
+        // (roles derived from the fleet's party names), the remaining
+        // roles join through the §4.5 sponsored-connect protocol. Joins
+        // are pipelined across groups, so bring-up costs `parties`
+        // round-trips, not `orders × parties`.
+        let roles = order_roles(&party_ids);
+        for g in 0..opts.orders {
+            let oid = object.clone();
+            let roles = roles.clone();
+            handles[g][0].invoke(move |c, _| {
+                c.register_object(oid, Box::new(move || factory(&roles)))
+                    .expect("register order object");
+            });
+        }
+        for j in 1..opts.parties {
+            for g in 0..opts.orders {
+                let oid = object.clone();
+                let roles = roles.clone();
+                let sponsor = party_ids[j - 1].clone();
+                handles[g][j].invoke(move |c, ctx| {
+                    c.request_connect(oid, Box::new(move || factory(&roles)), sponsor, ctx)
+                        .expect("request connect");
+                });
+            }
+            for (g, group) in handles.iter().enumerate() {
+                let oid = object.clone();
+                assert!(
+                    group[j].wait_until(Duration::from_secs(120), move |c| c.is_member(&oid)),
+                    "{} of order {g} failed to join",
+                    party_ids[j]
+                );
+            }
+        }
+
+        let core = Arc::new(Core {
+            handles,
+            stores,
+            ring,
+            parties: party_ids,
+            object,
+            orders: opts.orders,
+            allocated: AtomicU64::new(0),
+            next_ticket: AtomicU64::new(1),
+            tickets: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            telemetry: opts.telemetry,
+            sync_timeout: opts.sync_timeout,
+        });
+        let handler_core = Arc::clone(&core);
+        let handler: HttpHandler = Arc::new(move |req| handler_core.route(req));
+        let http = HttpServer::bind(&opts.addr, opts.http_workers, handler)?;
+
+        Ok(OrderServer {
+            core,
+            http: Some(http),
+            net: Some(net),
+        })
+    }
+
+    /// The bound HTTP address.
+    pub fn addr(&self) -> SocketAddr {
+        self.http.as_ref().expect("server running").addr()
+    }
+
+    /// The fleet-wide telemetry handle (the same registry `/metrics`
+    /// serves).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.core.telemetry
+    }
+
+    /// Orders created so far via `POST /orders`.
+    pub fn allocated(&self) -> usize {
+        (self.core.allocated.load(Ordering::SeqCst) as usize).min(self.core.orders)
+    }
+
+    /// Direct engine handle for tests and harnesses (order `g`, party
+    /// index `p` in [`ROLES`] order).
+    pub fn handle(&self, g: usize, p: usize) -> GroupHandle<Coordinator> {
+        self.core.handles[g][p].clone()
+    }
+
+    /// Audits every party's evidence store across all provisioned
+    /// orders. Returns `(all_clean, total_records)`.
+    pub fn audit(&self) -> (bool, usize) {
+        let auditor = LogAuditor::new((*self.core.ring).clone(), None);
+        let mut clean = true;
+        let mut total = 0usize;
+        for group in &self.core.stores {
+            for store in group {
+                let report = auditor.audit(store.as_ref());
+                clean &= report.is_clean();
+                total += report.total;
+            }
+        }
+        (clean, total)
+    }
+
+    /// Blocks until every allocated order has drained its pending queues
+    /// and all member replicas agree on the same state bytes. Returns
+    /// `false` on timeout.
+    pub fn wait_converged(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        for g in 0..self.allocated() {
+            for h in &self.core.handles[g] {
+                let oid = self.core.object.clone();
+                let left = deadline.saturating_duration_since(Instant::now());
+                if !h.wait_until(left, move |c| {
+                    c.pending_update_count(&oid) == 0 && !c.is_busy(&oid)
+                }) {
+                    return false;
+                }
+            }
+            loop {
+                let states: Vec<Option<Vec<u8>>> = self.core.handles[g]
+                    .iter()
+                    .map(|h| {
+                        let oid = self.core.object.clone();
+                        h.read(move |c| c.agreed_state(&oid))
+                    })
+                    .collect();
+                if states.iter().all(|s| s.is_some() && *s == states[0]) {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        true
+    }
+
+    /// Stops the HTTP front-end and the engine fleet, joining every
+    /// thread.
+    pub fn shutdown(mut self) {
+        if let Some(http) = self.http.take() {
+            http.shutdown();
+        }
+        if let Some(net) = self.net.take() {
+            net.shutdown();
+        }
+    }
+}
+
+/// Builds the role assignment for a fleet's party list.
+fn order_roles(parties: &[PartyId]) -> OrderRoles {
+    if parties.len() >= 4 {
+        OrderRoles::four_party(
+            parties[0].clone(),
+            parties[1].clone(),
+            parties[2].clone(),
+            parties[3].clone(),
+        )
+    } else {
+        OrderRoles::two_party(parties[0].clone(), parties[1].clone())
+    }
+}
+
+/// The object factory every member runs: a fresh [`OrderObject`] wired
+/// to the shared role assignment.
+fn factory(roles: &OrderRoles) -> Box<dyn b2b_core::B2BObject> {
+    Box::new(OrderObject::new(roles.clone()))
+}
+
+/// JSON-escapes a string (via the vendored encoder).
+fn js(s: &str) -> String {
+    serde_json::to_string(&s.to_string()).unwrap_or_else(|_| "\"\"".to_string())
+}
+
+fn vetoers_json(vetoers: &[(PartyId, String)]) -> String {
+    let items: Vec<String> = vetoers
+        .iter()
+        .map(|(p, r)| format!("{{\"party\":{},\"reason\":{}}}", js(p.as_str()), js(r)))
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+impl Core {
+    fn route(&self, req: &HttpRequest) -> HttpResponse {
+        self.telemetry.add(names::SERVE_REQUESTS, 1);
+        let segments = req.segments();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => HttpResponse::text(200, "ok\n"),
+            ("GET", ["metrics"]) => HttpResponse {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8".into(),
+                body: self
+                    .telemetry
+                    .metrics()
+                    .snapshot()
+                    .to_prometheus()
+                    .into_bytes(),
+            },
+            ("POST", ["orders"]) => self.create_order(),
+            ("GET", ["orders", id]) => match self.order_index(id) {
+                Ok(g) => self.get_order(g),
+                Err(resp) => resp,
+            },
+            ("POST", ["orders", id, action]) => match self.order_index(id) {
+                Ok(g) => self.order_action(g, action, req),
+                Err(resp) => resp,
+            },
+            ("GET", ["tickets"]) => self.tickets_status(req),
+            ("GET", ["tickets", id]) => self.ticket_status(id, req),
+            _ => HttpResponse::json(404, "{\"error\":\"no such resource\"}"),
+        }
+    }
+
+    fn create_order(&self) -> HttpResponse {
+        let g = self.allocated.fetch_add(1, Ordering::SeqCst) as usize;
+        if g >= self.orders {
+            self.allocated.store(self.orders as u64, Ordering::SeqCst);
+            return HttpResponse::json(
+                503,
+                format!(
+                    "{{\"error\":\"order capacity exhausted\",\"capacity\":{}}}",
+                    self.orders
+                ),
+            );
+        }
+        let parties: Vec<String> = self.parties.iter().map(|p| js(p.as_str())).collect();
+        HttpResponse::json(
+            201,
+            format!("{{\"order\":{},\"parties\":[{}]}}", g, parties.join(",")),
+        )
+    }
+
+    /// Resolves an order id path segment to an *allocated* group.
+    fn order_index(&self, id: &str) -> Result<usize, HttpResponse> {
+        let g: usize = id
+            .parse()
+            .map_err(|_| HttpResponse::json(400, "{\"error\":\"order id must be an integer\"}"))?;
+        let allocated = (self.allocated.load(Ordering::SeqCst) as usize).min(self.orders);
+        if g >= allocated {
+            return Err(HttpResponse::json(404, "{\"error\":\"no such order\"}"));
+        }
+        Ok(g)
+    }
+
+    fn get_order(&self, g: usize) -> HttpResponse {
+        let oid = self.object.clone();
+        match self.handles[g][0].read(move |c| c.agreed_state(&oid)) {
+            Some(bytes) => HttpResponse {
+                status: 200,
+                content_type: "application/json".into(),
+                body: bytes,
+            },
+            None => HttpResponse::json(404, "{\"error\":\"no such order\"}"),
+        }
+    }
+
+    /// Resolves `?as=` (defaulting per action) to a party index.
+    fn party_index(&self, req: &HttpRequest, default_role: &str) -> Result<usize, HttpResponse> {
+        let role = req.query_param("as").unwrap_or(default_role);
+        self.parties
+            .iter()
+            .position(|p| p.as_str() == role)
+            .ok_or_else(|| {
+                HttpResponse::json(
+                    400,
+                    format!("{{\"error\":\"no party {} on this order\"}}", js(role)),
+                )
+            })
+    }
+
+    fn mode_of(&self, req: &HttpRequest) -> Result<Mode, HttpResponse> {
+        match req.query_param("mode").unwrap_or("sync") {
+            "sync" => Ok(Mode::Synchronous),
+            "deferred" => Ok(Mode::DeferredSynchronous),
+            "async" => Ok(Mode::Asynchronous),
+            other => Err(HttpResponse::json(
+                400,
+                format!("{{\"error\":\"unknown mode {}\"}}", js(other)),
+            )),
+        }
+    }
+
+    fn body_of(&self, req: &HttpRequest) -> Result<ActionBody, HttpResponse> {
+        if req.body.is_empty() {
+            return Ok(ActionBody::default());
+        }
+        serde_json::from_slice(&req.body)
+            .map_err(|e| HttpResponse::json(400, format!("{{\"error\":{}}}", js(&e.to_string()))))
+    }
+
+    fn order_action(&self, g: usize, action: &str, req: &HttpRequest) -> HttpResponse {
+        match action {
+            "lines" | "price" | "approve" | "ship" => self.direct_mutation(g, action, req),
+            "bulk" => self.bulk_mutation(g, req),
+            "enter" | "examine" | "update" | "leave" => self.scope_call(g, action, req),
+            _ => HttpResponse::json(404, "{\"error\":\"no such action\"}"),
+        }
+    }
+
+    /// Applies `body` as the `op` action to `order`; `op` defaults from
+    /// the endpoint name for the direct-mutation routes.
+    fn apply_action(op: &str, body: &ActionBody, order: &mut Order) -> Result<(), String> {
+        match op {
+            "lines" | "line" => {
+                let item = body.item.as_deref().ok_or("missing field: item")?;
+                order.set_quantity(item, body.qty.ok_or("missing field: qty")?);
+                Ok(())
+            }
+            "price" => {
+                let item = body.item.as_deref().ok_or("missing field: item")?;
+                let price = body.unit_price.ok_or("missing field: unit_price")?;
+                if !order.set_price(item, price) {
+                    return Err(format!("no line for item {item}"));
+                }
+                Ok(())
+            }
+            "approve" => {
+                let item = body.item.as_deref().ok_or("missing field: item")?;
+                if !order.approve(item) {
+                    return Err(format!("no line for item {item}"));
+                }
+                Ok(())
+            }
+            "ship" => {
+                order.delivery_terms =
+                    Some(body.terms.as_deref().ok_or("missing field: terms")?.to_string());
+                Ok(())
+            }
+            other => Err(format!("unknown op {other}")),
+        }
+    }
+
+    fn default_role(action: &str) -> &'static str {
+        match action {
+            "price" => "supplier",
+            "approve" => "approver",
+            "ship" => "dispatcher",
+            _ => "customer",
+        }
+    }
+
+    /// Translates a direct-mutation action into an [`OrderUpdate`]
+    /// delta for coordination.
+    fn action_delta(op: &str, body: &ActionBody) -> Result<OrderUpdate, String> {
+        match op {
+            "lines" | "line" => Ok(OrderUpdate::SetQuantity {
+                item: body.item.clone().ok_or("missing field: item")?,
+                qty: body.qty.ok_or("missing field: qty")?,
+            }),
+            "price" => Ok(OrderUpdate::SetPrice {
+                item: body.item.clone().ok_or("missing field: item")?,
+                unit_price: body.unit_price.ok_or("missing field: unit_price")?,
+            }),
+            "approve" => Ok(OrderUpdate::Approve {
+                item: body.item.clone().ok_or("missing field: item")?,
+            }),
+            "ship" => Ok(OrderUpdate::SetDeliveryTerms {
+                terms: body.terms.clone().ok_or("missing field: terms")?,
+            }),
+            other => Err(format!("unknown op {other}")),
+        }
+    }
+
+    /// The one-shot mutation path: parse the action into an
+    /// [`OrderUpdate`] delta and submit it. The delta replays against
+    /// whatever state the group agrees on when its round runs, so
+    /// concurrent compatible actions compose — while rule violations
+    /// are vetoed by the peers' validators, never silently merged.
+    fn direct_mutation(&self, g: usize, action: &str, req: &HttpRequest) -> HttpResponse {
+        let p = match self.party_index(req, Self::default_role(action)) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let mode = match self.mode_of(req) {
+            Ok(m) => m,
+            Err(resp) => return resp,
+        };
+        let body = match self.body_of(req) {
+            Ok(b) => b,
+            Err(resp) => return resp,
+        };
+        let delta = match Self::action_delta(action, &body) {
+            Ok(d) => d,
+            Err(msg) => return HttpResponse::json(400, format!("{{\"error\":{}}}", js(&msg))),
+        };
+        let handle = &self.handles[g][p];
+        let oid = self.object.clone();
+        // Fast-fail requests that cannot apply to the agreed state (e.g.
+        // pricing an item never ordered) — the round would abort them
+        // anyway; this answers 400 without spending one. The replica
+        // answering may lag the round that makes a delta applicable by
+        // one message delivery, so give it a short grace to catch up.
+        let applies = handle.wait_until(self.sync_timeout.min(Duration::from_millis(500)), {
+            let oid = oid.clone();
+            let delta = delta.clone();
+            move |c| {
+                c.agreed_state(&oid)
+                    .and_then(|cur| Order::from_bytes(&cur))
+                    .map(|mut o| delta.apply(&mut o).is_ok())
+                    .unwrap_or(false)
+            }
+        });
+        if !applies {
+            let Some(current) = handle.read({
+                let oid = oid.clone();
+                move |c| c.agreed_state(&oid)
+            }) else {
+                return HttpResponse::json(404, "{\"error\":\"no such order\"}");
+            };
+            let Some(mut order) = Order::from_bytes(&current) else {
+                return HttpResponse::json(500, "{\"error\":\"undecodable agreed state\"}");
+            };
+            if let Err(msg) = delta.apply(&mut order) {
+                return HttpResponse::json(400, format!("{{\"error\":{}}}", js(&msg)));
+            }
+        }
+        let proposed = delta.to_bytes();
+        let submitted = handle.invoke(move |c, ctx| c.submit_update(&oid, proposed, ctx));
+        match submitted {
+            Ok(ticket) => self.conclude(g, p, ticket, mode),
+            Err(CoordError::Busy { .. }) => self.backpressure(),
+            Err(e) => HttpResponse::json(
+                500,
+                format!("{{\"error\":{}}}", js(&format!("{e}"))),
+            ),
+        }
+    }
+
+    /// `POST /orders/:id/bulk` — several deltas in one request, each
+    /// individually ticketed. The submissions land in the pending queue
+    /// together, so the coordinator coalesces them into batched signed
+    /// rounds (§3.3) instead of paying one HTTP round-trip *and* one
+    /// coordination round per delta. Synchronous calls block until every
+    /// ticket is terminal; deferred/async answer `202` with one public
+    /// ticket per accepted delta. Admission is all-or-nothing: a bulk
+    /// that does not fit under `pending_updates_max` answers `429`
+    /// without enqueueing anything.
+    fn bulk_mutation(&self, g: usize, req: &HttpRequest) -> HttpResponse {
+        let p = match self.party_index(req, "customer") {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let mode = match self.mode_of(req) {
+            Ok(m) => m,
+            Err(resp) => return resp,
+        };
+        let bulk: BulkBody = match serde_json::from_slice(&req.body) {
+            Ok(b) => b,
+            Err(e) => {
+                return HttpResponse::json(400, format!("{{\"error\":{}}}", js(&e.to_string())))
+            }
+        };
+        if bulk.ops.is_empty() {
+            return HttpResponse::json(400, "{\"error\":\"ops must not be empty\"}");
+        }
+        if bulk.ops.len() > BULK_MAX {
+            return HttpResponse::json(
+                400,
+                format!("{{\"error\":\"at most {BULK_MAX} ops per bulk request\"}}"),
+            );
+        }
+        let mut deltas: Vec<OrderUpdate> = Vec::with_capacity(bulk.ops.len());
+        for (i, elem) in bulk.ops.iter().enumerate() {
+            let op = match elem.op.as_deref() {
+                Some(op) => op,
+                None => {
+                    return HttpResponse::json(
+                        400,
+                        format!("{{\"error\":\"missing field: op\",\"index\":{i}}}"),
+                    )
+                }
+            };
+            match Self::action_delta(op, elem) {
+                Ok(d) => deltas.push(d),
+                Err(msg) => {
+                    return HttpResponse::json(
+                        400,
+                        format!("{{\"error\":{},\"index\":{i}}}", js(&msg)),
+                    )
+                }
+            }
+        }
+        let handle = &self.handles[g][p];
+        let oid = self.object.clone();
+        // Cumulative applicability pre-check with the same replica-lag
+        // grace as the single-delta path: the whole batch must fold over
+        // the agreed state.
+        let applies = handle.wait_until(self.sync_timeout.min(Duration::from_millis(500)), {
+            let oid = oid.clone();
+            let deltas = deltas.clone();
+            move |c| {
+                c.agreed_state(&oid)
+                    .and_then(|cur| Order::from_bytes(&cur))
+                    .map(|mut o| deltas.iter().all(|d| d.apply(&mut o).is_ok()))
+                    .unwrap_or(false)
+            }
+        });
+        if !applies {
+            let Some(current) = handle.read({
+                let oid = oid.clone();
+                move |c| c.agreed_state(&oid)
+            }) else {
+                return HttpResponse::json(404, "{\"error\":\"no such order\"}");
+            };
+            let Some(mut order) = Order::from_bytes(&current) else {
+                return HttpResponse::json(500, "{\"error\":\"undecodable agreed state\"}");
+            };
+            for (i, d) in deltas.iter().enumerate() {
+                if let Err(msg) = d.apply(&mut order) {
+                    return HttpResponse::json(
+                        400,
+                        format!("{{\"error\":{},\"index\":{i}}}", js(&msg)),
+                    );
+                }
+            }
+        }
+        // One enqueue-then-dispatch: the whole bulk lands in the pending
+        // queue before the first round goes out, so it coalesces into
+        // `batch_max`-sized rounds. Admission is all-or-nothing against
+        // `pending_updates_max` (`429` when the bulk does not fit).
+        let submitted = handle.invoke({
+            let oid = oid.clone();
+            move |c, ctx| {
+                let bytes = deltas.iter().map(|d| d.to_bytes()).collect();
+                c.submit_updates(&oid, bytes, ctx)
+            }
+        });
+        let tickets = match submitted {
+            Ok(tickets) => tickets,
+            Err(CoordError::Busy { .. }) => return self.backpressure(),
+            Err(e) => {
+                return HttpResponse::json(500, format!("{{\"error\":{}}}", js(&format!("{e}"))))
+            }
+        };
+        match mode {
+            Mode::Synchronous => {
+                let waiting = tickets.clone();
+                let done = handle.wait_until(self.sync_timeout, move |c| {
+                    waiting.iter().all(|t| c.outcome_of_ticket(t).is_some())
+                });
+                if !done {
+                    return HttpResponse::json(504, "{\"error\":\"coordination timed out\"}");
+                }
+                let ctrl = Controller::new(handle.clone(), self.object.clone());
+                let mut last_seq = 0;
+                for &ticket in &tickets {
+                    match ctrl.poll_status(CoordTicket { ticket }) {
+                        TicketStatus::Installed { state } => {
+                            self.telemetry.add(names::SERVE_INSTALLED, 1);
+                            last_seq = state.seq;
+                        }
+                        TicketStatus::Invalidated { vetoers } => {
+                            self.telemetry.add(names::SERVE_VETOED, 1);
+                            return HttpResponse::json(
+                                409,
+                                format!(
+                                    "{{\"outcome\":\"invalidated\",\"vetoers\":{}}}",
+                                    vetoers_json(&vetoers)
+                                ),
+                            );
+                        }
+                        TicketStatus::Aborted { reason } => {
+                            self.telemetry.add(names::SERVE_VETOED, 1);
+                            return HttpResponse::json(
+                                409,
+                                format!("{{\"outcome\":\"aborted\",\"reason\":{}}}", js(&reason)),
+                            );
+                        }
+                        other => {
+                            return HttpResponse::json(
+                                500,
+                                format!(
+                                    "{{\"error\":{}}}",
+                                    js(&format!("unexpected ticket status {other:?}"))
+                                ),
+                            )
+                        }
+                    }
+                }
+                HttpResponse::json(
+                    200,
+                    format!(
+                        "{{\"outcome\":\"installed\",\"ops\":{},\"seq\":{last_seq}}}",
+                        tickets.len(),
+                    ),
+                )
+            }
+            Mode::DeferredSynchronous | Mode::Asynchronous => {
+                let mut publics = Vec::with_capacity(tickets.len());
+                {
+                    let mut map = self.tickets.lock().expect("tickets");
+                    for &ticket in &tickets {
+                        let public = self.next_ticket.fetch_add(1, Ordering::SeqCst);
+                        map.insert(
+                            public,
+                            TicketRef {
+                                group: g,
+                                party: p,
+                                ticket,
+                                counted: false,
+                            },
+                        );
+                        publics.push(public);
+                    }
+                }
+                let list = publics
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                HttpResponse::json(202, format!("{{\"tickets\":[{list}]}}"))
+            }
+        }
+    }
+
+    fn backpressure(&self) -> HttpResponse {
+        self.telemetry.add(names::SERVE_BACKPRESSURE_429, 1);
+        HttpResponse::json(
+            429,
+            "{\"error\":\"pending updates at capacity, retry later\"}",
+        )
+    }
+
+    /// Finishes a submitted update according to the request's mode:
+    /// block for the outcome (sync) or hand out a pollable ticket.
+    fn conclude(&self, g: usize, p: usize, ticket: TicketId, mode: Mode) -> HttpResponse {
+        match mode {
+            Mode::Synchronous => {
+                let handle = &self.handles[g][p];
+                let done = handle.wait_until(self.sync_timeout, move |c| {
+                    c.outcome_of_ticket(&ticket).is_some()
+                });
+                if !done {
+                    return HttpResponse::json(504, "{\"error\":\"coordination timed out\"}");
+                }
+                let ctrl = Controller::new(handle.clone(), self.object.clone());
+                match ctrl.poll_status(CoordTicket { ticket }) {
+                    TicketStatus::Installed { state } => {
+                        self.telemetry.add(names::SERVE_INSTALLED, 1);
+                        HttpResponse::json(
+                            200,
+                            format!("{{\"outcome\":\"installed\",\"seq\":{}}}", state.seq),
+                        )
+                    }
+                    TicketStatus::Invalidated { vetoers } => {
+                        self.telemetry.add(names::SERVE_VETOED, 1);
+                        HttpResponse::json(
+                            409,
+                            format!(
+                                "{{\"outcome\":\"invalidated\",\"vetoers\":{}}}",
+                                vetoers_json(&vetoers)
+                            ),
+                        )
+                    }
+                    TicketStatus::Aborted { reason } => {
+                        self.telemetry.add(names::SERVE_VETOED, 1);
+                        HttpResponse::json(
+                            409,
+                            format!("{{\"outcome\":\"aborted\",\"reason\":{}}}", js(&reason)),
+                        )
+                    }
+                    other => HttpResponse::json(
+                        500,
+                        format!(
+                            "{{\"error\":{}}}",
+                            js(&format!("unexpected ticket status {other:?}"))
+                        ),
+                    ),
+                }
+            }
+            Mode::DeferredSynchronous | Mode::Asynchronous => {
+                let public = self.next_ticket.fetch_add(1, Ordering::SeqCst);
+                self.tickets.lock().expect("tickets").insert(
+                    public,
+                    TicketRef {
+                        group: g,
+                        party: p,
+                        ticket,
+                        counted: false,
+                    },
+                );
+                HttpResponse::json(202, format!("{{\"ticket\":{public}}}"))
+            }
+        }
+    }
+
+    /// `GET /tickets/:id` — idempotent status poll, veto reasons
+    /// included ([`Controller::poll_status`] semantics over HTTP). With
+    /// `?wait_ms=N` the request long-polls: it blocks on the group's
+    /// condvar (capped at the server's sync timeout) until the ticket
+    /// turns terminal, so pollers ride the same wakeup path as
+    /// synchronous calls instead of hammering the coordinator with
+    /// busy re-reads.
+    fn ticket_status(&self, id: &str, req: &HttpRequest) -> HttpResponse {
+        let Ok(public) = id.parse::<u64>() else {
+            return HttpResponse::json(400, "{\"error\":\"ticket id must be an integer\"}");
+        };
+        let wait_ms: u64 = req
+            .query_param("wait_ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        // Copy the reference out and drop the map lock before touching
+        // the coordinator: `poll_status` waits on the group's slot, and
+        // holding the global ticket map across that wait would convoy
+        // every other poll and every deferred submit behind one slow
+        // group.
+        let (group, party, ticket) = {
+            let tickets = self.tickets.lock().expect("tickets");
+            let Some(entry) = tickets.get(&public) else {
+                return HttpResponse::json(404, "{\"status\":\"unknown\"}");
+            };
+            (entry.group, entry.party, entry.ticket)
+        };
+        let handle = &self.handles[group][party];
+        let ctrl = Controller::new(handle.clone(), self.object.clone());
+        let status = if wait_ms > 0 {
+            let budget = Duration::from_millis(wait_ms).min(self.sync_timeout);
+            ctrl.wait_terminal(CoordTicket { ticket }, budget)
+        } else {
+            ctrl.poll_status(CoordTicket { ticket })
+        };
+        self.count_terminal(public, &status);
+        if matches!(status, TicketStatus::Unknown) {
+            return HttpResponse::json(404, "{\"status\":\"unknown\"}");
+        }
+        HttpResponse::json(200, Self::status_json(&status))
+    }
+
+    /// `GET /tickets?ids=a,b,c` — several tickets in one request;
+    /// `?wait_ms=N` long-polls until **all** are terminal (one overall
+    /// budget, capped at the sync timeout). One response entry per id,
+    /// in request order — this is how a windowed deferred client drains
+    /// a whole batch for the price of a single round-trip.
+    fn tickets_status(&self, req: &HttpRequest) -> HttpResponse {
+        let Some(ids) = req.query_param("ids") else {
+            return HttpResponse::json(400, "{\"error\":\"ids query parameter required\"}");
+        };
+        let publics: Vec<u64> = ids.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+        if publics.is_empty() || publics.len() > BULK_MAX {
+            return HttpResponse::json(
+                400,
+                format!("{{\"error\":\"between 1 and {BULK_MAX} ticket ids\"}}"),
+            );
+        }
+        let wait_ms: u64 = req
+            .query_param("wait_ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let deadline = Instant::now() + Duration::from_millis(wait_ms).min(self.sync_timeout);
+        let mut entries = Vec::with_capacity(publics.len());
+        for &public in &publics {
+            let found = {
+                let tickets = self.tickets.lock().expect("tickets");
+                tickets
+                    .get(&public)
+                    .map(|e| (e.group, e.party, e.ticket))
+            };
+            let Some((group, party, ticket)) = found else {
+                entries.push(format!("{{\"ticket\":{public},\"status\":\"unknown\"}}"));
+                continue;
+            };
+            let ctrl = Controller::new(self.handles[group][party].clone(), self.object.clone());
+            let budget = deadline.saturating_duration_since(Instant::now());
+            let status = if budget.is_zero() {
+                ctrl.poll_status(CoordTicket { ticket })
+            } else {
+                // Sequential waits share one deadline; tickets resolve
+                // concurrently in their groups regardless of the order
+                // this loop visits them.
+                ctrl.wait_terminal(CoordTicket { ticket }, budget)
+            };
+            self.count_terminal(public, &status);
+            let inner = Self::status_json(&status);
+            entries.push(format!(
+                "{{\"ticket\":{public},{}",
+                inner.strip_prefix('{').unwrap_or(&inner)
+            ));
+        }
+        HttpResponse::json(200, format!("{{\"tickets\":[{}]}}", entries.join(",")))
+    }
+
+    /// Counts a ticket's first observed terminal status into the
+    /// `serve_installed`/`serve_vetoed` counters (idempotent per
+    /// ticket).
+    fn count_terminal(&self, public: u64, status: &TicketStatus) {
+        if !status.is_terminal() {
+            return;
+        }
+        let mut tickets = self.tickets.lock().expect("tickets");
+        if let Some(entry) = tickets.get_mut(&public) {
+            if !entry.counted {
+                entry.counted = true;
+                match status {
+                    TicketStatus::Installed { .. } => {
+                        self.telemetry.add(names::SERVE_INSTALLED, 1)
+                    }
+                    _ => self.telemetry.add(names::SERVE_VETOED, 1),
+                }
+            }
+        }
+    }
+
+    /// The status object every ticket endpoint answers with.
+    fn status_json(status: &TicketStatus) -> String {
+        match status {
+            TicketStatus::Unknown => "{\"status\":\"unknown\"}".to_string(),
+            TicketStatus::Pending { run } => format!(
+                "{{\"status\":\"pending\",\"dispatched\":{}}}",
+                run.is_some()
+            ),
+            TicketStatus::Installed { state } => {
+                format!("{{\"status\":\"installed\",\"seq\":{}}}", state.seq)
+            }
+            TicketStatus::Invalidated { vetoers } => format!(
+                "{{\"status\":\"invalidated\",\"vetoers\":{}}}",
+                vetoers_json(vetoers)
+            ),
+            TicketStatus::Aborted { reason } => {
+                format!("{{\"status\":\"aborted\",\"reason\":{}}}", js(reason))
+            }
+        }
+    }
+
+    /// The explicit §5 scoping surface: `enter`/`examine`/`update`/
+    /// `leave` on a session pinned to the (order, party) pair. The
+    /// working copy lives server-side across requests; the outermost
+    /// `leave` initiates coordination in the session's mode.
+    fn scope_call(&self, g: usize, action: &str, req: &HttpRequest) -> HttpResponse {
+        let p = match self.party_index(req, "customer") {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let mut sessions = self.sessions.lock().expect("sessions");
+        match action {
+            "enter" => {
+                let mode = match self.mode_of(req) {
+                    Ok(m) => m,
+                    Err(resp) => return resp,
+                };
+                let session = sessions.entry((g, p)).or_insert_with(|| Session {
+                    ctrl: Controller::new(self.handles[g][p].clone(), self.object.clone())
+                        .mode(mode)
+                        .timeout(self.sync_timeout),
+                    depth: 0,
+                });
+                if let Err(e) = session.ctrl.enter() {
+                    sessions.remove(&(g, p));
+                    return HttpResponse::json(
+                        404,
+                        format!("{{\"error\":{}}}", js(&format!("{e}"))),
+                    );
+                }
+                session.depth += 1;
+                let state = session.ctrl.state().map(|s| s.to_vec()).unwrap_or_default();
+                HttpResponse {
+                    status: 200,
+                    content_type: "application/json".into(),
+                    body: state,
+                }
+            }
+            "examine" => {
+                let Some(session) = sessions.get_mut(&(g, p)) else {
+                    return HttpResponse::json(409, "{\"error\":\"no open scope\"}");
+                };
+                if let Err(e) = session.ctrl.examine() {
+                    return HttpResponse::json(
+                        409,
+                        format!("{{\"error\":{}}}", js(&format!("{e}"))),
+                    );
+                }
+                let state = session.ctrl.state().map(|s| s.to_vec()).unwrap_or_default();
+                HttpResponse {
+                    status: 200,
+                    content_type: "application/json".into(),
+                    body: state,
+                }
+            }
+            "update" => {
+                let body = match self.body_of(req) {
+                    Ok(b) => b,
+                    Err(resp) => return resp,
+                };
+                let Some(session) = sessions.get_mut(&(g, p)) else {
+                    return HttpResponse::json(409, "{\"error\":\"no open scope\"}");
+                };
+                let Ok(working) = session.ctrl.state() else {
+                    return HttpResponse::json(409, "{\"error\":\"no working state\"}");
+                };
+                let Some(mut order) = Order::from_bytes(working) else {
+                    return HttpResponse::json(500, "{\"error\":\"undecodable working state\"}");
+                };
+                let op = body.op.clone().unwrap_or_else(|| "line".to_string());
+                if let Err(msg) = Self::apply_action(&op, &body, &mut order) {
+                    return HttpResponse::json(400, format!("{{\"error\":{}}}", js(&msg)));
+                }
+                let bytes = order.to_bytes();
+                // Keep the working copy current AND mark the scope as an
+                // update-kind access carrying the latest whole state.
+                if let Err(e) = session
+                    .ctrl
+                    .set_state(bytes.clone())
+                    .and_then(|()| session.ctrl.update(bytes))
+                {
+                    return HttpResponse::json(
+                        409,
+                        format!("{{\"error\":{}}}", js(&format!("{e}"))),
+                    );
+                }
+                HttpResponse::json(200, "{\"ok\":true}")
+            }
+            "leave" => {
+                // Take the session out of the map before leaving: a
+                // synchronous leave blocks for the whole coordination
+                // round, and other sessions must stay serviceable.
+                let Some(mut session) = sessions.remove(&(g, p)) else {
+                    return HttpResponse::json(409, "{\"error\":\"no open scope\"}");
+                };
+                drop(sessions);
+                session.depth = session.depth.saturating_sub(1);
+                let outermost = session.depth == 0;
+                let result = session.ctrl.leave();
+                if !outermost {
+                    self.sessions
+                        .lock()
+                        .expect("sessions")
+                        .insert((g, p), session);
+                }
+                match result {
+                    Ok(None) => HttpResponse::json(200, "{\"outcome\":\"none\"}"),
+                    Ok(Some(ticket)) => {
+                        if !outermost {
+                            // Inner leave never coordinates; outer-only.
+                            return HttpResponse::json(200, "{\"outcome\":\"none\"}");
+                        }
+                        // A synchronous leave has already committed inside
+                        // Controller::leave — its outcome is known; the
+                        // other modes hand out a pollable ticket.
+                        match self.handles[g][p].read({
+                            let t = ticket.ticket;
+                            move |c| c.outcome_of_ticket(&t)
+                        }) {
+                            Some(outcome) if outcome.is_installed() => {
+                                self.telemetry.add(names::SERVE_INSTALLED, 1);
+                                HttpResponse::json(200, "{\"outcome\":\"installed\"}")
+                            }
+                            _ => {
+                                let public = self.next_ticket.fetch_add(1, Ordering::SeqCst);
+                                self.tickets.lock().expect("tickets").insert(
+                                    public,
+                                    TicketRef {
+                                        group: g,
+                                        party: p,
+                                        ticket: ticket.ticket,
+                                        counted: false,
+                                    },
+                                );
+                                HttpResponse::json(202, format!("{{\"ticket\":{public}}}"))
+                            }
+                        }
+                    }
+                    Err(CoordError::Invalidated { vetoers }) => {
+                        self.telemetry.add(names::SERVE_VETOED, 1);
+                        HttpResponse::json(
+                            409,
+                            format!(
+                                "{{\"outcome\":\"invalidated\",\"vetoers\":{}}}",
+                                vetoers_json(&vetoers)
+                            ),
+                        )
+                    }
+                    Err(CoordError::Busy { .. }) => self.backpressure(),
+                    Err(CoordError::Timeout(_)) => {
+                        HttpResponse::json(504, "{\"error\":\"coordination timed out\"}")
+                    }
+                    Err(e) => HttpResponse::json(
+                        500,
+                        format!("{{\"error\":{}}}", js(&format!("{e}"))),
+                    ),
+                }
+            }
+            _ => unreachable!("routed actions only"),
+        }
+    }
+}

@@ -41,6 +41,9 @@ pub mod names {
     pub const ROUNDS_COMMITTED: &str = "rounds_committed";
     /// Rounds that ended in rollback/abort.
     pub const ROUNDS_ABORTED: &str = "rounds_aborted";
+    /// Rounds lost purely to the group's concurrency control whose
+    /// updates were requeued for re-proposal instead of surfacing a veto.
+    pub const ROUNDS_RETRIED: &str = "rounds_retried";
     /// Phase-1 responses that validated and counted.
     pub const VOTES_VALID: &str = "votes_valid";
     /// Phase-1 responses rejected (bad signature, stale run, misbehaviour).
@@ -148,6 +151,30 @@ pub mod names {
     /// parse; the frame is dropped but the length-prefixed stream stays
     /// in sync.
     pub const MUX_BAD_FRAMES: &str = "mux_bad_frames";
+    /// Order server: HTTP requests served (every status code).
+    pub const SERVE_REQUESTS: &str = "serve_requests";
+    /// Order server: requests answered `429` because the target group's
+    /// pending-update queue was at `pending_updates_max` (the HTTP face
+    /// of the coordinator's backpressure).
+    pub const SERVE_BACKPRESSURE_429: &str = "serve_backpressure_429";
+    /// Order server: update requests that reached a terminal outcome and
+    /// installed.
+    pub const SERVE_INSTALLED: &str = "serve_installed";
+    /// Order server: update requests that reached a terminal outcome and
+    /// were vetoed/aborted (the validation-veto race surfacing as `409`
+    /// or a failed ticket).
+    pub const SERVE_VETOED: &str = "serve_vetoed";
+    /// Histogram: end-to-end request latency in milliseconds for
+    /// synchronous-mode calls (client send → outcome known). Milliseconds
+    /// fit the bucket ladder; exact-sample percentiles in finer units
+    /// belong to the load driver, not the live histogram.
+    pub const SERVE_LATENCY_MS_SYNC: &str = "serve_latency_ms_sync";
+    /// Histogram: submit→terminal-ticket latency in milliseconds for
+    /// deferred-synchronous calls (includes `/tickets/:id` polling).
+    pub const SERVE_LATENCY_MS_DEFERRED: &str = "serve_latency_ms_deferred";
+    /// Histogram: submit→terminal-ticket latency in milliseconds for
+    /// asynchronous calls (outcome observed by opportunistic polling).
+    pub const SERVE_LATENCY_MS_ASYNC: &str = "serve_latency_ms_async";
 
     /// Returns the metric key carrying a `group` label for `name`:
     /// `<name>|group=<g>`. [`crate::MetricsSnapshot::to_prometheus`]
